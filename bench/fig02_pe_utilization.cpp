@@ -1,0 +1,61 @@
+/// Reproduces Fig. 2: (a) mean PE utilization of every Table II workload
+/// under energy-optimal execution on the 14×12 Eyeriss-style array —
+/// the paper reports a 55.8% average; (b) the drastic per-layer utilization
+/// spread inside SqueezeNet.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace rota;
+
+  bench::banner("Fig. 2a", "PE utilization of DNN workloads (Eyeriss 14x12)");
+
+  const auto schedules = bench::schedule_all_workloads(arch::eyeriss_like());
+
+  util::TextTable table({"network", "abbr", "layers", "mean util",
+                         "tile-weighted util", "min layer", "max layer"});
+  std::vector<std::vector<std::string>> csv;
+  double mean_sum = 0.0;
+  for (const auto& ns : schedules) {
+    double lo = 1.0;
+    double hi = 0.0;
+    for (const auto& l : ns.layers) {
+      lo = std::min(lo, l.utilization(ns.config));
+      hi = std::max(hi, l.utilization(ns.config));
+    }
+    mean_sum += ns.mean_utilization();
+    table.add_row({ns.network_name, ns.network_abbr,
+                   std::to_string(ns.layers.size()),
+                   util::fmt_pct(ns.mean_utilization()),
+                   util::fmt_pct(ns.tile_weighted_utilization()),
+                   util::fmt_pct(lo), util::fmt_pct(hi)});
+    csv.push_back({ns.network_abbr, util::fmt(ns.mean_utilization(), 4),
+                   util::fmt(ns.tile_weighted_utilization(), 4),
+                   util::fmt(lo, 4), util::fmt(hi, 4)});
+  }
+  bench::emit(table, {"abbr", "mean_util", "tile_weighted_util", "min_layer",
+                      "max_layer"},
+              csv);
+  std::cout << "zoo average PE utilization: "
+            << util::fmt_pct(mean_sum / static_cast<double>(schedules.size()))
+            << "   (paper Fig. 2a: 55.8% with NeuroSpector mappings)\n";
+
+  bench::banner("Fig. 2b", "per-layer PE utilization of SqueezeNet layers");
+  sched::Mapper mapper(arch::eyeriss_like());
+  const auto sqz = mapper.schedule_network(nn::make_squeezenet());
+  util::TextTable layers({"layer", "space", "tiles Z", "utilization"});
+  std::vector<std::vector<std::string>> layer_csv;
+  for (const auto& l : sqz.layers) {
+    const std::string space =
+        std::to_string(l.space.x) + "x" + std::to_string(l.space.y);
+    layers.add_row({l.layer_name, space, std::to_string(l.tiles),
+                    util::fmt_pct(l.utilization(sqz.config))});
+    layer_csv.push_back({l.layer_name, std::to_string(l.space.x),
+                         std::to_string(l.space.y), std::to_string(l.tiles),
+                         util::fmt(l.utilization(sqz.config), 4)});
+  }
+  bench::emit(layers, {"layer", "x", "y", "tiles", "utilization"}, layer_csv);
+  return 0;
+}

@@ -1,0 +1,41 @@
+/// Reproduces Fig. 7: the transient of the accelerator's projected
+/// lifetime (relative to the fixed-corner baseline at the same iteration)
+/// and R_diff over the first 200 iterations of SqueezeNet under RWL+RO.
+/// R_diff converges toward 0 and the projected lifetime inversely follows.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace rota;
+  bench::banner("Fig. 7",
+                "projected lifetime vs R_diff, SqueezeNet RWL+RO, 200 iters");
+
+  Experiment exp({arch::rota_like(), 200});
+  const auto samples = exp.run_transient(nn::make_squeezenet(),
+                                         wear::PolicyKind::kRwlRo, 200);
+
+  util::TextTable table(
+      {"iteration", "R_diff", "lifetime vs baseline", "D_max"});
+  std::vector<std::vector<std::string>> csv;
+  for (const auto& s : samples) {
+    if (s.iteration % 10 != 0 && s.iteration != 1) continue;
+    table.add_row({std::to_string(s.iteration), util::fmt(s.r_diff, 5),
+                   util::fmt(s.improvement, 5) + "x",
+                   std::to_string(s.max_usage_diff)});
+    csv.push_back({std::to_string(s.iteration), util::fmt(s.r_diff, 6),
+                   util::fmt(s.improvement, 5),
+                   std::to_string(s.max_usage_diff)});
+  }
+  bench::emit(table, {"iteration", "r_diff", "lifetime_improvement", "d_max"},
+              csv);
+
+  std::cout << "Shape check: R_diff decays toward 0 while the projected "
+               "lifetime rises and saturates (paper Fig. 7:\nthe two curves "
+               "mirror each other). At this simulator's tile granularity "
+               "(hundreds of tiles per layer)\nthe lifetime saturates within "
+               "the first iterations, so the rise is visible only in the "
+               "4th decimal;\nthe R_diff decay carries the transient.\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+/// Reproduces Fig. 10: relative lifetime of Baseline / RWL / RWL+RO for
+/// growing PE array sizes running SqueezeNet. Larger arrays tend to lower
+/// the PE utilization ratio, which widens the wear-leveling opportunity —
+/// RWL+RO gains more on bigger arrays.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace rota;
+  using wear::PolicyKind;
+  bench::banner("Fig. 10",
+                "lifetime improvement vs PE array size (SqueezeNet)");
+
+  const nn::Network net = nn::make_squeezenet();
+  util::TextTable table({"array", "PEs", "mean util", "Baseline", "RWL",
+                         "RWL+RO"});
+  std::vector<std::vector<std::string>> csv;
+
+  double first_gain = 0.0;
+  double last_gain = 0.0;
+  for (std::int64_t side : {8, 12, 16, 20, 24, 28, 32}) {
+    ExperimentConfig cfg;
+    cfg.accel = arch::scaled_array(side, arch::TopologyKind::kTorus2D);
+    cfg.iterations = 1000;
+    Experiment exp(cfg);
+    const auto res = exp.run(net, bench::paper_policies());
+    const double rwl = res.improvement_over_baseline(PolicyKind::kRwl);
+    const double ro = res.improvement_over_baseline(PolicyKind::kRwlRo);
+    if (first_gain == 0.0) first_gain = ro;
+    last_gain = ro;
+    const std::string dim = std::to_string(side) + "x" + std::to_string(side);
+    table.add_row({dim, std::to_string(side * side),
+                   util::fmt_pct(res.schedule.mean_utilization()), "1.00x",
+                   util::fmt(rwl, 2) + "x", util::fmt(ro, 2) + "x"});
+    csv.push_back({std::to_string(side),
+                   util::fmt(res.schedule.mean_utilization(), 4),
+                   util::fmt(rwl, 4), util::fmt(ro, 4)});
+  }
+  bench::emit(table, {"side", "mean_util", "rwl", "rwl_ro"}, csv);
+
+  std::cout << "Shape check: RWL+RO gains grow from "
+            << util::fmt(first_gain, 2) << "x (8x8) to "
+            << util::fmt(last_gain, 2)
+            << "x (32x32); the trend is upward with mapper-induced wiggles "
+               "at divisor-friendly sizes\n(paper Fig. 10: monotone growth "
+               "with array size).\n";
+  return 0;
+}

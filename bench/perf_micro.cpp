@@ -1,0 +1,84 @@
+/// Micro-benchmarks of the library itself (google-benchmark): mapper
+/// search throughput, wear-simulation throughput with and without the
+/// periodicity fast-forward, usage-tracker placement rate, and the
+/// reliability evaluation. These guard the tool's interactive usability
+/// rather than reproducing a paper figure.
+
+#include <benchmark/benchmark.h>
+
+#include "core/rota.hpp"
+
+namespace {
+
+using namespace rota;
+
+void BM_MapperScheduleLayer(benchmark::State& state) {
+  const auto layer = nn::conv("c", 512, 512, 7, 3, 1);
+  for (auto _ : state) {
+    sched::Mapper mapper(arch::eyeriss_like());  // fresh: defeat the cache
+    benchmark::DoNotOptimize(mapper.schedule_layer(layer));
+  }
+}
+BENCHMARK(BM_MapperScheduleLayer)->Unit(benchmark::kMillisecond);
+
+void BM_MapperScheduleSqueezeNet(benchmark::State& state) {
+  const auto net = nn::make_squeezenet();
+  for (auto _ : state) {
+    sched::Mapper mapper(arch::eyeriss_like());
+    benchmark::DoNotOptimize(mapper.schedule_network(net));
+  }
+}
+BENCHMARK(BM_MapperScheduleSqueezeNet)->Unit(benchmark::kMillisecond);
+
+void BM_TrackerAddSpaceWrapped(benchmark::State& state) {
+  wear::UsageTracker tracker(14, 12);
+  std::int64_t u = 0;
+  for (auto _ : state) {
+    tracker.add_space(u, (u * 5) % 12, 8, 8, 1, true);
+    u = (u + 3) % 14;
+  }
+  benchmark::DoNotOptimize(tracker);
+}
+BENCHMARK(BM_TrackerAddSpaceWrapped);
+
+void BM_WearIterationFastForward(benchmark::State& state) {
+  const bool fast = state.range(0) != 0;
+  sched::Mapper mapper(arch::rota_like());
+  const auto ns = mapper.schedule_network(nn::make_squeezenet());
+  for (auto _ : state) {
+    wear::WearSimulator sim(arch::rota_like(), wear::SimulatorOptions{fast});
+    auto policy = wear::make_policy(wear::PolicyKind::kRwlRo, 14, 12);
+    sim.run_iterations(ns, *policy, 10);
+    benchmark::DoNotOptimize(sim.tracker());
+  }
+  state.SetLabel(fast ? "fast-forward" : "per-tile");
+}
+BENCHMARK(BM_WearIterationFastForward)->Arg(1)->Arg(0)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LifetimeImprovement(benchmark::State& state) {
+  std::vector<double> base(168);
+  std::vector<double> wl(168);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    base[i] = static_cast<double>(i % 7);
+    wl[i] = 3.0 + static_cast<double>(i % 2);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rel::lifetime_improvement(base, wl));
+  }
+}
+BENCHMARK(BM_LifetimeImprovement);
+
+void BM_ExperimentSqueezeNet100(benchmark::State& state) {
+  const auto net = nn::make_squeezenet();
+  for (auto _ : state) {
+    Experiment exp({arch::rota_like(), 100});
+    benchmark::DoNotOptimize(exp.run(net, {wear::PolicyKind::kBaseline,
+                                           wear::PolicyKind::kRwlRo}));
+  }
+}
+BENCHMARK(BM_ExperimentSqueezeNet100)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

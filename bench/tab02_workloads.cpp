@@ -1,0 +1,43 @@
+/// Reproduces Table II: the DNN workload zoo used in the experiments, with
+/// the model statistics of this repository's shape tables.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace rota;
+  bench::banner("Table II", "DNN workloads used in experiments");
+
+  util::TextTable table({"DNN domain", "network", "abbr", "layers",
+                         "unique shapes", "GMACs", "feature"});
+  std::vector<std::vector<std::string>> csv;
+
+  const char* features[] = {
+      "Residual blocks",     "Asymmetric weights",   "Large dataset",
+      "Small weights",       "Group Conv.",          "MBConv. blocks",
+      "Transformer encoding", "Embedded transformer", "Large language model",
+  };
+  // Table II row order: Res, Inc, YL, Sqz, Mb, Eff, VT, MVT, LM.
+  const char* order[] = {"Res", "Inc", "YL", "Sqz", "Mb",
+                         "Eff", "VT",  "MVT", "LM"};
+
+  int i = 0;
+  for (const char* abbr : order) {
+    const nn::Network net = nn::workload_by_abbr(abbr);
+    const double gmacs = static_cast<double>(net.total_macs()) / 1e9;
+    table.add_row({to_string(net.domain()), net.name(), net.abbr(),
+                   std::to_string(net.layer_count()),
+                   std::to_string(net.unique_shape_count()),
+                   util::fmt(gmacs, 2), features[i]});
+    csv.push_back({net.abbr(), net.name(), to_string(net.domain()),
+                   std::to_string(net.layer_count()),
+                   std::to_string(net.unique_shape_count()),
+                   util::fmt(gmacs, 3)});
+    ++i;
+  }
+  bench::emit(table, {"abbr", "network", "domain", "layers", "unique_shapes",
+                      "gmacs"},
+              csv);
+  return 0;
+}

@@ -1,0 +1,87 @@
+/// \file custom_accelerator.cpp
+/// Domain example: evaluating RoTA wear-leveling for a *custom* design —
+/// a 16×16 edge-NPU-style array with larger local buffers — running a
+/// hand-built keyword-spotting CNN that is not part of the Table II zoo.
+/// Shows the full API surface a downstream architect would touch: custom
+/// AcceleratorConfig, custom Network via the layer factories, the mapper,
+/// the wear simulator, the area model and the execution engine.
+
+#include <iostream>
+
+#include "core/rota.hpp"
+
+int main() {
+  using namespace rota;
+  using wear::PolicyKind;
+
+  // --- 1. A custom accelerator: 16×16 torus, beefier local buffers. -----
+  arch::AcceleratorConfig accel;
+  accel.array_width = 16;
+  accel.array_height = 16;
+  accel.topology = arch::TopologyKind::kTorus2D;
+  accel.lb_input_bytes = 64;
+  accel.lb_weight_bytes = 512;
+  accel.lb_output_bytes = 64;
+  accel.glb_bytes = 256 * 1024;
+  accel.validate();
+
+  // --- 2. A custom workload built from the layer factories. -------------
+  nn::Network net("DS-CNN-KWS", "KWS", nn::Domain::kLightweight);
+  net.add(nn::conv2d("conv1", 1, 64, 49, 10, 10, 4, 2, 4, 1));
+  std::int64_t fm_h = 25;
+  std::int64_t fm_w = 5;
+  for (int i = 1; i <= 4; ++i) {
+    const std::string p = "ds" + std::to_string(i);
+    // Depthwise-separable pair on a rectangular map; model the dw conv on
+    // the larger square-ish dimension for simplicity.
+    net.add(nn::conv2d(p + "_dw_as_grouped", 64, 64, fm_h, fm_w, 3, 3, 1, 1,
+                       1));
+    net.add(nn::conv2d(p + "_pw", 64, 64, fm_h, fm_w, 1, 1, 1, 0, 0));
+  }
+  net.add(nn::gemm("fc", 1, 12, 64));  // 12 keywords
+
+  std::cout << "custom accelerator: " << accel.array_width << "x"
+            << accel.array_height << " torus, GLB "
+            << accel.glb_bytes / 1024 << " KB\n"
+            << "custom workload:    " << net.name() << ", "
+            << net.layer_count() << " layers, " << net.total_macs()
+            << " MACs\n\n";
+
+  // --- 3. Schedule and inspect the utilization spaces. ------------------
+  ExperimentConfig cfg;
+  cfg.accel = accel;
+  cfg.iterations = 2000;  // small model -> cheap iterations
+  Experiment exp(cfg);
+  const auto schedule = exp.schedule(net);
+  util::TextTable spaces({"layer", "space", "tiles", "utilization"});
+  for (const auto& l : schedule.layers) {
+    spaces.add_row({l.layer_name,
+                    std::to_string(l.space.x) + "x" +
+                        std::to_string(l.space.y),
+                    std::to_string(l.tiles),
+                    util::fmt_pct(l.utilization(accel))});
+  }
+  std::cout << spaces.str() << '\n';
+
+  // --- 4. Wear-level and quantify the reliability win. ------------------
+  const auto result = exp.run(net, {PolicyKind::kBaseline, PolicyKind::kRwlRo});
+  std::cout << "RWL+RO lifetime improvement over fixed-corner baseline: "
+            << util::fmt(result.improvement_over_baseline(PolicyKind::kRwlRo),
+                         2)
+            << "x over " << cfg.iterations << " iterations\n";
+
+  // --- 5. What does the torus cost on this design? ----------------------
+  arch::AcceleratorConfig mesh = accel;
+  mesh.topology = arch::TopologyKind::kMesh2D;
+  const arch::AreaModel area;
+  std::cout << "torus area overhead on the PE array: "
+            << util::fmt_pct(area.array_overhead_fraction(mesh), 2) << '\n';
+
+  // --- 6. And does wear-leveling cost cycles? (it must not) -------------
+  const sim::ExecutionEngine engine(accel);
+  const sim::ExecutionEngine mesh_engine(mesh);
+  std::cout << "execution cycles, mesh vs torus+RWL+RO: "
+            << util::fmt(mesh_engine.network_cycles(schedule), 0) << " vs "
+            << util::fmt(engine.network_cycles(schedule), 0) << '\n';
+  return 0;
+}

@@ -1,0 +1,52 @@
+/// \file wear_heatmaps.cpp
+/// Domain example: visual wear-map inspection. Runs a workload under each
+/// wear-leveling scheme, prints the ASCII heatmaps (paper Figs. 3 and
+/// 6c–e) and exports one PGM image per scheme so the maps can be viewed
+/// with any image tool — no plotting stack required.
+///
+///   usage: wear_heatmaps [abbr] [iterations] [out_dir]   (default: Sqz 200 .)
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/rota.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rota;
+  using wear::PolicyKind;
+
+  const std::string abbr = argc > 1 ? argv[1] : "Sqz";
+  const std::int64_t iterations = argc > 2 ? std::atoll(argv[2]) : 200;
+  const std::string out_dir = argc > 3 ? argv[3] : ".";
+
+  nn::Network net = nn::workload_by_abbr(abbr);
+  Experiment exp({arch::rota_like(), iterations});
+  const auto result = exp.run(net, {PolicyKind::kBaseline, PolicyKind::kRwl,
+                                    PolicyKind::kRwlRo});
+
+  for (const auto& run : result.runs) {
+    std::cout << "=== " << run.policy_name << " after " << iterations
+              << " iterations of " << net.name() << " ===\n";
+    std::cout << "D_max = " << run.stats.max_diff
+              << ", R_diff = " << util::fmt(run.stats.r_diff, 4) << "\n";
+    std::cout << util::ascii_heatmap(run.usage) << '\n';
+
+    util::Grid<double> img(run.usage.width(), run.usage.height());
+    for (std::size_t r = 0; r < img.height(); ++r)
+      for (std::size_t c = 0; c < img.width(); ++c)
+        img(c, r) = static_cast<double>(run.usage(c, r));
+    std::string name = run.policy_name;
+    for (char& ch : name)
+      if (ch == '+') ch = '_';
+    const std::string path = out_dir + "/wear_" + abbr + "_" + name + ".pgm";
+    if (util::write_pgm(img, path)) {
+      std::cout << "wrote " << path << "\n\n";
+    } else {
+      std::cout << "could not write " << path << "\n\n";
+    }
+  }
+
+  std::cout << "Tip: the baseline map shows the corner hotspot; RWL shows "
+               "residual banding; RWL+RO is flat.\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+#include "arch/area.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace rota::arch {
+
+double AreaModel::pe_area_um2(const AcceleratorConfig& cfg) const {
+  const double lb_bits = static_cast<double>(
+      (cfg.lb_input_bytes + cfg.lb_weight_bytes + cfg.lb_output_bytes) * 8);
+  const double lb_area =
+      lb_bits * params_.sram_um2_per_bit * params_.sram_periphery_factor;
+  return params_.mac_area_um2 + params_.pe_control_area_um2 + lb_area;
+}
+
+double AreaModel::local_network_area_um2(const AcceleratorConfig& cfg) const {
+  const Topology topo(cfg.topology, cfg.array_width, cfg.array_height);
+  const LinkStats stats = topo.link_stats();
+  // Each link contributes fixed mux/latch/repeater logic plus routing
+  // proportional to its physical length (in PE pitches).
+  const double logic =
+      static_cast<double>(stats.link_count) * params_.link_logic_area_um2;
+  const double routing = stats.total_length_pitches * params_.link_tracks *
+                         params_.wire_um2_per_track_pitch;
+  return logic + routing;
+}
+
+AreaBreakdown AreaModel::breakdown(const AcceleratorConfig& cfg,
+                                   bool with_wear_leveling) const {
+  cfg.validate();
+  AreaBreakdown bd;
+  const double pes = static_cast<double>(cfg.pe_count());
+  bd.pe_array = pes * pe_area_um2(cfg);
+  bd.glb = static_cast<double>(cfg.glb_bytes * 8) * params_.sram_um2_per_bit *
+           params_.sram_periphery_factor;
+  bd.controller = params_.controller_area_um2 +
+                  (with_wear_leveling ? params_.wl_logic_area_um2 : 0.0);
+  bd.global_network = pes * params_.global_net_area_per_pe_um2;
+  bd.local_network = local_network_area_um2(cfg);
+  return bd;
+}
+
+double AreaModel::array_overhead_fraction(
+    const AcceleratorConfig& mesh_cfg) const {
+  ROTA_REQUIRE(mesh_cfg.topology == TopologyKind::kMesh2D,
+               "baseline configuration must be a mesh");
+  AcceleratorConfig torus_cfg = mesh_cfg;
+  torus_cfg.topology = TopologyKind::kTorus2D;
+  const AreaBreakdown mesh_bd = breakdown(mesh_cfg, false);
+  const AreaBreakdown torus_bd = breakdown(torus_cfg, false);
+  const double mesh_array = mesh_bd.pe_array + mesh_bd.local_network;
+  const double torus_array = torus_bd.pe_array + torus_bd.local_network;
+  ROTA_ENSURE(mesh_array > 0.0, "mesh array area must be positive");
+  return (torus_array - mesh_array) / mesh_array;
+}
+
+double AreaModel::chip_overhead_fraction(
+    const AcceleratorConfig& mesh_cfg) const {
+  ROTA_REQUIRE(mesh_cfg.topology == TopologyKind::kMesh2D,
+               "baseline configuration must be a mesh");
+  AcceleratorConfig torus_cfg = mesh_cfg;
+  torus_cfg.topology = TopologyKind::kTorus2D;
+  const double mesh_total = breakdown(mesh_cfg, false).total();
+  const double torus_total = breakdown(torus_cfg, true).total();
+  ROTA_ENSURE(mesh_total > 0.0, "mesh area must be positive");
+  return (torus_total - mesh_total) / mesh_total;
+}
+
+}  // namespace rota::arch

@@ -1,0 +1,79 @@
+#pragma once
+
+#include "arch/config.hpp"
+#include "arch/topology.hpp"
+
+/// \file area.hpp
+/// Analytical area roll-up of the accelerator, replacing the paper's
+/// Synopsys DC / SAED 32 nm synthesis run (see DESIGN.md, substitutions).
+/// Absolute numbers are calibrated to 32 nm-class standard-cell and SRAM
+/// densities; the quantity of interest is the *ratio* between the torus
+/// and mesh arrays (paper §V-D reports 0.3%).
+
+namespace rota::arch {
+
+/// Technology / design constants of the area model (µm² unless noted).
+struct AreaParams {
+  double mac_area_um2 = 700.0;          ///< 16-bit multiply-accumulate
+  double pe_control_area_um2 = 160.0;   ///< per-PE sequencing logic
+  double sram_um2_per_bit = 0.30;       ///< bit-cell + array overhead
+  double sram_periphery_factor = 1.25;  ///< decoders, sense amps
+  double link_logic_area_um2 = 44.0;    ///< per-link mux/latch/driver cells
+  /// Cell-area cost of routing per track per PE pitch. Inter-PE wires ride
+  /// upper metal layers over the PE cells, so this models repeater/via
+  /// overhead only and is small; raise it for congestion-limited designs.
+  double wire_um2_per_track_pitch = 0.05;
+  double link_tracks = 16.0;            ///< 16-bit unidirectional data bus
+  double controller_area_um2 = 30000.0; ///< mapping controller + sequencer
+  double global_net_area_per_pe_um2 = 40.0;  ///< GLB distribution tree
+
+  /// RWL+RO additions: four parameter registers (w, h, x, y) and two
+  /// circular counters for (u, v) — a few dozen flops (paper §IV-F).
+  double wl_logic_area_um2 = 220.0;
+};
+
+/// Per-component area breakdown (µm²).
+struct AreaBreakdown {
+  double pe_array = 0.0;       ///< MACs + local buffers + PE control
+  double glb = 0.0;            ///< shared global buffer
+  double controller = 0.0;     ///< mapping controller (+ WL logic if any)
+  double global_network = 0.0; ///< GLB-to-PE distribution
+  double local_network = 0.0;  ///< inter-PE links (mesh or torus)
+
+  double total() const {
+    return pe_array + glb + controller + global_network + local_network;
+  }
+};
+
+/// Area model over an accelerator configuration.
+class AreaModel {
+ public:
+  explicit AreaModel(AreaParams params = {}) : params_(params) {}
+
+  const AreaParams& params() const { return params_; }
+
+  /// Area of one PE (MAC + 3 local buffers + control).
+  double pe_area_um2(const AcceleratorConfig& cfg) const;
+
+  /// Full chip breakdown. `with_wear_leveling` adds the RWL+RO counters
+  /// to the controller (only meaningful for the torus design).
+  AreaBreakdown breakdown(const AcceleratorConfig& cfg,
+                          bool with_wear_leveling = false) const;
+
+  /// Fractional area overhead of the torus-connected *PE array* (PEs +
+  /// local network) over the mesh PE array at the same size — the ratio
+  /// the paper's synthesis reports (§V-D, ≈ 0.003). Wear-leveling logic
+  /// lives in the controller and is excluded here.
+  double array_overhead_fraction(const AcceleratorConfig& mesh_cfg) const;
+
+  /// Fractional overhead of the full chip (array + GLB + controller with
+  /// RWL+RO logic + networks) — strictly smaller than the array ratio.
+  double chip_overhead_fraction(const AcceleratorConfig& mesh_cfg) const;
+
+ private:
+  double local_network_area_um2(const AcceleratorConfig& cfg) const;
+
+  AreaParams params_;
+};
+
+}  // namespace rota::arch

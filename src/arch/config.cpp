@@ -1,0 +1,52 @@
+#include "arch/config.hpp"
+
+#include "util/check.hpp"
+
+namespace rota::arch {
+
+std::string to_string(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kMesh2D: return "mesh2d";
+    case TopologyKind::kTorus2D: return "torus2d";
+  }
+  ROTA_ENSURE(false, "unhandled TopologyKind");
+}
+
+void AcceleratorConfig::validate() const {
+  ROTA_REQUIRE(array_width > 0 && array_height > 0,
+               "PE array dimensions must be positive");
+  ROTA_REQUIRE(word_bytes > 0, "word size must be positive");
+  ROTA_REQUIRE(lb_input_bytes >= word_bytes &&
+                   lb_weight_bytes >= word_bytes &&
+                   lb_output_bytes >= word_bytes,
+               "local buffers must hold at least one word");
+  ROTA_REQUIRE(glb_bytes >= lb_input_bytes + lb_weight_bytes + lb_output_bytes,
+               "GLB must be larger than one PE's local buffers");
+  ROTA_REQUIRE(global_net_words_per_cycle > 0,
+               "global network bandwidth must be positive");
+}
+
+AcceleratorConfig eyeriss_like() {
+  AcceleratorConfig cfg;  // defaults are the Eyeriss-style platform
+  cfg.topology = TopologyKind::kMesh2D;
+  cfg.validate();
+  return cfg;
+}
+
+AcceleratorConfig rota_like() {
+  AcceleratorConfig cfg;
+  cfg.topology = TopologyKind::kTorus2D;
+  cfg.validate();
+  return cfg;
+}
+
+AcceleratorConfig scaled_array(std::int64_t side, TopologyKind topology) {
+  AcceleratorConfig cfg;
+  cfg.array_width = side;
+  cfg.array_height = side;
+  cfg.topology = topology;
+  cfg.validate();
+  return cfg;
+}
+
+}  // namespace rota::arch

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+/// \file config.hpp
+/// Structural parameters of the modeled accelerator. The default matches
+/// the evaluation platform of the paper (§V): a 14×12 Eyeriss-style PE
+/// array with 24/448/48-byte input/weight/output local buffers per PE and
+/// a 108 KB shared global buffer.
+
+namespace rota::arch {
+
+/// Local-network (inter-PE) topology of the PE array.
+enum class TopologyKind {
+  kMesh2D,   ///< conventional 2-D mesh; utilization spaces cannot wrap
+  kTorus2D,  ///< RoTA: unidirectional ring per row and per column
+};
+
+std::string to_string(TopologyKind kind);
+
+/// Static configuration of one accelerator instance.
+struct AcceleratorConfig {
+  std::int64_t array_width = 14;   ///< w: PEs in the horizontal direction
+  std::int64_t array_height = 12;  ///< h: PEs in the vertical direction
+  TopologyKind topology = TopologyKind::kMesh2D;
+
+  std::int64_t word_bytes = 2;  ///< 16-bit datapath, as in Eyeriss
+
+  // Per-PE local buffers (bytes).
+  std::int64_t lb_input_bytes = 24;
+  std::int64_t lb_weight_bytes = 448;
+  std::int64_t lb_output_bytes = 48;
+
+  std::int64_t glb_bytes = 108 * 1024;  ///< shared global buffer
+
+  /// Words the global network can move between GLB and the array per cycle.
+  std::int64_t global_net_words_per_cycle = 4;
+
+  std::int64_t pe_count() const { return array_width * array_height; }
+
+  std::int64_t lb_input_words() const { return lb_input_bytes / word_bytes; }
+  std::int64_t lb_weight_words() const { return lb_weight_bytes / word_bytes; }
+  std::int64_t lb_output_words() const { return lb_output_bytes / word_bytes; }
+  std::int64_t glb_words() const { return glb_bytes / word_bytes; }
+
+  /// Throws util::precondition_error on inconsistent parameters.
+  void validate() const;
+};
+
+/// The paper's baseline: Eyeriss-style 14×12 mesh array.
+AcceleratorConfig eyeriss_like();
+
+/// The proposed design: same array with torus row/column rings.
+AcceleratorConfig rota_like();
+
+/// A square array of the given side, used by the Fig. 10 scaling study.
+AcceleratorConfig scaled_array(std::int64_t side, TopologyKind topology);
+
+}  // namespace rota::arch

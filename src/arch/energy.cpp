@@ -1,0 +1,22 @@
+#include "arch/energy.hpp"
+
+namespace rota::arch {
+
+AccessCounts& AccessCounts::operator+=(const AccessCounts& other) {
+  macs += other.macs;
+  lb_accesses += other.lb_accesses;
+  inter_pe_hops += other.inter_pe_hops;
+  glb_accesses += other.glb_accesses;
+  dram_accesses += other.dram_accesses;
+  return *this;
+}
+
+double total_energy(const EnergyModel& model, const AccessCounts& counts) {
+  return model.mac * static_cast<double>(counts.macs) +
+         model.lb_access * static_cast<double>(counts.lb_accesses) +
+         model.inter_pe_hop * static_cast<double>(counts.inter_pe_hops) +
+         model.glb_access * static_cast<double>(counts.glb_accesses) +
+         model.dram_access * static_cast<double>(counts.dram_accesses);
+}
+
+}  // namespace rota::arch

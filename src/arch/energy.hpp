@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file energy.hpp
+/// Per-access energy model in MAC-normalized units, following the relative
+/// costs reported for Eyeriss [Chen et al., JSSC 2017]: RF ≈ 1×, inter-PE
+/// ≈ 2×, GLB ≈ 6×, DRAM ≈ 200× the energy of one MAC. The scheduler uses
+/// this model to pick energy-optimal mappings; absolute joules are never
+/// needed because only relative comparisons matter.
+
+namespace rota::arch {
+
+/// Relative energy per access, normalized to one MAC operation.
+struct EnergyModel {
+  double mac = 1.0;
+  double lb_access = 1.0;      ///< PE-local register file / SRAM
+  double inter_pe_hop = 2.0;   ///< one hop on the local network
+  double glb_access = 6.0;     ///< shared global buffer
+  double dram_access = 200.0;  ///< off-chip memory
+};
+
+/// Access counts accumulated by the scheduler's cost model for one layer.
+struct AccessCounts {
+  std::int64_t macs = 0;
+  std::int64_t lb_accesses = 0;
+  std::int64_t inter_pe_hops = 0;
+  std::int64_t glb_accesses = 0;
+  std::int64_t dram_accesses = 0;
+
+  AccessCounts& operator+=(const AccessCounts& other);
+};
+
+/// Total energy of a set of access counts under a model, in MAC units.
+double total_energy(const EnergyModel& model, const AccessCounts& counts);
+
+}  // namespace rota::arch

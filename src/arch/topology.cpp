@@ -1,0 +1,57 @@
+#include "arch/topology.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace rota::arch {
+
+Topology::Topology(TopologyKind kind, std::int64_t width, std::int64_t height,
+                   TorusLayout layout)
+    : kind_(kind), width_(width), height_(height), layout_(layout) {
+  ROTA_REQUIRE(width > 0 && height > 0, "topology dimensions must be positive");
+}
+
+LinkStats Topology::link_stats() const {
+  LinkStats stats;
+  const double w = static_cast<double>(width_);
+  const double h = static_cast<double>(height_);
+
+  if (kind_ == TopologyKind::kMesh2D) {
+    // Nearest-neighbor links only: (w−1) per row, (h−1) per column.
+    stats.link_count = (width_ - 1) * height_ + width_ * (height_ - 1);
+    stats.total_length_pitches = static_cast<double>(stats.link_count);
+    stats.max_length_pitches = (stats.link_count > 0) ? 1.0 : 0.0;
+    return stats;
+  }
+
+  // Torus: every row and every column is a ring of `w` (resp. `h`) links.
+  stats.link_count = width_ * height_ + width_ * height_;
+  if (layout_ == TorusLayout::kNaiveLoopback) {
+    // w−1 unit links plus one (w−1)-pitch loop-back per row; same per column.
+    stats.total_length_pitches =
+        h * ((w - 1.0) + (w - 1.0)) + w * ((h - 1.0) + (h - 1.0));
+    stats.max_length_pitches =
+        std::max(w - 1.0, h - 1.0);
+  } else {
+    // Folded (zigzag) placement: every link spans at most two pitches and
+    // the ring of n nodes uses n links of average length ≈ 2 (the two
+    // end-of-row turnaround links are shorter).
+    auto folded_row_length = [](double n) {
+      if (n <= 1.0) return 0.0;  // a one-node ring needs no links
+      // n links: n−2 of length 2 plus two turnaround links of length 1.
+      return (n - 2.0) * 2.0 + 2.0;
+    };
+    stats.total_length_pitches =
+        h * folded_row_length(w) + w * folded_row_length(h);
+    stats.max_length_pitches = 2.0;
+  }
+  return stats;
+}
+
+std::int64_t Topology::extra_links_vs_mesh() const {
+  if (kind_ == TopologyKind::kMesh2D) return 0;
+  return width_ + height_;
+}
+
+}  // namespace rota::arch

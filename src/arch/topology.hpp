@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+
+#include "arch/config.hpp"
+
+/// \file topology.hpp
+/// Structural model of the PE array's local (inter-PE) network: link
+/// counts and physical link lengths for the conventional 2-D mesh and the
+/// RoTA torus. The torus is modeled in its *folded* (zigzag interleaved)
+/// floorplan, the standard layout that bounds every physical link to two
+/// PE pitches instead of routing a w−1-pitch loop-back wire (paper §V-D).
+
+namespace rota::arch {
+
+/// Layout style used to realize torus rings on silicon.
+enum class TorusLayout {
+  kNaiveLoopback,  ///< rings closed by a long edge-to-edge wire
+  kFolded,         ///< zigzag interleaving; every link spans ≤ 2 pitches
+};
+
+/// Link statistics of a PE-array local network.
+struct LinkStats {
+  std::int64_t link_count = 0;        ///< unidirectional inter-PE links
+  double total_length_pitches = 0.0;  ///< summed link length, in PE pitches
+  double max_length_pitches = 0.0;    ///< longest single link
+};
+
+/// The local network of a PE array.
+class Topology {
+ public:
+  /// \param layout only meaningful for kTorus2D; ignored for the mesh.
+  Topology(TopologyKind kind, std::int64_t width, std::int64_t height,
+           TorusLayout layout = TorusLayout::kFolded);
+
+  TopologyKind kind() const { return kind_; }
+  std::int64_t width() const { return width_; }
+  std::int64_t height() const { return height_; }
+  TorusLayout layout() const { return layout_; }
+
+  /// Whether a utilization space may wrap around the array edges.
+  /// True only for the torus: its row/column rings carry traffic across
+  /// the array boundary, which the mesh cannot do.
+  bool allows_wraparound() const { return kind_ == TopologyKind::kTorus2D; }
+
+  /// Link statistics of this network.
+  LinkStats link_stats() const;
+
+  /// Number of links a torus adds on top of the equivalent mesh
+  /// (one ring-closing link per row and per column); 0 for a mesh.
+  std::int64_t extra_links_vs_mesh() const;
+
+ private:
+  TopologyKind kind_;
+  std::int64_t width_;
+  std::int64_t height_;
+  TorusLayout layout_;
+};
+
+}  // namespace rota::arch

@@ -1,0 +1,250 @@
+#include "cli/commands.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "core/rota.hpp"
+#include "util/check.hpp"
+
+namespace rota::cli {
+
+namespace {
+
+arch::AcceleratorConfig accel_of(const Options& opt) {
+  arch::AcceleratorConfig cfg = arch::rota_like();
+  cfg.array_width = opt.array_width;
+  cfg.array_height = opt.array_height;
+  cfg.validate();
+  return cfg;
+}
+
+int cmd_workloads(std::ostream& out) {
+  util::TextTable table({"abbr", "network", "domain", "layers", "GMACs"});
+  for (const auto& net : nn::all_workloads()) {
+    table.add_row({net.abbr(), net.name(), nn::to_string(net.domain()),
+                   std::to_string(net.layer_count()),
+                   util::fmt(static_cast<double>(net.total_macs()) / 1e9,
+                             2)});
+  }
+  out << table.str();
+  return 0;
+}
+
+int cmd_schedule(const Options& opt, std::ostream& out) {
+  const nn::Network net = nn::workload_by_abbr(opt.workload);
+  sched::Mapper mapper(accel_of(opt));
+  const auto ns = mapper.schedule_network(net);
+  util::TextTable table({"layer", "space", "tiles Z", "util", "mapping"});
+  for (const auto& l : ns.layers) {
+    table.add_row({l.layer_name,
+                   std::to_string(l.space.x) + "x" +
+                       std::to_string(l.space.y),
+                   std::to_string(l.tiles),
+                   util::fmt_pct(l.utilization(ns.config)),
+                   l.mapping.str()});
+  }
+  out << table.str();
+  out << "mean utilization: " << util::fmt_pct(ns.mean_utilization())
+      << ", tiles/iteration: " << ns.total_tiles() << '\n';
+  if (!opt.csv_out_path.empty()) {
+    std::ofstream file(opt.csv_out_path);
+    if (!file) {
+      out << "error: could not write " << opt.csv_out_path << '\n';
+      return 1;
+    }
+    sched::write_schedule_csv(ns, file);
+    out << "wrote " << opt.csv_out_path << '\n';
+  }
+  return 0;
+}
+
+int cmd_wear(const Options& opt, std::ostream& out) {
+  const arch::AcceleratorConfig accel = accel_of(opt);
+  sched::NetworkSchedule ns;
+  std::string source_name;
+  if (!opt.schedule_path.empty()) {
+    std::ifstream file(opt.schedule_path);
+    ROTA_REQUIRE(static_cast<bool>(file),
+                 "could not open schedule CSV: " + opt.schedule_path);
+    ns = sched::read_schedule_csv(file, accel, opt.schedule_path,
+                                  opt.schedule_path);
+    source_name = "imported schedule " + opt.schedule_path;
+  } else {
+    const nn::Network net = nn::workload_by_abbr(opt.workload);
+    sched::Mapper mapper(accel);
+    ns = mapper.schedule_network(net);
+    source_name = net.name();
+  }
+
+  wear::WearSimulator sim(accel, {true, opt.metric});
+  auto policy = wear::make_policy(opt.policy, accel.array_width,
+                                  accel.array_height);
+  sim.run_iterations(ns, *policy, opt.iterations);
+
+  const auto stats = sim.tracker().stats();
+  out << source_name << " x " << opt.iterations << " iterations, policy "
+      << policy->name() << ":\n"
+      << "  min(A_PE) = " << stats.min << ", max(A_PE) = " << stats.max
+      << ", D_max = " << stats.max_diff
+      << ", R_diff = " << util::fmt(stats.r_diff, 4) << "\n\n"
+      << util::ascii_heatmap(sim.tracker().usage());
+
+  if (!opt.pgm_path.empty()) {
+    util::Grid<double> img(sim.tracker().usage().width(),
+                           sim.tracker().usage().height());
+    for (std::size_t r = 0; r < img.height(); ++r)
+      for (std::size_t c = 0; c < img.width(); ++c)
+        img(c, r) = static_cast<double>(sim.tracker().usage()(c, r));
+    if (util::write_pgm(img, opt.pgm_path)) {
+      out << "wrote " << opt.pgm_path << '\n';
+    } else {
+      out << "error: could not write " << opt.pgm_path << '\n';
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int cmd_lifetime(const Options& opt, std::ostream& out) {
+  const nn::Network net = nn::workload_by_abbr(opt.workload);
+  ExperimentConfig cfg;
+  cfg.accel = accel_of(opt);
+  cfg.iterations = opt.iterations;
+  cfg.metric = opt.metric;
+  Experiment exp(cfg);
+  const auto res = exp.run(
+      net, {wear::PolicyKind::kBaseline, wear::PolicyKind::kRwl,
+            wear::PolicyKind::kRwlRo});
+
+  util::TextTable table({"scheme", "lifetime", "D_max", "R_diff"});
+  for (const auto& run : res.runs) {
+    table.add_row({run.policy_name,
+                   util::fmt(res.improvement_over_baseline(run.kind), 3) +
+                       "x",
+                   std::to_string(run.stats.max_diff),
+                   util::fmt(run.stats.r_diff, 4)});
+  }
+  out << table.str();
+
+  if (opt.spares > 0) {
+    // Spare-tolerant comparison on a shared activity scale.
+    double peak = 1.0;
+    for (std::int64_t v :
+         res.run(wear::PolicyKind::kBaseline).usage.cells())
+      peak = std::max(peak, static_cast<double>(v));
+    auto alphas = [&](wear::PolicyKind kind) {
+      std::vector<double> a;
+      for (std::int64_t v : res.run(kind).usage.cells())
+        a.push_back(static_cast<double>(v) / peak);
+      return a;
+    };
+    const double mb = rel::spare_array_mttf(
+        alphas(wear::PolicyKind::kBaseline), opt.spares, cfg.beta);
+    const double mr = rel::spare_array_mttf(
+        alphas(wear::PolicyKind::kRwlRo), opt.spares, cfg.beta);
+    out << "with " << opt.spares
+        << " spare PE(s): RWL+RO lifetime gain = " << util::fmt(mr / mb, 3)
+        << "x\n";
+  }
+  return 0;
+}
+
+int cmd_thermal(const Options& opt, std::ostream& out) {
+  const nn::Network net = nn::workload_by_abbr(opt.workload);
+  const arch::AcceleratorConfig accel = accel_of(opt);
+  ExperimentConfig cfg;
+  cfg.accel = accel;
+  cfg.iterations = opt.iterations;
+  Experiment exp(cfg);
+  const auto res = exp.run(
+      net, {wear::PolicyKind::kBaseline, wear::PolicyKind::kRwlRo});
+
+  const auto& base_usage = res.run(wear::PolicyKind::kBaseline).usage;
+  const auto& ro_usage = res.run(wear::PolicyKind::kRwlRo).usage;
+  std::int64_t ref = 0;
+  for (std::int64_t v : base_usage.cells()) ref = std::max(ref, v);
+  for (std::int64_t v : ro_usage.cells()) ref = std::max(ref, v);
+
+  const thermal::ThermalModel model;
+  auto report = [&](const char* name,
+                    const util::Grid<std::int64_t>& usage) {
+    const auto temp =
+        model.steady_state(model.power_from_usage(usage, ref));
+    double peak = 0.0;
+    double mean = 0.0;
+    for (double t : temp.cells()) {
+      peak = std::max(peak, t);
+      mean += t;
+    }
+    mean /= static_cast<double>(temp.size());
+    out << name << ": peak " << util::fmt(peak, 1) << " C, mean "
+        << util::fmt(mean, 1) << " C\n"
+        << util::ascii_heatmap(temp) << '\n';
+  };
+  report("Baseline temperature field", base_usage);
+  report("RWL+RO temperature field", ro_usage);
+
+  const double gain_time =
+      res.improvement_over_baseline(wear::PolicyKind::kRwlRo);
+  const double gain_thermal = rel::lifetime_improvement(
+      thermal::accelerated_alphas(base_usage, model, 0.7, ref),
+      thermal::accelerated_alphas(ro_usage, model, 0.7, ref), cfg.beta);
+  out << "lifetime gain, time-only (Eq. 4): " << util::fmt(gain_time, 2)
+      << "x\nlifetime gain, thermally coupled: "
+      << util::fmt(gain_thermal, 2) << "x\n";
+  return 0;
+}
+
+int cmd_area(const Options& opt, std::ostream& out) {
+  arch::AcceleratorConfig mesh = accel_of(opt);
+  mesh.topology = arch::TopologyKind::kMesh2D;
+  const arch::AreaModel model;
+  const auto mb = model.breakdown(mesh, false);
+  arch::AcceleratorConfig torus = mesh;
+  torus.topology = arch::TopologyKind::kTorus2D;
+  const auto tb = model.breakdown(torus, true);
+
+  util::TextTable table({"component", "mesh (um^2)", "torus+WL (um^2)"});
+  table.add_row({"PE array", util::fmt(mb.pe_array, 0),
+                 util::fmt(tb.pe_array, 0)});
+  table.add_row({"local network", util::fmt(mb.local_network, 0),
+                 util::fmt(tb.local_network, 0)});
+  table.add_row({"GLB", util::fmt(mb.glb, 0), util::fmt(tb.glb, 0)});
+  table.add_row({"global network", util::fmt(mb.global_network, 0),
+                 util::fmt(tb.global_network, 0)});
+  table.add_row({"controller", util::fmt(mb.controller, 0),
+                 util::fmt(tb.controller, 0)});
+  table.add_row({"total", util::fmt(mb.total(), 0),
+                 util::fmt(tb.total(), 0)});
+  out << table.str();
+  out << "PE-array overhead: "
+      << util::fmt_pct(model.array_overhead_fraction(mesh), 2)
+      << ", whole-chip overhead: "
+      << util::fmt_pct(model.chip_overhead_fraction(mesh), 2) << '\n';
+  return 0;
+}
+
+}  // namespace
+
+int run(const Options& options, std::ostream& out) {
+  switch (options.verb) {
+    case Verb::kHelp:
+      out << usage();
+      return 0;
+    case Verb::kWorkloads:
+      return cmd_workloads(out);
+    case Verb::kSchedule:
+      return cmd_schedule(options, out);
+    case Verb::kWear:
+      return cmd_wear(options, out);
+    case Verb::kLifetime:
+      return cmd_lifetime(options, out);
+    case Verb::kArea:
+      return cmd_area(options, out);
+    case Verb::kThermal:
+      return cmd_thermal(options, out);
+  }
+  return 1;
+}
+
+}  // namespace rota::cli

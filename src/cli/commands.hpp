@@ -1,0 +1,16 @@
+#pragma once
+
+#include <ostream>
+
+#include "cli/options.hpp"
+
+/// \file commands.hpp
+/// Implementations of the `rota` subcommands, writing to a caller-supplied
+/// stream so the test suite can verify output without spawning processes.
+
+namespace rota::cli {
+
+/// Execute the parsed invocation; returns a process exit code.
+int run(const Options& options, std::ostream& out);
+
+}  // namespace rota::cli

@@ -1,0 +1,27 @@
+/// \file main.cpp
+/// Entry point of the `rota` command-line tool. All logic lives in
+/// cli::parse / cli::run so it is unit-testable; this file only adapts
+/// argv and maps parse errors to exit code 2.
+
+#include <exception>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/commands.hpp"
+#include "cli/options.hpp"
+#include "util/check.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    const rota::cli::Options options = rota::cli::parse(args);
+    return rota::cli::run(options, std::cout);
+  } catch (const rota::util::precondition_error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "internal error: " << e.what() << '\n';
+    return 3;
+  }
+}

@@ -1,0 +1,170 @@
+#include "cli/options.hpp"
+
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace rota::cli {
+
+namespace {
+
+std::int64_t parse_positive_int(const std::string& text,
+                                const std::string& flag) {
+  ROTA_REQUIRE(!text.empty(), flag + " needs a value");
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  ROTA_REQUIRE(end != nullptr && *end == '\0' && v > 0,
+               flag + " expects a positive integer, got '" + text + "'");
+  return static_cast<std::int64_t>(v);
+}
+
+std::int64_t parse_non_negative_int(const std::string& text,
+                                    const std::string& flag) {
+  ROTA_REQUIRE(!text.empty(), flag + " needs a value");
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  ROTA_REQUIRE(end != nullptr && *end == '\0' && v >= 0,
+               flag + " expects a non-negative integer, got '" + text + "'");
+  return static_cast<std::int64_t>(v);
+}
+
+}  // namespace
+
+void parse_geometry(const std::string& text, std::int64_t& width,
+                    std::int64_t& height) {
+  const std::size_t x = text.find('x');
+  ROTA_REQUIRE(x != std::string::npos && x > 0 && x + 1 < text.size(),
+               "--array expects WxH (e.g. 14x12), got '" + text + "'");
+  width = parse_positive_int(text.substr(0, x), "--array width");
+  height = parse_positive_int(text.substr(x + 1), "--array height");
+}
+
+wear::PolicyKind parse_policy(const std::string& name) {
+  for (wear::PolicyKind kind :
+       {wear::PolicyKind::kBaseline, wear::PolicyKind::kRwl,
+        wear::PolicyKind::kRwlRo, wear::PolicyKind::kRandomStart,
+        wear::PolicyKind::kDiagonalStride}) {
+    if (wear::to_string(kind) == name) return kind;
+  }
+  ROTA_REQUIRE(false,
+               "unknown policy '" + name +
+                   "' (expected Baseline, RWL, RWL+RO, RandomStart or "
+                   "DiagonalStride)");
+  throw util::precondition_error("unreachable");
+}
+
+Options parse(const std::vector<std::string>& args) {
+  Options opt;
+  if (args.empty()) return opt;  // help
+
+  const std::string& verb = args[0];
+  if (verb == "help" || verb == "--help" || verb == "-h") {
+    opt.verb = Verb::kHelp;
+  } else if (verb == "workloads") {
+    opt.verb = Verb::kWorkloads;
+  } else if (verb == "schedule") {
+    opt.verb = Verb::kSchedule;
+  } else if (verb == "wear") {
+    opt.verb = Verb::kWear;
+  } else if (verb == "lifetime") {
+    opt.verb = Verb::kLifetime;
+  } else if (verb == "area") {
+    opt.verb = Verb::kArea;
+  } else if (verb == "thermal") {
+    opt.verb = Verb::kThermal;
+  } else {
+    ROTA_REQUIRE(false, "unknown command '" + verb + "'\n" + usage());
+  }
+
+  const bool wants_workload =
+      opt.verb == Verb::kSchedule || opt.verb == Verb::kWear ||
+      opt.verb == Verb::kLifetime || opt.verb == Verb::kThermal;
+  std::size_t i = 1;
+  if (wants_workload && args.size() > 1 && args[1].rfind("--", 0) != 0) {
+    opt.workload = args[1];
+    i = 2;
+  }
+
+  auto value_of = [&](const std::string& flag) -> std::string {
+    ROTA_REQUIRE(i + 1 < args.size(), flag + " needs a value");
+    return args[++i];
+  };
+
+  for (; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    if (flag == "--array") {
+      parse_geometry(value_of(flag), opt.array_width, opt.array_height);
+    } else if (flag == "--iters") {
+      opt.iterations = parse_positive_int(value_of(flag), flag);
+    } else if (flag == "--spares") {
+      opt.spares = parse_non_negative_int(value_of(flag), flag);
+    } else if (flag == "--policy") {
+      opt.policy = parse_policy(value_of(flag));
+    } else if (flag == "--metric") {
+      const std::string m = value_of(flag);
+      if (m == "alloc") {
+        opt.metric = wear::WearMetric::kAllocations;
+      } else if (m == "cycles") {
+        opt.metric = wear::WearMetric::kActiveCycles;
+      } else {
+        ROTA_REQUIRE(false, "--metric expects 'alloc' or 'cycles', got '" +
+                                m + "'");
+      }
+    } else if (flag == "--pgm") {
+      opt.pgm_path = value_of(flag);
+    } else if (flag == "--csv") {
+      opt.csv_out_path = value_of(flag);
+    } else if (flag == "--schedule") {
+      opt.schedule_path = value_of(flag);
+    } else {
+      ROTA_REQUIRE(false, "unknown flag '" + flag + "'\n" + usage());
+    }
+  }
+
+  if (wants_workload) {
+    const bool has_source = !opt.workload.empty() ||
+                            (opt.verb == Verb::kWear &&
+                             !opt.schedule_path.empty());
+    ROTA_REQUIRE(has_source,
+                 std::string(verb) +
+                     " needs a workload abbreviation (see 'rota workloads')"
+                     " or, for wear, --schedule FILE");
+  }
+  return opt;
+}
+
+std::string usage() {
+  return
+      "rota — RoTA wear-leveling toolkit (DATE 2025 reproduction)\n"
+      "\n"
+      "usage: rota <command> [workload] [flags]\n"
+      "\n"
+      "commands:\n"
+      "  workloads                 list the Table II workload zoo\n"
+      "  schedule <abbr>           energy-optimal per-layer utilization "
+      "spaces\n"
+      "  wear <abbr>               run the wear simulator, print stats + "
+      "heatmap\n"
+      "  lifetime <abbr>           lifetime improvement of all schemes\n"
+      "  area                      area breakdown and torus overhead\n"
+      "  thermal <abbr>            temperature fields and thermally-coupled\n"
+      "                            lifetime gain (extension)\n"
+      "  help                      this text\n"
+      "\n"
+      "flags:\n"
+      "  --array WxH               PE array geometry (default 14x12)\n"
+      "  --iters N                 inference iterations (default 1000)\n"
+      "  --policy NAME             Baseline | RWL | RWL+RO | RandomStart |\n"
+      "                            DiagonalStride (default RWL+RO)\n"
+      "  --metric alloc|cycles     wear accounting (default alloc)\n"
+      "  --spares N                tolerated PE failures for lifetime "
+      "(default 0)\n"
+      "  --pgm FILE                write the wear heatmap as a PGM image\n"
+      "  --csv FILE                schedule: also export the schedule as "
+      "CSV\n"
+      "  --schedule FILE           wear: drive the simulator with an "
+      "imported\n"
+      "                            schedule CSV (layer,x,y,tiles columns)\n";
+}
+
+}  // namespace rota::cli

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "wear/policy.hpp"
+#include "wear/simulator.hpp"
+
+/// \file options.hpp
+/// Command-line parsing for the `rota` tool. Kept free of I/O so the test
+/// suite can exercise it directly; parse errors throw
+/// util::precondition_error with a user-facing message.
+
+namespace rota::cli {
+
+/// Which subcommand was requested.
+enum class Verb {
+  kHelp,
+  kWorkloads,  ///< list the Table II zoo
+  kSchedule,   ///< per-layer utilization spaces for one workload
+  kWear,       ///< run the wear simulator and print stats + heatmap
+  kLifetime,   ///< lifetime improvement of all schemes for one workload
+  kArea,       ///< area breakdown and torus overhead
+  kThermal,    ///< temperature fields and Arrhenius-coupled lifetime
+};
+
+/// Fully parsed invocation.
+struct Options {
+  Verb verb = Verb::kHelp;
+  std::string workload;  ///< Table II abbreviation (where applicable)
+  std::int64_t array_width = 14;
+  std::int64_t array_height = 12;
+  std::int64_t iterations = 1000;
+  std::int64_t spares = 0;
+  wear::PolicyKind policy = wear::PolicyKind::kRwlRo;
+  wear::WearMetric metric = wear::WearMetric::kAllocations;
+  std::string pgm_path;       ///< optional heatmap image output
+  std::string csv_out_path;   ///< schedule: export the schedule as CSV
+  std::string schedule_path;  ///< wear: import a schedule CSV instead of
+                              ///< running the built-in mapper
+};
+
+/// Parse argv (excluding argv[0]).
+/// Recognized: workloads | schedule | wear | lifetime | area | help, plus
+///   --array WxH   --iters N   --policy NAME   --metric alloc|cycles
+///   --spares N    --pgm FILE
+/// Throws util::precondition_error on unknown verbs/flags/values.
+Options parse(const std::vector<std::string>& args);
+
+/// Parse "14x12"-style geometry. Throws on malformed input.
+void parse_geometry(const std::string& text, std::int64_t& width,
+                    std::int64_t& height);
+
+/// Parse a policy name as printed by wear::to_string (case-sensitive:
+/// "Baseline", "RWL", "RWL+RO", "RandomStart", "DiagonalStride").
+wear::PolicyKind parse_policy(const std::string& name);
+
+/// The help text.
+std::string usage();
+
+}  // namespace rota::cli

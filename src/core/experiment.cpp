@@ -1,0 +1,151 @@
+#include "core/experiment.hpp"
+
+#include "util/check.hpp"
+
+namespace rota {
+
+const PolicyRun& ExperimentResult::run(wear::PolicyKind kind) const {
+  for (const auto& r : runs) {
+    if (r.kind == kind) return r;
+  }
+  ROTA_REQUIRE(false, "policy " + wear::to_string(kind) +
+                          " was not part of this experiment");
+  throw util::precondition_error("unreachable");
+}
+
+double ExperimentResult::improvement_over_baseline(
+    wear::PolicyKind kind) const {
+  const PolicyRun& base = run(wear::PolicyKind::kBaseline);
+  const PolicyRun& wl = run(kind);
+  std::vector<double> base_alphas;
+  std::vector<double> wl_alphas;
+  base_alphas.reserve(base.usage.size());
+  wl_alphas.reserve(wl.usage.size());
+  for (std::int64_t v : base.usage.cells())
+    base_alphas.push_back(static_cast<double>(v));
+  for (std::int64_t v : wl.usage.cells())
+    wl_alphas.push_back(static_cast<double>(v));
+  return rel::lifetime_improvement(base_alphas, wl_alphas, beta);
+}
+
+Experiment::Experiment(ExperimentConfig config)
+    : config_(std::move(config)), mapper_(config_.accel) {
+  config_.accel.validate();
+  ROTA_REQUIRE(config_.iterations >= 0,
+               "iteration count must be non-negative");
+}
+
+sched::NetworkSchedule Experiment::schedule(const nn::Network& net) {
+  return mapper_.schedule_network(net);
+}
+
+ExperimentResult Experiment::run(
+    const nn::Network& net, const std::vector<wear::PolicyKind>& policies) {
+  ExperimentResult result;
+  result.network_name = net.name();
+  result.network_abbr = net.abbr();
+  result.schedule = schedule(net);
+  result.iterations = config_.iterations;
+  result.beta = config_.beta;
+
+  for (wear::PolicyKind kind : policies) {
+    auto policy = wear::make_policy(kind, config_.accel.array_width,
+                                    config_.accel.array_height, config_.seed);
+    wear::WearSimulator sim(config_.accel, {true, config_.metric});
+    sim.run_iterations(result.schedule, *policy, config_.iterations);
+    PolicyRun run;
+    run.kind = kind;
+    run.policy_name = policy->name();
+    run.usage = sim.tracker().usage();
+    run.stats = sim.tracker().stats();
+    result.runs.push_back(std::move(run));
+  }
+  return result;
+}
+
+ExperimentResult Experiment::run_mix(
+    const std::vector<nn::Network>& mix,
+    const std::vector<wear::PolicyKind>& policies) {
+  ROTA_REQUIRE(!mix.empty(), "network mix must be non-empty");
+
+  // Concatenate the mix into one super-schedule: an "iteration" then means
+  // one pass over every model, and layer transitions between models are
+  // handled by the same RO relay as transitions inside a model.
+  ExperimentResult result;
+  sched::NetworkSchedule combined;
+  combined.config = config_.accel;
+  std::string names;
+  std::string abbrs;
+  for (const nn::Network& net : mix) {
+    const sched::NetworkSchedule ns = schedule(net);
+    for (const auto& layer : ns.layers) {
+      combined.layers.push_back(layer);
+      combined.layers.back().layer_name =
+          net.abbr() + ":" + layer.layer_name;
+    }
+    names += (names.empty() ? "" : " + ") + net.name();
+    abbrs += (abbrs.empty() ? "" : "+") + net.abbr();
+  }
+  combined.network_name = names;
+  combined.network_abbr = abbrs;
+  result.network_name = names;
+  result.network_abbr = abbrs;
+  result.schedule = std::move(combined);
+  result.iterations = config_.iterations;
+  result.beta = config_.beta;
+
+  for (wear::PolicyKind kind : policies) {
+    auto policy = wear::make_policy(kind, config_.accel.array_width,
+                                    config_.accel.array_height, config_.seed);
+    wear::WearSimulator sim(config_.accel, {true, config_.metric});
+    sim.run_iterations(result.schedule, *policy, config_.iterations);
+    PolicyRun run;
+    run.kind = kind;
+    run.policy_name = policy->name();
+    run.usage = sim.tracker().usage();
+    run.stats = sim.tracker().stats();
+    result.runs.push_back(std::move(run));
+  }
+  return result;
+}
+
+std::vector<TransientSample> Experiment::run_transient(
+    const nn::Network& net, wear::PolicyKind kind, std::int64_t iterations) {
+  ROTA_REQUIRE(iterations >= 1, "transient run needs at least one iteration");
+  const sched::NetworkSchedule ns = schedule(net);
+
+  // Baseline usage after one iteration; the baseline is iteration-linear
+  // (same corner anchoring every pass), so iteration i's baseline usage is
+  // i × the one-iteration counters.
+  wear::WearSimulator base_sim(config_.accel, {true, config_.metric});
+  auto base_policy =
+      wear::make_policy(wear::PolicyKind::kBaseline, config_.accel.array_width,
+                        config_.accel.array_height, config_.seed);
+  base_sim.run_iteration(ns, *base_policy);
+  const std::vector<double> base_once = base_sim.tracker().usage_as_doubles();
+
+  auto policy = wear::make_policy(kind, config_.accel.array_width,
+                                  config_.accel.array_height, config_.seed);
+  wear::WearSimulator sim(config_.accel, {true, config_.metric});
+
+  std::vector<TransientSample> samples;
+  samples.reserve(static_cast<std::size_t>(iterations));
+  sim.run_iterations(
+      ns, *policy, iterations,
+      [&](std::int64_t it, const wear::UsageTracker& tracker) {
+        TransientSample s;
+        s.iteration = it;
+        const wear::UsageStats st = tracker.stats();
+        s.max_usage_diff = st.max_diff;
+        s.r_diff = st.r_diff;
+        std::vector<double> base_now(base_once.size());
+        for (std::size_t i = 0; i < base_once.size(); ++i)
+          base_now[i] = base_once[i] * static_cast<double>(it);
+        s.improvement = rel::lifetime_improvement(
+            base_now, tracker.usage_as_doubles(), config_.beta);
+        samples.push_back(s);
+      });
+  return samples;
+}
+
+}  // namespace rota

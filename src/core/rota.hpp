@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file rota.hpp
+/// Umbrella header of the RoTA library. Including this gives the full
+/// public API:
+///
+///   - rota::nn        — layer / network model and the Table II workload zoo
+///   - rota::arch      — accelerator configuration, energy, area, topology
+///   - rota::sched     — the NeuroSpector-lite energy-optimal mapper
+///   - rota::wear      — usage tracking, RWL math, policies, wear simulator
+///   - rota::rel       — Weibull lifetime-reliability model
+///   - rota::sim       — tile pipeline timing and the RWL+RO controller
+///   - rota (core)     — Experiment: the one-call driver used by examples
+///
+/// Quickstart:
+/// \code
+///   rota::Experiment exp;                       // 14×12 torus, 1000 iters
+///   auto net = rota::nn::make_squeezenet();
+///   auto res = exp.run(net, {rota::wear::PolicyKind::kBaseline,
+///                            rota::wear::PolicyKind::kRwlRo});
+///   double gain = res.improvement_over_baseline(
+///       rota::wear::PolicyKind::kRwlRo);        // ≈ paper's Fig. 8
+/// \endcode
+
+#include "arch/area.hpp"
+#include "arch/config.hpp"
+#include "arch/energy.hpp"
+#include "arch/topology.hpp"
+#include "core/experiment.hpp"
+#include "nn/layer.hpp"
+#include "nn/network.hpp"
+#include "nn/workloads.hpp"
+#include "reliability/array_reliability.hpp"
+#include "reliability/monte_carlo.hpp"
+#include "reliability/spares.hpp"
+#include "reliability/weibull.hpp"
+#include "sched/mapper.hpp"
+#include "sched/rs_mapper.hpp"
+#include "sched/schedule.hpp"
+#include "sched/serialize.hpp"
+#include "sim/controller.hpp"
+#include "sim/engine.hpp"
+#include "sim/noc_traffic.hpp"
+#include "thermal/thermal.hpp"
+#include "util/heatmap.hpp"
+#include "util/table.hpp"
+#include "wear/policy.hpp"
+#include "wear/rwl_math.hpp"
+#include "wear/trace.hpp"
+#include "wear/simulator.hpp"
+#include "wear/usage_tracker.hpp"

@@ -1,0 +1,202 @@
+#include "nn/layer.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace rota::nn {
+
+std::string to_string(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kConv2D: return "conv2d";
+    case LayerKind::kGroupConv: return "group_conv";
+    case LayerKind::kDepthwise: return "depthwise";
+    case LayerKind::kGemm: return "gemm";
+  }
+  ROTA_ENSURE(false, "unhandled LayerKind");
+}
+
+std::int64_t LayerSpec::out_h() const {
+  return (in_h + 2 * pad_h - kernel_h) / stride_h + 1;
+}
+
+std::int64_t LayerSpec::out_w() const {
+  return (in_w + 2 * pad_w - kernel_w) / stride_w + 1;
+}
+
+std::int64_t LayerSpec::channels_per_group() const {
+  return in_channels / groups;
+}
+
+std::int64_t LayerSpec::macs() const {
+  return batch * out_channels * channels_per_group() * out_h() * out_w() *
+         kernel_h * kernel_w;
+}
+
+std::int64_t LayerSpec::input_words() const {
+  return batch * in_channels * in_h * in_w;
+}
+
+std::int64_t LayerSpec::weight_words() const {
+  return out_channels * channels_per_group() * kernel_h * kernel_w;
+}
+
+std::int64_t LayerSpec::output_words() const {
+  return batch * out_channels * out_h() * out_w();
+}
+
+void LayerSpec::validate() const {
+  ROTA_REQUIRE(!name.empty(), "layer must be named");
+  ROTA_REQUIRE(batch > 0, "batch must be positive: " + name);
+  ROTA_REQUIRE(out_channels > 0 && in_channels > 0,
+               "channel counts must be positive: " + name);
+  ROTA_REQUIRE(in_h > 0 && in_w > 0, "input dims must be positive: " + name);
+  ROTA_REQUIRE(kernel_h > 0 && kernel_w > 0,
+               "kernel dims must be positive: " + name);
+  ROTA_REQUIRE(stride_h > 0 && stride_w > 0,
+               "strides must be positive: " + name);
+  ROTA_REQUIRE(pad_h >= 0 && pad_w >= 0,
+               "padding must be non-negative: " + name);
+  ROTA_REQUIRE(groups > 0, "groups must be positive: " + name);
+  ROTA_REQUIRE(in_channels % groups == 0,
+               "groups must divide input channels: " + name);
+  ROTA_REQUIRE(out_channels % groups == 0,
+               "groups must divide output channels: " + name);
+  ROTA_REQUIRE(in_h + 2 * pad_h >= kernel_h && in_w + 2 * pad_w >= kernel_w,
+               "kernel larger than padded input: " + name);
+  ROTA_REQUIRE(out_h() > 0 && out_w() > 0, "empty output map: " + name);
+  switch (kind) {
+    case LayerKind::kConv2D:
+      ROTA_REQUIRE(groups == 1, "conv2d must have groups == 1: " + name);
+      break;
+    case LayerKind::kGroupConv:
+      ROTA_REQUIRE(groups > 1 && groups < in_channels,
+                   "group_conv needs 1 < groups < C: " + name);
+      break;
+    case LayerKind::kDepthwise:
+      ROTA_REQUIRE(groups == in_channels && out_channels % in_channels == 0,
+                   "depthwise needs groups == C: " + name);
+      break;
+    case LayerKind::kGemm:
+      ROTA_REQUIRE(kernel_h == 1 && kernel_w == 1 && groups == 1,
+                   "gemm must be a 1x1 nest: " + name);
+      break;
+  }
+}
+
+bool LayerSpec::same_shape(const LayerSpec& other) const {
+  return kind == other.kind && batch == other.batch &&
+         out_channels == other.out_channels &&
+         in_channels == other.in_channels && in_h == other.in_h &&
+         in_w == other.in_w && kernel_h == other.kernel_h &&
+         kernel_w == other.kernel_w && stride_h == other.stride_h &&
+         stride_w == other.stride_w && pad_h == other.pad_h &&
+         pad_w == other.pad_w && groups == other.groups;
+}
+
+std::string LayerSpec::shape_key() const {
+  std::ostringstream os;
+  os << to_string(kind) << ':' << batch << ',' << out_channels << ','
+     << in_channels << ',' << in_h << 'x' << in_w << ',' << kernel_h << 'x'
+     << kernel_w << ",s" << stride_h << 'x' << stride_w << ",p" << pad_h
+     << 'x' << pad_w << ",g" << groups;
+  return os.str();
+}
+
+namespace {
+
+std::int64_t default_pad(std::int64_t kernel, std::int64_t pad) {
+  return pad >= 0 ? pad : (kernel - 1) / 2;
+}
+
+}  // namespace
+
+LayerSpec conv(std::string name, std::int64_t in_c, std::int64_t out_c,
+               std::int64_t in_hw, std::int64_t kernel, std::int64_t stride,
+               std::int64_t pad) {
+  const std::int64_t p = default_pad(kernel, pad);
+  return conv2d(std::move(name), in_c, out_c, in_hw, in_hw, kernel, kernel,
+                stride, p, p);
+}
+
+LayerSpec conv2d(std::string name, std::int64_t in_c, std::int64_t out_c,
+                 std::int64_t in_h, std::int64_t in_w, std::int64_t kernel_h,
+                 std::int64_t kernel_w, std::int64_t stride,
+                 std::int64_t pad_h, std::int64_t pad_w) {
+  LayerSpec spec;
+  spec.name = std::move(name);
+  spec.kind = LayerKind::kConv2D;
+  spec.in_channels = in_c;
+  spec.out_channels = out_c;
+  spec.in_h = in_h;
+  spec.in_w = in_w;
+  spec.kernel_h = kernel_h;
+  spec.kernel_w = kernel_w;
+  spec.stride_h = stride;
+  spec.stride_w = stride;
+  spec.pad_h = pad_h;
+  spec.pad_w = pad_w;
+  spec.validate();
+  return spec;
+}
+
+LayerSpec dwconv(std::string name, std::int64_t channels, std::int64_t in_hw,
+                 std::int64_t kernel, std::int64_t stride, std::int64_t pad) {
+  LayerSpec spec;
+  spec.name = std::move(name);
+  spec.kind = LayerKind::kDepthwise;
+  spec.in_channels = channels;
+  spec.out_channels = channels;
+  spec.in_h = in_hw;
+  spec.in_w = in_hw;
+  spec.kernel_h = kernel;
+  spec.kernel_w = kernel;
+  spec.stride_h = stride;
+  spec.stride_w = stride;
+  spec.pad_h = default_pad(kernel, pad);
+  spec.pad_w = spec.pad_h;
+  spec.groups = channels;
+  spec.validate();
+  return spec;
+}
+
+LayerSpec group_conv(std::string name, std::int64_t in_c, std::int64_t out_c,
+                     std::int64_t in_hw, std::int64_t kernel,
+                     std::int64_t stride, std::int64_t groups,
+                     std::int64_t pad) {
+  LayerSpec spec;
+  spec.name = std::move(name);
+  spec.kind = LayerKind::kGroupConv;
+  spec.in_channels = in_c;
+  spec.out_channels = out_c;
+  spec.in_h = in_hw;
+  spec.in_w = in_hw;
+  spec.kernel_h = kernel;
+  spec.kernel_w = kernel;
+  spec.stride_h = stride;
+  spec.stride_w = stride;
+  spec.pad_h = default_pad(kernel, pad);
+  spec.pad_w = spec.pad_h;
+  spec.groups = groups;
+  spec.validate();
+  return spec;
+}
+
+LayerSpec gemm(std::string name, std::int64_t m, std::int64_t n,
+               std::int64_t k, std::int64_t batch) {
+  // Output rows M map to the P dimension, output columns N to K (output
+  // channels) and the reduction depth to C, so GEMMs ride the same loop
+  // nest as convolutions.
+  LayerSpec spec;
+  spec.name = std::move(name);
+  spec.kind = LayerKind::kGemm;
+  spec.batch = batch;
+  spec.in_channels = k;
+  spec.out_channels = n;
+  spec.in_h = m;
+  spec.in_w = 1;
+  spec.validate();
+  return spec;
+}
+
+}  // namespace rota::nn

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+/// \file layer.hpp
+/// The shape-level model of a neural layer. The wear-leveling study needs
+/// only loop-nest bounds — no tensor values — so a layer is a named bundle
+/// of convolution dimensions. GEMM layers (transformer projections,
+/// classifier heads, SE blocks) are expressed in the same 7-D nest with
+/// R = S = 1, which lets one scheduler handle all nine workloads.
+
+namespace rota::nn {
+
+/// Kind of compute layer. Pooling / normalization layers are not modeled:
+/// they run on separate vector units in the reference designs and do not
+/// occupy the MAC array whose wear is being studied.
+enum class LayerKind {
+  kConv2D,     ///< dense convolution (groups == 1)
+  kGroupConv,  ///< grouped convolution (1 < groups < in_channels)
+  kDepthwise,  ///< depthwise convolution (groups == in_channels)
+  kGemm,       ///< matrix multiply M×N×K expressed as 1×1 conv
+};
+
+/// Human-readable name of a layer kind.
+std::string to_string(LayerKind kind);
+
+/// Shape of one layer, in the conventional 7-D convolution nest
+/// (N, K, C, P, Q, R, S) plus strides, padding and groups.
+struct LayerSpec {
+  std::string name;              ///< unique within its network
+  LayerKind kind = LayerKind::kConv2D;
+
+  std::int64_t batch = 1;        ///< N; also used for attention head count
+  std::int64_t out_channels = 0; ///< K
+  std::int64_t in_channels = 0;  ///< C (total, across all groups)
+  std::int64_t in_h = 0;         ///< H
+  std::int64_t in_w = 0;         ///< W
+  std::int64_t kernel_h = 1;     ///< R
+  std::int64_t kernel_w = 1;     ///< S
+  std::int64_t stride_h = 1;
+  std::int64_t stride_w = 1;
+  std::int64_t pad_h = 0;        ///< symmetric padding along H
+  std::int64_t pad_w = 0;        ///< symmetric padding along W
+  std::int64_t groups = 1;
+
+  /// Output feature-map height P = (H + 2·pad_h − R)/stride_h + 1.
+  std::int64_t out_h() const;
+  /// Output feature-map width Q = (W + 2·pad_w − S)/stride_w + 1.
+  std::int64_t out_w() const;
+
+  /// Input channels seen by one output channel (C / groups).
+  std::int64_t channels_per_group() const;
+
+  /// Total multiply-accumulate operations: N·K·(C/g)·P·Q·R·S.
+  std::int64_t macs() const;
+
+  /// Tensor footprints in data words (one word per element).
+  std::int64_t input_words() const;   ///< N·C·H·W
+  std::int64_t weight_words() const;  ///< K·(C/g)·R·S
+  std::int64_t output_words() const;  ///< N·K·P·Q
+
+  /// Throws util::precondition_error if any dimension is inconsistent
+  /// (non-positive bound, groups not dividing channels, empty output, ...).
+  void validate() const;
+
+  /// Structural equality ignoring the name; used to deduplicate scheduler
+  /// work across repeated blocks (ResNet stages, Llama decoder layers).
+  bool same_shape(const LayerSpec& other) const;
+
+  /// A stable string key of the shape (not the name), for memoization.
+  std::string shape_key() const;
+};
+
+/// Factory: dense convolution. Padding defaults to 'same'-style
+/// (kernel−1)/2 when pad is negative.
+LayerSpec conv(std::string name, std::int64_t in_c, std::int64_t out_c,
+               std::int64_t in_hw, std::int64_t kernel, std::int64_t stride,
+               std::int64_t pad = -1);
+
+/// Factory: dense convolution with rectangular input / kernel.
+LayerSpec conv2d(std::string name, std::int64_t in_c, std::int64_t out_c,
+                 std::int64_t in_h, std::int64_t in_w, std::int64_t kernel_h,
+                 std::int64_t kernel_w, std::int64_t stride,
+                 std::int64_t pad_h, std::int64_t pad_w);
+
+/// Factory: depthwise convolution (groups == channels).
+LayerSpec dwconv(std::string name, std::int64_t channels, std::int64_t in_hw,
+                 std::int64_t kernel, std::int64_t stride,
+                 std::int64_t pad = -1);
+
+/// Factory: grouped convolution.
+LayerSpec group_conv(std::string name, std::int64_t in_c, std::int64_t out_c,
+                     std::int64_t in_hw, std::int64_t kernel,
+                     std::int64_t stride, std::int64_t groups,
+                     std::int64_t pad = -1);
+
+/// Factory: GEMM of size M×N×K (output M×N, reduction depth K), with an
+/// optional leading batch dimension (e.g. attention heads).
+LayerSpec gemm(std::string name, std::int64_t m, std::int64_t n,
+               std::int64_t k, std::int64_t batch = 1);
+
+}  // namespace rota::nn

@@ -1,0 +1,55 @@
+#include "nn/network.hpp"
+
+#include <set>
+
+#include "util/check.hpp"
+
+namespace rota::nn {
+
+std::string to_string(Domain domain) {
+  switch (domain) {
+    case Domain::kImageClassification: return "Image classification";
+    case Domain::kObjectDetection: return "Object detection";
+    case Domain::kLightweight: return "Lightweight network";
+    case Domain::kTransformer: return "Transformer";
+  }
+  ROTA_ENSURE(false, "unhandled Domain");
+}
+
+Network::Network(std::string name, std::string abbr, Domain domain)
+    : name_(std::move(name)), abbr_(std::move(abbr)), domain_(domain) {
+  ROTA_REQUIRE(!name_.empty() && !abbr_.empty(),
+               "network name and abbreviation must be non-empty");
+}
+
+void Network::add(LayerSpec layer) {
+  layer.validate();
+  for (const auto& existing : layers_) {
+    ROTA_REQUIRE(existing.name != layer.name,
+                 "duplicate layer name: " + layer.name + " in " + name_);
+  }
+  layers_.push_back(std::move(layer));
+}
+
+std::int64_t Network::total_macs() const {
+  std::int64_t total = 0;
+  for (const auto& layer : layers_) total += layer.macs();
+  return total;
+}
+
+std::size_t Network::unique_shape_count() const {
+  std::set<std::string> keys;
+  for (const auto& layer : layers_) keys.insert(layer.shape_key());
+  return keys.size();
+}
+
+const LayerSpec& Network::layer(const std::string& layer_name) const {
+  for (const auto& l : layers_) {
+    if (l.name == layer_name) return l;
+  }
+  ROTA_REQUIRE(false, "no layer named " + layer_name + " in " + name_);
+  // Unreachable; ROTA_REQUIRE(false, ...) always throws.
+  throw util::precondition_error("unreachable");
+}
+
+}  // namespace rota::nn

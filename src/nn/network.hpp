@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+/// \file network.hpp
+/// A network is an ordered list of compute layers, matching the order in
+/// which the accelerator executes them — the order matters to RWL+RO, whose
+/// stride state is relayed from one layer to the next (paper §IV-D).
+
+namespace rota::nn {
+
+/// Application domain, per Table II of the paper.
+enum class Domain {
+  kImageClassification,
+  kObjectDetection,
+  kLightweight,
+  kTransformer,
+};
+
+std::string to_string(Domain domain);
+
+/// An ordered sequence of layers with identity metadata.
+class Network {
+ public:
+  Network(std::string name, std::string abbr, Domain domain);
+
+  /// Append a validated layer; names must be unique within the network.
+  void add(LayerSpec layer);
+
+  const std::string& name() const { return name_; }
+  const std::string& abbr() const { return abbr_; }
+  Domain domain() const { return domain_; }
+
+  const std::vector<LayerSpec>& layers() const { return layers_; }
+  std::size_t layer_count() const { return layers_.size(); }
+
+  /// Sum of MACs over all layers.
+  std::int64_t total_macs() const;
+
+  /// Number of structurally distinct layer shapes (scheduler work units).
+  std::size_t unique_shape_count() const;
+
+  /// Find a layer by name; throws util::precondition_error if absent.
+  const LayerSpec& layer(const std::string& layer_name) const;
+
+ private:
+  std::string name_;
+  std::string abbr_;
+  Domain domain_;
+  std::vector<LayerSpec> layers_;
+};
+
+}  // namespace rota::nn

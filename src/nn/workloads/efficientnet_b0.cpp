@@ -1,0 +1,75 @@
+#include <algorithm>
+#include <string>
+
+#include "nn/workloads.hpp"
+
+/// EfficientNet-B0 [Tan & Le, ICML 2019] at 224×224. Seven MBConv stages;
+/// every block carries squeeze-and-excite with a ratio of 0.25 of the
+/// block's *input* channels, modeled as a GEMM pair on the pooled vector.
+
+namespace rota::nn {
+
+namespace {
+
+struct MbStage {
+  std::int64_t expand;  // expansion factor (1 or 6)
+  std::int64_t kernel;
+  std::int64_t out_c;
+  int blocks;
+  std::int64_t stride;  // of the first block
+};
+
+std::int64_t add_mbconv(Network& net, const std::string& prefix,
+                        std::int64_t in_c, std::int64_t expand,
+                        std::int64_t kernel, std::int64_t out_c,
+                        std::int64_t fm, std::int64_t stride) {
+  const std::int64_t mid_c = in_c * expand;
+  if (expand != 1) {
+    net.add(conv(prefix + "_expand", in_c, mid_c, fm, 1, 1));
+  }
+  net.add(dwconv(prefix + "_dw", mid_c, fm, kernel, stride));
+  const std::int64_t fm_out = fm / stride;
+  const std::int64_t se_c = std::max<std::int64_t>(1, in_c / 4);
+  net.add(gemm(prefix + "_se_reduce", 1, se_c, mid_c));
+  net.add(gemm(prefix + "_se_expand", 1, mid_c, se_c));
+  net.add(conv(prefix + "_project", mid_c, out_c, fm_out, 1, 1));
+  return out_c;
+}
+
+}  // namespace
+
+Network make_efficientnet_b0() {
+  Network net("EfficientNet-B0", "Eff", Domain::kLightweight);
+  net.add(conv("conv_stem", 3, 32, 224, 3, 2));  // -> 112
+
+  const MbStage stages[] = {
+      {1, 3, 16, 1, 1},   // 112
+      {6, 3, 24, 2, 2},   // 112 -> 56
+      {6, 5, 40, 2, 2},   // 56 -> 28
+      {6, 3, 80, 3, 2},   // 28 -> 14
+      {6, 5, 112, 3, 1},  // 14
+      {6, 5, 192, 4, 2},  // 14 -> 7
+      {6, 3, 320, 1, 1},  // 7
+  };
+
+  std::int64_t in_c = 32;
+  std::int64_t fm = 112;
+  int stage_idx = 1;
+  for (const MbStage& st : stages) {
+    for (int b = 0; b < st.blocks; ++b) {
+      const std::string prefix = "mb" + std::to_string(stage_idx) + "_" +
+                                 std::to_string(b + 1);
+      const std::int64_t stride = (b == 0) ? st.stride : 1;
+      in_c = add_mbconv(net, prefix, in_c, st.expand, st.kernel, st.out_c,
+                        fm, stride);
+      fm /= stride;
+    }
+    ++stage_idx;
+  }
+
+  net.add(conv("conv_head", in_c, 1280, 7, 1, 1));
+  net.add(gemm("fc1000", 1, 1000, 1280));
+  return net;
+}
+
+}  // namespace rota::nn

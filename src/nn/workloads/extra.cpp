@@ -1,0 +1,75 @@
+#include <string>
+
+#include "nn/workloads.hpp"
+
+/// Extended workload zoo (beyond Table II): AlexNet and VGG-16 — the CNNs
+/// the original Eyeriss evaluation used — and BERT-Base as a mid-size
+/// encoder transformer.
+
+namespace rota::nn {
+
+Network make_alexnet() {
+  // Krizhevsky et al., NeurIPS 2012, at 227×227 (single-GPU variant:
+  // grouped conv2/4/5 with groups = 2).
+  Network net("AlexNet", "AN", Domain::kImageClassification);
+  net.add(conv("conv1", 3, 96, 227, 11, 4, 0));          // -> 55
+  net.add(group_conv("conv2", 96, 256, 27, 5, 1, 2));    // after pool -> 27
+  net.add(conv("conv3", 256, 384, 13, 3, 1));            // after pool -> 13
+  net.add(group_conv("conv4", 384, 384, 13, 3, 1, 2));
+  net.add(group_conv("conv5", 384, 256, 13, 3, 1, 2));
+  net.add(gemm("fc6", 1, 4096, 256 * 6 * 6));
+  net.add(gemm("fc7", 1, 4096, 4096));
+  net.add(gemm("fc8", 1, 1000, 4096));
+  return net;
+}
+
+Network make_vgg16() {
+  // Simonyan & Zisserman, 2014, configuration D at 224×224.
+  Network net("VGG-16", "VGG", Domain::kImageClassification);
+  struct Block {
+    std::int64_t out_c;
+    int convs;
+    std::int64_t fm;
+  };
+  const Block blocks[] = {
+      {64, 2, 224}, {128, 2, 112}, {256, 3, 56}, {512, 3, 28}, {512, 3, 14},
+  };
+  std::int64_t in_c = 3;
+  int idx = 1;
+  for (const Block& b : blocks) {
+    for (int c = 1; c <= b.convs; ++c) {
+      net.add(conv("conv" + std::to_string(idx) + "_" + std::to_string(c),
+                   in_c, b.out_c, b.fm, 3, 1));
+      in_c = b.out_c;
+    }
+    ++idx;
+  }
+  net.add(gemm("fc6", 1, 4096, 512 * 7 * 7));
+  net.add(gemm("fc7", 1, 4096, 4096));
+  net.add(gemm("fc8", 1, 1000, 4096));
+  return net;
+}
+
+Network make_bert_base() {
+  // Devlin et al., 2018: 12 encoder layers, hidden 768, 12 heads, MLP
+  // 3072, processing a 128-token sequence.
+  Network net("BERT-Base", "BRT", Domain::kTransformer);
+  constexpr std::int64_t kSeq = 128;
+  constexpr std::int64_t kHidden = 768;
+  constexpr std::int64_t kHeads = 12;
+  constexpr std::int64_t kHeadDim = kHidden / kHeads;
+  constexpr std::int64_t kMlp = 3072;
+  for (int i = 1; i <= 12; ++i) {
+    const std::string p = "enc" + std::to_string(i);
+    net.add(gemm(p + "_qkv", kSeq, 3 * kHidden, kHidden));
+    net.add(gemm(p + "_attn_scores", kSeq, kSeq, kHeadDim, kHeads));
+    net.add(gemm(p + "_attn_context", kSeq, kHeadDim, kSeq, kHeads));
+    net.add(gemm(p + "_attn_proj", kSeq, kHidden, kHidden));
+    net.add(gemm(p + "_mlp_fc1", kSeq, kMlp, kHidden));
+    net.add(gemm(p + "_mlp_fc2", kSeq, kHidden, kMlp));
+  }
+  net.add(gemm("pooler", 1, kHidden, kHidden));
+  return net;
+}
+
+}  // namespace rota::nn

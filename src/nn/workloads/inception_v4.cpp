@@ -1,0 +1,112 @@
+#include <string>
+
+#include "nn/workloads.hpp"
+
+/// Inception-v4 [Szegedy et al., AAAI 2017] at 299×299: stem, 4× Inception-A,
+/// Reduction-A, 7× Inception-B (asymmetric 1×7 / 7×1 kernels), Reduction-B,
+/// 3× Inception-C (1×3 / 3×1 kernels), classifier.
+
+namespace rota::nn {
+
+namespace {
+
+/// 1×k convolution (kernel_h = 1, kernel_w = k) with 'same' width padding.
+LayerSpec conv_1xk(std::string name, std::int64_t in_c, std::int64_t out_c,
+                   std::int64_t fm, std::int64_t k) {
+  return conv2d(std::move(name), in_c, out_c, fm, fm, 1, k, 1, 0, (k - 1) / 2);
+}
+
+/// k×1 convolution (kernel_h = k, kernel_w = 1) with 'same' height padding.
+LayerSpec conv_kx1(std::string name, std::int64_t in_c, std::int64_t out_c,
+                   std::int64_t fm, std::int64_t k) {
+  return conv2d(std::move(name), in_c, out_c, fm, fm, k, 1, 1, (k - 1) / 2, 0);
+}
+
+void add_inception_a(Network& net, const std::string& p, std::int64_t in_c) {
+  const std::int64_t fm = 35;
+  net.add(conv(p + "_b1_1x1", in_c, 96, fm, 1, 1));
+  net.add(conv(p + "_b2_1x1", in_c, 64, fm, 1, 1));
+  net.add(conv(p + "_b2_3x3", 64, 96, fm, 3, 1));
+  net.add(conv(p + "_b3_1x1", in_c, 64, fm, 1, 1));
+  net.add(conv(p + "_b3_3x3a", 64, 96, fm, 3, 1));
+  net.add(conv(p + "_b3_3x3b", 96, 96, fm, 3, 1));
+  net.add(conv(p + "_b4_pool1x1", in_c, 96, fm, 1, 1));
+}
+
+void add_inception_b(Network& net, const std::string& p, std::int64_t in_c) {
+  const std::int64_t fm = 17;
+  net.add(conv(p + "_b1_1x1", in_c, 384, fm, 1, 1));
+  net.add(conv(p + "_b2_1x1", in_c, 192, fm, 1, 1));
+  net.add(conv_1xk(p + "_b2_1x7", 192, 224, fm, 7));
+  net.add(conv_kx1(p + "_b2_7x1", 224, 256, fm, 7));
+  net.add(conv(p + "_b3_1x1", in_c, 192, fm, 1, 1));
+  net.add(conv_kx1(p + "_b3_7x1a", 192, 192, fm, 7));
+  net.add(conv_1xk(p + "_b3_1x7a", 192, 224, fm, 7));
+  net.add(conv_kx1(p + "_b3_7x1b", 224, 224, fm, 7));
+  net.add(conv_1xk(p + "_b3_1x7b", 224, 256, fm, 7));
+  net.add(conv(p + "_b4_pool1x1", in_c, 128, fm, 1, 1));
+}
+
+void add_inception_c(Network& net, const std::string& p, std::int64_t in_c) {
+  const std::int64_t fm = 8;
+  net.add(conv(p + "_b1_1x1", in_c, 256, fm, 1, 1));
+  net.add(conv(p + "_b2_1x1", in_c, 384, fm, 1, 1));
+  net.add(conv_1xk(p + "_b2_1x3", 384, 256, fm, 3));
+  net.add(conv_kx1(p + "_b2_3x1", 384, 256, fm, 3));
+  net.add(conv(p + "_b3_1x1", in_c, 384, fm, 1, 1));
+  net.add(conv_1xk(p + "_b3_1x3a", 384, 448, fm, 3));
+  net.add(conv_kx1(p + "_b3_3x1a", 448, 512, fm, 3));
+  net.add(conv_kx1(p + "_b3_3x1b", 512, 256, fm, 3));
+  net.add(conv_1xk(p + "_b3_1x3b", 512, 256, fm, 3));
+  net.add(conv(p + "_b4_pool1x1", in_c, 256, fm, 1, 1));
+}
+
+}  // namespace
+
+Network make_inception_v4() {
+  Network net("Inception-v4", "Inc", Domain::kImageClassification);
+
+  // Stem: 299 -> 149 -> 147 -> 73 -> 71 -> 35.
+  net.add(conv("stem_conv1", 3, 32, 299, 3, 2, 0));      // -> 149
+  net.add(conv("stem_conv2", 32, 32, 149, 3, 1, 0));     // -> 147
+  net.add(conv("stem_conv3", 32, 64, 147, 3, 1));        // -> 147
+  net.add(conv("stem_mixed3x3", 64, 96, 147, 3, 2, 0));  // -> 73 (‖ maxpool)
+  // Mixed-4 branch a: 1×1 then 3×3 valid.
+  net.add(conv("stem_m4a_1x1", 160, 64, 73, 1, 1));
+  net.add(conv("stem_m4a_3x3", 64, 96, 73, 3, 1, 0));    // -> 71
+  // Mixed-4 branch b: 1×1, 1×7, 7×1, 3×3 valid.
+  net.add(conv("stem_m4b_1x1", 160, 64, 73, 1, 1));
+  net.add(conv_1xk("stem_m4b_1x7", 64, 64, 73, 7));
+  net.add(conv_kx1("stem_m4b_7x1", 64, 64, 73, 7));
+  net.add(conv("stem_m4b_3x3", 64, 96, 73, 3, 1, 0));    // -> 71
+  // Mixed-5: 3×3/2 conv branch (‖ maxpool) -> 35, concat to 384 channels.
+  net.add(conv("stem_m5_3x3", 192, 192, 71, 3, 2, 0));
+
+  for (int i = 1; i <= 4; ++i)
+    add_inception_a(net, "incA" + std::to_string(i), 384);
+
+  // Reduction-A: 35 -> 17, output 384 + 384 + 256 = 1024 channels.
+  net.add(conv("redA_b1_3x3", 384, 384, 35, 3, 2, 0));
+  net.add(conv("redA_b2_1x1", 384, 192, 35, 1, 1));
+  net.add(conv("redA_b2_3x3", 192, 224, 35, 3, 1));
+  net.add(conv("redA_b2_3x3s2", 224, 256, 35, 3, 2, 0));
+
+  for (int i = 1; i <= 7; ++i)
+    add_inception_b(net, "incB" + std::to_string(i), 1024);
+
+  // Reduction-B: 17 -> 8, output 1024 + 192 + 320 = 1536 channels.
+  net.add(conv("redB_b1_1x1", 1024, 192, 17, 1, 1));
+  net.add(conv("redB_b1_3x3s2", 192, 192, 17, 3, 2, 0));
+  net.add(conv("redB_b2_1x1", 1024, 256, 17, 1, 1));
+  net.add(conv_1xk("redB_b2_1x7", 256, 256, 17, 7));
+  net.add(conv_kx1("redB_b2_7x1", 256, 320, 17, 7));
+  net.add(conv("redB_b2_3x3s2", 320, 320, 17, 3, 2, 0));
+
+  for (int i = 1; i <= 3; ++i)
+    add_inception_c(net, "incC" + std::to_string(i), 1536);
+
+  net.add(gemm("fc1000", 1, 1000, 1536));
+  return net;
+}
+
+}  // namespace rota::nn

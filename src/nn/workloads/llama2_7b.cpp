@@ -1,0 +1,43 @@
+#include <string>
+
+#include "nn/workloads.hpp"
+
+/// Llama-2 7B [Touvron et al., 2023]: 32 decoder layers with hidden size
+/// 4096, 32 attention heads (head dim 128) and SwiGLU MLPs of width 11008,
+/// processing a 512-token prompt (prefill). Rotary embeddings, RMSNorm and
+/// softmax are vector-unit work and do not occupy the MAC array. The
+/// 32000-way LM head closes the network.
+
+namespace rota::nn {
+
+namespace {
+
+constexpr std::int64_t kSeq = 512;
+constexpr std::int64_t kHidden = 4096;
+constexpr std::int64_t kHeads = 32;
+constexpr std::int64_t kHeadDim = kHidden / kHeads;
+constexpr std::int64_t kFfn = 11008;
+
+void add_decoder_layer(Network& net, const std::string& p) {
+  net.add(gemm(p + "_q_proj", kSeq, kHidden, kHidden));
+  net.add(gemm(p + "_k_proj", kSeq, kHidden, kHidden));
+  net.add(gemm(p + "_v_proj", kSeq, kHidden, kHidden));
+  net.add(gemm(p + "_attn_scores", kSeq, kSeq, kHeadDim, kHeads));
+  net.add(gemm(p + "_attn_context", kSeq, kHeadDim, kSeq, kHeads));
+  net.add(gemm(p + "_o_proj", kSeq, kHidden, kHidden));
+  net.add(gemm(p + "_gate_proj", kSeq, kFfn, kHidden));
+  net.add(gemm(p + "_up_proj", kSeq, kFfn, kHidden));
+  net.add(gemm(p + "_down_proj", kSeq, kHidden, kFfn));
+}
+
+}  // namespace
+
+Network make_llama2_7b() {
+  Network net("Llama-2 7B", "LM", Domain::kTransformer);
+  for (int i = 1; i <= 32; ++i)
+    add_decoder_layer(net, "dec" + std::to_string(i));
+  net.add(gemm("lm_head", kSeq, 32000, kHidden));
+  return net;
+}
+
+}  // namespace rota::nn

@@ -1,0 +1,79 @@
+#include <string>
+
+#include "nn/workloads.hpp"
+
+/// MobileNetV3-Large [Howard et al., ICCV 2019] at 224×224. The bneck
+/// blocks (expand 1×1, depthwise k×k, optional squeeze-and-excite pair,
+/// project 1×1) follow Table 1 of the paper. SE layers are the 1×1
+/// bottleneck pair on the pooled vector, expressed here as GEMMs.
+
+namespace rota::nn {
+
+namespace {
+
+struct Bneck {
+  std::int64_t kernel;
+  std::int64_t exp_c;
+  std::int64_t out_c;
+  bool se;
+  std::int64_t stride;
+};
+
+/// Append one bneck block consuming `in_c` channels on `fm`×`fm` maps;
+/// returns the output channel count.
+std::int64_t add_bneck(Network& net, const std::string& prefix,
+                       const Bneck& b, std::int64_t in_c, std::int64_t fm) {
+  if (b.exp_c != in_c) {
+    net.add(conv(prefix + "_expand", in_c, b.exp_c, fm, 1, 1));
+  }
+  net.add(dwconv(prefix + "_dw", b.exp_c, fm, b.kernel, b.stride));
+  const std::int64_t fm_out = fm / b.stride;
+  if (b.se) {
+    const std::int64_t se_c = b.exp_c / 4;
+    net.add(gemm(prefix + "_se_reduce", 1, se_c, b.exp_c));
+    net.add(gemm(prefix + "_se_expand", 1, b.exp_c, se_c));
+  }
+  net.add(conv(prefix + "_project", b.exp_c, b.out_c, fm_out, 1, 1));
+  return b.out_c;
+}
+
+}  // namespace
+
+Network make_mobilenet_v3() {
+  Network net("MobileNetV3-Large", "Mb", Domain::kLightweight);
+  net.add(conv("conv_stem", 3, 16, 224, 3, 2));  // -> 112
+
+  // {kernel, exp, out, SE, stride}; feature map tracked alongside.
+  const Bneck blocks[] = {
+      {3, 16, 16, false, 1},   // 112
+      {3, 64, 24, false, 2},   // 112 -> 56
+      {3, 72, 24, false, 1},   // 56
+      {5, 72, 40, true, 2},    // 56 -> 28
+      {5, 120, 40, true, 1},   // 28
+      {5, 120, 40, true, 1},   // 28
+      {3, 240, 80, false, 2},  // 28 -> 14
+      {3, 200, 80, false, 1},  // 14
+      {3, 184, 80, false, 1},  // 14
+      {3, 184, 80, false, 1},  // 14
+      {3, 480, 112, true, 1},  // 14
+      {3, 672, 112, true, 1},  // 14
+      {5, 672, 160, true, 2},  // 14 -> 7
+      {5, 960, 160, true, 1},  // 7
+      {5, 960, 160, true, 1},  // 7
+  };
+
+  std::int64_t in_c = 16;
+  std::int64_t fm = 112;
+  int idx = 1;
+  for (const Bneck& b : blocks) {
+    in_c = add_bneck(net, "bneck" + std::to_string(idx++), b, in_c, fm);
+    fm /= b.stride;
+  }
+
+  net.add(conv("conv_head", in_c, 960, 7, 1, 1));
+  net.add(gemm("fc_pre", 1, 1280, 960));   // 1×1 on pooled vector
+  net.add(gemm("fc1000", 1, 1000, 1280));
+  return net;
+}
+
+}  // namespace rota::nn

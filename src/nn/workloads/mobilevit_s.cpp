@@ -1,0 +1,75 @@
+#include <string>
+
+#include "nn/workloads.hpp"
+
+/// MobileViT-S [Mehta & Rastegari, 2021] at 256×256: MobileNetV2-style
+/// inverted-residual (MV2) blocks interleaved with three MobileViT blocks
+/// whose transformers run on 2×2-patch token grids (d = 144/192/240 with
+/// 2/4/3 layers). The unfold/fold patch reshapes are data movement only.
+
+namespace rota::nn {
+
+namespace {
+
+/// MV2 inverted residual: expand 1×1 (×4), depthwise 3×3, project 1×1.
+std::int64_t add_mv2(Network& net, const std::string& p, std::int64_t in_c,
+                     std::int64_t out_c, std::int64_t fm,
+                     std::int64_t stride) {
+  const std::int64_t mid_c = in_c * 4;
+  net.add(conv(p + "_expand", in_c, mid_c, fm, 1, 1));
+  net.add(dwconv(p + "_dw", mid_c, fm, 3, stride));
+  net.add(conv(p + "_project", mid_c, out_c, fm / stride, 1, 1));
+  return out_c;
+}
+
+/// One transformer encoder layer on `tokens` tokens of width d
+/// (4 heads, MLP ratio 2).
+void add_transformer(Network& net, const std::string& p, std::int64_t tokens,
+                     std::int64_t d) {
+  const std::int64_t heads = 4;
+  const std::int64_t head_dim = d / heads;
+  net.add(gemm(p + "_qkv", tokens, 3 * d, d));
+  net.add(gemm(p + "_attn_scores", tokens, tokens, head_dim, heads));
+  net.add(gemm(p + "_attn_context", tokens, head_dim, tokens, heads));
+  net.add(gemm(p + "_attn_proj", tokens, d, d));
+  net.add(gemm(p + "_mlp_fc1", tokens, 2 * d, d));
+  net.add(gemm(p + "_mlp_fc2", tokens, d, 2 * d));
+}
+
+/// MobileViT block: local 3×3 conv, 1×1 to d, L transformer layers on the
+/// (fm/2)² token grid, 1×1 back to C, 3×3 fusion over the concat (2C).
+void add_mobilevit_block(Network& net, const std::string& p, std::int64_t c,
+                         std::int64_t d, std::int64_t fm, int layers) {
+  net.add(conv(p + "_local3x3", c, c, fm, 3, 1));
+  net.add(conv(p + "_to_d", c, d, fm, 1, 1));
+  const std::int64_t tokens = (fm / 2) * (fm / 2);
+  for (int l = 1; l <= layers; ++l)
+    add_transformer(net, p + "_t" + std::to_string(l), tokens, d);
+  net.add(conv(p + "_to_c", d, c, fm, 1, 1));
+  net.add(conv(p + "_fuse3x3", 2 * c, c, fm, 3, 1));
+}
+
+}  // namespace
+
+Network make_mobilevit_s() {
+  Network net("MobileViT-S", "MVT", Domain::kTransformer);
+  net.add(conv("conv_stem", 3, 16, 256, 3, 2));  // -> 128
+
+  std::int64_t c = 16;
+  c = add_mv2(net, "mv2_1", c, 32, 128, 1);
+  c = add_mv2(net, "mv2_2", c, 64, 128, 2);  // -> 64
+  c = add_mv2(net, "mv2_3", c, 64, 64, 1);
+  c = add_mv2(net, "mv2_4", c, 64, 64, 1);
+  c = add_mv2(net, "mv2_5", c, 96, 64, 2);   // -> 32
+  add_mobilevit_block(net, "mvit1", 96, 144, 32, 2);
+  c = add_mv2(net, "mv2_6", 96, 128, 32, 2);  // -> 16
+  add_mobilevit_block(net, "mvit2", 128, 192, 16, 4);
+  c = add_mv2(net, "mv2_7", 128, 160, 16, 2);  // -> 8
+  add_mobilevit_block(net, "mvit3", 160, 240, 8, 3);
+  net.add(conv("conv_head", 160, 640, 8, 1, 1));
+  net.add(gemm("fc1000", 1, 1000, 640));
+  (void)c;
+  return net;
+}
+
+}  // namespace rota::nn

@@ -1,0 +1,37 @@
+#include "nn/workloads.hpp"
+
+#include "util/check.hpp"
+
+namespace rota::nn {
+
+std::vector<Network> all_workloads() {
+  std::vector<Network> nets;
+  nets.push_back(make_resnet50());
+  nets.push_back(make_inception_v4());
+  nets.push_back(make_yolo_v3());
+  nets.push_back(make_squeezenet());
+  nets.push_back(make_mobilenet_v3());
+  nets.push_back(make_efficientnet_b0());
+  nets.push_back(make_vit_b16());
+  nets.push_back(make_mobilevit_s());
+  nets.push_back(make_llama2_7b());
+  return nets;
+}
+
+std::vector<Network> extended_workloads() {
+  std::vector<Network> nets = all_workloads();
+  nets.push_back(make_alexnet());
+  nets.push_back(make_vgg16());
+  nets.push_back(make_bert_base());
+  return nets;
+}
+
+Network workload_by_abbr(const std::string& abbr) {
+  for (auto& net : extended_workloads()) {
+    if (net.abbr() == abbr) return net;
+  }
+  ROTA_REQUIRE(false, "unknown workload abbreviation: " + abbr);
+  throw util::precondition_error("unreachable");
+}
+
+}  // namespace rota::nn

@@ -1,0 +1,68 @@
+#include <string>
+
+#include "nn/workloads.hpp"
+
+/// ResNet-50 [He et al., CVPR 2016] at 224×224. Four bottleneck stages of
+/// (3, 4, 6, 3) blocks; the first block of each stage carries a projection
+/// shortcut, and stages 3–5 downsample with stride 2 in the 3×3 conv.
+
+namespace rota::nn {
+
+namespace {
+
+/// Append one bottleneck block (1×1 reduce, 3×3, 1×1 expand) operating on
+/// `fm`×`fm` feature maps, plus the projection shortcut when requested.
+/// Returns the block's output channel count.
+std::int64_t add_bottleneck(Network& net, const std::string& prefix,
+                            std::int64_t in_c, std::int64_t mid_c,
+                            std::int64_t fm_in, std::int64_t stride,
+                            bool projection) {
+  const std::int64_t out_c = mid_c * 4;
+  net.add(conv(prefix + "_1x1a", in_c, mid_c, fm_in, 1, 1));
+  net.add(conv(prefix + "_3x3", mid_c, mid_c, fm_in, 3, stride));
+  const std::int64_t fm_out = fm_in / stride;
+  net.add(conv(prefix + "_1x1b", mid_c, out_c, fm_out, 1, 1));
+  if (projection) {
+    net.add(conv(prefix + "_proj", in_c, out_c, fm_in, 1, stride));
+  }
+  return out_c;
+}
+
+}  // namespace
+
+Network make_resnet50() {
+  Network net("ResNet-50", "Res", Domain::kImageClassification);
+  net.add(conv("conv1", 3, 64, 224, 7, 2, 3));  // -> 112×112; maxpool -> 56
+
+  struct Stage {
+    std::int64_t mid_c;
+    int blocks;
+    std::int64_t fm_in;
+    std::int64_t stride;  // of the first block
+  };
+  const Stage stages[] = {
+      {64, 3, 56, 1},   // conv2_x
+      {128, 4, 56, 2},  // conv3_x
+      {256, 6, 28, 2},  // conv4_x
+      {512, 3, 14, 2},  // conv5_x
+  };
+
+  std::int64_t in_c = 64;
+  int stage_idx = 2;
+  for (const Stage& st : stages) {
+    std::int64_t fm = st.fm_in;
+    for (int b = 0; b < st.blocks; ++b) {
+      const std::string prefix =
+          "conv" + std::to_string(stage_idx) + "_" + std::to_string(b + 1);
+      const std::int64_t stride = (b == 0) ? st.stride : 1;
+      in_c = add_bottleneck(net, prefix, in_c, st.mid_c, fm, stride, b == 0);
+      fm = st.fm_in / st.stride;
+    }
+    ++stage_idx;
+  }
+
+  net.add(gemm("fc1000", 1, 1000, 2048));  // global-average-pooled head
+  return net;
+}
+
+}  // namespace rota::nn

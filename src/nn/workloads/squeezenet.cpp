@@ -1,0 +1,47 @@
+#include <string>
+
+#include "nn/workloads.hpp"
+
+/// SqueezeNet v1.0 [Iandola et al., 2016] at 224×224. Eight fire modules
+/// (squeeze 1×1, expand 1×1 + expand 3×3) between three max-pool stages,
+/// closed by the conv10 1×1 classifier.
+
+namespace rota::nn {
+
+namespace {
+
+/// Append one fire module on `fm`×`fm` maps; returns its output channels.
+std::int64_t add_fire(Network& net, const std::string& prefix,
+                      std::int64_t in_c, std::int64_t squeeze_c,
+                      std::int64_t expand_c, std::int64_t fm) {
+  net.add(conv(prefix + "_squeeze1x1", in_c, squeeze_c, fm, 1, 1));
+  net.add(conv(prefix + "_expand1x1", squeeze_c, expand_c, fm, 1, 1));
+  net.add(conv(prefix + "_expand3x3", squeeze_c, expand_c, fm, 3, 1));
+  return 2 * expand_c;
+}
+
+}  // namespace
+
+Network make_squeezenet() {
+  Network net("SqueezeNet", "Sqz", Domain::kLightweight);
+  // conv1: 7×7/2 with no padding -> 109×109; maxpool 3×3/2 -> 54 (we use
+  // the commonly quoted 55/27/13 ladder from the reference implementation,
+  // which pads the pools).
+  net.add(conv("conv1", 3, 96, 224, 7, 2, 0));
+
+  std::int64_t c = 96;
+  c = add_fire(net, "fire2", c, 16, 64, 55);
+  c = add_fire(net, "fire3", c, 16, 64, 55);
+  c = add_fire(net, "fire4", c, 32, 128, 55);
+  // maxpool -> 27
+  c = add_fire(net, "fire5", c, 32, 128, 27);
+  c = add_fire(net, "fire6", c, 48, 192, 27);
+  c = add_fire(net, "fire7", c, 48, 192, 27);
+  c = add_fire(net, "fire8", c, 64, 256, 27);
+  // maxpool -> 13
+  c = add_fire(net, "fire9", c, 64, 256, 13);
+  net.add(conv("conv10", c, 1000, 13, 1, 1));
+  return net;
+}
+
+}  // namespace rota::nn

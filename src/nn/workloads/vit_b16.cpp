@@ -1,0 +1,41 @@
+#include <string>
+
+#include "nn/workloads.hpp"
+
+/// ViT-Base/16 [Dosovitskiy et al., 2020] at 224×224: a 16×16/16 patch
+/// embedding followed by 12 encoder blocks with hidden size 768, 12 heads
+/// and MLP size 3072. Sequence length is 197 (196 patches + class token).
+/// Attention score / context matmuls are batched GEMMs with one batch per
+/// head; softmax and layernorm do not occupy the MAC array.
+
+namespace rota::nn {
+
+namespace {
+
+constexpr std::int64_t kSeq = 197;
+constexpr std::int64_t kHidden = 768;
+constexpr std::int64_t kHeads = 12;
+constexpr std::int64_t kHeadDim = kHidden / kHeads;
+constexpr std::int64_t kMlp = 3072;
+
+void add_encoder_block(Network& net, const std::string& p) {
+  net.add(gemm(p + "_qkv", kSeq, 3 * kHidden, kHidden));
+  net.add(gemm(p + "_attn_scores", kSeq, kSeq, kHeadDim, kHeads));
+  net.add(gemm(p + "_attn_context", kSeq, kHeadDim, kSeq, kHeads));
+  net.add(gemm(p + "_attn_proj", kSeq, kHidden, kHidden));
+  net.add(gemm(p + "_mlp_fc1", kSeq, kMlp, kHidden));
+  net.add(gemm(p + "_mlp_fc2", kSeq, kHidden, kMlp));
+}
+
+}  // namespace
+
+Network make_vit_b16() {
+  Network net("ViT-B/16", "VT", Domain::kTransformer);
+  net.add(conv("patch_embed", 3, kHidden, 224, 16, 16, 0));  // -> 14×14
+  for (int i = 1; i <= 12; ++i)
+    add_encoder_block(net, "enc" + std::to_string(i));
+  net.add(gemm("head", 1, 1000, kHidden));
+  return net;
+}
+
+}  // namespace rota::nn

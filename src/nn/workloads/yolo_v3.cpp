@@ -1,0 +1,76 @@
+#include <string>
+
+#include "nn/workloads.hpp"
+
+/// YOLOv3 [Redmon & Farhadi, 2018] at 416×416: the Darknet-53 backbone
+/// followed by three detection heads at 13×13, 26×26 and 52×52 with
+/// upsample + concat between scales.
+
+namespace rota::nn {
+
+namespace {
+
+/// Append one Darknet residual unit (1×1 reduce, 3×3 expand) at `fm`.
+void add_residual(Network& net, const std::string& prefix, std::int64_t c,
+                  std::int64_t fm) {
+  net.add(conv(prefix + "_1x1", c, c / 2, fm, 1, 1));
+  net.add(conv(prefix + "_3x3", c / 2, c, fm, 3, 1));
+}
+
+/// Append the 5-conv detection body (alternating 1×1/3×3) used at each
+/// scale; returns the channel count entering the final detection convs.
+std::int64_t add_head_body(Network& net, const std::string& prefix,
+                           std::int64_t in_c, std::int64_t mid_c,
+                           std::int64_t fm) {
+  net.add(conv(prefix + "_b1", in_c, mid_c, fm, 1, 1));
+  net.add(conv(prefix + "_b2", mid_c, mid_c * 2, fm, 3, 1));
+  net.add(conv(prefix + "_b3", mid_c * 2, mid_c, fm, 1, 1));
+  net.add(conv(prefix + "_b4", mid_c, mid_c * 2, fm, 3, 1));
+  net.add(conv(prefix + "_b5", mid_c * 2, mid_c, fm, 1, 1));
+  return mid_c;
+}
+
+}  // namespace
+
+Network make_yolo_v3() {
+  Network net("YOLOv3", "YL", Domain::kObjectDetection);
+
+  // Darknet-53 backbone.
+  net.add(conv("d0_conv", 3, 32, 416, 3, 1));
+  net.add(conv("d1_down", 32, 64, 416, 3, 2));  // -> 208
+  add_residual(net, "d1_res1", 64, 208);
+  net.add(conv("d2_down", 64, 128, 208, 3, 2));  // -> 104
+  for (int i = 1; i <= 2; ++i)
+    add_residual(net, "d2_res" + std::to_string(i), 128, 104);
+  net.add(conv("d3_down", 128, 256, 104, 3, 2));  // -> 52
+  for (int i = 1; i <= 8; ++i)
+    add_residual(net, "d3_res" + std::to_string(i), 256, 52);
+  net.add(conv("d4_down", 256, 512, 52, 3, 2));  // -> 26
+  for (int i = 1; i <= 8; ++i)
+    add_residual(net, "d4_res" + std::to_string(i), 512, 26);
+  net.add(conv("d5_down", 512, 1024, 26, 3, 2));  // -> 13
+  for (int i = 1; i <= 4; ++i)
+    add_residual(net, "d5_res" + std::to_string(i), 1024, 13);
+
+  // Scale 1 head (13×13).
+  std::int64_t c = add_head_body(net, "h13", 1024, 512, 13);
+  net.add(conv("h13_out3x3", c, 1024, 13, 3, 1));
+  net.add(conv("h13_detect", 1024, 255, 13, 1, 1));
+
+  // Scale 2 head (26×26): 1×1 256 on the 512-ch body, upsample, concat
+  // with the 512-ch backbone tap -> 768 channels.
+  net.add(conv("h26_route", 512, 256, 13, 1, 1));
+  c = add_head_body(net, "h26", 768, 256, 26);
+  net.add(conv("h26_out3x3", c, 512, 26, 3, 1));
+  net.add(conv("h26_detect", 512, 255, 26, 1, 1));
+
+  // Scale 3 head (52×52): 1×1 128, upsample, concat with 256 -> 384.
+  net.add(conv("h52_route", 256, 128, 26, 1, 1));
+  c = add_head_body(net, "h52", 384, 128, 52);
+  net.add(conv("h52_out3x3", c, 256, 52, 3, 1));
+  net.add(conv("h52_detect", 256, 255, 52, 1, 1));
+
+  return net;
+}
+
+}  // namespace rota::nn

@@ -1,0 +1,50 @@
+#include "reliability/array_reliability.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace rota::rel {
+
+double array_reliability(const std::vector<double>& alphas, double t,
+                         double beta, double eta) {
+  ROTA_REQUIRE(!alphas.empty(), "activity vector must be non-empty");
+  ROTA_REQUIRE(t >= 0.0, "time must be non-negative");
+  ROTA_REQUIRE(beta > 0.0 && eta > 0.0, "beta and eta must be positive");
+  double exponent = 0.0;
+  for (double a : alphas) {
+    ROTA_REQUIRE(a >= 0.0, "activity must be non-negative");
+    exponent += std::pow(t * a / eta, beta);
+  }
+  return std::exp(-exponent);
+}
+
+double array_mttf(const std::vector<double>& alphas, double beta,
+                  double eta) {
+  ROTA_REQUIRE(!alphas.empty(), "activity vector must be non-empty");
+  ROTA_REQUIRE(beta > 0.0 && eta > 0.0, "beta and eta must be positive");
+  const double denom = util::power_sum_root(alphas, beta);
+  ROTA_REQUIRE(denom > 0.0, "at least one PE must have positive activity");
+  return eta * util::weibull_mean_factor(beta) / denom;
+}
+
+double lifetime_improvement(const std::vector<double>& baseline_alphas,
+                            const std::vector<double>& wl_alphas,
+                            double beta) {
+  ROTA_REQUIRE(beta > 0.0, "beta must be positive");
+  const double num = util::power_sum_root(baseline_alphas, beta);
+  const double den = util::power_sum_root(wl_alphas, beta);
+  ROTA_REQUIRE(num > 0.0 && den > 0.0,
+               "both activity vectors must have positive activity");
+  return num / den;
+}
+
+double perfect_wl_upper_bound(double utilization, double beta) {
+  ROTA_REQUIRE(utilization > 0.0 && utilization <= 1.0,
+               "utilization must be in (0, 1]");
+  ROTA_REQUIRE(beta > 0.0, "beta must be positive");
+  return std::pow(utilization, 1.0 / beta - 1.0);
+}
+
+}  // namespace rota::rel

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "reliability/weibull.hpp"
+
+/// \file monte_carlo.hpp
+/// Monte-Carlo validation of the closed-form array MTTF (Eq. 3): sample
+/// each PE's failure time from its Weibull marginal — PE (i,j) with
+/// relative activity α fails at t = (η/α)·(−ln U)^{1/β} — and take the
+/// array failure as the minimum (serial chain). The estimator converges
+/// to array_mttf(); the test suite checks agreement within sampling error,
+/// which independently validates the algebra behind Eqs. 2–4.
+
+namespace rota::rel {
+
+/// Result of a Monte-Carlo MTTF estimation.
+struct MonteCarloResult {
+  double mttf = 0.0;        ///< sample mean of array failure times
+  double stderr_ = 0.0;     ///< standard error of the mean
+  std::int64_t trials = 0;
+};
+
+/// Estimate the array MTTF by sampling. PEs with α = 0 never fail.
+/// \pre alphas non-empty with at least one positive entry; trials >= 1.
+MonteCarloResult monte_carlo_mttf(const std::vector<double>& alphas,
+                                  double beta = kJedecShape, double eta = 1.0,
+                                  std::int64_t trials = 10000,
+                                  std::uint64_t seed = 0x6d634d54);
+
+/// Empirical survival probability R(t) by sampling (for plotting and for
+/// cross-checking array_reliability()).
+double monte_carlo_reliability(const std::vector<double>& alphas, double t,
+                               double beta = kJedecShape, double eta = 1.0,
+                               std::int64_t trials = 10000,
+                               std::uint64_t seed = 0x6d634d54);
+
+/// Distribution summary of the Eq. 4 lifetime-improvement ratio when each
+/// PE's Weibull scale η carries lognormal process variation.
+struct VariationResult {
+  double mean = 0.0;
+  double p05 = 0.0;  ///< 5th percentile of the improvement
+  double p50 = 0.0;  ///< median
+  double p95 = 0.0;  ///< 95th percentile
+  std::int64_t trials = 0;
+};
+
+/// Sample per-PE scales η_ij = η·exp(σ·N(0,1)) (common random numbers for
+/// the baseline and wear-leveled fields, i.e. the *same die*), evaluate
+/// both MTTFs in closed form per sample, and summarize the improvement
+/// ratio. σ = 0 collapses to the deterministic Eq. 4 value.
+/// \pre both activity vectors same non-zero size, each with a positive
+/// entry; sigma >= 0; trials >= 1.
+VariationResult lifetime_improvement_under_variation(
+    const std::vector<double>& baseline_alphas,
+    const std::vector<double>& wl_alphas, double beta = kJedecShape,
+    double sigma = 0.1, std::int64_t trials = 2000,
+    std::uint64_t seed = 0x76617254);
+
+}  // namespace rota::rel

@@ -1,0 +1,75 @@
+#include "reliability/spares.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace rota::rel {
+
+namespace {
+
+void validate_inputs(const std::vector<double>& alphas, std::int64_t spares,
+                     double beta, double eta) {
+  ROTA_REQUIRE(!alphas.empty(), "activity vector must be non-empty");
+  ROTA_REQUIRE(spares >= 0, "spare count must be non-negative");
+  ROTA_REQUIRE(beta > 0.0 && eta > 0.0, "beta and eta must be positive");
+  for (double a : alphas)
+    ROTA_REQUIRE(a >= 0.0, "activity must be non-negative");
+}
+
+}  // namespace
+
+double spare_array_reliability(const std::vector<double>& alphas, double t,
+                               std::int64_t spares, double beta, double eta) {
+  validate_inputs(alphas, spares, beta, eta);
+  ROTA_REQUIRE(t >= 0.0, "time must be non-negative");
+
+  // Poisson-binomial recurrence truncated at `spares` failures: dp[k] is
+  // the probability of exactly k failures among the PEs processed so far.
+  const auto cap = static_cast<std::size_t>(spares) + 1;
+  std::vector<double> dp(cap, 0.0);
+  dp[0] = 1.0;
+  for (double a : alphas) {
+    if (a <= 0.0) continue;  // inactive PEs cannot fail
+    const double p_fail = 1.0 - std::exp(-std::pow(t * a / eta, beta));
+    for (std::size_t k = cap; k-- > 0;) {
+      const double survive = dp[k] * (1.0 - p_fail);
+      const double fail_in = (k > 0) ? dp[k - 1] * p_fail : 0.0;
+      dp[k] = survive + fail_in;
+    }
+  }
+  double r = 0.0;
+  for (double p : dp) r += p;
+  return std::min(1.0, r);
+}
+
+double spare_array_mttf(const std::vector<double>& alphas,
+                        std::int64_t spares, double beta, double eta) {
+  validate_inputs(alphas, spares, beta, eta);
+  double a_max = 0.0;
+  for (double a : alphas) a_max = std::max(a_max, a);
+  ROTA_REQUIRE(a_max > 0.0, "at least one PE must have positive activity");
+
+  // Find a horizon where the array is (numerically) certainly dead, then
+  // integrate R_s(t) with the trapezoid rule.
+  double horizon = eta / a_max;
+  while (spare_array_reliability(alphas, horizon, spares, beta, eta) > 1e-9) {
+    horizon *= 2.0;
+    ROTA_ENSURE(horizon < 1e9 * eta / a_max,
+                "spare-array reliability does not decay");
+  }
+  constexpr int kSteps = 2048;
+  const double dt = horizon / kSteps;
+  double integral = 0.0;
+  double prev = 1.0;  // R(0)
+  for (int i = 1; i <= kSteps; ++i) {
+    const double t = dt * i;
+    const double cur = spare_array_reliability(alphas, t, spares, beta, eta);
+    integral += 0.5 * (prev + cur) * dt;
+    prev = cur;
+  }
+  return integral;
+}
+
+}  // namespace rota::rel

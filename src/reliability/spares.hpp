@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "reliability/weibull.hpp"
+
+/// \file spares.hpp
+/// Extension beyond the paper: lifetime of a PE array with spare capacity.
+/// The paper models the accelerator as a strict serial chain ("operable
+/// only when all PEs survive", Eq. 2). Real designs often tolerate a few
+/// failed PEs by remapping work onto spares. This module computes the
+/// reliability of a k-out-of-n system with *heterogeneous* per-PE stress:
+///
+///   R_s(t) = P(at most s PEs have failed by t)
+///
+/// evaluated exactly with the Poisson-binomial recurrence over the per-PE
+/// failure probabilities F_ij(t) = 1 − exp(−(t·α_ij/η)^β), and the MTTF
+/// via numeric integration of R_s(t). The abl_spares bench uses it to show
+/// how wear-leveling and sparing compose.
+
+namespace rota::rel {
+
+/// Reliability at time t of an array that tolerates up to `spares` failed
+/// PEs. spares = 0 degenerates to array_reliability().
+/// \pre alphas non-empty, all non-negative; spares >= 0.
+double spare_array_reliability(const std::vector<double>& alphas, double t,
+                               std::int64_t spares,
+                               double beta = kJedecShape, double eta = 1.0);
+
+/// MTTF of the spare-tolerant array: ∫ R_s(t) dt, integrated numerically
+/// (adaptive horizon, trapezoid rule; relative accuracy ~1e-4).
+/// \pre at least one α > 0.
+double spare_array_mttf(const std::vector<double>& alphas,
+                        std::int64_t spares, double beta = kJedecShape,
+                        double eta = 1.0);
+
+}  // namespace rota::rel

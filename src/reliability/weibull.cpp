@@ -1,0 +1,34 @@
+#include "reliability/weibull.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace rota::rel {
+
+Weibull::Weibull(double beta, double eta) : beta_(beta), eta_(eta) {
+  ROTA_REQUIRE(beta > 0.0, "Weibull shape must be positive");
+  ROTA_REQUIRE(eta > 0.0, "Weibull scale must be positive");
+}
+
+double Weibull::reliability(double t) const {
+  ROTA_REQUIRE(t >= 0.0, "time must be non-negative");
+  return std::exp(-std::pow(t / eta_, beta_));
+}
+
+double Weibull::cdf(double t) const { return 1.0 - reliability(t); }
+
+double Weibull::pdf(double t) const {
+  ROTA_REQUIRE(t >= 0.0, "time must be non-negative");
+  if (t == 0.0) return (beta_ == 1.0) ? 1.0 / eta_ : 0.0;
+  const double z = t / eta_;
+  return (beta_ / eta_) * std::pow(z, beta_ - 1.0) *
+         std::exp(-std::pow(z, beta_));
+}
+
+double Weibull::mean() const {
+  return eta_ * util::weibull_mean_factor(beta_);
+}
+
+}  // namespace rota::rel

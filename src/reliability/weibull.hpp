@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file weibull.hpp
+/// Weibull failure model of a single PE — Eq. (1) of the paper. The shape
+/// parameter β = 3.4 follows the JEDEC JEP122H wear-out characterization
+/// the paper cites; the scale parameter η cancels out of every relative
+/// comparison and defaults to 1.
+
+namespace rota::rel {
+
+/// JEDEC JEP122H wear-out shape parameter used throughout the paper.
+inline constexpr double kJedecShape = 3.4;
+
+/// Two-parameter Weibull distribution.
+class Weibull {
+ public:
+  /// \pre beta > 0, eta > 0.
+  explicit Weibull(double beta = kJedecShape, double eta = 1.0);
+
+  double beta() const { return beta_; }
+  double eta() const { return eta_; }
+
+  /// Reliability function R(t) = exp(−(t/η)^β) for t >= 0.
+  double reliability(double t) const;
+
+  /// Cumulative failure probability F(t) = 1 − R(t).
+  double cdf(double t) const;
+
+  /// Probability density f(t).
+  double pdf(double t) const;
+
+  /// Mean time to failure: η·Γ(1 + 1/β).
+  double mean() const;
+
+ private:
+  double beta_;
+  double eta_;
+};
+
+}  // namespace rota::rel

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+
+#include "arch/config.hpp"
+#include "arch/energy.hpp"
+#include "nn/layer.hpp"
+#include "sched/mapping.hpp"
+
+/// \file cost.hpp
+/// Analytical cost model of one (layer, mapping) pair: validity against
+/// buffer capacities, access counts per memory level, energy in MAC units,
+/// execution cycles, and the tile (utilization-space dispatch) count Z
+/// that the wear simulator consumes.
+///
+/// The traffic model is Timeloop-style: loop bounds are padded to the
+/// chosen factors, per-dispatch footprints are derived from the loop nest,
+/// and DRAM traffic is the better of two outer-loop orders (output-tile
+/// outer with weights streamed, or output-channel outer with weights
+/// resident). See DESIGN.md §2 for the substitution rationale.
+
+namespace rota::sched {
+
+/// Outer-loop order chosen by the DRAM traffic model.
+enum class OuterOrder : std::uint8_t {
+  kOutputTileOuter,     ///< (n, p, q) outer; weights stream per pass
+  kOutputChannelOuter,  ///< k outer; weights loaded once, inputs may reload
+};
+
+/// Cost-model verdict for one mapping.
+struct CostResult {
+  bool valid = false;          ///< false if any capacity constraint fails
+  std::int64_t tiles = 0;      ///< Z: utilization-space dispatches
+  arch::AccessCounts accesses; ///< per-level access counts
+  double energy = 0.0;         ///< MAC-normalized energy
+  double cycles = 0.0;         ///< pipelined execution cycles
+  OuterOrder order = OuterOrder::kOutputTileOuter;
+
+  // Tiling hierarchy: `tiles` (above) counts GLB-resident *data tiles* —
+  // the unit at which the wear-leveling origin strides (paper §II). Each
+  // data tile groups `allocations_per_tile` output tiles, and each output
+  // tile takes `reduction_steps` local-buffer refills.
+  std::int64_t output_tiles = 0;          ///< N·Tk·Tp·Tq output tiles
+  std::int64_t allocations_per_tile = 1;  ///< output tiles per data tile
+
+  // Per-refill quantities consumed by the execution engine (sim module).
+  std::int64_t scatter_words = 0;       ///< input + weight words per refill
+  std::int64_t compute_macs_per_pe = 0; ///< MACs each active PE performs
+  std::int64_t gather_words = 0;        ///< output words drained per reduction
+  std::int64_t reduction_steps = 1;     ///< refills per output drain
+};
+
+/// Evaluates mappings for a fixed accelerator and energy model.
+class CostModel {
+ public:
+  CostModel(arch::AcceleratorConfig cfg, arch::EnergyModel energy = {});
+
+  const arch::AcceleratorConfig& config() const { return cfg_; }
+  const arch::EnergyModel& energy_model() const { return energy_; }
+
+  /// Evaluate one candidate mapping. Never throws for in-range mappings;
+  /// infeasible candidates return {valid = false}.
+  CostResult evaluate(const nn::LayerSpec& layer, const Mapping& m) const;
+
+ private:
+  arch::AcceleratorConfig cfg_;
+  arch::EnergyModel energy_;
+};
+
+}  // namespace rota::sched

@@ -1,0 +1,168 @@
+#include "sched/mapper.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace rota::sched {
+
+Mapper::Mapper(arch::AcceleratorConfig cfg, arch::EnergyModel energy,
+               MapperOptions options)
+    : cost_(std::move(cfg), energy), options_(options) {}
+
+std::vector<std::int64_t> Mapper::factor_ladder(std::int64_t bound,
+                                                std::int64_t cap) const {
+  ROTA_REQUIRE(bound > 0, "factor ladder needs a positive bound");
+  cap = std::min(cap, bound);
+  if (cap < 1) return {};
+  std::vector<std::int64_t> ladder;
+  for (std::int64_t d : util::divisors(bound)) {
+    if (d <= cap) ladder.push_back(d);
+  }
+  if (!options_.exact_factors_only &&
+      (ladder.empty() || ladder.back() != cap)) {
+    ladder.push_back(cap);
+  }
+  return ladder;
+}
+
+std::vector<std::int64_t> Mapper::spatial_candidates(
+    std::int64_t bound, std::int64_t array_dim) const {
+  const std::int64_t cap = std::min(array_dim, bound);
+  std::vector<std::int64_t> out;
+  if (options_.exact_factors_only) {
+    for (std::int64_t d : util::divisors(bound)) {
+      if (d <= cap) out.push_back(d);
+    }
+  } else {
+    out.reserve(static_cast<std::size_t>(cap));
+    for (std::int64_t f = 1; f <= cap; ++f) out.push_back(f);
+  }
+  return out;
+}
+
+namespace {
+
+/// Strict-weak ordering of candidates: lower energy, then fewer cycles,
+/// then a larger utilization space (a performance-aware optimizer prefers
+/// more parallelism at equal cost), then lexicographic mapping order for
+/// full determinism.
+bool better(const CostResult& a, const Mapping& ma, const CostResult& b,
+            const Mapping& mb) {
+  if (a.energy != b.energy) return a.energy < b.energy;
+  if (a.cycles != b.cycles) return a.cycles < b.cycles;
+  const std::int64_t area_a = ma.sx * ma.sy;
+  const std::int64_t area_b = mb.sx * mb.sy;
+  if (area_a != area_b) return area_a > area_b;
+  auto key = [](const Mapping& m) {
+    return std::tuple(static_cast<int>(m.dim_x), static_cast<int>(m.dim_y),
+                      m.sx, m.sy, m.lb_c, m.lb_q, m.lb_s);
+  };
+  return key(ma) < key(mb);
+}
+
+}  // namespace
+
+LayerSchedule Mapper::search(const nn::LayerSpec& layer) const {
+  const auto& cfg = cost_.config();
+  const std::int64_t cg = layer.channels_per_group();
+  const std::int64_t q = layer.out_w();
+  const std::int64_t p = layer.out_h();
+  const std::int64_t k = layer.out_channels;
+  const std::int64_t r = layer.kernel_h;
+  const std::int64_t s = layer.kernel_w;
+
+  bool found = false;
+  Mapping best_map;
+  CostResult best_cost;
+
+  const auto lb_s_candidates = util::divisors(s);
+  const auto lb_q_candidates =
+      factor_ladder(q, std::min(q, cfg.lb_output_words()));
+
+  for (SpatialX dx : {SpatialX::kOutChannels, SpatialX::kOutWidth}) {
+    const std::int64_t bound_x = (dx == SpatialX::kOutChannels) ? k : q;
+    for (SpatialY dy : {SpatialY::kOutHeight, SpatialY::kInChannels}) {
+      const std::int64_t bound_y = (dy == SpatialY::kOutHeight) ? p : cg;
+      for (std::int64_t sx : spatial_candidates(bound_x, cfg.array_width)) {
+        for (std::int64_t sy :
+             spatial_candidates(bound_y, cfg.array_height)) {
+          for (std::int64_t lb_s : lb_s_candidates) {
+            const std::int64_t cap_c =
+                std::min(cfg.lb_weight_words() / (r * lb_s),
+                         cfg.lb_input_words() / lb_s);
+            if (cap_c < 1) continue;
+            for (std::int64_t lb_c : factor_ladder(cg, cap_c)) {
+              for (std::int64_t lb_q : lb_q_candidates) {
+                Mapping m;
+                m.dim_x = dx;
+                m.dim_y = dy;
+                m.sx = sx;
+                m.sy = sy;
+                m.lb_c = lb_c;
+                m.lb_q = lb_q;
+                m.lb_s = lb_s;
+                const CostResult c = cost_.evaluate(layer, m);
+                if (!c.valid) continue;
+                if (!found || better(c, m, best_cost, best_map)) {
+                  found = true;
+                  best_cost = c;
+                  best_map = m;
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  ROTA_ENSURE(found, "no feasible mapping for layer " + layer.name);
+
+  LayerSchedule sched;
+  sched.layer_name = layer.name;
+  sched.shape_key = layer.shape_key();
+  sched.space = UtilSpace{best_map.sx, best_map.sy};
+  sched.tiles = best_cost.tiles;
+  sched.mapping = best_map;
+  sched.accesses = best_cost.accesses;
+  sched.energy = best_cost.energy;
+  sched.cycles = best_cost.cycles;
+  sched.macs = layer.macs();
+  sched.output_tiles = best_cost.output_tiles;
+  sched.allocations_per_tile = best_cost.allocations_per_tile;
+  sched.scatter_words = best_cost.scatter_words;
+  sched.compute_macs_per_pe = best_cost.compute_macs_per_pe;
+  sched.gather_words = best_cost.gather_words;
+  sched.reduction_steps = best_cost.reduction_steps;
+  return sched;
+}
+
+LayerSchedule Mapper::schedule_layer(const nn::LayerSpec& layer) {
+  layer.validate();
+  const std::string key = layer.shape_key();
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    LayerSchedule sched = it->second;
+    sched.layer_name = layer.name;  // cached entry may carry another name
+    return sched;
+  }
+  LayerSchedule sched = search(layer);
+  cache_.emplace(key, sched);
+  return sched;
+}
+
+NetworkSchedule Mapper::schedule_network(const nn::Network& net) {
+  NetworkSchedule ns;
+  ns.network_name = net.name();
+  ns.network_abbr = net.abbr();
+  ns.config = cost_.config();
+  ns.layers.reserve(net.layer_count());
+  for (const auto& layer : net.layers()) {
+    ns.layers.push_back(schedule_layer(layer));
+  }
+  return ns;
+}
+
+}  // namespace rota::sched

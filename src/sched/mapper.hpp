@@ -1,0 +1,70 @@
+#pragma once
+
+#include <unordered_map>
+
+#include "nn/network.hpp"
+#include "sched/cost.hpp"
+#include "sched/schedule.hpp"
+
+/// \file mapper.hpp
+/// Exhaustive, deterministic search for the energy-optimal mapping of each
+/// layer — the NeuroSpector-lite substitute described in DESIGN.md. The
+/// mapping space is bounded: both spatial dimension choices, every spatial
+/// factor up to the array size, and a divisor-derived ladder of local-buffer
+/// tiling factors. Results are memoized by layer shape, which collapses the
+/// repeated blocks of ResNet / Llama-style networks to one search each.
+
+namespace rota::sched {
+
+/// Mapper search-space options.
+struct MapperOptions {
+  /// Restrict spatial and local-buffer tiling factors to exact divisors of
+  /// their loop bounds — the Timeloop/NeuroSpector mapspace convention and
+  /// the default, matching the mappings the paper's evaluation consumes.
+  /// When false, any factor is admitted and the cost model charges the
+  /// padding in traffic and tile count; this generalized mapper fills the
+  /// array better and *shrinks* the wear-leveling headroom (see the
+  /// abl_mapper bench).
+  bool exact_factors_only = true;
+};
+
+/// Deterministic tie-breaking makes schedules reproducible across runs:
+/// energy, then cycles, then larger utilization space, then lexicographic
+/// mapping order.
+class Mapper {
+ public:
+  explicit Mapper(arch::AcceleratorConfig cfg, arch::EnergyModel energy = {},
+                  MapperOptions options = {});
+
+  const arch::AcceleratorConfig& config() const { return cost_.config(); }
+  const MapperOptions& options() const { return options_; }
+
+  /// Energy-optimal schedule of one layer. Throws util::invariant_error if
+  /// no feasible mapping exists (cannot happen for validated layers on a
+  /// non-degenerate accelerator).
+  LayerSchedule schedule_layer(const nn::LayerSpec& layer);
+
+  /// Schedule every layer of a network in execution order.
+  NetworkSchedule schedule_network(const nn::Network& net);
+
+  /// Number of distinct shapes searched so far (memoization statistic).
+  std::size_t cache_size() const { return cache_.size(); }
+
+ private:
+  /// Candidate tiling factors for a loop bound, clipped to [1, cap]: all
+  /// divisors, plus the cap itself in imperfect-factorization mode.
+  std::vector<std::int64_t> factor_ladder(std::int64_t bound,
+                                          std::int64_t cap) const;
+
+  /// Candidate spatial factors for a loop bound across `array_dim` PEs.
+  std::vector<std::int64_t> spatial_candidates(std::int64_t bound,
+                                               std::int64_t array_dim) const;
+
+  LayerSchedule search(const nn::LayerSpec& layer) const;
+
+  CostModel cost_;
+  MapperOptions options_;
+  std::unordered_map<std::string, LayerSchedule> cache_;
+};
+
+}  // namespace rota::sched

@@ -1,0 +1,32 @@
+#include "sched/mapping.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace rota::sched {
+
+std::string to_string(SpatialX dim) {
+  switch (dim) {
+    case SpatialX::kOutChannels: return "K";
+    case SpatialX::kOutWidth: return "Q";
+  }
+  ROTA_ENSURE(false, "unhandled SpatialX");
+}
+
+std::string to_string(SpatialY dim) {
+  switch (dim) {
+    case SpatialY::kOutHeight: return "P";
+    case SpatialY::kInChannels: return "C";
+  }
+  ROTA_ENSURE(false, "unhandled SpatialY");
+}
+
+std::string Mapping::str() const {
+  std::ostringstream os;
+  os << to_string(dim_x) << sx << 'x' << to_string(dim_y) << sy << ":c"
+     << lb_c << ",q" << lb_q << ",s" << lb_s;
+  return os.str();
+}
+
+}  // namespace rota::sched

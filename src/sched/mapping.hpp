@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+/// \file mapping.hpp
+/// A point in the scheduler's mapping space. The PE array is used as a
+/// 2-D spatial stage: one loop dimension is laid across the array width
+/// (the utilization-space width x) and one across the height (y), with
+/// temporal tiling factors for the data held in PE-local buffers.
+///
+/// Spatial candidates follow the common dataflow families:
+///   width  ← output channels K (weight-stationary columns) or
+///            output columns  Q (output-stationary columns);
+///   height ← output rows     P (output-parallel rows) or
+///            input channels  C (spatial reduction down each column,
+///            partial sums riding the local network).
+/// Factors need not divide the loop bounds; the cost model pads the bound
+/// to the next multiple and charges the padding in traffic and tile count,
+/// so near-divisors win only when the waste is genuinely small.
+
+namespace rota::sched {
+
+/// Which loop dimension is spatialized across the array width.
+enum class SpatialX : std::uint8_t {
+  kOutChannels,  ///< K across columns
+  kOutWidth,     ///< Q across columns
+};
+
+/// Which loop dimension is spatialized across the array height.
+enum class SpatialY : std::uint8_t {
+  kOutHeight,   ///< P across rows
+  kInChannels,  ///< C across rows (spatial reduction)
+};
+
+std::string to_string(SpatialX dim);
+std::string to_string(SpatialY dim);
+
+/// One candidate mapping of a layer onto the PE array.
+struct Mapping {
+  SpatialX dim_x = SpatialX::kOutChannels;
+  SpatialY dim_y = SpatialY::kOutHeight;
+  std::int64_t sx = 1;    ///< utilization-space width x (PE columns used)
+  std::int64_t sy = 1;    ///< utilization-space height y (PE rows used)
+  std::int64_t lb_c = 1;  ///< input channels resident per PE per tile
+  std::int64_t lb_q = 1;  ///< output columns produced per PE per tile
+  std::int64_t lb_s = 1;  ///< filter-column taps resident per PE per tile
+
+  std::string str() const;
+};
+
+}  // namespace rota::sched

@@ -1,0 +1,160 @@
+#include "sched/rs_mapper.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace rota::sched {
+
+using util::ceil_div;
+
+RsGeometry rs_geometry(const nn::LayerSpec& layer, std::int64_t array_width,
+                       std::int64_t array_height) {
+  ROTA_REQUIRE(array_width > 0 && array_height > 0,
+               "array dimensions must be positive");
+  RsGeometry g;
+  const std::int64_t e = layer.out_h();
+  const std::int64_t r = std::min(layer.kernel_h, array_height);
+
+  g.set_width = std::min(e, array_width);
+  g.passes_e = ceil_div(e, g.set_width);
+  const std::int64_t strips_fit = std::max<std::int64_t>(1, array_height / r);
+  g.strips = std::min(strips_fit, g.passes_e);
+  g.replication =
+      std::min(strips_fit / g.strips, layer.out_channels);
+  g.space_x = g.set_width;
+  g.space_y = g.strips * g.replication * r;
+  ROTA_ENSURE(g.space_y <= array_height, "RS placement exceeds array height");
+  return g;
+}
+
+RsMapper::RsMapper(arch::AcceleratorConfig cfg, arch::EnergyModel energy)
+    : cfg_(std::move(cfg)), energy_(energy) {
+  cfg_.validate();
+}
+
+LayerSchedule RsMapper::derive(const nn::LayerSpec& layer) const {
+  const RsGeometry g = rs_geometry(layer, cfg_.array_width,
+                                   cfg_.array_height);
+  const std::int64_t n = layer.batch;
+  const std::int64_t k = layer.out_channels;
+  const std::int64_t cg = layer.channels_per_group();
+  const std::int64_t q = layer.out_w();
+  const std::int64_t r = std::min(layer.kernel_h, cfg_.array_height);
+  const std::int64_t s = layer.kernel_w;
+  const std::int64_t r_folds = ceil_div(layer.kernel_h, r);
+
+  // Temporal loops: output columns in register-file-sized chunks, output
+  // rows in groups of `strips` strips, filters in groups of `replication`,
+  // and the full reduction (channels × filter-row folds) per output.
+  const std::int64_t q_tile = std::min(q, cfg_.lb_output_words());
+  const std::int64_t tq = ceil_div(q, q_tile);
+  const std::int64_t te = ceil_div(g.passes_e, g.strips);
+  const std::int64_t tk = ceil_div(k, g.replication);
+  const std::int64_t red_steps = cg * r_folds;
+
+  const std::int64_t output_tiles = n * te * tk * tq;
+  const std::int64_t lb_refills = output_tiles * red_steps;
+
+  // Per-refill footprints (words).
+  const std::int64_t in_rows = (g.set_width - 1) * layer.stride_h + r;
+  const std::int64_t in_cols = (q_tile - 1) * layer.stride_w + s;
+  const std::int64_t in_refill = g.strips * in_rows * in_cols;
+  const std::int64_t w_refill = g.replication * r * s;
+  const std::int64_t out_tile =
+      g.strips * g.set_width * q_tile * g.replication;
+
+  LayerSchedule sched;
+  sched.layer_name = layer.name;
+  sched.shape_key = layer.shape_key();
+  sched.space = UtilSpace{g.space_x, g.space_y};
+  sched.macs = layer.macs();
+  sched.output_tiles = output_tiles;
+  sched.reduction_steps = red_steps;
+  sched.scatter_words = in_refill + w_refill;
+  sched.compute_macs_per_pe = q_tile * s;
+  sched.gather_words = out_tile;
+
+  // Record the RS shape in the shared Mapping slot (spatial extents only;
+  // output rows run across the array width in RS, filter rows down the
+  // height — kOutWidth/kOutHeight are the nearest tags).
+  sched.mapping.dim_x = SpatialX::kOutWidth;
+  sched.mapping.dim_y = SpatialY::kOutHeight;
+  sched.mapping.sx = g.space_x;
+  sched.mapping.sy = g.space_y;
+  sched.mapping.lb_q = q_tile;
+  sched.mapping.lb_s = s;
+  sched.mapping.lb_c = 1;
+
+  // GLB-tile grouping, as in CostModel: one output tile's unique working
+  // set spans its whole reduction.
+  const std::int64_t w_alloc = g.replication * cg * layer.kernel_h * s;
+  const std::int64_t in_alloc = cg * g.strips * in_rows *
+                                ((q_tile - 1) * layer.stride_w + s);
+  const std::int64_t alloc_words = w_alloc + in_alloc + out_tile;
+  sched.allocations_per_tile = std::min(
+      std::max<std::int64_t>(1, cfg_.glb_words() / alloc_words),
+      output_tiles);
+  sched.tiles = ceil_div(output_tiles, sched.allocations_per_tile);
+
+  // Access counts and energy.
+  arch::AccessCounts& acc = sched.accesses;
+  acc.macs = layer.macs();
+  acc.lb_accesses = 3 * acc.macs;
+  // Partial sums ride the local network up the R rows of each set.
+  acc.inter_pe_hops =
+      n * k * layer.out_h() * layer.out_w() * cg * (r - 1);
+  acc.glb_accesses = lb_refills * (in_refill + w_refill) +
+                     n * k * layer.out_h() * layer.out_w() *
+                         (2 * red_steps - 1);
+  const std::int64_t glb_share = cfg_.glb_words() / 2;
+  const std::int64_t input_total = layer.input_words();
+  const std::int64_t weight_total = layer.weight_words();
+  std::int64_t dram = layer.output_words();
+  dram += (input_total <= glb_share) ? input_total : input_total * tk;
+  dram += (weight_total <= glb_share) ? weight_total : weight_total * te * tq;
+  acc.dram_accesses = dram;
+  sched.energy = arch::total_energy(energy_, acc);
+
+  // Cycles: the same steady-state pipeline convention as CostModel.
+  const double bw = static_cast<double>(cfg_.global_net_words_per_cycle);
+  const double compute = static_cast<double>(sched.compute_macs_per_pe);
+  const double load =
+      std::ceil(static_cast<double>(sched.scatter_words) / bw);
+  const double drain = static_cast<double>(out_tile) /
+                       (bw * static_cast<double>(red_steps));
+  sched.cycles = static_cast<double>(lb_refills) *
+                     std::max({compute, load, drain}) +
+                 load + compute;
+  return sched;
+}
+
+LayerSchedule RsMapper::schedule_layer(const nn::LayerSpec& layer) {
+  layer.validate();
+  const std::string key = layer.shape_key();
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    LayerSchedule sched = it->second;
+    sched.layer_name = layer.name;
+    return sched;
+  }
+  LayerSchedule sched = derive(layer);
+  cache_.emplace(key, sched);
+  return sched;
+}
+
+NetworkSchedule RsMapper::schedule_network(const nn::Network& net) {
+  NetworkSchedule ns;
+  ns.network_name = net.name();
+  ns.network_abbr = net.abbr();
+  ns.config = cfg_;
+  ns.layers.reserve(net.layer_count());
+  for (const auto& layer : net.layers()) {
+    ns.layers.push_back(schedule_layer(layer));
+  }
+  return ns;
+}
+
+}  // namespace rota::sched

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <unordered_map>
+
+#include "nn/network.hpp"
+#include "sched/cost.hpp"
+#include "sched/schedule.hpp"
+
+/// \file rs_mapper.hpp
+/// Row-stationary (RS) dataflow engine — the mapping family of the
+/// Eyeriss platform the paper's evaluation runs on (§II, ref. [2]).
+///
+/// In RS, each PE runs a 1-D row convolution: it holds one filter row
+/// (S weights) in its register file and slides it across one input row,
+/// producing partial sums for one output row. A *PE set* for a 2-D
+/// convolution is therefore R rows tall (one per filter row, partial sums
+/// accumulating vertically) and up to `E = out_h` columns wide (one output
+/// row per column). Sets larger than the array are folded into strips of
+/// at most `w` columns; strips stack vertically, and any remaining
+/// vertical capacity is filled by replicating the set across output
+/// channels. The resulting occupied rectangle is the utilization space the
+/// wear simulator sees.
+///
+/// This engine is deliberately analytic (no search): RS fixes the spatial
+/// shape, and only the temporal loops remain, which the GLB-tile grouping
+/// of the shared cost conventions already covers. It exists alongside the
+/// flexible Mapper so the wear-leveling results can be reproduced under
+/// the platform's native dataflow (see bench/abl_dataflow).
+
+namespace rota::sched {
+
+/// Derived geometry of one RS mapping.
+struct RsGeometry {
+  std::int64_t set_width = 1;        ///< output rows per strip (<= w, <= E)
+  std::int64_t strips = 1;           ///< strips placed vertically at once
+  std::int64_t replication = 1;      ///< channel replicas stacked above
+  std::int64_t passes_e = 1;         ///< temporal folds over output rows
+  std::int64_t space_x = 1;          ///< utilization-space width
+  std::int64_t space_y = 1;          ///< utilization-space height
+};
+
+/// Compute the RS placement of a layer on a w×h array.
+/// \pre layer validated; R <= h (filter taller than the array is folded
+/// over filter rows and treated as R = h).
+RsGeometry rs_geometry(const nn::LayerSpec& layer, std::int64_t array_width,
+                       std::int64_t array_height);
+
+/// Row-stationary scheduler with the same interface shape as Mapper.
+class RsMapper {
+ public:
+  explicit RsMapper(arch::AcceleratorConfig cfg,
+                    arch::EnergyModel energy = {});
+
+  const arch::AcceleratorConfig& config() const { return cfg_; }
+
+  LayerSchedule schedule_layer(const nn::LayerSpec& layer);
+  NetworkSchedule schedule_network(const nn::Network& net);
+
+ private:
+  LayerSchedule derive(const nn::LayerSpec& layer) const;
+
+  arch::AcceleratorConfig cfg_;
+  arch::EnergyModel energy_;
+  std::unordered_map<std::string, LayerSchedule> cache_;
+};
+
+}  // namespace rota::sched

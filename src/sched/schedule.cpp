@@ -1,0 +1,40 @@
+#include "sched/schedule.hpp"
+
+namespace rota::sched {
+
+double NetworkSchedule::mean_utilization() const {
+  if (layers.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& l : layers) sum += l.utilization(config);
+  return sum / static_cast<double>(layers.size());
+}
+
+double NetworkSchedule::tile_weighted_utilization() const {
+  double weighted = 0.0;
+  double total = 0.0;
+  for (const auto& l : layers) {
+    weighted += l.utilization(config) * static_cast<double>(l.tiles);
+    total += static_cast<double>(l.tiles);
+  }
+  return total > 0.0 ? weighted / total : 0.0;
+}
+
+std::int64_t NetworkSchedule::total_tiles() const {
+  std::int64_t total = 0;
+  for (const auto& l : layers) total += l.tiles;
+  return total;
+}
+
+double NetworkSchedule::total_energy() const {
+  double total = 0.0;
+  for (const auto& l : layers) total += l.energy;
+  return total;
+}
+
+double NetworkSchedule::total_cycles() const {
+  double total = 0.0;
+  for (const auto& l : layers) total += l.cycles;
+  return total;
+}
+
+}  // namespace rota::sched

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/config.hpp"
+#include "arch/energy.hpp"
+#include "sched/cost.hpp"
+#include "sched/mapping.hpp"
+
+/// \file schedule.hpp
+/// The scheduler's output: per-layer utilization spaces and tile counts,
+/// which are the only inputs the wear simulator needs (paper §V: "The size
+/// of each layer's utilization space is obtained from NeuroSpector [...]
+/// and we composed a simulator to track the usage count of individual PEs").
+
+namespace rota::sched {
+
+/// Rectangular region of PEs exercised by one data tile.
+struct UtilSpace {
+  std::int64_t x = 1;  ///< width in PEs
+  std::int64_t y = 1;  ///< height in PEs
+};
+
+/// Energy-optimal execution plan of one layer.
+struct LayerSchedule {
+  std::string layer_name;
+  std::string shape_key;
+  UtilSpace space;
+  /// Z: GLB-resident data tiles — the unit at which the wear-leveling
+  /// origin strides (paper §II / Table I). Each data tile groups
+  /// `allocations_per_tile` output tiles; each output tile runs
+  /// `reduction_steps` local-buffer refills on the same x×y space.
+  std::int64_t tiles = 0;
+  Mapping mapping;
+  arch::AccessCounts accesses;
+  double energy = 0.0;
+  double cycles = 0.0;
+  std::int64_t macs = 0;
+
+  // Tiling hierarchy below the data tile, for the execution engine.
+  std::int64_t output_tiles = 0;          ///< N·Tk·Tp·Tq output tiles
+  std::int64_t allocations_per_tile = 1;  ///< output tiles per data tile
+  std::int64_t scatter_words = 0;       ///< input + weight words per refill
+  std::int64_t compute_macs_per_pe = 0; ///< MACs each active PE performs
+  std::int64_t gather_words = 0;        ///< output words drained per reduction
+  std::int64_t reduction_steps = 1;     ///< refills per output drain
+
+  /// PE utilization ratio of this layer: x·y / (w·h).
+  double utilization(const arch::AcceleratorConfig& cfg) const {
+    return static_cast<double>(space.x * space.y) /
+           static_cast<double>(cfg.pe_count());
+  }
+};
+
+/// Execution plan of a whole network on one accelerator.
+struct NetworkSchedule {
+  std::string network_name;
+  std::string network_abbr;
+  arch::AcceleratorConfig config;
+  std::vector<LayerSchedule> layers;
+
+  /// Unweighted mean of per-layer PE utilization ratios (Fig. 2a metric).
+  double mean_utilization() const;
+
+  /// Mean PE utilization weighted by each layer's tile count — the
+  /// fraction of dispatches that activate a given fraction of the array.
+  double tile_weighted_utilization() const;
+
+  /// Total tiles per inference iteration.
+  std::int64_t total_tiles() const;
+
+  /// Total energy / cycles per inference iteration.
+  double total_energy() const;
+  double total_cycles() const;
+};
+
+}  // namespace rota::sched

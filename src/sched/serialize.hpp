@@ -1,0 +1,33 @@
+#pragma once
+
+#include <istream>
+#include <ostream>
+
+#include "sched/schedule.hpp"
+
+/// \file serialize.hpp
+/// CSV serialization of network schedules. Export lets users re-plot or
+/// post-process mappings; import lets them bypass the built-in mapper and
+/// feed utilization spaces from an external scheduler (e.g. real
+/// NeuroSpector output) straight into the wear simulator — the exact
+/// interface the paper's toolflow uses.
+
+namespace rota::sched {
+
+/// Write a schedule as CSV with header
+///   layer,x,y,tiles,output_tiles,allocations_per_tile,reduction_steps,
+///   scatter_words,compute_macs_per_pe,gather_words,energy,cycles,macs
+/// Layer names must not contain commas, quotes or newlines.
+void write_schedule_csv(const NetworkSchedule& ns, std::ostream& out);
+
+/// Read a schedule from CSV. Requires at least the columns
+/// layer, x, y, tiles (by header name, any order); the remaining columns
+/// are optional and default sensibly. Each row is validated against the
+/// accelerator geometry. Throws util::precondition_error on malformed
+/// input.
+NetworkSchedule read_schedule_csv(std::istream& in,
+                                  const arch::AcceleratorConfig& cfg,
+                                  const std::string& network_name = "csv",
+                                  const std::string& network_abbr = "csv");
+
+}  // namespace rota::sched

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+
+#include "util/check.hpp"
+
+/// \file controller.hpp
+/// Register-transfer-level-faithful model of the wear-leveling logic the
+/// paper adds to the mapping controller (§IV-F / §V-D): four parameter
+/// registers (w, h, x, y) and two circular counters tracking the (u, v)
+/// coordinate. The counter update runs during the data-tile processing
+/// period, so it costs zero extra cycles; the test suite cross-validates
+/// this hardware model against the behavioral wear::Policy for RWL+RO.
+
+namespace rota::sim {
+
+/// The RWL+RO wear-leveling controller block.
+class WearLevelingController {
+ public:
+  /// \pre array dimensions positive.
+  WearLevelingController(std::int64_t array_width, std::int64_t array_height)
+      : w_(array_width), h_(array_height) {
+    ROTA_REQUIRE(array_width > 0 && array_height > 0,
+                 "controller array registers must be positive");
+  }
+
+  /// Load the layer's utilization-space registers before its first tile
+  /// (parameters are "deterministically identifiable before initiating a
+  /// layer computation"). The (u, v) counters are NOT reset: residual
+  /// optimization relays them across layers.
+  void load_layer(std::int64_t x, std::int64_t y) {
+    ROTA_REQUIRE(x >= 1 && x <= w_ && y >= 1 && y <= h_,
+                 "utilization space registers out of range");
+    x_ = x;
+    y_ = y;
+  }
+
+  std::int64_t u() const { return u_; }
+  std::int64_t v() const { return v_; }
+
+  /// One tile dispatched: advance the circular counters (one cycle of
+  /// counter logic, overlapped with the tile's compute phase).
+  void step() {
+    ROTA_REQUIRE(x_ > 0 && y_ > 0, "load_layer must be called first");
+    // u circular counter: u <- (u + x) mod w, implemented in hardware as
+    // an adder with conditional wrap (never needs division).
+    u_ += x_;
+    if (u_ >= w_) u_ -= w_;
+    // Vertical stride when u loops back to the leftmost PE (Algorithm 1,
+    // line 6: "if u == 1" in the paper's 1-indexed form).
+    if (u_ == 0) {
+      v_ += y_;
+      if (v_ >= h_) v_ -= h_;
+    }
+  }
+
+  /// Counter-update latency in cycles; the update happens during tile
+  /// processing, so it is exposed only so the engine can check overlap.
+  static constexpr double kUpdateCycles = 1.0;
+
+ private:
+  std::int64_t w_;
+  std::int64_t h_;
+  std::int64_t x_ = 0;
+  std::int64_t y_ = 0;
+  std::int64_t u_ = 0;
+  std::int64_t v_ = 0;
+};
+
+}  // namespace rota::sim

@@ -1,0 +1,106 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/controller.hpp"
+#include "util/check.hpp"
+
+namespace rota::sim {
+
+ExecutionEngine::ExecutionEngine(arch::AcceleratorConfig cfg)
+    : cfg_(std::move(cfg)) {
+  cfg_.validate();
+}
+
+TilePhases ExecutionEngine::phases_of(const sched::LayerSchedule& layer,
+                                      bool drained) const {
+  const double bw = static_cast<double>(cfg_.global_net_words_per_cycle);
+  TilePhases ph;
+  ph.scatter = std::ceil(static_cast<double>(layer.scatter_words) / bw);
+  ph.compute = static_cast<double>(layer.compute_macs_per_pe);
+  ph.gather =
+      drained ? std::ceil(static_cast<double>(layer.gather_words) / bw) : 0.0;
+  return ph;
+}
+
+LayerTiming ExecutionEngine::simulate_layer(
+    const sched::LayerSchedule& layer) const {
+  ROTA_REQUIRE(layer.tiles >= 0, "tile count must be non-negative");
+  ROTA_REQUIRE(layer.reduction_steps >= 1, "reduction steps must be >= 1");
+  TilePipeline pipe;
+  const TilePhases plain = phases_of(layer, false);
+  const TilePhases draining = phases_of(layer, true);
+  // Each output tile runs reduction_steps local-buffer refills; outputs
+  // drain on the last refill of each output tile.
+  const std::int64_t output_tiles =
+      std::max<std::int64_t>(layer.output_tiles,
+                             layer.tiles);  // pre-grouping schedules
+  for (std::int64_t tile = 0; tile < output_tiles; ++tile) {
+    for (std::int64_t step = 1; step <= layer.reduction_steps; ++step) {
+      pipe.push(step == layer.reduction_steps ? draining : plain);
+    }
+  }
+  LayerTiming t;
+  t.cycles = pipe.makespan();
+  t.tiles = layer.tiles;
+  t.controller_update_hidden =
+      plain.compute >= WearLevelingController::kUpdateCycles;
+  return t;
+}
+
+LayerTiming ExecutionEngine::estimate_layer(
+    const sched::LayerSchedule& layer) const {
+  ROTA_REQUIRE(layer.tiles >= 0, "tile count must be non-negative");
+  ROTA_REQUIRE(layer.reduction_steps >= 1, "reduction steps must be >= 1");
+  const TilePhases plain = phases_of(layer, false);
+  const TilePhases draining = phases_of(layer, true);
+  // Steady-state rate: the pipeline advances by the bottleneck stage per
+  // tile; gathers happen once per reduction_steps tiles.
+  const double rs = static_cast<double>(layer.reduction_steps);
+  const double gather_amortized = draining.gather / rs;
+  const double rate =
+      std::max({plain.scatter, plain.compute, gather_amortized});
+  const double refills =
+      static_cast<double>(std::max(layer.output_tiles, layer.tiles)) * rs;
+  LayerTiming t;
+  t.cycles = refills * rate + plain.scatter + plain.compute +
+             draining.gather;
+  t.tiles = layer.tiles;
+  t.controller_update_hidden =
+      plain.compute >= WearLevelingController::kUpdateCycles;
+  return t;
+}
+
+double ExecutionEngine::network_cycles(
+    const sched::NetworkSchedule& schedule) const {
+  double total = 0.0;
+  for (const auto& layer : schedule.layers)
+    total += estimate_layer(layer).cycles;
+  return total;
+}
+
+LayerTiming ExecutionEngine::estimate_layer_with_dram(
+    const sched::LayerSchedule& layer, const DramParams& dram) const {
+  ROTA_REQUIRE(dram.words_per_cycle > 0.0,
+               "DRAM bandwidth must be positive");
+  LayerTiming t = estimate_layer(layer);
+  const double dram_floor =
+      static_cast<double>(layer.accesses.dram_accesses) /
+      dram.words_per_cycle;
+  if (dram_floor > t.cycles) {
+    t.cycles = dram_floor;
+    t.memory_bound = true;
+  }
+  return t;
+}
+
+double ExecutionEngine::network_cycles_with_dram(
+    const sched::NetworkSchedule& schedule, const DramParams& dram) const {
+  double total = 0.0;
+  for (const auto& layer : schedule.layers)
+    total += estimate_layer_with_dram(layer, dram).cycles;
+  return total;
+}
+
+}  // namespace rota::sim

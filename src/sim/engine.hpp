@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+
+#include "arch/config.hpp"
+#include "sched/schedule.hpp"
+#include "sim/pipeline.hpp"
+
+/// \file engine.hpp
+/// Execution-time model of a schedule on the accelerator. Tile phase
+/// durations depend only on the tile's data volumes, never on where the
+/// utilization space is anchored: scattering to a space anchored at (u, v)
+/// moves exactly the same words over the same networks as one anchored at
+/// (0, 0), and the wear-leveling counter update (1 cycle) hides under the
+/// compute phase. This module quantifies the paper's "no performance
+/// degradation" claim (§V-D) — the benches show mesh-baseline and
+/// torus-RWL+RO cycle counts are identical.
+
+namespace rota::sim {
+
+/// Timing of one layer.
+struct LayerTiming {
+  double cycles = 0.0;
+  std::int64_t tiles = 0;
+  /// True when the (u, v) counter update fits inside every tile's compute
+  /// phase (it always does: compute >= 1 cycle per tile).
+  bool controller_update_hidden = true;
+  /// True when off-chip bandwidth, not the array, set the runtime
+  /// (only meaningful from the DRAM-aware estimate).
+  bool memory_bound = false;
+};
+
+/// Off-chip memory system parameters for the roofline-style estimate.
+struct DramParams {
+  /// Sustained DRAM bandwidth in data words per accelerator cycle.
+  /// 2 words/cycle ≈ 4 GB/s at 1 GHz with 16-bit words.
+  double words_per_cycle = 2.0;
+};
+
+/// Derives tile phases from schedules and runs the tile pipeline.
+class ExecutionEngine {
+ public:
+  explicit ExecutionEngine(arch::AcceleratorConfig cfg);
+
+  const arch::AcceleratorConfig& config() const { return cfg_; }
+
+  /// Phase durations of one dispatch of this layer. `drained` selects
+  /// whether this dispatch completes a reduction and drains outputs.
+  TilePhases phases_of(const sched::LayerSchedule& layer, bool drained) const;
+
+  /// Exact tile-by-tile pipeline simulation of one layer (gathers modeled
+  /// on every reduction_steps-th tile). O(tiles) — use for layers, tests
+  /// and the overhead bench.
+  LayerTiming simulate_layer(const sched::LayerSchedule& layer) const;
+
+  /// Fast estimate using the steady-state pipeline rate with the gather
+  /// amortized over the reduction; exact for compute- or scatter-bound
+  /// layers, and within one drain of exact otherwise. O(1) per layer.
+  LayerTiming estimate_layer(const sched::LayerSchedule& layer) const;
+
+  /// Sum of per-layer estimates over a network (one inference pass).
+  double network_cycles(const sched::NetworkSchedule& schedule) const;
+
+  /// Roofline-style estimate including the off-chip memory system: a layer
+  /// can run no faster than its DRAM traffic divided by the sustained
+  /// bandwidth. Wear-leveling changes neither term, so this bound is as
+  /// policy-independent as the array-side estimate.
+  LayerTiming estimate_layer_with_dram(const sched::LayerSchedule& layer,
+                                       const DramParams& dram) const;
+
+  /// Network-pass cycles under the DRAM roofline.
+  double network_cycles_with_dram(const sched::NetworkSchedule& schedule,
+                                  const DramParams& dram) const;
+
+ private:
+  arch::AcceleratorConfig cfg_;
+};
+
+}  // namespace rota::sim

@@ -1,0 +1,76 @@
+#include "sim/noc_traffic.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace rota::sim {
+
+LinkTrafficTracker::LinkTrafficTracker(std::int64_t width,
+                                       std::int64_t height)
+    : width_(width),
+      height_(height),
+      links_(static_cast<std::size_t>(width),
+             static_cast<std::size_t>(height)) {
+  ROTA_REQUIRE(width > 0 && height > 0, "tracker dimensions must be positive");
+}
+
+void LinkTrafficTracker::add_space_traffic(std::int64_t u, std::int64_t v,
+                                           std::int64_t x, std::int64_t y,
+                                           std::int64_t words,
+                                           bool allow_wrap) {
+  ROTA_REQUIRE(u >= 0 && u < width_ && v >= 0 && v < height_,
+               "space origin out of range");
+  ROTA_REQUIRE(x >= 1 && x <= width_ && y >= 1 && y <= height_,
+               "space size out of range");
+  ROTA_REQUIRE(words >= 0, "traffic must be non-negative");
+  if (!allow_wrap) {
+    ROTA_REQUIRE(u + x <= width_ && v + y <= height_,
+                 "space crosses the array edge on a mesh");
+  }
+  for (std::int64_t dc = 0; dc < x; ++dc) {
+    const std::int64_t c = (u + dc) % width_;
+    for (std::int64_t dr = 0; dr < y - 1; ++dr) {
+      const std::int64_t r = (v + dr) % height_;
+      links_(static_cast<std::size_t>(c), static_cast<std::size_t>(r)) +=
+          words;
+    }
+  }
+}
+
+std::int64_t LinkTrafficTracker::max_link() const {
+  std::int64_t best = 0;
+  for (std::int64_t v : links_.cells()) best = std::max(best, v);
+  return best;
+}
+
+std::int64_t LinkTrafficTracker::total_words() const {
+  std::int64_t total = 0;
+  for (std::int64_t v : links_.cells()) total += v;
+  return total;
+}
+
+LinkTrafficTracker simulate_link_traffic(const sched::NetworkSchedule& ns,
+                                         wear::Policy& policy,
+                                         std::int64_t iterations,
+                                         bool allow_wrap) {
+  ROTA_REQUIRE(iterations >= 0, "iterations must be non-negative");
+  LinkTrafficTracker tracker(ns.config.array_width, ns.config.array_height);
+  for (std::int64_t it = 0; it < iterations; ++it) {
+    for (const auto& layer : ns.layers) {
+      const sched::UtilSpace& space = layer.space;
+      const std::int64_t words_per_tile =
+          std::max<std::int64_t>(1, layer.reduction_steps) *
+          std::max<std::int64_t>(1, layer.mapping.lb_q);
+      policy.begin_layer(space);
+      for (std::int64_t z = 0; z < layer.tiles; ++z) {
+        const wear::Placement at = policy.next_origin(space);
+        tracker.add_space_traffic(at.u, at.v, space.x, space.y,
+                                  words_per_tile, allow_wrap);
+      }
+    }
+  }
+  return tracker;
+}
+
+}  // namespace rota::sim

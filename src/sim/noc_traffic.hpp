@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+
+#include "arch/config.hpp"
+#include "sched/schedule.hpp"
+#include "util/grid.hpp"
+#include "wear/policy.hpp"
+
+/// \file noc_traffic.hpp
+/// Link-level traffic accounting for the local (inter-PE) network.
+/// Partial sums ride the column links of whatever utilization space a tile
+/// occupies, so link wear mirrors PE wear: a fixed-corner schedule
+/// electromigrates the corner column links first, while rotational
+/// wear-leveling spreads link traffic the same way it spreads PE usage.
+/// This module quantifies that side effect (not studied in the paper, but
+/// implied by its design) and also verifies the torus moves *no more*
+/// total local traffic than the mesh for the same schedule.
+
+namespace rota::sim {
+
+/// Per-link accumulated traffic of the vertical (column) local network.
+/// Link (c, r) is the unidirectional hop from PE (c, r) to PE (c, r+1);
+/// on a torus row h−1 wraps to row 0, on a mesh the wrap link does not
+/// exist and must stay at zero.
+class LinkTrafficTracker {
+ public:
+  LinkTrafficTracker(std::int64_t width, std::int64_t height);
+
+  std::int64_t width() const { return width_; }
+  std::int64_t height() const { return height_; }
+
+  /// Record one tile: a space anchored at (u, v) of size x×y whose columns
+  /// each accumulate partial sums upward across y−1 hops, `words` words
+  /// per hop. With allow_wrap the space and its hops may cross the edges.
+  void add_space_traffic(std::int64_t u, std::int64_t v, std::int64_t x,
+                         std::int64_t y, std::int64_t words, bool allow_wrap);
+
+  const util::Grid<std::int64_t>& vertical_links() const { return links_; }
+
+  std::int64_t max_link() const;
+  std::int64_t total_words() const;
+
+ private:
+  std::int64_t width_;
+  std::int64_t height_;
+  util::Grid<std::int64_t> links_;
+};
+
+/// Drive a wear-leveling policy over a schedule and accumulate link
+/// traffic for `iterations` passes. Uses one hop-unit per reduction step
+/// per column (lb_q words each), matching the cost model's hop counting.
+LinkTrafficTracker simulate_link_traffic(const sched::NetworkSchedule& ns,
+                                         wear::Policy& policy,
+                                         std::int64_t iterations,
+                                         bool allow_wrap);
+
+}  // namespace rota::sim

@@ -1,0 +1,75 @@
+#include "sim/pipeline.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace rota::sim {
+
+void TilePipeline::push(const TilePhases& phases) {
+  ROTA_REQUIRE(phases.scatter >= 0.0 && phases.compute >= 0.0 &&
+                   phases.gather >= 0.0,
+               "phase durations must be non-negative");
+  // Tile i loads into local-buffer slot i%2, which frees when tile i−2
+  // finishes computing.
+  const double load_end =
+      std::max(load_end_prev_, compute_end_prev2_) + phases.scatter;
+  const double compute_end =
+      std::max(load_end, compute_end_prev_) + phases.compute;
+  const double gather_end =
+      std::max(compute_end, gather_end_prev_) + phases.gather;
+
+  load_end_prev2_ = load_end_prev_;
+  load_end_prev_ = load_end;
+  compute_end_prev2_ = compute_end_prev_;
+  compute_end_prev_ = compute_end;
+  gather_end_prev_ = gather_end;
+  ++tiles_;
+}
+
+void TilePipeline::push_uniform(const TilePhases& phases, std::int64_t count) {
+  ROTA_REQUIRE(count >= 0, "tile count must be non-negative");
+  // Warm the pipeline, then verify the per-tile state increment has become
+  // constant and extrapolate the remaining tiles exactly.
+  constexpr std::int64_t kWarmup = 6;
+  std::int64_t pushed = 0;
+  for (; pushed < count && pushed < kWarmup; ++pushed) push(phases);
+  if (pushed >= count) return;
+
+  auto snapshot = [this]() {
+    return std::array<double, 5>{load_end_prev_, load_end_prev2_,
+                                 compute_end_prev_, compute_end_prev2_,
+                                 gather_end_prev_};
+  };
+  const auto s0 = snapshot();
+  push(phases);
+  ++pushed;
+  const auto s1 = snapshot();
+  if (pushed < count) {
+    push(phases);
+    ++pushed;
+    const auto s2 = snapshot();
+    for (std::size_t i = 0; i < s0.size(); ++i) {
+      const double d1 = s1[i] - s0[i];
+      const double d2 = s2[i] - s1[i];
+      ROTA_ENSURE(std::abs(d1 - d2) <= 1e-9 * std::max(1.0, std::abs(d2)),
+                  "pipeline did not reach steady state during warmup");
+    }
+    const std::int64_t remaining = count - pushed;
+    const double step = static_cast<double>(remaining);
+    load_end_prev_ += (s2[0] - s1[0]) * step;
+    load_end_prev2_ += (s2[1] - s1[1]) * step;
+    compute_end_prev_ += (s2[2] - s1[2]) * step;
+    compute_end_prev2_ += (s2[3] - s1[3]) * step;
+    gather_end_prev_ += (s2[4] - s1[4]) * step;
+    tiles_ += remaining;
+  }
+}
+
+double TilePipeline::makespan() const {
+  return std::max(compute_end_prev_, gather_end_prev_);
+}
+
+}  // namespace rota::sim

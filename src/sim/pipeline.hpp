@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file pipeline.hpp
+/// Cycle-level model of the accelerator's tile pipeline. Each data tile
+/// passes through three phases — scatter (GLB→PE over the global network),
+/// compute (MAC array), gather (PE→GLB drain) — with double-buffered local
+/// buffers, so the scatter of tile i+1 overlaps the compute of tile i.
+/// The makespan recurrence is evaluated streaming in O(1) memory.
+
+namespace rota::sim {
+
+/// Durations of one tile's phases, in cycles.
+struct TilePhases {
+  double scatter = 0.0;
+  double compute = 0.0;
+  double gather = 0.0;
+};
+
+/// Streaming double-buffered three-stage pipeline.
+class TilePipeline {
+ public:
+  /// Feed the next tile's phase durations.
+  void push(const TilePhases& phases);
+
+  /// Feed `count` identical tiles (exact, closed-form accelerated).
+  void push_uniform(const TilePhases& phases, std::int64_t count);
+
+  /// Cycles at which the last compute / gather completed so far.
+  double makespan() const;
+
+  std::int64_t tiles() const { return tiles_; }
+
+ private:
+  // Completion times of the previous tiles' stages.
+  double load_end_prev_ = 0.0;
+  double load_end_prev2_ = 0.0;
+  double compute_end_prev_ = 0.0;
+  double compute_end_prev2_ = 0.0;
+  double gather_end_prev_ = 0.0;
+  std::int64_t tiles_ = 0;
+};
+
+}  // namespace rota::sim

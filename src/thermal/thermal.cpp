@@ -1,0 +1,125 @@
+#include "thermal/thermal.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace rota::thermal {
+
+namespace {
+
+constexpr double kKelvinOffset = 273.15;
+constexpr double kBoltzmannEv = 8.617333262e-5;  // eV/K
+
+}  // namespace
+
+ThermalModel::ThermalModel(ThermalParams params) : params_(params) {
+  ROTA_REQUIRE(params_.sink_c_per_w > 0.0,
+               "vertical thermal resistance must be positive");
+  ROTA_REQUIRE(params_.lateral_coupling >= 0.0,
+               "lateral coupling must be non-negative");
+  ROTA_REQUIRE(params_.pe_peak_power_w > 0.0,
+               "peak PE power must be positive");
+  ROTA_REQUIRE(params_.max_iterations > 0 && params_.tolerance_c > 0.0,
+               "solver parameters must be positive");
+}
+
+util::Grid<double> ThermalModel::steady_state(
+    const util::Grid<double>& power_w) const {
+  ROTA_REQUIRE(!power_w.empty(), "power map must be non-empty");
+  for (double p : power_w.cells())
+    ROTA_REQUIRE(p >= 0.0, "power must be non-negative");
+
+  const std::size_t w = power_w.width();
+  const std::size_t h = power_w.height();
+  const double g_v = 1.0 / params_.sink_c_per_w;
+  const double g_l = g_v * params_.lateral_coupling;
+
+  util::Grid<double> temp(w, h, params_.ambient_c);
+  util::Grid<double> next(w, h, params_.ambient_c);
+
+  for (int iter = 0; iter < params_.max_iterations; ++iter) {
+    double worst = 0.0;
+    for (std::size_t r = 0; r < h; ++r) {
+      for (std::size_t c = 0; c < w; ++c) {
+        double num = g_v * params_.ambient_c + power_w(c, r);
+        double den = g_v;
+        auto couple = [&](std::size_t nc, std::size_t nr) {
+          num += g_l * temp(nc, nr);
+          den += g_l;
+        };
+        if (c > 0) couple(c - 1, r);
+        if (c + 1 < w) couple(c + 1, r);
+        if (r > 0) couple(c, r - 1);
+        if (r + 1 < h) couple(c, r + 1);
+        const double t = num / den;
+        worst = std::max(worst, std::abs(t - temp(c, r)));
+        next(c, r) = t;
+      }
+    }
+    std::swap(temp, next);
+    if (worst < params_.tolerance_c) return temp;
+  }
+  return temp;  // iteration cap reached; solution is near-converged
+}
+
+util::Grid<double> ThermalModel::power_from_usage(
+    const util::Grid<std::int64_t>& usage,
+    std::int64_t reference_peak) const {
+  ROTA_REQUIRE(!usage.empty(), "usage map must be non-empty");
+  ROTA_REQUIRE(reference_peak >= 0, "reference peak must be non-negative");
+  double peak = static_cast<double>(reference_peak);
+  for (std::int64_t v : usage.cells()) {
+    ROTA_REQUIRE(v >= 0, "usage must be non-negative");
+    if (reference_peak == 0) peak = std::max(peak, static_cast<double>(v));
+    ROTA_REQUIRE(reference_peak == 0 ||
+                     static_cast<double>(v) <= peak + 0.5,
+                 "usage exceeds the stated reference peak");
+  }
+  util::Grid<double> power(usage.width(), usage.height(), 0.0);
+  if (peak <= 0.0) return power;
+  for (std::size_t r = 0; r < usage.height(); ++r) {
+    for (std::size_t c = 0; c < usage.width(); ++c) {
+      power(c, r) = params_.pe_peak_power_w *
+                    static_cast<double>(usage(c, r)) / peak;
+    }
+  }
+  return power;
+}
+
+double arrhenius_factor(double temp_c, double ref_c,
+                        double activation_energy_ev) {
+  ROTA_REQUIRE(activation_energy_ev > 0.0,
+               "activation energy must be positive");
+  const double t = temp_c + kKelvinOffset;
+  const double t_ref = ref_c + kKelvinOffset;
+  ROTA_REQUIRE(t > 0.0 && t_ref > 0.0,
+               "temperatures must be above absolute zero");
+  return std::exp(activation_energy_ev / kBoltzmannEv *
+                  (1.0 / t_ref - 1.0 / t));
+}
+
+std::vector<double> accelerated_alphas(
+    const util::Grid<std::int64_t>& usage, const ThermalModel& model,
+    double activation_energy_ev, std::int64_t reference_peak) {
+  const util::Grid<double> power =
+      model.power_from_usage(usage, reference_peak);
+  const util::Grid<double> temp = model.steady_state(power);
+  double mean_t = 0.0;
+  for (double t : temp.cells()) mean_t += t;
+  mean_t /= static_cast<double>(temp.size());
+
+  std::vector<double> alphas;
+  alphas.reserve(usage.size());
+  for (std::size_t r = 0; r < usage.height(); ++r) {
+    for (std::size_t c = 0; c < usage.width(); ++c) {
+      alphas.push_back(static_cast<double>(usage(c, r)) *
+                       arrhenius_factor(temp(c, r), mean_t,
+                                        activation_energy_ev));
+    }
+  }
+  return alphas;
+}
+
+}  // namespace rota::thermal

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/grid.hpp"
+
+/// \file thermal.hpp
+/// Steady-state thermal model of the PE array and Arrhenius wear
+/// acceleration (extension beyond the paper). The paper's Weibull model
+/// takes the relative active duration α_ij as the whole stress story; in
+/// silicon, concentrated activity also raises local temperature, and most
+/// wear-out mechanisms (electromigration, BTI, TDDB — JEDEC JEP122H)
+/// accelerate exponentially with it. This module closes that loop:
+/// usage → power density → temperature field → Arrhenius-accelerated
+/// effective stress, which the existing reliability model consumes
+/// unchanged. Wear-leveling then helps twice: it equalizes time under
+/// stress *and* removes the hotspot that superlinearly burned the corner.
+
+namespace rota::thermal {
+
+/// Lumped-RC parameters of the array's thermal network.
+struct ThermalParams {
+  double ambient_c = 45.0;        ///< package/board ambient (°C)
+  /// Vertical junction-to-ambient resistance of one PE's footprint (°C/W).
+  /// A PE occupies ~2,400 µm², so its share of the package resistance is
+  /// large; 8 kC/W puts a fully-active PE ~32 °C over ambient.
+  double sink_c_per_w = 8000.0;
+  double lateral_coupling = 1.0;  ///< lateral vs vertical conductance ratio
+  double pe_peak_power_w = 0.004; ///< power of a 100%-active PE (W)
+  int max_iterations = 20000;     ///< Jacobi iteration cap
+  double tolerance_c = 1e-7;      ///< convergence threshold (°C)
+};
+
+/// Steady-state temperature solver on the PE grid.
+///
+/// Each PE node connects to ambient through its vertical resistance and
+/// to its 4-neighbors through lateral conductances; the steady state of
+///   g_v·(T_ij − T_amb) = p_ij + g_l·Σ_n (T_n − T_ij)
+/// is found by Jacobi iteration (diagonally dominant, always converges).
+class ThermalModel {
+ public:
+  explicit ThermalModel(ThermalParams params = {});
+
+  const ThermalParams& params() const { return params_; }
+
+  /// Temperature field (°C) for a per-PE power map (W).
+  /// \pre all powers non-negative.
+  util::Grid<double> steady_state(const util::Grid<double>& power_w) const;
+
+  /// Convenience: power map from usage counters. Activity is normalized by
+  /// `reference_peak` — the counter value of a PE that would be active the
+  /// whole run — which dissipates pe_peak_power_w. Pass 0 to use the
+  /// grid's own maximum. When comparing two schemes that performed the
+  /// same work, pass a COMMON reference (e.g. the max across both grids)
+  /// or the comparison is meaningless.
+  util::Grid<double> power_from_usage(
+      const util::Grid<std::int64_t>& usage,
+      std::int64_t reference_peak = 0) const;
+
+ private:
+  ThermalParams params_;
+};
+
+/// Arrhenius acceleration factor at `temp_c` relative to `ref_c`:
+/// AF = exp(Ea/k · (1/T_ref − 1/T)), temperatures in Kelvin internally.
+/// AF(ref) = 1; hotter-than-reference gives AF > 1.
+/// \pre activation energy positive; temperatures above absolute zero.
+double arrhenius_factor(double temp_c, double ref_c = 55.0,
+                        double activation_energy_ev = 0.7);
+
+/// Thermally-accelerated effective activity: α'_ij = α_ij · AF(T_ij),
+/// where T is the steady-state field of the usage-derived power map and
+/// the reference temperature is the *mean* of that field, so a perfectly
+/// level design is unaffected. Row-major, ready for rel::*.
+/// `reference_peak` follows power_from_usage() semantics.
+std::vector<double> accelerated_alphas(
+    const util::Grid<std::int64_t>& usage, const ThermalModel& model,
+    double activation_energy_ev = 0.7, std::int64_t reference_peak = 0);
+
+}  // namespace rota::thermal

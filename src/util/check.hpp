@@ -1,0 +1,63 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+/// \file check.hpp
+/// Lightweight precondition / invariant checking used across the library.
+///
+/// All checks are active in every build type: this is a simulator whose
+/// value is correctness of reported numbers, not raw throughput, and the
+/// checks live outside inner loops.
+
+namespace rota::util {
+
+/// Thrown when a caller violates a documented precondition.
+class precondition_error : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant is found broken (a library bug).
+class invariant_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw precondition_error(os.str());
+}
+
+[[noreturn]] inline void throw_invariant(const char* expr, const char* file,
+                                         int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw invariant_error(os.str());
+}
+
+}  // namespace detail
+}  // namespace rota::util
+
+/// Validate a caller-supplied argument; throws rota::util::precondition_error.
+#define ROTA_REQUIRE(expr, msg)                                              \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::rota::util::detail::throw_precondition(#expr, __FILE__, __LINE__,    \
+                                               (msg));                       \
+  } while (false)
+
+/// Validate an internal invariant; throws rota::util::invariant_error.
+#define ROTA_ENSURE(expr, msg)                                               \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::rota::util::detail::throw_invariant(#expr, __FILE__, __LINE__,       \
+                                            (msg));                          \
+  } while (false)

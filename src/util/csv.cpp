@@ -1,0 +1,39 @@
+#include "util/csv.hpp"
+
+#include "util/check.hpp"
+
+namespace rota::util {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char ch : field) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(std::ostream& out, const std::vector<std::string>& headers)
+    : out_(out), width_(headers.size()) {
+  ROTA_REQUIRE(width_ > 0, "csv needs at least one column");
+  emit(headers);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  ROTA_REQUIRE(cells.size() == width_, "csv row width must match header");
+  emit(cells);
+}
+
+void CsvWriter::emit(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    out_ << csv_escape(cells[i]);
+    if (i + 1 != cells.size()) out_ << ',';
+  }
+  out_ << '\n';
+}
+
+}  // namespace rota::util

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+/// \file csv.hpp
+/// Minimal RFC-4180-style CSV emission. Bench binaries print a CSV block
+/// after each human-readable table so results can be re-plotted directly.
+
+namespace rota::util {
+
+/// Streams rows of comma-separated values with proper quoting.
+class CsvWriter {
+ public:
+  /// Writes the header row immediately.
+  CsvWriter(std::ostream& out, const std::vector<std::string>& headers);
+
+  /// Append a data row; width must match the header.
+  void row(const std::vector<std::string>& cells);
+
+ private:
+  void emit(const std::vector<std::string>& cells);
+
+  std::ostream& out_;
+  std::size_t width_;
+};
+
+/// Quote a single CSV field if it contains a comma, quote or newline.
+std::string csv_escape(const std::string& field);
+
+}  // namespace rota::util

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/check.hpp"
+
+/// \file grid.hpp
+/// A dense 2-D array addressed as (column, row), matching the paper's PE
+/// coordinate convention: column `i` runs along the array width `w`
+/// (horizontal) and row `j` along the height `h` (vertical), with (0,0)
+/// at the lower-left corner where the baseline anchors utilization spaces.
+
+namespace rota::util {
+
+template <typename T>
+class Grid {
+ public:
+  Grid() = default;
+
+  /// Construct a width×height grid with every cell set to `init`.
+  Grid(std::size_t width, std::size_t height, T init = T{})
+      : width_(width), height_(height), cells_(width * height, init) {
+    ROTA_REQUIRE(width > 0 && height > 0, "grid dimensions must be positive");
+  }
+
+  std::size_t width() const { return width_; }
+  std::size_t height() const { return height_; }
+  std::size_t size() const { return cells_.size(); }
+  bool empty() const { return cells_.empty(); }
+
+  /// Cell accessor; col in [0, width), row in [0, height).
+  T& at(std::size_t col, std::size_t row) {
+    ROTA_REQUIRE(col < width_ && row < height_, "grid index out of range");
+    return cells_[row * width_ + col];
+  }
+  const T& at(std::size_t col, std::size_t row) const {
+    ROTA_REQUIRE(col < width_ && row < height_, "grid index out of range");
+    return cells_[row * width_ + col];
+  }
+
+  /// Unchecked accessor for hot loops; same addressing as at().
+  T& operator()(std::size_t col, std::size_t row) {
+    return cells_[row * width_ + col];
+  }
+  const T& operator()(std::size_t col, std::size_t row) const {
+    return cells_[row * width_ + col];
+  }
+
+  void fill(T value) { cells_.assign(cells_.size(), value); }
+
+  /// Row-major backing store (row 0 first).
+  const std::vector<T>& cells() const { return cells_; }
+  std::vector<T>& cells() { return cells_; }
+
+  friend bool operator==(const Grid& a, const Grid& b) {
+    return a.width_ == b.width_ && a.height_ == b.height_ &&
+           a.cells_ == b.cells_;
+  }
+
+ private:
+  std::size_t width_ = 0;
+  std::size_t height_ = 0;
+  std::vector<T> cells_;
+};
+
+}  // namespace rota::util

@@ -1,0 +1,91 @@
+#include "util/heatmap.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace rota::util {
+
+namespace {
+
+constexpr char kShades[] = " .:-=+*#%@";
+constexpr int kShadeCount = 10;
+
+char shade_for(double value, double vmax) {
+  if (vmax <= 0.0) return kShades[0];
+  double norm = std::clamp(value / vmax, 0.0, 1.0);
+  int idx = static_cast<int>(norm * (kShadeCount - 1) + 0.5);
+  return kShades[idx];
+}
+
+double grid_max(const Grid<double>& g) {
+  double vmax = 0.0;
+  for (double v : g.cells()) vmax = std::max(vmax, v);
+  return vmax;
+}
+
+}  // namespace
+
+std::string ascii_heatmap(const Grid<double>& values) {
+  const double vmax = grid_max(values);
+  std::ostringstream os;
+  for (std::size_t r = values.height(); r-- > 0;) {
+    for (std::size_t c = 0; c < values.width(); ++c) {
+      os << shade_for(values(c, r), vmax) << ' ';
+    }
+    os << '\n';
+  }
+  os << "scale: ' '=0";
+  os << "  '@'=max(" << vmax << ")\n";
+  return os.str();
+}
+
+std::string ascii_heatmap(const Grid<std::int64_t>& values) {
+  Grid<double> d(values.width(), values.height());
+  for (std::size_t r = 0; r < values.height(); ++r)
+    for (std::size_t c = 0; c < values.width(); ++c)
+      d(c, r) = static_cast<double>(values(c, r));
+  return ascii_heatmap(d);
+}
+
+std::string ascii_heatmap_deviation(const Grid<std::int64_t>& values) {
+  std::int64_t lo = values.cells().empty() ? 0 : values.cells().front();
+  std::int64_t hi = lo;
+  for (std::int64_t v : values.cells()) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double span = static_cast<double>(hi - lo);
+  std::ostringstream os;
+  for (std::size_t r = values.height(); r-- > 0;) {
+    for (std::size_t c = 0; c < values.width(); ++c) {
+      const double norm =
+          span > 0.0
+              ? static_cast<double>(values(c, r) - lo) / span
+              : 0.5;
+      const int idx = static_cast<int>(norm * (kShadeCount - 1) + 0.5);
+      os << kShades[idx] << ' ';
+    }
+    os << '\n';
+  }
+  os << "scale: ' '=min(" << lo << ")  '@'=max(" << hi << ")\n";
+  return os.str();
+}
+
+bool write_pgm(const Grid<double>& values, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  const double vmax = grid_max(values);
+  out << "P5\n"
+      << values.width() << ' ' << values.height() << "\n255\n";
+  for (std::size_t r = values.height(); r-- > 0;) {
+    for (std::size_t c = 0; c < values.width(); ++c) {
+      double norm = vmax > 0.0 ? std::clamp(values(c, r) / vmax, 0.0, 1.0)
+                               : 0.0;
+      out.put(static_cast<char>(static_cast<unsigned char>(norm * 255.0)));
+    }
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace rota::util

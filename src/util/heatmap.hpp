@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/grid.hpp"
+
+/// \file heatmap.hpp
+/// Rendering of PE usage heatmaps (Figs. 3 and 6c–e of the paper) as
+/// ASCII shade maps for terminal output and binary PGM images for offline
+/// inspection, so no external plotting stack is needed.
+
+namespace rota::util {
+
+/// Render a grid of non-negative values as an ASCII heatmap.
+///
+/// Values are normalized to the grid's max; row h-1 is printed first so the
+/// lower-left origin of the PE array appears at the bottom-left of the text,
+/// matching the paper's figures. Each cell is drawn with a shade from
+/// " .:-=+*#%@" (light → heavy usage).
+std::string ascii_heatmap(const Grid<double>& values);
+
+/// Convenience overload for integer usage counters.
+std::string ascii_heatmap(const Grid<std::int64_t>& values);
+
+/// Render the *deviation* structure of a nearly-level grid: values are
+/// normalized between the grid's min and max instead of 0 and max, so a
+/// well-leveled wear map (where every absolute value is within a fraction
+/// of a percent of the mean) still shows where the residual peaks sit.
+/// A grid with max == min renders as all mid-shade.
+std::string ascii_heatmap_deviation(const Grid<std::int64_t>& values);
+
+/// Write an 8-bit binary PGM (P5) image of the grid, normalized to its max;
+/// one pixel per PE, row h-1 at the top (image convention). Returns false
+/// if the file could not be opened.
+bool write_pgm(const Grid<double>& values, const std::string& path);
+
+}  // namespace rota::util

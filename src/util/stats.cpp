@@ -1,0 +1,58 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace rota::util {
+
+void RunningStats::add(double x) {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  if (x < min_) min_ = x;
+  if (x > max_) max_ = x;
+}
+
+double RunningStats::min() const {
+  ROTA_REQUIRE(count_ > 0, "min of empty stats");
+  return min_;
+}
+
+double RunningStats::max() const {
+  ROTA_REQUIRE(count_ > 0, "max of empty stats");
+  return max_;
+}
+
+double RunningStats::mean() const {
+  ROTA_REQUIRE(count_ > 0, "mean of empty stats");
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+Summary summarize(const std::vector<double>& samples) {
+  ROTA_REQUIRE(!samples.empty(), "summarize requires at least one sample");
+  RunningStats s;
+  for (double x : samples) s.add(x);
+  return Summary{s.min(), s.max(), s.mean(), s.stddev()};
+}
+
+double geomean(const std::vector<double>& samples) {
+  ROTA_REQUIRE(!samples.empty(), "geomean requires at least one sample");
+  double log_sum = 0.0;
+  for (double x : samples) {
+    ROTA_REQUIRE(x > 0.0, "geomean requires positive samples");
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(samples.size()));
+}
+
+}  // namespace rota::util

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+/// \file stats.hpp
+/// Streaming and batch summary statistics used by the evaluation harness.
+
+namespace rota::util {
+
+/// Welford-style streaming accumulator for min/max/mean/stddev.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::int64_t count() const { return count_; }
+  double min() const;
+  double max() const;
+  double mean() const;
+  /// Population variance (n divisor); 0 with fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Summary of a batch of samples.
+struct Summary {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+/// Summarize a non-empty vector of samples.
+Summary summarize(const std::vector<double>& samples);
+
+/// Geometric mean of strictly positive samples.
+double geomean(const std::vector<double>& samples);
+
+}  // namespace rota::util

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sched/schedule.hpp"
+#include "util/rng.hpp"
+#include "wear/usage_tracker.hpp"
+
+/// \file policy.hpp
+/// Wear-leveling policies: strategies that choose where each utilization
+/// space is anchored on the PE array. The paper's three schemes —
+/// Baseline (fixed corner), RWL (per-layer rotational striding) and
+/// RWL+RO (striding relayed across layers, Algorithm 1) — plus two
+/// extension policies used by the ablation benches.
+
+namespace rota::wear {
+
+/// Anchor (lower-left PE) of a utilization space, 0-indexed.
+struct Placement {
+  std::int64_t u = 0;
+  std::int64_t v = 0;
+};
+
+/// Identifiers for the built-in policies.
+enum class PolicyKind {
+  kBaseline,        ///< fixed lower-left corner (conventional accelerator)
+  kRwl,             ///< rotational wear-leveling, reset at each layer
+  kRwlRo,           ///< RWL + residual optimization (paper's proposal)
+  kRandomStart,     ///< uniformly random origin per tile (ablation)
+  kDiagonalStride,  ///< u and v advance together every tile (ablation)
+};
+
+std::string to_string(PolicyKind kind);
+
+/// Strategy interface. A policy is created for a fixed array size and
+/// driven by the simulator: begin_layer() at every layer boundary, then
+/// one next_origin() per data tile.
+class Policy {
+ public:
+  Policy(std::int64_t width, std::int64_t height);
+  virtual ~Policy() = default;
+
+  std::int64_t width() const { return width_; }
+  std::int64_t height() const { return height_; }
+
+  virtual std::string name() const = 0;
+  virtual PolicyKind kind() const = 0;
+
+  /// True if the policy anchors spaces where they cross array edges and
+  /// therefore needs the torus local network to operate.
+  virtual bool requires_torus() const = 0;
+
+  /// Called once before each layer's tiles, with that layer's space.
+  virtual void begin_layer(const sched::UtilSpace& space) = 0;
+
+  /// Origin for the next tile; advances the internal stride state.
+  virtual Placement next_origin(const sched::UtilSpace& space) = 0;
+
+  /// Return to the initial state (origin at the lower-left corner).
+  virtual void reset() = 0;
+
+  virtual std::unique_ptr<Policy> clone() const = 0;
+
+  /// Optional O(1) fast path: record up to `tiles` allocations of `space`
+  /// into `tracker` — each weighted by `weight` counts — with an effect
+  /// identical to that many next_origin() calls, returning how many tiles
+  /// were consumed (0 = no fast path). Called only after begin_layer() for
+  /// the same space.
+  virtual std::int64_t bulk_process(const sched::UtilSpace& space,
+                                    std::int64_t tiles, UsageTracker& tracker,
+                                    bool allow_wrap, std::int64_t weight);
+
+ private:
+  std::int64_t width_;
+  std::int64_t height_;
+};
+
+/// Create a policy instance. `seed` is used by kRandomStart only.
+std::unique_ptr<Policy> make_policy(PolicyKind kind, std::int64_t width,
+                                    std::int64_t height,
+                                    std::uint64_t seed = 0x9e3779b9);
+
+}  // namespace rota::wear

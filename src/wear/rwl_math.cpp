@@ -1,0 +1,65 @@
+#include "wear/rwl_math.hpp"
+
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace rota::wear {
+
+namespace {
+
+void validate(const RwlParams& p) {
+  ROTA_REQUIRE(p.w > 0 && p.h > 0, "array dimensions must be positive");
+  ROTA_REQUIRE(p.x > 0 && p.x <= p.w && p.y > 0 && p.y <= p.h,
+               "utilization space must fit the array");
+  ROTA_REQUIRE(p.z >= 0, "tile count must be non-negative");
+}
+
+}  // namespace
+
+RwlDerived rwl_derive(const RwlParams& p) {
+  validate(p);
+  RwlDerived d;
+  const std::int64_t l = util::lcm(p.w, p.x);
+  d.strides_x = l / p.x;  // Eq. (5)
+  d.unfold_w = l / p.w;   // Eq. (6)
+  d.strides_y = p.z / d.strides_x;                 // Eq. (7)
+  d.unfold_h = d.strides_y * p.y / p.h;            // Eq. (8)
+  d.d_max_bound = d.unfold_w + 1;                  // Eq. (9)
+
+  // Eq. (10): ① fully-leveled bottom bands, plus the leveled part of the
+  // partial top band (② its width in PE arrays × ③ its height).
+  const std::int64_t term1 = d.unfold_w * d.unfold_h;
+  const std::int64_t term2 = (p.z % d.strides_x) * p.x / p.w;
+  const std::int64_t ceil_rows = util::ceil_div(p.z, d.strides_x);
+  const std::int64_t term3 = ceil_rows * p.y / p.h - d.unfold_h;
+  d.min_a_pe = term1 + term2 * term3;
+
+  // Eq. (11).
+  d.r_diff_bound = (d.min_a_pe > 0)
+                       ? static_cast<double>(d.d_max_bound) /
+                             static_cast<double>(d.min_a_pe)
+                       : 0.0;
+  return d;
+}
+
+std::int64_t period_tiles(const RwlParams& p) {
+  validate(p);
+  // u returns to its start after w/gcd(w,x) horizontal strides; v returns
+  // after h/gcd(h,y) vertical strides. One period visits every origin of
+  // the stride lattice exactly once.
+  const std::int64_t gx = util::gcd(p.w, p.x);
+  const std::int64_t gy = util::gcd(p.h, p.y);
+  return (p.w / gx) * (p.h / gy);
+}
+
+std::int64_t uniform_per_period(const RwlParams& p) {
+  validate(p);
+  // Each column of the array is covered by exactly x/gcd(w,x) lattice
+  // columns and each row by y/gcd(h,y) lattice rows, so one period adds
+  // period·x·y/(w·h) = (x/gx)·(y/gy) to every PE.
+  const std::int64_t gx = util::gcd(p.w, p.x);
+  const std::int64_t gy = util::gcd(p.h, p.y);
+  return (p.x / gx) * (p.y / gy);
+}
+
+}  // namespace rota::wear

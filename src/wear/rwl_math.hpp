@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file rwl_math.hpp
+/// Closed-form arithmetic of the rotational wear-leveling scheme —
+/// Eqs. (5)–(11) and Table I of the paper. These formulas predict, without
+/// simulation, how evenly RWL spreads Z tiles of an x×y utilization space
+/// over a w×h torus PE array; the test suite cross-checks them against the
+/// wear simulator.
+
+namespace rota::wear {
+
+/// Inputs of the RWL analysis for one layer.
+struct RwlParams {
+  std::int64_t w = 0;  ///< PE array width
+  std::int64_t h = 0;  ///< PE array height
+  std::int64_t x = 0;  ///< utilization-space width
+  std::int64_t y = 0;  ///< utilization-space height
+  std::int64_t z = 0;  ///< number of data tiles (utilization spaces)
+};
+
+/// Quantities derived by Eqs. (5)–(11).
+struct RwlDerived {
+  std::int64_t strides_x = 0;   ///< X  = lcm(w,x)/x       (Eq. 5)
+  std::int64_t unfold_w = 0;    ///< W  = lcm(w,x)/w       (Eq. 6)
+  std::int64_t strides_y = 0;   ///< Y  = floor(Z/X)       (Eq. 7)
+  std::int64_t unfold_h = 0;    ///< H_RWL = floor(Y·y/h)  (Eq. 8)
+  std::int64_t d_max_bound = 0; ///< D_max <= W + 1        (Eq. 9)
+  std::int64_t min_a_pe = 0;    ///< min(A_PE)             (Eq. 10)
+  double r_diff_bound = 0.0;    ///< R_diff = D_max/min(A_PE)  (Eq. 11)
+};
+
+/// Evaluate Eqs. (5)–(11). \pre all params positive (z may be 0).
+RwlDerived rwl_derive(const RwlParams& params);
+
+/// Exact per-period coverage of the stride lattice: processing
+/// period_tiles(params) consecutive tiles adds exactly
+/// uniform_per_period(params) to every PE and returns the stride state,
+/// provided the horizontal coordinate lies on the stride lattice through
+/// column 0 (gcd(w,x) divides u) — always true for per-layer RWL and for
+/// the 0-coset states of RWL+RO. These drive the simulator's fast-forward
+/// path and are property-tested against the naive per-tile reference.
+std::int64_t period_tiles(const RwlParams& params);
+std::int64_t uniform_per_period(const RwlParams& params);
+
+}  // namespace rota::wear

@@ -1,0 +1,71 @@
+#include "wear/simulator.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace rota::wear {
+
+WearSimulator::WearSimulator(arch::AcceleratorConfig cfg,
+                             SimulatorOptions options)
+    : cfg_(std::move(cfg)),
+      options_(options),
+      tracker_(cfg_.array_width, cfg_.array_height),
+      allow_wrap_(cfg_.topology == arch::TopologyKind::kTorus2D) {
+  cfg_.validate();
+}
+
+void WearSimulator::run_layer(const sched::LayerSchedule& layer,
+                              Policy& policy) {
+  const sched::UtilSpace& space = layer.space;
+  ROTA_REQUIRE(space.x >= 1 && space.x <= cfg_.array_width &&
+                   space.y >= 1 && space.y <= cfg_.array_height,
+               "utilization space does not fit the PE array: " +
+                   layer.layer_name);
+  ROTA_REQUIRE(policy.width() == cfg_.array_width &&
+                   policy.height() == cfg_.array_height,
+               "policy was built for a different array size");
+  ROTA_REQUIRE(!policy.requires_torus() || allow_wrap_,
+               "policy " + policy.name() +
+                   " needs torus connections, but the configured array is a "
+                   "mesh");
+
+  std::int64_t weight = 1;
+  if (options_.metric == WearMetric::kActiveCycles) {
+    // Per-PE busy time of one data tile. Pre-grouping schedules built by
+    // hand may leave the hierarchy fields at their defaults.
+    const std::int64_t per_output =
+        std::max<std::int64_t>(1, layer.compute_macs_per_pe) *
+        std::max<std::int64_t>(1, layer.reduction_steps);
+    weight = per_output * std::max<std::int64_t>(1, layer.allocations_per_tile);
+  }
+
+  policy.begin_layer(space);
+  std::int64_t remaining = layer.tiles;
+  if (options_.fast_forward && remaining > 0) {
+    remaining -= policy.bulk_process(space, remaining, tracker_, allow_wrap_,
+                                     weight);
+    ROTA_ENSURE(remaining >= 0, "bulk_process consumed more tiles than given");
+  }
+  for (; remaining > 0; --remaining) {
+    const Placement at = policy.next_origin(space);
+    tracker_.add_space(at.u, at.v, space.x, space.y, weight, allow_wrap_);
+  }
+}
+
+void WearSimulator::run_iteration(const sched::NetworkSchedule& schedule,
+                                  Policy& policy) {
+  for (const auto& layer : schedule.layers) run_layer(layer, policy);
+}
+
+void WearSimulator::run_iterations(const sched::NetworkSchedule& schedule,
+                                   Policy& policy, std::int64_t iterations,
+                                   const IterationSampler& sampler) {
+  ROTA_REQUIRE(iterations >= 0, "iteration count must be non-negative");
+  for (std::int64_t it = 1; it <= iterations; ++it) {
+    run_iteration(schedule, policy);
+    if (sampler) sampler(it, tracker_);
+  }
+}
+
+}  // namespace rota::wear

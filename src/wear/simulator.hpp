@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "arch/config.hpp"
+#include "sched/schedule.hpp"
+#include "wear/policy.hpp"
+#include "wear/usage_tracker.hpp"
+
+/// \file simulator.hpp
+/// The wear simulator: drives a wear-leveling policy over a network
+/// schedule, tile by tile, accumulating per-PE usage counts — the
+/// simulator the paper "composed to track the usage count of individual
+/// PEs" (§V). A periodicity fast-forward (exact, property-tested) makes
+/// thousand-iteration runs of billion-tile workloads tractable.
+
+namespace rota::wear {
+
+/// How much each utilization-space allocation adds to a PE's counter.
+enum class WearMetric {
+  /// One count per allocation — the paper's A_PE definition (Table I).
+  kAllocations,
+  /// Weight each allocation by the tile's per-PE busy time
+  /// (allocations_per_tile × reduction_steps × compute MACs), modeling
+  /// stress ∝ active cycles instead of activations. An extension used by
+  /// the abl_weighting bench to show the conclusions are insensitive to
+  /// the wear metric.
+  kActiveCycles,
+};
+
+/// Simulator knobs.
+struct SimulatorOptions {
+  /// Use policies' exact bulk fast path where available. Disable to force
+  /// the per-tile reference path (tests compare the two).
+  bool fast_forward = true;
+  WearMetric metric = WearMetric::kAllocations;
+};
+
+/// Drives policies over schedules and owns the usage counters.
+class WearSimulator {
+ public:
+  explicit WearSimulator(arch::AcceleratorConfig cfg,
+                         SimulatorOptions options = {});
+
+  const arch::AcceleratorConfig& config() const { return cfg_; }
+  UsageTracker& tracker() { return tracker_; }
+  const UsageTracker& tracker() const { return tracker_; }
+
+  /// Process one layer's tiles under `policy`.
+  /// Throws util::precondition_error if the policy needs a torus but the
+  /// configured array is a mesh, or if the schedule's utilization space
+  /// does not fit the array.
+  void run_layer(const sched::LayerSchedule& layer, Policy& policy);
+
+  /// Process one full inference pass (all layers, in order).
+  void run_iteration(const sched::NetworkSchedule& schedule, Policy& policy);
+
+  /// Callback invoked after each iteration: (1-based iteration index,
+  /// tracker). Used by the benches to sample D_max / R_diff transients.
+  using IterationSampler =
+      std::function<void(std::int64_t, const UsageTracker&)>;
+
+  /// Run `iterations` inference passes; `sampler` may be empty.
+  void run_iterations(const sched::NetworkSchedule& schedule, Policy& policy,
+                      std::int64_t iterations,
+                      const IterationSampler& sampler = {});
+
+ private:
+  arch::AcceleratorConfig cfg_;
+  SimulatorOptions options_;
+  UsageTracker tracker_;
+  bool allow_wrap_;
+};
+
+}  // namespace rota::wear

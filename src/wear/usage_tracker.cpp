@@ -1,0 +1,137 @@
+#include "wear/usage_tracker.hpp"
+
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace rota::wear {
+
+UsageTracker::UsageTracker(std::int64_t width, std::int64_t height)
+    : width_(width),
+      height_(height),
+      diff_(static_cast<std::size_t>(width + 1),
+            static_cast<std::size_t>(height + 1)),
+      usage_(static_cast<std::size_t>(width),
+             static_cast<std::size_t>(height)) {
+  ROTA_REQUIRE(width > 0 && height > 0, "tracker dimensions must be positive");
+}
+
+void UsageTracker::add_rect(std::int64_t c0, std::int64_t r0, std::int64_t c1,
+                            std::int64_t r1, std::int64_t count) {
+  // Half-open rectangle [c0, c1) × [r0, r1) in the difference array.
+  auto uc0 = static_cast<std::size_t>(c0);
+  auto ur0 = static_cast<std::size_t>(r0);
+  auto uc1 = static_cast<std::size_t>(c1);
+  auto ur1 = static_cast<std::size_t>(r1);
+  diff_(uc0, ur0) += count;
+  diff_(uc1, ur0) -= count;
+  diff_(uc0, ur1) -= count;
+  diff_(uc1, ur1) += count;
+}
+
+void UsageTracker::add_space(std::int64_t u, std::int64_t v, std::int64_t x,
+                             std::int64_t y, std::int64_t count,
+                             bool allow_wrap) {
+  ROTA_REQUIRE(u >= 0 && u < width_ && v >= 0 && v < height_,
+               "space origin out of range");
+  ROTA_REQUIRE(x >= 1 && x <= width_ && y >= 1 && y <= height_,
+               "space size out of range");
+  ROTA_REQUIRE(count >= 0, "allocation count must be non-negative");
+  if (!allow_wrap) {
+    ROTA_REQUIRE(u + x <= width_ && v + y <= height_,
+                 "utilization space crosses the array edge on a mesh");
+  }
+  if (count == 0) return;
+
+  const std::int64_t x_main = std::min(x, width_ - u);
+  const std::int64_t x_wrap = x - x_main;
+  const std::int64_t y_main = std::min(y, height_ - v);
+  const std::int64_t y_wrap = y - y_main;
+
+  add_rect(u, v, u + x_main, v + y_main, count);
+  if (x_wrap > 0) add_rect(0, v, x_wrap, v + y_main, count);
+  if (y_wrap > 0) add_rect(u, 0, u + x_main, y_wrap, count);
+  if (x_wrap > 0 && y_wrap > 0) add_rect(0, 0, x_wrap, y_wrap, count);
+
+  total_allocations_ += count * x * y;
+  dirty_ = true;
+}
+
+void UsageTracker::add_uniform(std::int64_t count) {
+  ROTA_REQUIRE(count >= 0, "uniform count must be non-negative");
+  if (count == 0) return;
+  uniform_ += count;
+  total_allocations_ += count * width_ * height_;
+  dirty_ = true;
+}
+
+void UsageTracker::materialize() const {
+  if (!dirty_) return;
+  // 2-D prefix sum of the difference array, restricted to [0,w)×[0,h).
+  for (std::int64_t r = 0; r < height_; ++r) {
+    std::int64_t row_acc = 0;
+    for (std::int64_t c = 0; c < width_; ++c) {
+      row_acc += diff_(static_cast<std::size_t>(c),
+                       static_cast<std::size_t>(r));
+      const std::int64_t above =
+          (r > 0) ? usage_(static_cast<std::size_t>(c),
+                           static_cast<std::size_t>(r - 1)) -
+                        uniform_
+                  : 0;
+      usage_(static_cast<std::size_t>(c), static_cast<std::size_t>(r)) =
+          row_acc + above + uniform_;
+    }
+  }
+  dirty_ = false;
+}
+
+const util::Grid<std::int64_t>& UsageTracker::usage() const {
+  materialize();
+  return usage_;
+}
+
+std::vector<double> UsageTracker::usage_as_doubles() const {
+  materialize();
+  std::vector<double> out;
+  out.reserve(usage_.size());
+  for (std::int64_t value : usage_.cells())
+    out.push_back(static_cast<double>(value));
+  return out;
+}
+
+UsageStats UsageTracker::stats() const {
+  materialize();
+  UsageStats s;
+  s.min = std::numeric_limits<std::int64_t>::max();
+  s.max = std::numeric_limits<std::int64_t>::min();
+  double sum = 0.0;
+  for (std::int64_t value : usage_.cells()) {
+    s.min = std::min(s.min, value);
+    s.max = std::max(s.max, value);
+    sum += static_cast<double>(value);
+  }
+  s.max_diff = s.max - s.min;
+  s.mean = sum / static_cast<double>(usage_.size());
+  if (s.max_diff == 0) {
+    s.r_diff = 0.0;
+  } else if (s.min == 0) {
+    s.r_diff = std::numeric_limits<double>::infinity();
+  } else {
+    s.r_diff = static_cast<double>(s.max_diff) / static_cast<double>(s.min);
+  }
+  return s;
+}
+
+void UsageTracker::clear() {
+  diff_.fill(0);
+  usage_.fill(0);
+  uniform_ = 0;
+  total_allocations_ = 0;
+  dirty_ = true;
+}
+
+std::int64_t UsageTracker::total_pe_allocations() const {
+  return total_allocations_;
+}
+
+}  // namespace rota::wear

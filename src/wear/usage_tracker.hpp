@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/grid.hpp"
+
+/// \file usage_tracker.hpp
+/// Per-PE usage accounting: each utilization-space allocation increments
+/// the counter of every PE the space covers (A_PE in the paper's Table I).
+/// Internally a 2-D difference array makes each allocation O(1) regardless
+/// of the space size — wraparound splits into at most four rectangles —
+/// and the full counter grid is materialized lazily when statistics are
+/// requested (at iteration boundaries in the evaluation harness).
+
+namespace rota::wear {
+
+/// Summary statistics over the PE usage counters.
+struct UsageStats {
+  std::int64_t min = 0;       ///< min(A_PE)
+  std::int64_t max = 0;       ///< max(A_PE)
+  std::int64_t max_diff = 0;  ///< D_max = max − min
+  double r_diff = 0.0;        ///< R_diff = D_max / min (inf when min == 0)
+  double mean = 0.0;
+};
+
+/// Tracks A_PE over a w×h PE array.
+class UsageTracker {
+ public:
+  UsageTracker(std::int64_t width, std::int64_t height);
+
+  std::int64_t width() const { return width_; }
+  std::int64_t height() const { return height_; }
+
+  /// Record `count` allocations of an x×y utilization space anchored at
+  /// (u, v) (0-indexed, lower-left PE of the space).
+  ///
+  /// \param allow_wrap torus semantics: the space may cross the right and
+  ///        top edges and wrap around. With allow_wrap == false (mesh), the
+  ///        space must fit: u + x <= w and v + y <= h or the call throws.
+  /// \pre 0 <= u < w, 0 <= v < h, 1 <= x <= w, 1 <= y <= h, count >= 0.
+  void add_space(std::int64_t u, std::int64_t v, std::int64_t x,
+                 std::int64_t y, std::int64_t count, bool allow_wrap);
+
+  /// Add `count` to every PE (used by the periodic fast-forward path).
+  void add_uniform(std::int64_t count);
+
+  /// Materialized per-PE counters.
+  const util::Grid<std::int64_t>& usage() const;
+
+  /// Usage counters as doubles, row-major (for the reliability model).
+  std::vector<double> usage_as_doubles() const;
+
+  UsageStats stats() const;
+
+  /// Reset all counters to zero.
+  void clear();
+
+  /// Total allocations recorded so far (Σ count · x · y consistency check).
+  std::int64_t total_pe_allocations() const;
+
+ private:
+  void add_rect(std::int64_t c0, std::int64_t r0, std::int64_t c1,
+                std::int64_t r1, std::int64_t count);
+  void materialize() const;
+
+  std::int64_t width_;
+  std::int64_t height_;
+  util::Grid<std::int64_t> diff_;          ///< (w+1)×(h+1) difference array
+  std::int64_t uniform_ = 0;               ///< whole-array additions
+  std::int64_t total_allocations_ = 0;
+  mutable util::Grid<std::int64_t> usage_;
+  mutable bool dirty_ = true;
+};
+
+}  // namespace rota::wear

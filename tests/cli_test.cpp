@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "cli/commands.hpp"
+#include "cli/options.hpp"
+#include "util/check.hpp"
+
+namespace rota::cli {
+namespace {
+
+using util::precondition_error;
+
+// -------------------------------------------------------------- parsing ----
+
+TEST(CliParse, EmptyArgsMeansHelp) {
+  EXPECT_EQ(parse({}).verb, Verb::kHelp);
+  EXPECT_EQ(parse({"help"}).verb, Verb::kHelp);
+  EXPECT_EQ(parse({"--help"}).verb, Verb::kHelp);
+}
+
+TEST(CliParse, VerbsRecognized) {
+  EXPECT_EQ(parse({"workloads"}).verb, Verb::kWorkloads);
+  EXPECT_EQ(parse({"area"}).verb, Verb::kArea);
+  EXPECT_EQ(parse({"schedule", "Sqz"}).verb, Verb::kSchedule);
+  EXPECT_EQ(parse({"wear", "Sqz"}).verb, Verb::kWear);
+  EXPECT_EQ(parse({"lifetime", "Sqz"}).verb, Verb::kLifetime);
+}
+
+TEST(CliParse, UnknownVerbThrowsWithUsage) {
+  try {
+    parse({"frobnicate"});
+    FAIL();
+  } catch (const precondition_error& e) {
+    EXPECT_NE(std::string(e.what()).find("usage"), std::string::npos);
+  }
+}
+
+TEST(CliParse, WorkloadRequiredForPerWorkloadVerbs) {
+  EXPECT_THROW(parse({"schedule"}), precondition_error);
+  EXPECT_THROW(parse({"wear", "--iters", "3"}), precondition_error);
+}
+
+TEST(CliParse, FlagsParse) {
+  const Options o = parse({"wear", "YL", "--array", "20x16", "--iters", "77",
+                           "--policy", "RWL", "--metric", "cycles",
+                           "--spares", "3", "--pgm", "/tmp/x.pgm"});
+  EXPECT_EQ(o.workload, "YL");
+  EXPECT_EQ(o.array_width, 20);
+  EXPECT_EQ(o.array_height, 16);
+  EXPECT_EQ(o.iterations, 77);
+  EXPECT_EQ(o.policy, wear::PolicyKind::kRwl);
+  EXPECT_EQ(o.metric, wear::WearMetric::kActiveCycles);
+  EXPECT_EQ(o.spares, 3);
+  EXPECT_EQ(o.pgm_path, "/tmp/x.pgm");
+}
+
+TEST(CliParse, DefaultsAreSane) {
+  const Options o = parse({"lifetime", "Sqz"});
+  EXPECT_EQ(o.array_width, 14);
+  EXPECT_EQ(o.array_height, 12);
+  EXPECT_EQ(o.iterations, 1000);
+  EXPECT_EQ(o.policy, wear::PolicyKind::kRwlRo);
+  EXPECT_EQ(o.metric, wear::WearMetric::kAllocations);
+}
+
+TEST(CliParse, BadValuesRejected) {
+  EXPECT_THROW(parse({"wear", "Sqz", "--iters", "0"}), precondition_error);
+  EXPECT_THROW(parse({"wear", "Sqz", "--iters", "abc"}), precondition_error);
+  EXPECT_THROW(parse({"wear", "Sqz", "--array", "14"}), precondition_error);
+  EXPECT_THROW(parse({"wear", "Sqz", "--array", "x12"}), precondition_error);
+  EXPECT_THROW(parse({"wear", "Sqz", "--metric", "joules"}),
+               precondition_error);
+  EXPECT_THROW(parse({"wear", "Sqz", "--policy", "magic"}),
+               precondition_error);
+  EXPECT_THROW(parse({"wear", "Sqz", "--spares", "-1"}), precondition_error);
+  EXPECT_THROW(parse({"wear", "Sqz", "--iters"}), precondition_error);
+  EXPECT_THROW(parse({"wear", "Sqz", "--nope"}), precondition_error);
+}
+
+TEST(CliParse, PolicyNamesRoundTrip) {
+  for (wear::PolicyKind kind :
+       {wear::PolicyKind::kBaseline, wear::PolicyKind::kRwl,
+        wear::PolicyKind::kRwlRo, wear::PolicyKind::kRandomStart,
+        wear::PolicyKind::kDiagonalStride}) {
+    EXPECT_EQ(parse_policy(wear::to_string(kind)), kind);
+  }
+}
+
+TEST(CliParse, GeometryParser) {
+  std::int64_t w = 0;
+  std::int64_t h = 0;
+  parse_geometry("32x24", w, h);
+  EXPECT_EQ(w, 32);
+  EXPECT_EQ(h, 24);
+  EXPECT_THROW(parse_geometry("32", w, h), precondition_error);
+  EXPECT_THROW(parse_geometry("0x4", w, h), precondition_error);
+}
+
+// ------------------------------------------------------------- commands ----
+
+TEST(CliRun, HelpPrintsUsage) {
+  std::ostringstream out;
+  EXPECT_EQ(run(parse({}), out), 0);
+  EXPECT_NE(out.str().find("usage"), std::string::npos);
+}
+
+TEST(CliRun, WorkloadsListsAllNine) {
+  std::ostringstream out;
+  EXPECT_EQ(run(parse({"workloads"}), out), 0);
+  for (const char* abbr : {"Res", "Inc", "YL", "Sqz", "Mb", "Eff", "VT",
+                           "MVT", "LM"}) {
+    EXPECT_NE(out.str().find(abbr), std::string::npos) << abbr;
+  }
+}
+
+TEST(CliRun, ScheduleShowsSpacesAndUtil) {
+  std::ostringstream out;
+  EXPECT_EQ(run(parse({"schedule", "Sqz"}), out), 0);
+  EXPECT_NE(out.str().find("fire2_squeeze1x1"), std::string::npos);
+  EXPECT_NE(out.str().find("mean utilization"), std::string::npos);
+}
+
+TEST(CliRun, WearPrintsStatsAndHeatmap) {
+  std::ostringstream out;
+  EXPECT_EQ(run(parse({"wear", "Sqz", "--iters", "5"}), out), 0);
+  EXPECT_NE(out.str().find("D_max"), std::string::npos);
+  EXPECT_NE(out.str().find("scale:"), std::string::npos);
+}
+
+TEST(CliRun, LifetimeComparesSchemes) {
+  std::ostringstream out;
+  EXPECT_EQ(run(parse({"lifetime", "Sqz", "--iters", "20"}), out), 0);
+  EXPECT_NE(out.str().find("Baseline"), std::string::npos);
+  EXPECT_NE(out.str().find("RWL+RO"), std::string::npos);
+}
+
+TEST(CliRun, LifetimeWithSpares) {
+  std::ostringstream out;
+  EXPECT_EQ(run(parse({"lifetime", "Sqz", "--iters", "20", "--spares", "2"}),
+                out),
+            0);
+  EXPECT_NE(out.str().find("spare"), std::string::npos);
+}
+
+TEST(CliRun, ThermalReportsBothGains) {
+  std::ostringstream out;
+  EXPECT_EQ(run(parse({"thermal", "Sqz", "--iters", "20"}), out), 0);
+  EXPECT_NE(out.str().find("peak"), std::string::npos);
+  EXPECT_NE(out.str().find("thermally coupled"), std::string::npos);
+}
+
+TEST(CliParse, ThermalNeedsWorkload) {
+  EXPECT_THROW(parse({"thermal"}), precondition_error);
+}
+
+TEST(CliRun, AreaReportsOverhead) {
+  std::ostringstream out;
+  EXPECT_EQ(run(parse({"area"}), out), 0);
+  EXPECT_NE(out.str().find("overhead"), std::string::npos);
+}
+
+TEST(CliRun, ScheduleCsvExportRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/rota_cli_sched.csv";
+  std::ostringstream out;
+  EXPECT_EQ(run(parse({"schedule", "Sqz", "--csv", path}), out), 0);
+  EXPECT_NE(out.str().find("wrote"), std::string::npos);
+
+  // Feed the exported schedule back through `wear --schedule`.
+  std::ostringstream wear_out;
+  EXPECT_EQ(run(parse({"wear", "--schedule", path, "--iters", "3"}),
+                wear_out),
+            0);
+  EXPECT_NE(wear_out.str().find("imported schedule"), std::string::npos);
+  EXPECT_NE(wear_out.str().find("D_max"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CliParse, WearAcceptsScheduleInsteadOfWorkload) {
+  const Options o = parse({"wear", "--schedule", "/tmp/s.csv"});
+  EXPECT_EQ(o.verb, Verb::kWear);
+  EXPECT_TRUE(o.workload.empty());
+  EXPECT_EQ(o.schedule_path, "/tmp/s.csv");
+  // schedule/lifetime still require a workload.
+  EXPECT_THROW(parse({"schedule", "--csv", "/tmp/x.csv"}),
+               precondition_error);
+}
+
+TEST(CliRun, WearMissingScheduleFileErrors) {
+  std::ostringstream out;
+  EXPECT_THROW(
+      run(parse({"wear", "--schedule", "/nonexistent/nope.csv"}), out),
+      precondition_error);
+}
+
+TEST(CliRun, UnknownWorkloadSurfacesAsPreconditionError) {
+  std::ostringstream out;
+  EXPECT_THROW(run(parse({"schedule", "Zzz"}), out), precondition_error);
+}
+
+TEST(CliRun, CustomArrayPropagates) {
+  std::ostringstream out;
+  EXPECT_EQ(run(parse({"wear", "Sqz", "--iters", "3", "--array", "8x8"}),
+                out),
+            0);
+  // The 8×8 heatmap has 8 rows of 8 cells + scale line; the 14-wide one
+  // would have longer lines. Just check it ran and produced a heatmap.
+  EXPECT_NE(out.str().find("scale:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rota::cli

@@ -1,0 +1,380 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "reliability/array_reliability.hpp"
+#include "reliability/monte_carlo.hpp"
+#include "reliability/spares.hpp"
+#include "reliability/weibull.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace rota::rel {
+namespace {
+
+using util::precondition_error;
+
+// -------------------------------------------------------------- weibull ----
+
+TEST(Weibull, BoundaryValues) {
+  const Weibull w(3.4, 2.0);
+  EXPECT_DOUBLE_EQ(w.reliability(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(w.cdf(0.0), 0.0);
+  // At t = η, R = e^{-1} regardless of shape.
+  EXPECT_NEAR(w.reliability(2.0), std::exp(-1.0), 1e-12);
+}
+
+TEST(Weibull, ReliabilityMonotonicallyDecreasing) {
+  const Weibull w;
+  double prev = 1.0;
+  for (double t = 0.1; t < 3.0; t += 0.1) {
+    const double r = w.reliability(t);
+    EXPECT_LT(r, prev);
+    prev = r;
+  }
+}
+
+TEST(Weibull, CdfComplementsReliability) {
+  const Weibull w(2.5, 1.5);
+  for (double t : {0.0, 0.3, 1.0, 2.7}) {
+    EXPECT_NEAR(w.reliability(t) + w.cdf(t), 1.0, 1e-12);
+  }
+}
+
+TEST(Weibull, MeanMatchesNumericalIntegrationOfReliability) {
+  // MTTF = ∫ R(t) dt — trapezoid over a generous horizon.
+  const Weibull w(3.4, 1.0);
+  double integral = 0.0;
+  const double dt = 1e-4;
+  for (double t = 0.0; t < 5.0; t += dt) {
+    integral += 0.5 * (w.reliability(t) + w.reliability(t + dt)) * dt;
+  }
+  EXPECT_NEAR(w.mean(), integral, 1e-3);
+}
+
+TEST(Weibull, PdfIsDerivativeOfCdf) {
+  const Weibull w(3.4, 1.0);
+  const double t = 0.8;
+  const double eps = 1e-6;
+  const double numeric = (w.cdf(t + eps) - w.cdf(t - eps)) / (2 * eps);
+  EXPECT_NEAR(w.pdf(t), numeric, 1e-5);
+}
+
+TEST(Weibull, ExponentialSpecialCase) {
+  // β = 1 degenerates to the exponential distribution: mean = η.
+  const Weibull w(1.0, 3.0);
+  EXPECT_NEAR(w.mean(), 3.0, 1e-12);
+  EXPECT_NEAR(w.reliability(3.0), std::exp(-1.0), 1e-12);
+}
+
+TEST(Weibull, RejectsInvalidParameters) {
+  EXPECT_THROW(Weibull(0.0, 1.0), precondition_error);
+  EXPECT_THROW(Weibull(1.0, 0.0), precondition_error);
+  EXPECT_THROW(Weibull().reliability(-1.0), precondition_error);
+}
+
+TEST(Weibull, JedecShapeIsPaperValue) { EXPECT_DOUBLE_EQ(kJedecShape, 3.4); }
+
+// ----------------------------------------------------- array reliability ----
+
+TEST(ArrayReliability, SinglePeMatchesWeibull) {
+  const Weibull w(3.4, 1.0);
+  for (double t : {0.1, 0.5, 1.0, 2.0}) {
+    EXPECT_NEAR(array_reliability({1.0}, t), w.reliability(t), 1e-12);
+  }
+}
+
+TEST(ArrayReliability, SerialChainIsProductOfPeReliabilities) {
+  const std::vector<double> alphas{0.2, 0.7, 1.0, 0.5};
+  const Weibull w(3.4, 1.0);
+  const double t = 0.9;
+  double product = 1.0;
+  for (double a : alphas) product *= w.reliability(t * a);
+  EXPECT_NEAR(array_reliability(alphas, t), product, 1e-12);
+}
+
+TEST(ArrayReliability, InactivePesDoNotDegradeReliability) {
+  EXPECT_NEAR(array_reliability({1.0, 0.0, 0.0}, 0.7),
+              array_reliability({1.0}, 0.7), 1e-12);
+}
+
+TEST(ArrayMttf, EqualActivityScalesAsNtoTheMinusOneOverBeta) {
+  // n identical serial PEs: MTTF(n) = MTTF(1) / n^{1/β} (Eq. 3).
+  const double beta = 3.4;
+  const double one = array_mttf({1.0}, beta);
+  const std::vector<double> four(4, 1.0);
+  EXPECT_NEAR(array_mttf(four, beta), one / std::pow(4.0, 1.0 / beta), 1e-12);
+}
+
+TEST(ArrayMttf, MttfMatchesMedianOfReliabilityCurve) {
+  // Sanity: R(MTTF) must be a plausible survival probability (the Weibull
+  // mean sits near the distribution's bulk for these shapes).
+  const std::vector<double> alphas{1.0, 0.5, 0.25};
+  const double mttf = array_mttf(alphas);
+  const double r_at_mttf = array_reliability(alphas, mttf);
+  EXPECT_GT(r_at_mttf, 0.2);
+  EXPECT_LT(r_at_mttf, 0.8);
+}
+
+TEST(ArrayMttf, RequiresPositiveActivity) {
+  EXPECT_THROW(array_mttf({0.0, 0.0}), precondition_error);
+  EXPECT_THROW(array_mttf({}), precondition_error);
+}
+
+TEST(Improvement, IdenticalActivityGivesUnity) {
+  const std::vector<double> a{3.0, 1.0, 2.0};
+  EXPECT_NEAR(lifetime_improvement(a, a), 1.0, 1e-12);
+}
+
+TEST(Improvement, ScaleInvariant) {
+  const std::vector<double> base{4.0, 0.0, 2.0, 1.0};
+  const std::vector<double> wl{2.0, 2.0, 2.0, 1.0};
+  std::vector<double> base_scaled;
+  std::vector<double> wl_scaled;
+  for (double v : base) base_scaled.push_back(v * 1000.0);
+  for (double v : wl) wl_scaled.push_back(v * 1000.0);
+  EXPECT_NEAR(lifetime_improvement(base, wl),
+              lifetime_improvement(base_scaled, wl_scaled), 1e-9);
+}
+
+TEST(Improvement, MatchesMttfRatio) {
+  const std::vector<double> base{5.0, 0.0, 1.0};
+  const std::vector<double> wl{2.0, 2.0, 2.0};
+  EXPECT_NEAR(lifetime_improvement(base, wl),
+              array_mttf(wl) > 0 ? array_mttf(wl, 3.4) / array_mttf(base, 3.4)
+                                 : 0.0,
+              1e-12);
+}
+
+TEST(Improvement, PerfectLevelingHitsClosedFormBound) {
+  // §V-C derivation: m active PEs (α = 1) out of n versus perfectly level
+  // activity m/n on all n PEs gives exactly (n/m)^{1 − 1/β}, i.e. the
+  // upper bound at utilization m/n.
+  const double beta = 3.4;
+  const int n = 168;
+  const int m = 56;
+  std::vector<double> baseline(n, 0.0);
+  for (int i = 0; i < m; ++i) baseline[static_cast<std::size_t>(i)] = 1.0;
+  const std::vector<double> perfect(
+      n, static_cast<double>(m) / static_cast<double>(n));
+  const double got = lifetime_improvement(baseline, perfect, beta);
+  const double bound =
+      perfect_wl_upper_bound(static_cast<double>(m) / n, beta);
+  EXPECT_NEAR(got, bound, 1e-9);
+}
+
+TEST(Improvement, LevelerNeverBeatsPerfectBound) {
+  // Any activity vector with the same total work as the baseline is at
+  // most as good as perfectly uniform activity.
+  const double beta = 3.4;
+  const std::vector<double> baseline{1.0, 1.0, 0.0, 0.0};
+  const std::vector<double> imperfect{0.6, 0.6, 0.4, 0.4};
+  const std::vector<double> perfect(4, 0.5);
+  EXPECT_LE(lifetime_improvement(baseline, imperfect, beta),
+            lifetime_improvement(baseline, perfect, beta) + 1e-12);
+}
+
+TEST(UpperBound, FullUtilizationLeavesNoHeadroom) {
+  EXPECT_NEAR(perfect_wl_upper_bound(1.0), 1.0, 1e-12);
+}
+
+TEST(UpperBound, LowerUtilizationGivesMoreHeadroom) {
+  double prev = perfect_wl_upper_bound(1.0);
+  for (double u = 0.9; u > 0.05; u -= 0.1) {
+    const double b = perfect_wl_upper_bound(u);
+    EXPECT_GT(b, prev);
+    prev = b;
+  }
+}
+
+TEST(UpperBound, PaperAnchorsRoughMagnitude) {
+  // At the paper's mean utilization (55.8%), the ideal headroom is ~1.5x.
+  const double b = perfect_wl_upper_bound(0.558);
+  EXPECT_GT(b, 1.4);
+  EXPECT_LT(b, 1.7);
+}
+
+TEST(UpperBound, RejectsOutOfRangeUtilization) {
+  EXPECT_THROW(perfect_wl_upper_bound(0.0), precondition_error);
+  EXPECT_THROW(perfect_wl_upper_bound(1.5), precondition_error);
+}
+
+// ------------------------------------------------------------ Monte Carlo ----
+
+TEST(MonteCarlo, SinglePeMatchesWeibullMean) {
+  const Weibull w(3.4, 2.0);
+  const MonteCarloResult mc = monte_carlo_mttf({1.0}, 3.4, 2.0, 20000, 7);
+  EXPECT_NEAR(mc.mttf, w.mean(), 4.0 * mc.stderr_ + 1e-12);
+  EXPECT_GT(mc.stderr_, 0.0);
+}
+
+TEST(MonteCarlo, ValidatesClosedFormArrayMttf) {
+  // Heterogeneous activities: the sampled serial-chain MTTF must agree
+  // with Eq. 3 within a few standard errors.
+  std::vector<double> alphas;
+  for (int i = 0; i < 40; ++i)
+    alphas.push_back(0.1 + 0.05 * static_cast<double>(i % 9));
+  const double closed = array_mttf(alphas);
+  const MonteCarloResult mc = monte_carlo_mttf(alphas, kJedecShape, 1.0,
+                                               20000, 99);
+  EXPECT_NEAR(mc.mttf, closed, 5.0 * mc.stderr_);
+}
+
+TEST(MonteCarlo, ValidatesClosedFormReliability) {
+  const std::vector<double> alphas{1.0, 0.5, 0.25, 0.75};
+  const double t = 0.6;
+  const double closed = array_reliability(alphas, t);
+  const double sampled = monte_carlo_reliability(alphas, t, kJedecShape, 1.0,
+                                                 40000, 3);
+  EXPECT_NEAR(sampled, closed, 0.01);
+}
+
+TEST(MonteCarlo, DeterministicPerSeed) {
+  const std::vector<double> alphas{1.0, 0.3};
+  const auto a = monte_carlo_mttf(alphas, 3.4, 1.0, 500, 42);
+  const auto b = monte_carlo_mttf(alphas, 3.4, 1.0, 500, 42);
+  EXPECT_DOUBLE_EQ(a.mttf, b.mttf);
+}
+
+TEST(MonteCarlo, RejectsDegenerateInput) {
+  EXPECT_THROW(monte_carlo_mttf({}, 3.4), precondition_error);
+  EXPECT_THROW(monte_carlo_mttf({0.0}, 3.4), precondition_error);
+  EXPECT_THROW(monte_carlo_mttf({1.0}, 3.4, 1.0, 0), precondition_error);
+}
+
+// ---------------------------------------------------- process variation ----
+
+TEST(Variation, ZeroSigmaRecoversEq4) {
+  const std::vector<double> base{4.0, 0.0, 2.0, 1.0};
+  const std::vector<double> wl{2.0, 2.0, 2.0, 1.0};
+  const VariationResult res =
+      lifetime_improvement_under_variation(base, wl, kJedecShape, 0.0, 50, 1);
+  const double exact = lifetime_improvement(base, wl);
+  EXPECT_NEAR(res.mean, exact, 1e-9);
+  EXPECT_NEAR(res.p05, exact, 1e-9);
+  EXPECT_NEAR(res.p95, exact, 1e-9);
+}
+
+TEST(Variation, QuantilesAreOrderedAndSpreadWithSigma) {
+  std::vector<double> base(168, 0.0);
+  for (int i = 0; i < 56; ++i) base[static_cast<std::size_t>(i)] = 1.0;
+  const std::vector<double> wl(168, 56.0 / 168.0);
+  const VariationResult narrow =
+      lifetime_improvement_under_variation(base, wl, kJedecShape, 0.05, 500,
+                                           9);
+  const VariationResult wide =
+      lifetime_improvement_under_variation(base, wl, kJedecShape, 0.3, 500,
+                                           9);
+  EXPECT_LE(narrow.p05, narrow.p50);
+  EXPECT_LE(narrow.p50, narrow.p95);
+  EXPECT_GT(wide.p95 - wide.p05, narrow.p95 - narrow.p05);
+  // The median stays near the deterministic value.
+  EXPECT_NEAR(narrow.p50, lifetime_improvement(base, wl), 0.1);
+}
+
+TEST(Variation, DeterministicPerSeed) {
+  const std::vector<double> base{3.0, 1.0};
+  const std::vector<double> wl{2.0, 2.0};
+  const auto a = lifetime_improvement_under_variation(base, wl, 3.4, 0.2,
+                                                      100, 5);
+  const auto b = lifetime_improvement_under_variation(base, wl, 3.4, 0.2,
+                                                      100, 5);
+  EXPECT_DOUBLE_EQ(a.mean, b.mean);
+  EXPECT_DOUBLE_EQ(a.p50, b.p50);
+}
+
+TEST(Variation, RejectsMismatchedArrays) {
+  EXPECT_THROW(lifetime_improvement_under_variation({1.0, 1.0}, {1.0}),
+               precondition_error);
+  EXPECT_THROW(
+      lifetime_improvement_under_variation({1.0}, {1.0}, 3.4, -0.1),
+      precondition_error);
+}
+
+// ----------------------------------------------------------------- spares ----
+
+TEST(Spares, ZeroSparesDegeneratesToSerialChain) {
+  const std::vector<double> alphas{1.0, 0.4, 0.7, 0.2};
+  for (double t : {0.1, 0.5, 1.0, 2.0}) {
+    EXPECT_NEAR(spare_array_reliability(alphas, t, 0),
+                array_reliability(alphas, t), 1e-12);
+  }
+}
+
+TEST(Spares, MoreSparesNeverHurt) {
+  const std::vector<double> alphas{1.0, 0.9, 0.8, 0.7, 0.6};
+  const double t = 0.8;
+  double prev = 0.0;
+  for (std::int64_t s = 0; s <= 5; ++s) {
+    const double r = spare_array_reliability(alphas, t, s);
+    EXPECT_GE(r, prev - 1e-15) << s;
+    prev = r;
+  }
+  // Tolerating every PE's failure means certain survival.
+  EXPECT_NEAR(spare_array_reliability(alphas, 10.0, 5), 1.0, 1e-12);
+}
+
+TEST(Spares, HomogeneousCaseMatchesBinomial) {
+  // n identical PEs with failure probability p: P(<= s failures) is the
+  // binomial CDF.
+  const int n = 6;
+  const double t = 0.9;
+  const std::vector<double> alphas(n, 1.0);
+  const Weibull w;
+  const double p = w.cdf(t);
+  auto binom = [&](int k) {
+    double c = 1.0;
+    for (int i = 0; i < k; ++i)
+      c = c * static_cast<double>(n - i) / static_cast<double>(i + 1);
+    return c * std::pow(p, k) * std::pow(1.0 - p, n - k);
+  };
+  for (int s = 0; s <= 3; ++s) {
+    double want = 0.0;
+    for (int k = 0; k <= s; ++k) want += binom(k);
+    EXPECT_NEAR(spare_array_reliability(alphas, t, s), want, 1e-12) << s;
+  }
+}
+
+TEST(Spares, MttfGrowsWithSpares) {
+  const std::vector<double> alphas(12, 1.0);
+  const double m0 = spare_array_mttf(alphas, 0);
+  const double m1 = spare_array_mttf(alphas, 1);
+  const double m3 = spare_array_mttf(alphas, 3);
+  EXPECT_NEAR(m0, array_mttf(alphas), 0.01 * m0);  // integration accuracy
+  EXPECT_GT(m1, m0);
+  EXPECT_GT(m3, m1);
+}
+
+TEST(Spares, MttfMatchesMonteCarloWithOneSpare) {
+  // Cross-validate the Poisson-binomial + integration path against a
+  // direct sampling estimate of the 2nd-failure time.
+  const std::vector<double> alphas{1.0, 0.8, 0.6, 0.4};
+  const double closed = spare_array_mttf(alphas, 1);
+  // Sample: array dies at the 2nd failure.
+  util::SplitMix64 rng(11);
+  double sum = 0.0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    std::vector<double> times;
+    for (double a : alphas) {
+      const double u = rng.next_double();
+      times.push_back((1.0 / a) *
+                      std::pow(-std::log(1.0 - u), 1.0 / kJedecShape));
+    }
+    std::sort(times.begin(), times.end());
+    sum += times[1];
+  }
+  const double sampled = sum / trials;
+  EXPECT_NEAR(closed, sampled, 0.02 * closed);
+}
+
+TEST(Spares, RejectsInvalidArguments) {
+  EXPECT_THROW(spare_array_reliability({1.0}, 1.0, -1), precondition_error);
+  EXPECT_THROW(spare_array_reliability({}, 1.0, 0), precondition_error);
+  EXPECT_THROW(spare_array_mttf({0.0}, 1), precondition_error);
+}
+
+}  // namespace
+}  // namespace rota::rel

@@ -1,0 +1,502 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "arch/config.hpp"
+#include "nn/workloads.hpp"
+#include "sched/cost.hpp"
+#include "sched/mapper.hpp"
+#include "sched/rs_mapper.hpp"
+#include "sched/serialize.hpp"
+#include "wear/policy.hpp"
+#include "wear/simulator.hpp"
+#include "util/check.hpp"
+
+namespace rota::sched {
+namespace {
+
+using util::precondition_error;
+
+nn::LayerSpec resnet_c5_like() {
+  // A conv5-stage ResNet layer: 3×3, 512→512 on 7×7 maps.
+  return nn::conv("c5", 512, 512, 7, 3, 1);
+}
+
+Mapping simple_mapping() {
+  Mapping m;
+  m.dim_x = SpatialX::kOutChannels;
+  m.dim_y = SpatialY::kOutHeight;
+  m.sx = 8;
+  m.sy = 7;
+  m.lb_c = 4;
+  m.lb_q = 7;
+  m.lb_s = 3;
+  return m;
+}
+
+// ----------------------------------------------------------- cost model ----
+
+TEST(CostModel, ValidMappingProducesConsistentTiles) {
+  const CostModel cm(arch::eyeriss_like());
+  const nn::LayerSpec layer = resnet_c5_like();
+  const CostResult res = cm.evaluate(layer, simple_mapping());
+  ASSERT_TRUE(res.valid);
+  // Output tiles = N·Tk·Tp·Tq = 1·64·1·1 for sx=8, sy=7, lb_q=7; each
+  // spans Tc·Ts = 128·1 local-buffer refills. One output tile's working
+  // set (~79k words) exceeds the GLB, so each is its own data tile.
+  EXPECT_EQ(res.output_tiles, 64);
+  EXPECT_EQ(res.allocations_per_tile, 1);
+  EXPECT_EQ(res.tiles, 64);
+  EXPECT_EQ(res.reduction_steps, 128);
+  EXPECT_EQ(res.accesses.macs, layer.macs());
+  EXPECT_EQ(res.accesses.lb_accesses, 3 * layer.macs());
+  EXPECT_EQ(res.accesses.inter_pe_hops, 0);  // no spatial reduction
+  EXPECT_GT(res.accesses.glb_accesses, 0);
+  EXPECT_GT(res.accesses.dram_accesses, 0);
+  EXPECT_GT(res.energy, 0.0);
+  EXPECT_GT(res.cycles, 0.0);
+}
+
+TEST(CostModel, RejectsOversizedSpatialFactors) {
+  const CostModel cm(arch::eyeriss_like());
+  Mapping m = simple_mapping();
+  m.sx = 15;  // > array width 14
+  EXPECT_FALSE(cm.evaluate(resnet_c5_like(), m).valid);
+  m = simple_mapping();
+  m.sy = 13;  // > array height 12
+  EXPECT_FALSE(cm.evaluate(resnet_c5_like(), m).valid);
+}
+
+TEST(CostModel, RejectsSpatialFactorBeyondLoopBound) {
+  const CostModel cm(arch::eyeriss_like());
+  Mapping m = simple_mapping();
+  m.dim_y = SpatialY::kOutHeight;
+  m.sy = 8;  // P = 7
+  EXPECT_FALSE(cm.evaluate(resnet_c5_like(), m).valid);
+}
+
+TEST(CostModel, RejectsLocalBufferOverflow) {
+  const CostModel cm(arch::eyeriss_like());
+  Mapping m = simple_mapping();
+  m.lb_c = 200;  // 200·3·3 = 1800 words > 224-word weight LB
+  EXPECT_FALSE(cm.evaluate(resnet_c5_like(), m).valid);
+  m = simple_mapping();
+  m.lb_q = 25;  // > 24-word output LB
+  EXPECT_FALSE(cm.evaluate(resnet_c5_like(), m).valid);
+  m = simple_mapping();
+  m.lb_c = 5;
+  m.lb_s = 3;  // 5·3 = 15 input words > 12-word input LB
+  EXPECT_FALSE(cm.evaluate(resnet_c5_like(), m).valid);
+}
+
+TEST(CostModel, SpatialReductionChargesInterPeHops) {
+  const CostModel cm(arch::eyeriss_like());
+  Mapping m;
+  m.dim_x = SpatialX::kOutChannels;
+  m.dim_y = SpatialY::kInChannels;
+  m.sx = 8;
+  m.sy = 4;
+  m.lb_c = 4;
+  m.lb_q = 7;
+  m.lb_s = 3;
+  const CostResult res = cm.evaluate(resnet_c5_like(), m);
+  ASSERT_TRUE(res.valid);
+  // Hops accrue per local-buffer refill, not per allocation.
+  EXPECT_EQ(res.accesses.inter_pe_hops,
+            res.tiles * res.reduction_steps * 8 * (4 - 1) * 7);
+}
+
+TEST(CostModel, PaddingIsChargedInTraffic) {
+  // Mapping K=512 with sx=14 pads to 518; with sx=8 there is no padding.
+  // The padded mapping must never be cheaper on weight traffic.
+  const CostModel cm(arch::eyeriss_like());
+  Mapping exact = simple_mapping();   // sx = 8 divides 512
+  Mapping padded = simple_mapping();
+  padded.sx = 14;
+  const CostResult re = cm.evaluate(resnet_c5_like(), exact);
+  const CostResult rp = cm.evaluate(resnet_c5_like(), padded);
+  ASSERT_TRUE(re.valid);
+  ASSERT_TRUE(rp.valid);
+  EXPECT_GE(rp.accesses.dram_accesses, re.accesses.dram_accesses);
+}
+
+TEST(CostModel, PerDispatchQuantitiesPopulated) {
+  const CostModel cm(arch::eyeriss_like());
+  const CostResult res = cm.evaluate(resnet_c5_like(), simple_mapping());
+  ASSERT_TRUE(res.valid);
+  EXPECT_GT(res.scatter_words, 0);
+  EXPECT_EQ(res.compute_macs_per_pe, 7 * 4 * 3 * 3);
+  EXPECT_EQ(res.gather_words, 8 * 7 * 7);
+  EXPECT_EQ(res.reduction_steps, 128);
+}
+
+// --------------------------------------------------------------- mapper ----
+
+class MapperOnZoo : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MapperOnZoo, EveryLayerGetsAFeasibleEnergyOptimalSchedule) {
+  Mapper mapper(arch::eyeriss_like());
+  const nn::Network net = nn::workload_by_abbr(GetParam());
+  const NetworkSchedule ns = mapper.schedule_network(net);
+  ASSERT_EQ(ns.layers.size(), net.layer_count());
+  const auto& cfg = mapper.config();
+  for (const auto& l : ns.layers) {
+    EXPECT_GE(l.space.x, 1);
+    EXPECT_LE(l.space.x, cfg.array_width);
+    EXPECT_GE(l.space.y, 1);
+    EXPECT_LE(l.space.y, cfg.array_height);
+    EXPECT_GE(l.tiles, 1);
+    EXPECT_GT(l.energy, 0.0);
+    EXPECT_GT(l.cycles, 0.0);
+    EXPECT_GT(l.utilization(cfg), 0.0);
+    EXPECT_LE(l.utilization(cfg), 1.0);
+    // Work conservation: the dispatched lanes must cover all MACs.
+    EXPECT_GE(l.output_tiles * l.reduction_steps * l.space.x * l.space.y *
+                  l.compute_macs_per_pe,
+              l.macs);
+    // Tiling hierarchy consistency.
+    EXPECT_GE(l.allocations_per_tile, 1);
+    EXPECT_EQ(l.tiles, (l.output_tiles + l.allocations_per_tile - 1) /
+                           l.allocations_per_tile);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TableII, MapperOnZoo,
+                         ::testing::Values("Res", "Inc", "YL", "Sqz", "Mb",
+                                           "Eff", "VT", "MVT", "LM"));
+
+TEST(Mapper, MemoizesRepeatedShapes) {
+  Mapper mapper(arch::eyeriss_like());
+  const nn::Network lm = nn::make_llama2_7b();
+  mapper.schedule_network(lm);
+  EXPECT_EQ(mapper.cache_size(), lm.unique_shape_count());
+}
+
+TEST(Mapper, DeterministicAcrossInstances) {
+  Mapper a(arch::eyeriss_like());
+  Mapper b(arch::eyeriss_like());
+  const nn::Network net = nn::make_squeezenet();
+  const NetworkSchedule sa = a.schedule_network(net);
+  const NetworkSchedule sb = b.schedule_network(net);
+  ASSERT_EQ(sa.layers.size(), sb.layers.size());
+  for (std::size_t i = 0; i < sa.layers.size(); ++i) {
+    EXPECT_EQ(sa.layers[i].space.x, sb.layers[i].space.x);
+    EXPECT_EQ(sa.layers[i].space.y, sb.layers[i].space.y);
+    EXPECT_EQ(sa.layers[i].tiles, sb.layers[i].tiles);
+    EXPECT_DOUBLE_EQ(sa.layers[i].energy, sb.layers[i].energy);
+  }
+}
+
+TEST(Mapper, PrefersLowWasteSpatialFactors) {
+  // SqueezeNet squeeze layers have K = 16 on a 14-wide array: an exact
+  // 8-wide space (2 tiles, no padding) must beat a 14-wide space that pads
+  // K to 28.
+  Mapper mapper(arch::eyeriss_like());
+  const LayerSchedule ls =
+      mapper.schedule_layer(nn::conv("sq", 128, 16, 55, 1, 1));
+  EXPECT_EQ(ls.space.x % 2, 0);
+  EXPECT_LE(ls.space.x, 8);
+}
+
+TEST(Mapper, UtilizationVariesAcrossSqueezeNetLayers) {
+  // Fig. 2b: per-layer utilization must span a wide range.
+  Mapper mapper(arch::eyeriss_like());
+  const NetworkSchedule ns = mapper.schedule_network(nn::make_squeezenet());
+  double lo = 1.0;
+  double hi = 0.0;
+  for (const auto& l : ns.layers) {
+    lo = std::min(lo, l.utilization(mapper.config()));
+    hi = std::max(hi, l.utilization(mapper.config()));
+  }
+  EXPECT_LT(lo, 0.5);
+  EXPECT_GT(hi, 0.5);
+}
+
+TEST(Mapper, MeanZooUtilizationNearPaperFig2a) {
+  // Paper: Eyeriss energy-optimal execution utilizes 55.8% of PEs on
+  // average. Our exact-factorization mapper is a reimplementation and runs
+  // a little conservative (≈40%); accept 30–75% and require substantial
+  // under-utilization (the paper's whole premise).
+  Mapper mapper(arch::eyeriss_like());
+  double sum = 0.0;
+  int count = 0;
+  for (const auto& net : nn::all_workloads()) {
+    sum += mapper.schedule_network(net).mean_utilization();
+    ++count;
+  }
+  const double mean = sum / count;
+  EXPECT_GT(mean, 0.30);
+  EXPECT_LT(mean, 0.75);
+}
+
+TEST(Mapper, YoloHasLowestUtilizationOfTheZoo) {
+  // §V-B: "YOLO v3 layers have the lowest PE utilization ratios among the
+  // tested DNN workloads".
+  Mapper mapper(arch::eyeriss_like());
+  double yolo = 1.0;
+  double others_min = 1.0;
+  for (const auto& net : nn::all_workloads()) {
+    const double u = mapper.schedule_network(net).mean_utilization();
+    if (net.abbr() == "YL") {
+      yolo = u;
+    } else {
+      others_min = std::min(others_min, u);
+    }
+  }
+  EXPECT_LT(yolo, others_min);
+}
+
+TEST(Mapper, ImperfectFactorizationFillsArrayBetter) {
+  // The generalized (padding-capable) mapper must achieve at least the
+  // exact-factorization utilization — it searches a superset.
+  Mapper exact(arch::eyeriss_like());
+  Mapper padded(arch::eyeriss_like(), {}, MapperOptions{false});
+  const nn::Network net = nn::make_llama2_7b();
+  const double u_exact = exact.schedule_network(net).mean_utilization();
+  const double u_padded = padded.schedule_network(net).mean_utilization();
+  EXPECT_GE(u_padded, u_exact);
+  EXPECT_GT(u_padded, 0.9);  // big GEMMs fill the array when padding is free
+}
+
+TEST(Mapper, CachedScheduleKeepsLayerNames) {
+  Mapper mapper(arch::eyeriss_like());
+  const nn::LayerSpec a = nn::conv("alpha", 64, 64, 28, 3, 1);
+  const nn::LayerSpec b = nn::conv("beta", 64, 64, 28, 3, 1);
+  EXPECT_EQ(mapper.schedule_layer(a).layer_name, "alpha");
+  EXPECT_EQ(mapper.schedule_layer(b).layer_name, "beta");
+  EXPECT_EQ(mapper.cache_size(), 1u);
+}
+
+TEST(Mapper, UtilizationTrendsDownOnMuchLargerArrays) {
+  // Fig. 10 premise: growing the array tends to reduce the utilization
+  // ratio. The trend is not strictly monotone (power-of-two channel counts
+  // fill a 32×32 array unusually well), so compare the endpoints of the
+  // sweep: an 8×8 array vs a 64×64 one.
+  Mapper small(arch::scaled_array(8, arch::TopologyKind::kMesh2D));
+  Mapper large(arch::scaled_array(64, arch::TopologyKind::kMesh2D));
+  const nn::Network net = nn::make_squeezenet();
+  const double u_small = small.schedule_network(net).mean_utilization();
+  const double u_large = large.schedule_network(net).mean_utilization();
+  EXPECT_LT(u_large, u_small);
+}
+
+TEST(Mapper, GoldenSpacesForAnchorLayers) {
+  // Regression pins for the utilization spaces of layers the benches and
+  // EXPERIMENTS.md reference. If an intentional cost-model change moves
+  // these, update the pins AND the affected documentation.
+  Mapper mapper(arch::eyeriss_like());
+  struct Pin {
+    nn::LayerSpec layer;
+    std::int64_t x;
+    std::int64_t y;
+  };
+  const Pin pins[] = {
+      // ResNet conv5 bottleneck 1×1 (2048→512 on 7×7): the paper's Fig. 5
+      // worked example uses an 8×8 space for a C5 layer; our mapper lands
+      // on exactly that shape for these layers.
+      {nn::conv("c5a", 2048, 512, 7, 1, 1), 8, 8},
+      // ResNet conv5 3×3 (512→512 on 7×7): 8 wide × all 7 output rows.
+      {nn::conv("c5b", 512, 512, 7, 3, 1), 8, 7},
+      // SqueezeNet fire2 squeeze: K = 16 picks the exact 8-wide space.
+      {nn::conv("sq", 96, 16, 55, 1, 1), 8, 8},
+      // SqueezeNet conv1 (no padding): 12 × 3.
+      {nn::conv("c1", 3, 96, 224, 7, 2, 0), 12, 3},
+  };
+  for (const Pin& pin : pins) {
+    const LayerSchedule ls = mapper.schedule_layer(pin.layer);
+    EXPECT_EQ(ls.space.x, pin.x) << pin.layer.name;
+    EXPECT_EQ(ls.space.y, pin.y) << pin.layer.name;
+  }
+}
+
+TEST(Mapper, GoldenZooUtilizations) {
+  // Coarse regression net over the per-workload means quoted in
+  // EXPERIMENTS.md (±3 percentage points of slack).
+  Mapper mapper(arch::eyeriss_like());
+  const std::pair<const char*, double> pins[] = {
+      {"Res", 0.369}, {"Inc", 0.515}, {"YL", 0.227},  {"Sqz", 0.386},
+      {"Mb", 0.422},  {"Eff", 0.401}, {"VT", 0.394},  {"MVT", 0.480},
+      {"LM", 0.381},
+  };
+  for (const auto& [abbr, util] : pins) {
+    const auto ns = mapper.schedule_network(nn::workload_by_abbr(abbr));
+    EXPECT_NEAR(ns.mean_utilization(), util, 0.03) << abbr;
+  }
+}
+
+// ---------------------------------------------------- row-stationary ----
+
+TEST(RsMapper, GeometryOfSmallMapConv) {
+  // 3×3 conv on 7×7 maps (ResNet conv5-like): one 3-tall × 7-wide strip,
+  // replicated 4× across filters -> 7×12 utilization space.
+  const auto layer = nn::conv("c", 512, 512, 7, 3, 1);
+  const RsGeometry g = rs_geometry(layer, 14, 12);
+  EXPECT_EQ(g.set_width, 7);
+  EXPECT_EQ(g.passes_e, 1);
+  EXPECT_EQ(g.strips, 1);
+  EXPECT_EQ(g.replication, 4);
+  EXPECT_EQ(g.space_x, 7);
+  EXPECT_EQ(g.space_y, 12);
+}
+
+TEST(RsMapper, GeometryFoldsWideMaps) {
+  // 3×3 conv on 56×56 maps: E = 56 folds into 14-wide strips; four strips
+  // of height 3 stack (12 rows), no replication head-room.
+  const auto layer = nn::conv("c", 64, 64, 56, 3, 1);
+  const RsGeometry g = rs_geometry(layer, 14, 12);
+  EXPECT_EQ(g.set_width, 14);
+  EXPECT_EQ(g.passes_e, 4);
+  EXPECT_EQ(g.strips, 4);
+  EXPECT_EQ(g.replication, 1);
+  EXPECT_EQ(g.space_y, 12);
+}
+
+TEST(RsMapper, GeometryCapsReplicationAtFilterCount) {
+  // A single-filter layer cannot replicate across K.
+  const auto layer = nn::conv("c", 8, 1, 7, 3, 1);
+  const RsGeometry g = rs_geometry(layer, 14, 12);
+  EXPECT_EQ(g.replication, 1);
+  EXPECT_EQ(g.space_y, 3);
+}
+
+TEST(RsMapper, TallFiltersFoldOverRows) {
+  // R = 16 > h = 12: folded to R = 12 with an extra reduction fold.
+  const auto layer = nn::conv("patch", 3, 768, 224, 16, 16, 0);
+  const RsGeometry g = rs_geometry(layer, 14, 12);
+  EXPECT_LE(g.space_y, 12);
+  RsMapper mapper(arch::eyeriss_like());
+  const auto ls = mapper.schedule_layer(layer);
+  EXPECT_GE(ls.reduction_steps, 2 * 3);  // r folds × channels
+}
+
+class RsMapperOnZoo : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RsMapperOnZoo, SchedulesEveryLayerWithinBounds) {
+  RsMapper mapper(arch::eyeriss_like());
+  const nn::Network net = nn::workload_by_abbr(GetParam());
+  const NetworkSchedule ns = mapper.schedule_network(net);
+  ASSERT_EQ(ns.layers.size(), net.layer_count());
+  for (const auto& l : ns.layers) {
+    EXPECT_GE(l.space.x, 1);
+    EXPECT_LE(l.space.x, 14);
+    EXPECT_GE(l.space.y, 1);
+    EXPECT_LE(l.space.y, 12);
+    EXPECT_GE(l.tiles, 1);
+    EXPECT_GT(l.energy, 0.0);
+    EXPECT_GE(l.output_tiles * l.reduction_steps * l.space.x * l.space.y *
+                  l.compute_macs_per_pe,
+              l.macs);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TableII, RsMapperOnZoo,
+                         ::testing::Values("Res", "Sqz", "Mb", "VT", "LM"));
+
+TEST(RsMapper, WearSimulationRunsOnRsSchedules) {
+  RsMapper mapper(arch::rota_like());
+  const auto ns = mapper.schedule_network(nn::make_squeezenet());
+  wear::WearSimulator sim(arch::rota_like());
+  auto policy = wear::make_policy(wear::PolicyKind::kRwlRo, 14, 12);
+  sim.run_iterations(ns, *policy, 5);
+  EXPECT_GT(sim.tracker().stats().min, 0);
+}
+
+// ----------------------------------------------------------- serialize ----
+
+TEST(Serialize, RoundTripPreservesEveryField) {
+  Mapper mapper(arch::eyeriss_like());
+  const NetworkSchedule ns = mapper.schedule_network(nn::make_squeezenet());
+  std::stringstream buf;
+  write_schedule_csv(ns, buf);
+  const NetworkSchedule back =
+      read_schedule_csv(buf, arch::eyeriss_like(), ns.network_name,
+                        ns.network_abbr);
+  ASSERT_EQ(back.layers.size(), ns.layers.size());
+  for (std::size_t i = 0; i < ns.layers.size(); ++i) {
+    const auto& a = ns.layers[i];
+    const auto& b = back.layers[i];
+    EXPECT_EQ(a.layer_name, b.layer_name);
+    EXPECT_EQ(a.space.x, b.space.x);
+    EXPECT_EQ(a.space.y, b.space.y);
+    EXPECT_EQ(a.tiles, b.tiles);
+    EXPECT_EQ(a.output_tiles, b.output_tiles);
+    EXPECT_EQ(a.allocations_per_tile, b.allocations_per_tile);
+    EXPECT_EQ(a.reduction_steps, b.reduction_steps);
+    EXPECT_EQ(a.scatter_words, b.scatter_words);
+    EXPECT_EQ(a.compute_macs_per_pe, b.compute_macs_per_pe);
+    EXPECT_EQ(a.gather_words, b.gather_words);
+    EXPECT_EQ(a.macs, b.macs);
+  }
+}
+
+TEST(Serialize, MinimalColumnsSuffice) {
+  // An external scheduler (e.g. NeuroSpector output) only needs the core
+  // four columns, in any order.
+  std::stringstream buf("x,tiles,layer,y\n8,32,c5,8\n5,100,det,12\n");
+  const NetworkSchedule ns =
+      read_schedule_csv(buf, arch::rota_like(), "ext", "ext");
+  ASSERT_EQ(ns.layers.size(), 2u);
+  EXPECT_EQ(ns.layers[0].layer_name, "c5");
+  EXPECT_EQ(ns.layers[0].space.x, 8);
+  EXPECT_EQ(ns.layers[0].space.y, 8);
+  EXPECT_EQ(ns.layers[0].tiles, 32);
+  EXPECT_EQ(ns.layers[1].space.y, 12);
+  // Defaults applied.
+  EXPECT_EQ(ns.layers[0].reduction_steps, 1);
+  EXPECT_EQ(ns.layers[0].output_tiles, 32);
+}
+
+TEST(Serialize, ImportedScheduleDrivesTheWearSimulator) {
+  // The paper's worked example, fed through the CSV interface end to end.
+  std::stringstream buf("layer,x,y,tiles\nc5,8,8,32\n");
+  const NetworkSchedule ns =
+      read_schedule_csv(buf, arch::rota_like(), "paper", "pp");
+  wear::WearSimulator sim(arch::rota_like());
+  auto policy = wear::make_policy(wear::PolicyKind::kRwl, 14, 12);
+  sim.run_iteration(ns, *policy);
+  const auto st = sim.tracker().stats();
+  EXPECT_LE(st.max_diff, 5);  // Eq. 9: W + 1
+  EXPECT_EQ(st.min, 10);      // Eq. 10
+}
+
+TEST(Serialize, RejectsMalformedInput) {
+  const arch::AcceleratorConfig cfg = arch::rota_like();
+  {
+    std::stringstream buf;
+    EXPECT_THROW(read_schedule_csv(buf, cfg), precondition_error);
+  }
+  {
+    std::stringstream buf("layer,x,y\nc,1,1\n");  // missing tiles
+    EXPECT_THROW(read_schedule_csv(buf, cfg), precondition_error);
+  }
+  {
+    std::stringstream buf("layer,x,y,tiles\nc,15,1,4\n");  // x > w
+    EXPECT_THROW(read_schedule_csv(buf, cfg), precondition_error);
+  }
+  {
+    std::stringstream buf("layer,x,y,tiles\nc,8,8,abc\n");
+    EXPECT_THROW(read_schedule_csv(buf, cfg), precondition_error);
+  }
+  {
+    std::stringstream buf("layer,x,y,tiles\n");  // no rows
+    EXPECT_THROW(read_schedule_csv(buf, cfg), precondition_error);
+  }
+}
+
+TEST(NetworkSchedule, AggregatesAreConsistent) {
+  Mapper mapper(arch::eyeriss_like());
+  const NetworkSchedule ns = mapper.schedule_network(nn::make_squeezenet());
+  std::int64_t tiles = 0;
+  double energy = 0.0;
+  for (const auto& l : ns.layers) {
+    tiles += l.tiles;
+    energy += l.energy;
+  }
+  EXPECT_EQ(ns.total_tiles(), tiles);
+  EXPECT_DOUBLE_EQ(ns.total_energy(), energy);
+  EXPECT_GT(ns.mean_utilization(), 0.0);
+  EXPECT_GT(ns.tile_weighted_utilization(), 0.0);
+}
+
+}  // namespace
+}  // namespace rota::sched

@@ -1,0 +1,324 @@
+#include <gtest/gtest.h>
+
+#include "arch/config.hpp"
+#include "nn/workloads.hpp"
+#include "sched/mapper.hpp"
+#include "sim/controller.hpp"
+#include "sim/engine.hpp"
+#include "sim/noc_traffic.hpp"
+#include "sim/pipeline.hpp"
+#include "util/rng.hpp"
+#include "wear/policy.hpp"
+
+namespace rota::sim {
+namespace {
+
+using util::precondition_error;
+
+// ------------------------------------------------------------- pipeline ----
+
+TEST(Pipeline, SingleTileIsSumOfPhases) {
+  TilePipeline p;
+  p.push({4.0, 10.0, 2.0});
+  EXPECT_DOUBLE_EQ(p.makespan(), 16.0);
+  EXPECT_EQ(p.tiles(), 1);
+}
+
+TEST(Pipeline, ComputeBoundTilesOverlapLoads) {
+  // scatter=2, compute=10: after the first load, computes dominate and
+  // each additional tile adds exactly its compute time.
+  TilePipeline p;
+  for (int i = 0; i < 5; ++i) p.push({2.0, 10.0, 0.0});
+  EXPECT_DOUBLE_EQ(p.makespan(), 2.0 + 5 * 10.0);
+}
+
+TEST(Pipeline, ScatterBoundTilesRateLimitedByLoads) {
+  // scatter=10, compute=2: loads serialize; last compute trails by 2.
+  TilePipeline p;
+  for (int i = 0; i < 4; ++i) p.push({10.0, 2.0, 0.0});
+  EXPECT_DOUBLE_EQ(p.makespan(), 4 * 10.0 + 2.0);
+}
+
+TEST(Pipeline, HandComputedMixedCase) {
+  // Two tiles, scatter 3 / compute 5 / gather 2:
+  //   load1 = 3, compute1 = 8, gather1 = 10
+  //   load2 = 6, compute2 = max(6,8)+5 = 13, gather2 = max(13,10)+2 = 15.
+  TilePipeline p;
+  p.push({3.0, 5.0, 2.0});
+  p.push({3.0, 5.0, 2.0});
+  EXPECT_DOUBLE_EQ(p.makespan(), 15.0);
+}
+
+TEST(Pipeline, DoubleBufferingLimitsLoadAhead) {
+  // With only two buffer slots, load i may not start before compute i−2
+  // ends. scatter=1, compute=100: load3 must wait for compute1.
+  TilePipeline p;
+  p.push({1.0, 100.0, 0.0});  // load1=1,  c1=101
+  p.push({1.0, 100.0, 0.0});  // load2=2,  c2=201
+  p.push({1.0, 100.0, 0.0});  // load3=max(2,101)+1=102, c3=301
+  EXPECT_DOUBLE_EQ(p.makespan(), 301.0);
+}
+
+TEST(Pipeline, PushUniformMatchesRepeatedPush) {
+  util::SplitMix64 rng(31);
+  for (int trial = 0; trial < 50; ++trial) {
+    const TilePhases ph{static_cast<double>(rng.next_below(20)),
+                        static_cast<double>(1 + rng.next_below(20)),
+                        static_cast<double>(rng.next_below(10))};
+    const std::int64_t count =
+        1 + static_cast<std::int64_t>(rng.next_below(200));
+    TilePipeline a;
+    TilePipeline b;
+    a.push_uniform(ph, count);
+    for (std::int64_t i = 0; i < count; ++i) b.push(ph);
+    EXPECT_DOUBLE_EQ(a.makespan(), b.makespan())
+        << "trial " << trial << " count " << count;
+    EXPECT_EQ(a.tiles(), b.tiles());
+  }
+}
+
+TEST(Pipeline, RejectsNegativeDurations) {
+  TilePipeline p;
+  EXPECT_THROW(p.push({-1.0, 1.0, 0.0}), precondition_error);
+}
+
+// ----------------------------------------------------------- controller ----
+
+TEST(Controller, MatchesRwlRoPolicyOverRandomLayerSequences) {
+  // The RTL-faithful circular-counter controller must generate exactly the
+  // same (u, v) sequence as the behavioral RWL+RO policy (Algorithm 1).
+  util::SplitMix64 rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::int64_t w = 3 + static_cast<std::int64_t>(rng.next_below(20));
+    const std::int64_t h = 3 + static_cast<std::int64_t>(rng.next_below(20));
+    WearLevelingController hw(w, h);
+    auto sw = wear::make_policy(wear::PolicyKind::kRwlRo, w, h);
+    for (int layer = 0; layer < 10; ++layer) {
+      const std::int64_t x =
+          1 + static_cast<std::int64_t>(rng.next_below(static_cast<std::uint64_t>(w)));
+      const std::int64_t y =
+          1 + static_cast<std::int64_t>(rng.next_below(static_cast<std::uint64_t>(h)));
+      const std::int64_t z =
+          1 + static_cast<std::int64_t>(rng.next_below(120));
+      hw.load_layer(x, y);
+      const sched::UtilSpace space{x, y};
+      sw->begin_layer(space);
+      for (std::int64_t i = 0; i < z; ++i) {
+        const wear::Placement at = sw->next_origin(space);
+        ASSERT_EQ(hw.u(), at.u) << "trial " << trial << " layer " << layer;
+        ASSERT_EQ(hw.v(), at.v) << "trial " << trial << " layer " << layer;
+        hw.step();
+      }
+    }
+  }
+}
+
+TEST(Controller, RequiresLayerLoad) {
+  WearLevelingController hw(14, 12);
+  EXPECT_THROW(hw.step(), precondition_error);
+}
+
+TEST(Controller, RejectsOutOfRangeRegisters) {
+  WearLevelingController hw(14, 12);
+  EXPECT_THROW(hw.load_layer(15, 4), precondition_error);
+  EXPECT_THROW(hw.load_layer(4, 13), precondition_error);
+  EXPECT_THROW(hw.load_layer(0, 4), precondition_error);
+}
+
+// ---------------------------------------------------------- link traffic ----
+
+TEST(LinkTraffic, SimpleSpaceLoadsColumnLinks) {
+  LinkTrafficTracker t(5, 4);
+  // 2×3 space at (1,0): columns 1,2 carry hops on rows 0->1 and 1->2.
+  t.add_space_traffic(1, 0, 2, 3, 7, false);
+  EXPECT_EQ(t.vertical_links().at(1, 0), 7);
+  EXPECT_EQ(t.vertical_links().at(1, 1), 7);
+  EXPECT_EQ(t.vertical_links().at(2, 1), 7);
+  EXPECT_EQ(t.vertical_links().at(1, 2), 0);  // only y−1 hops
+  EXPECT_EQ(t.vertical_links().at(0, 0), 0);
+  EXPECT_EQ(t.total_words(), 7 * 2 * 2);
+}
+
+TEST(LinkTraffic, WrapUsesRingLinks) {
+  LinkTrafficTracker t(4, 4);
+  // Space anchored near the top wraps: hops cross the 3->0 seam link.
+  t.add_space_traffic(0, 3, 1, 2, 1, true);
+  EXPECT_EQ(t.vertical_links().at(0, 3), 1);  // the wrap link
+  EXPECT_EQ(t.max_link(), 1);
+}
+
+TEST(LinkTraffic, MeshForbidsWrap) {
+  LinkTrafficTracker t(4, 4);
+  EXPECT_THROW(t.add_space_traffic(0, 3, 1, 2, 1, false),
+               util::precondition_error);
+}
+
+TEST(LinkTraffic, HeightOneSpacesUseNoLinks) {
+  LinkTrafficTracker t(4, 4);
+  t.add_space_traffic(0, 0, 4, 1, 9, false);
+  EXPECT_EQ(t.total_words(), 0);
+}
+
+TEST(LinkTraffic, WearLevelingLevelsLinkWearToo) {
+  // Same schedule, same total traffic; RWL+RO spreads it while the
+  // baseline concentrates it on the corner column links.
+  sched::NetworkSchedule ns;
+  ns.config = arch::rota_like();
+  sched::LayerSchedule l;
+  l.layer_name = "l0";
+  l.space = {8, 8};
+  l.tiles = 210;
+  l.reduction_steps = 4;
+  l.mapping.lb_q = 7;
+  ns.layers.push_back(l);
+
+  auto base = wear::make_policy(wear::PolicyKind::kBaseline, 14, 12);
+  auto ro = wear::make_policy(wear::PolicyKind::kRwlRo, 14, 12);
+  const auto base_t = simulate_link_traffic(ns, *base, 10, true);
+  const auto ro_t = simulate_link_traffic(ns, *ro, 10, true);
+  EXPECT_EQ(base_t.total_words(), ro_t.total_words());
+  EXPECT_LT(ro_t.max_link(), base_t.max_link());
+}
+
+// --------------------------------------------------------------- engine ----
+
+sched::LayerSchedule synthetic_layer(std::int64_t tiles,
+                                     std::int64_t scatter_words,
+                                     std::int64_t compute_macs,
+                                     std::int64_t gather_words,
+                                     std::int64_t reduction_steps) {
+  sched::LayerSchedule l;
+  l.layer_name = "synthetic";
+  l.space = {8, 8};
+  l.tiles = tiles;
+  l.scatter_words = scatter_words;
+  l.compute_macs_per_pe = compute_macs;
+  l.gather_words = gather_words;
+  l.reduction_steps = reduction_steps;
+  return l;
+}
+
+TEST(Engine, PhasesScaleWithGlobalBandwidth) {
+  arch::AcceleratorConfig cfg = arch::rota_like();
+  cfg.global_net_words_per_cycle = 4;
+  const ExecutionEngine e4(cfg);
+  cfg.global_net_words_per_cycle = 8;
+  const ExecutionEngine e8(cfg);
+  const auto layer = synthetic_layer(10, 64, 100, 32, 2);
+  EXPECT_DOUBLE_EQ(e4.phases_of(layer, true).scatter, 16.0);
+  EXPECT_DOUBLE_EQ(e8.phases_of(layer, true).scatter, 8.0);
+  EXPECT_DOUBLE_EQ(e4.phases_of(layer, false).gather, 0.0);
+  EXPECT_DOUBLE_EQ(e4.phases_of(layer, true).gather, 8.0);
+}
+
+TEST(Engine, EstimateTracksExactSimulationClosely) {
+  const ExecutionEngine engine(arch::rota_like());
+  util::SplitMix64 rng(8);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto layer = synthetic_layer(
+        50 + static_cast<std::int64_t>(rng.next_below(500)),
+        1 + static_cast<std::int64_t>(rng.next_below(256)),
+        1 + static_cast<std::int64_t>(rng.next_below(200)),
+        1 + static_cast<std::int64_t>(rng.next_below(64)),
+        1 + static_cast<std::int64_t>(rng.next_below(8)));
+    const double exact = engine.simulate_layer(layer).cycles;
+    const double estimate = engine.estimate_layer(layer).cycles;
+    EXPECT_NEAR(estimate / exact, 1.0, 0.15)
+        << "trial " << trial << ": exact " << exact << " vs " << estimate;
+  }
+}
+
+TEST(Engine, CyclesIndependentOfTopology) {
+  // The paper's "no performance degradation" claim: identical schedules
+  // cost identical cycles on the mesh baseline and the torus design —
+  // anchoring offsets change addresses, not data volumes.
+  arch::AcceleratorConfig mesh = arch::eyeriss_like();
+  arch::AcceleratorConfig torus = arch::rota_like();
+  const ExecutionEngine em(mesh);
+  const ExecutionEngine et(torus);
+  sched::Mapper mapper(mesh);
+  const auto ns = mapper.schedule_network(nn::make_squeezenet());
+  for (const auto& layer : ns.layers) {
+    EXPECT_DOUBLE_EQ(em.estimate_layer(layer).cycles,
+                     et.estimate_layer(layer).cycles);
+  }
+  EXPECT_DOUBLE_EQ(em.network_cycles(ns), et.network_cycles(ns));
+}
+
+TEST(Engine, ControllerUpdateAlwaysHidden) {
+  // Every mapped layer computes for >= 1 cycle per tile, so the 1-cycle
+  // (u, v) counter update never extends the critical path.
+  const ExecutionEngine engine(arch::rota_like());
+  sched::Mapper mapper(arch::rota_like());
+  for (const char* abbr : {"Sqz", "Mb", "VT"}) {
+    const auto ns = mapper.schedule_network(nn::workload_by_abbr(abbr));
+    for (const auto& layer : ns.layers) {
+      EXPECT_TRUE(engine.estimate_layer(layer).controller_update_hidden)
+          << abbr << ':' << layer.layer_name;
+    }
+  }
+}
+
+TEST(Engine, DramRooflineOnlyEverSlowsDown) {
+  const ExecutionEngine engine(arch::rota_like());
+  sched::Mapper mapper(arch::rota_like());
+  const auto ns = mapper.schedule_network(nn::make_squeezenet());
+  const DramParams dram{2.0};
+  for (const auto& layer : ns.layers) {
+    const LayerTiming plain = engine.estimate_layer(layer);
+    const LayerTiming roof = engine.estimate_layer_with_dram(layer, dram);
+    EXPECT_GE(roof.cycles, plain.cycles) << layer.layer_name;
+    if (roof.memory_bound) {
+      EXPECT_GT(roof.cycles, plain.cycles) << layer.layer_name;
+      EXPECT_NEAR(roof.cycles,
+                  static_cast<double>(layer.accesses.dram_accesses) / 2.0,
+                  1e-6);
+    }
+  }
+  EXPECT_GE(engine.network_cycles_with_dram(ns, dram),
+            engine.network_cycles(ns));
+}
+
+TEST(Engine, InfiniteDramBandwidthRecoversArrayEstimate) {
+  const ExecutionEngine engine(arch::rota_like());
+  sched::Mapper mapper(arch::rota_like());
+  const auto ls = mapper.schedule_layer(nn::conv("c", 64, 64, 28, 3, 1));
+  const DramParams fat{1e12};
+  const LayerTiming roof = engine.estimate_layer_with_dram(ls, fat);
+  EXPECT_DOUBLE_EQ(roof.cycles, engine.estimate_layer(ls).cycles);
+  EXPECT_FALSE(roof.memory_bound);
+}
+
+TEST(Engine, DramRooflineStillPolicyIndependent) {
+  sched::Mapper mapper(arch::eyeriss_like());
+  const auto ns = mapper.schedule_network(nn::make_mobilenet_v3());
+  const ExecutionEngine mesh(arch::eyeriss_like());
+  const ExecutionEngine torus(arch::rota_like());
+  const DramParams dram{1.5};
+  EXPECT_DOUBLE_EQ(mesh.network_cycles_with_dram(ns, dram),
+                   torus.network_cycles_with_dram(ns, dram));
+}
+
+TEST(Engine, RejectsNonPositiveDramBandwidth) {
+  const ExecutionEngine engine(arch::rota_like());
+  sched::Mapper mapper(arch::rota_like());
+  const auto ls = mapper.schedule_layer(nn::conv("c", 8, 8, 7, 3, 1));
+  EXPECT_THROW(engine.estimate_layer_with_dram(ls, DramParams{0.0}),
+               precondition_error);
+}
+
+TEST(Engine, ExactSimulationOnScheduledLayer) {
+  sched::Mapper mapper(arch::rota_like());
+  const ExecutionEngine engine(arch::rota_like());
+  const auto ls = mapper.schedule_layer(nn::conv("c", 64, 64, 28, 3, 1));
+  const LayerTiming t = engine.simulate_layer(ls);
+  EXPECT_EQ(t.tiles, ls.tiles);
+  EXPECT_GT(t.cycles, 0.0);
+  // The pipeline can never beat the compute lower bound.
+  EXPECT_GE(t.cycles,
+            static_cast<double>(ls.output_tiles * ls.reduction_steps) *
+                static_cast<double>(ls.compute_macs_per_pe));
+}
+
+}  // namespace
+}  // namespace rota::sim

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "thermal/thermal.hpp"
+#include "util/check.hpp"
+
+namespace rota::thermal {
+namespace {
+
+using util::precondition_error;
+
+ThermalParams fast_params() {
+  ThermalParams p;
+  p.tolerance_c = 1e-10;
+  return p;
+}
+
+TEST(Thermal, ZeroPowerStaysAtAmbient) {
+  const ThermalModel model(fast_params());
+  util::Grid<double> power(6, 5, 0.0);
+  const auto temp = model.steady_state(power);
+  for (double t : temp.cells()) EXPECT_NEAR(t, 45.0, 1e-9);
+}
+
+TEST(Thermal, UniformPowerWithoutLateralIsAnalytic) {
+  // With no lateral coupling each node is an isolated divider:
+  // T = T_amb + p · R_sink.
+  ThermalParams p = fast_params();
+  p.lateral_coupling = 0.0;
+  const ThermalModel model(p);
+  util::Grid<double> power(4, 4, 0.002);
+  const auto temp = model.steady_state(power);
+  for (double t : temp.cells())
+    EXPECT_NEAR(t, 45.0 + 0.002 * p.sink_c_per_w, 1e-6);
+}
+
+TEST(Thermal, UniformPowerWithLateralIsStillUniform) {
+  // Lateral links carry no heat when all nodes are equal.
+  const ThermalModel model(fast_params());
+  util::Grid<double> power(5, 5, 0.003);
+  const auto temp = model.steady_state(power);
+  const double t0 = temp.at(0, 0);
+  for (double t : temp.cells()) EXPECT_NEAR(t, t0, 1e-6);
+  EXPECT_NEAR(t0, 45.0 + 0.003 * model.params().sink_c_per_w, 1e-6);
+}
+
+TEST(Thermal, PointSourceDiffusesMonotonically) {
+  const ThermalModel model(fast_params());
+  util::Grid<double> power(7, 7, 0.0);
+  power.at(3, 3) = 0.004;
+  const auto temp = model.steady_state(power);
+  // Hottest at the source, decaying with distance, everything >= ambient.
+  EXPECT_GT(temp.at(3, 3), temp.at(2, 3));
+  EXPECT_GT(temp.at(2, 3), temp.at(1, 3));
+  EXPECT_GT(temp.at(1, 3), temp.at(0, 3));
+  for (double t : temp.cells()) EXPECT_GE(t, 45.0 - 1e-9);
+}
+
+TEST(Thermal, MorePowerIsHotterEverywhere) {
+  const ThermalModel model(fast_params());
+  util::Grid<double> low(5, 4, 0.001);
+  util::Grid<double> high(5, 4, 0.001);
+  high.at(1, 1) = 0.003;
+  const auto t_low = model.steady_state(low);
+  const auto t_high = model.steady_state(high);
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 5; ++c)
+      EXPECT_GE(t_high(c, r), t_low(c, r) - 1e-9);
+  EXPECT_GT(t_high.at(1, 1), t_low.at(1, 1) + 0.1);
+}
+
+TEST(Thermal, PowerFromUsageNormalizesToPeak) {
+  const ThermalModel model(fast_params());
+  util::Grid<std::int64_t> usage(3, 2, 0);
+  usage.at(0, 0) = 100;
+  usage.at(2, 1) = 50;
+  const auto power = model.power_from_usage(usage);
+  EXPECT_DOUBLE_EQ(power.at(0, 0), model.params().pe_peak_power_w);
+  EXPECT_DOUBLE_EQ(power.at(2, 1), model.params().pe_peak_power_w / 2);
+  EXPECT_DOUBLE_EQ(power.at(1, 0), 0.0);
+}
+
+TEST(Thermal, RejectsInvalidInput) {
+  const ThermalModel model;
+  util::Grid<double> bad(2, 2, -1.0);
+  EXPECT_THROW(model.steady_state(bad), precondition_error);
+  ThermalParams p;
+  p.sink_c_per_w = 0.0;
+  EXPECT_THROW(ThermalModel{p}, precondition_error);
+}
+
+TEST(Arrhenius, ReferenceIsUnity) {
+  EXPECT_NEAR(arrhenius_factor(55.0, 55.0), 1.0, 1e-12);
+}
+
+TEST(Arrhenius, HotterAcceleratesColderRetards) {
+  EXPECT_GT(arrhenius_factor(85.0, 55.0), 1.0);
+  EXPECT_LT(arrhenius_factor(25.0, 55.0), 1.0);
+}
+
+TEST(Arrhenius, TenDegreeRuleOfThumbMagnitude) {
+  // With Ea = 0.7 eV, +10 °C near 55 °C roughly doubles the rate.
+  const double af = arrhenius_factor(65.0, 55.0, 0.7);
+  EXPECT_GT(af, 1.5);
+  EXPECT_LT(af, 3.0);
+}
+
+TEST(Arrhenius, RejectsNonPhysicalInput) {
+  EXPECT_THROW(arrhenius_factor(55.0, 55.0, 0.0), precondition_error);
+  EXPECT_THROW(arrhenius_factor(-300.0, 55.0), precondition_error);
+}
+
+TEST(AcceleratedAlphas, UniformUsageIsUnaffected) {
+  // A perfectly level design sits at the mean temperature, AF = 1.
+  const ThermalModel model(fast_params());
+  util::Grid<std::int64_t> usage(6, 6, 1000);
+  const auto alphas = accelerated_alphas(usage, model);
+  for (double a : alphas) EXPECT_NEAR(a, 1000.0, 1e-6);
+}
+
+TEST(AcceleratedAlphas, HotspotsArePenalizedSuperlinearly) {
+  const ThermalModel model(fast_params());
+  util::Grid<std::int64_t> corner(6, 6, 100);
+  corner.at(0, 0) = 1000;
+  const auto alphas = accelerated_alphas(corner, model);
+  // The hotspot PE's effective stress exceeds its raw usage share.
+  const double hotspot = alphas[0];
+  EXPECT_GT(hotspot, 1000.0);
+}
+
+}  // namespace
+}  // namespace rota::thermal

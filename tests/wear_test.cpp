@@ -1,0 +1,768 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "arch/config.hpp"
+#include "sched/schedule.hpp"
+#include "util/rng.hpp"
+#include "wear/policy.hpp"
+#include "wear/rwl_math.hpp"
+#include "wear/trace.hpp"
+#include "wear/simulator.hpp"
+#include "wear/usage_tracker.hpp"
+
+namespace rota::wear {
+namespace {
+
+using util::precondition_error;
+
+/// Naive reference: add a (possibly wrapping) space cell by cell.
+void naive_add(util::Grid<std::int64_t>& grid, std::int64_t u, std::int64_t v,
+               std::int64_t x, std::int64_t y, std::int64_t count) {
+  const auto w = static_cast<std::int64_t>(grid.width());
+  const auto h = static_cast<std::int64_t>(grid.height());
+  for (std::int64_t dc = 0; dc < x; ++dc) {
+    for (std::int64_t dr = 0; dr < y; ++dr) {
+      grid(static_cast<std::size_t>((u + dc) % w),
+           static_cast<std::size_t>((v + dr) % h)) += count;
+    }
+  }
+}
+
+// -------------------------------------------------------- usage tracker ----
+
+TEST(UsageTracker, SimpleRectangle) {
+  UsageTracker t(5, 4);
+  t.add_space(1, 1, 2, 2, 3, false);
+  const auto& u = t.usage();
+  EXPECT_EQ(u.at(1, 1), 3);
+  EXPECT_EQ(u.at(2, 2), 3);
+  EXPECT_EQ(u.at(0, 0), 0);
+  EXPECT_EQ(u.at(3, 1), 0);
+  EXPECT_EQ(t.total_pe_allocations(), 3 * 2 * 2);
+}
+
+TEST(UsageTracker, WrapAroundBothAxes) {
+  UsageTracker t(5, 4);
+  t.add_space(4, 3, 3, 2, 1, true);  // wraps right and top
+  const auto& u = t.usage();
+  // Columns {4, 0, 1} × rows {3, 0} covered.
+  for (std::int64_t c : {4, 0, 1})
+    for (std::int64_t r : {3, 0})
+      EXPECT_EQ(u.at(static_cast<std::size_t>(c),
+                     static_cast<std::size_t>(r)),
+                1)
+          << c << ',' << r;
+  EXPECT_EQ(u.at(2, 0), 0);
+  EXPECT_EQ(u.at(4, 1), 0);
+}
+
+TEST(UsageTracker, MeshRejectsWrap) {
+  UsageTracker t(5, 4);
+  EXPECT_THROW(t.add_space(4, 0, 2, 1, 1, false), precondition_error);
+  EXPECT_THROW(t.add_space(0, 3, 1, 2, 1, false), precondition_error);
+  EXPECT_NO_THROW(t.add_space(3, 2, 2, 2, 1, false));
+}
+
+TEST(UsageTracker, RejectsOutOfRangeArguments) {
+  UsageTracker t(5, 4);
+  EXPECT_THROW(t.add_space(-1, 0, 1, 1, 1, true), precondition_error);
+  EXPECT_THROW(t.add_space(0, 4, 1, 1, 1, true), precondition_error);
+  EXPECT_THROW(t.add_space(0, 0, 6, 1, 1, true), precondition_error);
+  EXPECT_THROW(t.add_space(0, 0, 1, 5, 1, true), precondition_error);
+  EXPECT_THROW(t.add_space(0, 0, 1, 1, -1, true), precondition_error);
+}
+
+TEST(UsageTracker, ZeroCountIsNoOp) {
+  UsageTracker t(3, 3);
+  t.add_space(0, 0, 2, 2, 0, true);
+  EXPECT_EQ(t.stats().max, 0);
+  EXPECT_EQ(t.total_pe_allocations(), 0);
+}
+
+TEST(UsageTracker, UniformAddition) {
+  UsageTracker t(3, 2);
+  t.add_uniform(7);
+  t.add_space(0, 0, 1, 1, 2, false);
+  EXPECT_EQ(t.usage().at(0, 0), 9);
+  EXPECT_EQ(t.usage().at(2, 1), 7);
+  EXPECT_EQ(t.total_pe_allocations(), 7 * 6 + 2);
+}
+
+TEST(UsageTracker, ClearResets) {
+  UsageTracker t(3, 2);
+  t.add_space(0, 0, 3, 2, 5, false);
+  t.add_uniform(1);
+  t.clear();
+  EXPECT_EQ(t.stats().max, 0);
+  EXPECT_EQ(t.total_pe_allocations(), 0);
+}
+
+TEST(UsageTracker, StatsBasics) {
+  UsageTracker t(2, 2);
+  t.add_space(0, 0, 1, 1, 10, false);
+  t.add_space(1, 1, 1, 1, 4, false);
+  const UsageStats s = t.stats();
+  EXPECT_EQ(s.max, 10);
+  EXPECT_EQ(s.min, 0);
+  EXPECT_EQ(s.max_diff, 10);
+  EXPECT_TRUE(std::isinf(s.r_diff));  // min == 0
+  EXPECT_DOUBLE_EQ(s.mean, 14.0 / 4.0);
+}
+
+TEST(UsageTracker, RDiffFiniteWhenMinPositive) {
+  UsageTracker t(2, 1);
+  t.add_space(0, 0, 2, 1, 4, false);
+  t.add_space(1, 0, 1, 1, 1, false);
+  const UsageStats s = t.stats();
+  EXPECT_EQ(s.min, 4);
+  EXPECT_EQ(s.max_diff, 1);
+  EXPECT_DOUBLE_EQ(s.r_diff, 0.25);
+}
+
+TEST(UsageTracker, PerfectlyLevelHasZeroRDiff) {
+  UsageTracker t(4, 4);
+  t.add_uniform(9);
+  EXPECT_DOUBLE_EQ(t.stats().r_diff, 0.0);
+  EXPECT_EQ(t.stats().max_diff, 0);
+}
+
+/// Property: the difference-array implementation matches the naive
+/// per-cell reference for random wrapped placements.
+TEST(UsageTracker, MatchesNaiveReferenceOnRandomPlacements) {
+  util::SplitMix64 rng(2024);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::int64_t w = 1 + static_cast<std::int64_t>(rng.next_below(12));
+    const std::int64_t h = 1 + static_cast<std::int64_t>(rng.next_below(12));
+    UsageTracker t(w, h);
+    util::Grid<std::int64_t> ref(static_cast<std::size_t>(w),
+                                 static_cast<std::size_t>(h));
+    for (int i = 0; i < 30; ++i) {
+      const std::int64_t u =
+          static_cast<std::int64_t>(rng.next_below(static_cast<std::uint64_t>(w)));
+      const std::int64_t v =
+          static_cast<std::int64_t>(rng.next_below(static_cast<std::uint64_t>(h)));
+      const std::int64_t x =
+          1 + static_cast<std::int64_t>(rng.next_below(static_cast<std::uint64_t>(w)));
+      const std::int64_t y =
+          1 + static_cast<std::int64_t>(rng.next_below(static_cast<std::uint64_t>(h)));
+      const std::int64_t count =
+          static_cast<std::int64_t>(rng.next_below(4));
+      t.add_space(u, v, x, y, count, true);
+      naive_add(ref, u, v, x, y, count);
+    }
+    EXPECT_TRUE(t.usage() == ref) << "trial " << trial;
+  }
+}
+
+// ------------------------------------------------------------- RWL math ----
+
+TEST(RwlMath, PaperWorkedExampleResNetC5) {
+  // §IV-C / Fig. 5: ResNet C5 with 8×8 spaces and Z = 32 tiles on the
+  // 14×12 Eyeriss array: lcm(14,8) = 56, X = 7, W = 4, Y = 4, H_RWL = 2.
+  const RwlDerived d = rwl_derive({14, 12, 8, 8, 32});
+  EXPECT_EQ(d.strides_x, 7);
+  EXPECT_EQ(d.unfold_w, 4);
+  EXPECT_EQ(d.strides_y, 4);
+  EXPECT_EQ(d.unfold_h, 2);
+  EXPECT_EQ(d.d_max_bound, 5);  // W + 1
+}
+
+TEST(RwlMath, UnfoldIdentity) {
+  // X·x == W·w == lcm(w, x) by construction.
+  for (std::int64_t w : {5, 8, 12, 14, 16}) {
+    for (std::int64_t x = 1; x <= w; ++x) {
+      const RwlDerived d = rwl_derive({w, 12, x, 4, 100});
+      EXPECT_EQ(d.strides_x * x, d.unfold_w * w);
+    }
+  }
+}
+
+TEST(RwlMath, DivisibleSpaceNeedsNoUnfolding) {
+  // x | w → one pass across the array levels it: W = 1, X = w/x.
+  const RwlDerived d = rwl_derive({12, 12, 4, 4, 9});
+  EXPECT_EQ(d.strides_x, 3);
+  EXPECT_EQ(d.unfold_w, 1);
+}
+
+TEST(RwlMath, RejectsOversizedSpace) {
+  EXPECT_THROW(rwl_derive({14, 12, 15, 8, 10}), precondition_error);
+  EXPECT_THROW(rwl_derive({14, 12, 8, 13, 10}), precondition_error);
+  EXPECT_THROW(rwl_derive({0, 12, 1, 1, 10}), precondition_error);
+}
+
+TEST(RwlMath, PeriodCoversLatticeOnce) {
+  // period · x · y == uniform · w · h (total coverage consistency).
+  util::SplitMix64 rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::int64_t w = 2 + static_cast<std::int64_t>(rng.next_below(20));
+    const std::int64_t h = 2 + static_cast<std::int64_t>(rng.next_below(20));
+    const std::int64_t x =
+        1 + static_cast<std::int64_t>(rng.next_below(static_cast<std::uint64_t>(w)));
+    const std::int64_t y =
+        1 + static_cast<std::int64_t>(rng.next_below(static_cast<std::uint64_t>(h)));
+    const RwlParams p{w, h, x, y, 1};
+    EXPECT_EQ(period_tiles(p) * x * y, uniform_per_period(p) * w * h);
+  }
+}
+
+/// Property (drives the fast-forward): one period of the stride policy,
+/// started from ANY phase, covers every PE exactly uniform_per_period
+/// times and returns the stride state to where it began.
+TEST(RwlMath, PeriodIsUniformFromAnyPhase) {
+  util::SplitMix64 rng(99);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::int64_t w = 2 + static_cast<std::int64_t>(rng.next_below(14));
+    const std::int64_t h = 2 + static_cast<std::int64_t>(rng.next_below(14));
+    const std::int64_t x =
+        1 + static_cast<std::int64_t>(rng.next_below(static_cast<std::uint64_t>(w)));
+    const std::int64_t y =
+        1 + static_cast<std::int64_t>(rng.next_below(static_cast<std::uint64_t>(h)));
+    const RwlParams p{w, h, x, y, 0};
+    const std::int64_t period = period_tiles(p);
+    const std::int64_t phase =
+        static_cast<std::int64_t>(rng.next_below(
+            static_cast<std::uint64_t>(period)));
+
+    auto policy = make_policy(PolicyKind::kRwlRo, w, h);
+    const sched::UtilSpace space{x, y};
+    policy->begin_layer(space);
+    for (std::int64_t i = 0; i < phase; ++i) policy->next_origin(space);
+
+    const Placement before = [&] {
+      auto probe = policy->clone();
+      return probe->next_origin(space);
+    }();
+
+    UsageTracker t(w, h);
+    for (std::int64_t i = 0; i < period; ++i) {
+      const Placement at = policy->next_origin(space);
+      t.add_space(at.u, at.v, x, y, 1, true);
+    }
+    const UsageStats st = t.stats();
+    EXPECT_EQ(st.max_diff, 0) << "w" << w << " h" << h << " x" << x << " y"
+                              << y << " phase " << phase;
+    EXPECT_EQ(st.min, uniform_per_period(p));
+
+    const Placement after = [&] {
+      auto probe = policy->clone();
+      return probe->next_origin(space);
+    }();
+    EXPECT_EQ(before.u, after.u);
+    EXPECT_EQ(before.v, after.v);
+  }
+}
+
+// ------------------------------------------------------------- policies ----
+
+sched::LayerSchedule layer_of(std::int64_t x, std::int64_t y,
+                              std::int64_t tiles, const char* name = "l") {
+  sched::LayerSchedule ls;
+  ls.layer_name = name;
+  ls.space = sched::UtilSpace{x, y};
+  ls.tiles = tiles;
+  ls.compute_macs_per_pe = 1;
+  ls.reduction_steps = 1;
+  return ls;
+}
+
+TEST(Policy, BaselineAlwaysAnchorsAtOrigin) {
+  auto p = make_policy(PolicyKind::kBaseline, 14, 12);
+  const sched::UtilSpace space{5, 3};
+  p->begin_layer(space);
+  for (int i = 0; i < 10; ++i) {
+    const Placement at = p->next_origin(space);
+    EXPECT_EQ(at.u, 0);
+    EXPECT_EQ(at.v, 0);
+  }
+  EXPECT_FALSE(p->requires_torus());
+}
+
+/// 1-indexed reference implementation transcribed verbatim from
+/// Algorithm 1 of the paper: u ← (u + x − 1) % w + 1, and a vertical
+/// stride when u == 1 (the origin loops back to the leftmost PE).
+class Algorithm1Reference {
+ public:
+  Algorithm1Reference(std::int64_t w, std::int64_t h) : w_(w), h_(h) {}
+
+  void begin_layer(std::int64_t x, std::int64_t y) {
+    x_ = x;
+    y_ = y;
+  }
+
+  Placement next() {
+    const Placement at{u_ - 1, v_ - 1};  // convert to 0-indexed
+    u_ = (u_ + x_ - 1) % w_ + 1;
+    if (u_ == 1) v_ = (v_ + y_ - 1) % h_ + 1;
+    return at;
+  }
+
+ private:
+  std::int64_t w_;
+  std::int64_t h_;
+  std::int64_t x_ = 1;
+  std::int64_t y_ = 1;
+  std::int64_t u_ = 1;
+  std::int64_t v_ = 1;
+};
+
+TEST(Policy, RwlRoMatchesAlgorithm1AcrossLayers) {
+  util::SplitMix64 rng(4);
+  const std::int64_t w = 14;
+  const std::int64_t h = 12;
+  auto policy = make_policy(PolicyKind::kRwlRo, w, h);
+  Algorithm1Reference ref(w, h);
+  for (int layer = 0; layer < 12; ++layer) {
+    const std::int64_t x =
+        1 + static_cast<std::int64_t>(rng.next_below(static_cast<std::uint64_t>(w)));
+    const std::int64_t y =
+        1 + static_cast<std::int64_t>(rng.next_below(static_cast<std::uint64_t>(h)));
+    const std::int64_t z = 1 + static_cast<std::int64_t>(rng.next_below(60));
+    const sched::UtilSpace space{x, y};
+    policy->begin_layer(space);
+    ref.begin_layer(x, y);
+    for (std::int64_t i = 0; i < z; ++i) {
+      const Placement got = policy->next_origin(space);
+      const Placement want = ref.next();
+      ASSERT_EQ(got.u, want.u) << "layer " << layer << " tile " << i;
+      ASSERT_EQ(got.v, want.v) << "layer " << layer << " tile " << i;
+    }
+  }
+}
+
+TEST(Policy, RwlResetsEveryLayerButRwlRoDoesNot) {
+  const sched::UtilSpace space{5, 4};
+  auto rwl = make_policy(PolicyKind::kRwl, 14, 12);
+  auto ro = make_policy(PolicyKind::kRwlRo, 14, 12);
+  for (auto* p : {rwl.get(), ro.get()}) {
+    p->begin_layer(space);
+    for (int i = 0; i < 3; ++i) p->next_origin(space);
+  }
+  rwl->begin_layer(space);
+  ro->begin_layer(space);
+  const Placement r = rwl->next_origin(space);
+  const Placement o = ro->next_origin(space);
+  EXPECT_EQ(r.u, 0);
+  EXPECT_EQ(r.v, 0);
+  EXPECT_NE(o.u, 0);  // three 5-wide strides: u = 15 % 14 = 1
+}
+
+TEST(Policy, StrideSequenceMatchesPaperExample) {
+  // w = 14, x = 8: origins 0, 8, 16%14=2, 10, 4, 12, 6, then back to 0
+  // with a vertical stride — seven strides as X = lcm(14,8)/8 = 7.
+  auto p = make_policy(PolicyKind::kRwl, 14, 12);
+  const sched::UtilSpace space{8, 8};
+  p->begin_layer(space);
+  const std::int64_t expected_u[] = {0, 8, 2, 10, 4, 12, 6, 0};
+  for (int i = 0; i < 8; ++i) {
+    const Placement at = p->next_origin(space);
+    EXPECT_EQ(at.u, expected_u[i]) << i;
+    EXPECT_EQ(at.v, i < 7 ? 0 : 8);
+  }
+}
+
+TEST(Policy, CloneIsIndependent) {
+  auto p = make_policy(PolicyKind::kRwlRo, 14, 12);
+  const sched::UtilSpace space{5, 4};
+  p->begin_layer(space);
+  p->next_origin(space);
+  auto q = p->clone();
+  const Placement a = p->next_origin(space);
+  const Placement b = q->next_origin(space);
+  EXPECT_EQ(a.u, b.u);
+  EXPECT_EQ(a.v, b.v);
+  p->next_origin(space);  // advancing p must not affect q
+  const Placement c = q->next_origin(space);
+  EXPECT_EQ(c.u, (b.u + 5) % 14);
+}
+
+TEST(Policy, RandomStartDeterministicPerSeed) {
+  auto a = make_policy(PolicyKind::kRandomStart, 14, 12, 42);
+  auto b = make_policy(PolicyKind::kRandomStart, 14, 12, 42);
+  const sched::UtilSpace space{3, 3};
+  for (int i = 0; i < 50; ++i) {
+    const Placement pa = a->next_origin(space);
+    const Placement pb = b->next_origin(space);
+    EXPECT_EQ(pa.u, pb.u);
+    EXPECT_EQ(pa.v, pb.v);
+    EXPECT_GE(pa.u, 0);
+    EXPECT_LT(pa.u, 14);
+    EXPECT_GE(pa.v, 0);
+    EXPECT_LT(pa.v, 12);
+  }
+}
+
+TEST(Policy, ResetRestoresInitialSequence) {
+  for (PolicyKind kind : {PolicyKind::kRwl, PolicyKind::kRwlRo,
+                          PolicyKind::kRandomStart,
+                          PolicyKind::kDiagonalStride}) {
+    auto p = make_policy(kind, 14, 12, 7);
+    const sched::UtilSpace space{5, 4};
+    p->begin_layer(space);
+    std::vector<Placement> first;
+    for (int i = 0; i < 8; ++i) first.push_back(p->next_origin(space));
+    p->reset();
+    p->begin_layer(space);
+    for (int i = 0; i < 8; ++i) {
+      const Placement at = p->next_origin(space);
+      EXPECT_EQ(at.u, first[static_cast<std::size_t>(i)].u) << to_string(kind);
+      EXPECT_EQ(at.v, first[static_cast<std::size_t>(i)].v) << to_string(kind);
+    }
+  }
+}
+
+// ------------------------------------------------- paper bound properties ----
+
+/// Eq. (9): after a fresh per-layer RWL pass, D_max <= W + 1; and Eq. (10)
+/// never overestimates the simulated minimum usage.
+TEST(RwlBounds, Eq9AndEq10HoldOnRandomConfigs) {
+  util::SplitMix64 rng(123);
+  for (int trial = 0; trial < 400; ++trial) {
+    const std::int64_t w = 2 + static_cast<std::int64_t>(rng.next_below(30));
+    const std::int64_t h = 2 + static_cast<std::int64_t>(rng.next_below(30));
+    const std::int64_t x =
+        1 + static_cast<std::int64_t>(rng.next_below(static_cast<std::uint64_t>(w)));
+    const std::int64_t y =
+        1 + static_cast<std::int64_t>(rng.next_below(static_cast<std::uint64_t>(h)));
+    const std::int64_t z = 1 + static_cast<std::int64_t>(rng.next_below(2000));
+    const RwlDerived d = rwl_derive({w, h, x, y, z});
+
+    UsageTracker t(w, h);
+    auto policy = make_policy(PolicyKind::kRwl, w, h);
+    const sched::UtilSpace space{x, y};
+    policy->begin_layer(space);
+    for (std::int64_t i = 0; i < z; ++i) {
+      const Placement at = policy->next_origin(space);
+      t.add_space(at.u, at.v, x, y, 1, true);
+    }
+    const UsageStats st = t.stats();
+    EXPECT_LE(st.max_diff, d.d_max_bound)
+        << "w" << w << " h" << h << " x" << x << " y" << y << " z" << z;
+    EXPECT_GE(st.min, d.min_a_pe)
+        << "w" << w << " h" << h << " x" << x << " y" << y << " z" << z;
+  }
+}
+
+// ---------------------------------------------------------------- trace ----
+
+TEST(Trace, RecordsEveryPlacementInOrder) {
+  auto traced = std::make_unique<TracingPolicy>(
+      make_policy(PolicyKind::kRwlRo, 14, 12));
+  const sched::UtilSpace space{8, 8};
+  traced->begin_layer(space);
+  for (int i = 0; i < 5; ++i) traced->next_origin(space);
+  const auto& recs = traced->records();
+  ASSERT_EQ(recs.size(), 5u);
+  const std::int64_t expected_u[] = {0, 8, 2, 10, 4};
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    EXPECT_EQ(recs[i].tile_index, static_cast<std::int64_t>(i));
+    EXPECT_EQ(recs[i].layer_index, 0);
+    EXPECT_EQ(recs[i].u, expected_u[i]);
+    EXPECT_EQ(recs[i].v, 0);
+    EXPECT_EQ(recs[i].x, 8);
+  }
+}
+
+TEST(Trace, LayerIndexAdvancesWithBeginLayer) {
+  auto traced = std::make_unique<TracingPolicy>(
+      make_policy(PolicyKind::kBaseline, 14, 12));
+  const sched::UtilSpace space{3, 3};
+  traced->begin_layer(space);
+  traced->next_origin(space);
+  traced->begin_layer(space);
+  traced->next_origin(space);
+  ASSERT_EQ(traced->records().size(), 2u);
+  EXPECT_EQ(traced->records()[0].layer_index, 0);
+  EXPECT_EQ(traced->records()[1].layer_index, 1);
+}
+
+TEST(Trace, TracedSimulationMatchesUntracedUsage) {
+  // Tracing disables the fast path but must not change behavior.
+  sched::NetworkSchedule ns;
+  ns.config = arch::rota_like();
+  ns.layers.push_back(layer_of(8, 8, 90, "a"));
+  ns.layers.push_back(layer_of(5, 11, 33, "b"));
+
+  WearSimulator plain_sim(arch::rota_like());
+  auto plain = make_policy(PolicyKind::kRwlRo, 14, 12);
+  plain_sim.run_iterations(ns, *plain, 2);
+
+  WearSimulator traced_sim(arch::rota_like());
+  TracingPolicy traced(make_policy(PolicyKind::kRwlRo, 14, 12));
+  traced_sim.run_iterations(ns, traced, 2);
+
+  EXPECT_TRUE(plain_sim.tracker().usage() == traced_sim.tracker().usage());
+  EXPECT_EQ(traced.records().size(), 2u * (90 + 33));
+}
+
+TEST(Trace, CsvEmission) {
+  TracingPolicy traced(make_policy(PolicyKind::kRwl, 14, 12));
+  const sched::UtilSpace space{4, 4};
+  traced.begin_layer(space);
+  traced.next_origin(space);
+  std::ostringstream os;
+  write_trace_csv(traced.records(), os);
+  EXPECT_EQ(os.str(), "tile,layer,x,y,u,v\n0,0,4,4,0,0\n");
+}
+
+TEST(Trace, CloneCarriesTraceState) {
+  TracingPolicy traced(make_policy(PolicyKind::kRwlRo, 14, 12));
+  const sched::UtilSpace space{4, 4};
+  traced.begin_layer(space);
+  traced.next_origin(space);
+  auto copy = traced.clone();
+  auto* copy_traced = dynamic_cast<TracingPolicy*>(copy.get());
+  ASSERT_NE(copy_traced, nullptr);
+  EXPECT_EQ(copy_traced->records().size(), 1u);
+}
+
+// ------------------------------------------------------------ simulator ----
+
+sched::NetworkSchedule tiny_schedule(arch::AcceleratorConfig cfg) {
+  sched::NetworkSchedule ns;
+  ns.network_name = "tiny";
+  ns.network_abbr = "tiny";
+  ns.config = std::move(cfg);
+  ns.layers.push_back(layer_of(8, 8, 32, "a"));
+  ns.layers.push_back(layer_of(5, 12, 17, "b"));
+  ns.layers.push_back(layer_of(14, 3, 9, "c"));
+  return ns;
+}
+
+TEST(Simulator, MeshRejectsTorusPolicies) {
+  WearSimulator sim(arch::eyeriss_like());
+  auto policy = make_policy(PolicyKind::kRwlRo, 14, 12);
+  const auto ns = tiny_schedule(arch::eyeriss_like());
+  EXPECT_THROW(sim.run_iteration(ns, *policy), precondition_error);
+}
+
+TEST(Simulator, MeshAcceptsBaseline) {
+  WearSimulator sim(arch::eyeriss_like());
+  auto policy = make_policy(PolicyKind::kBaseline, 14, 12);
+  const auto ns = tiny_schedule(arch::eyeriss_like());
+  EXPECT_NO_THROW(sim.run_iteration(ns, *policy));
+  EXPECT_EQ(sim.tracker().usage().at(0, 0), 32 + 17 + 9);
+}
+
+TEST(Simulator, RejectsMismatchedPolicyDimensions) {
+  WearSimulator sim(arch::rota_like());
+  auto policy = make_policy(PolicyKind::kRwlRo, 10, 10);
+  const auto ns = tiny_schedule(arch::rota_like());
+  EXPECT_THROW(sim.run_iteration(ns, *policy), precondition_error);
+}
+
+TEST(Simulator, SamplerCalledOncePerIteration) {
+  WearSimulator sim(arch::rota_like());
+  auto policy = make_policy(PolicyKind::kRwlRo, 14, 12);
+  const auto ns = tiny_schedule(arch::rota_like());
+  std::vector<std::int64_t> seen;
+  sim.run_iterations(ns, *policy, 5,
+                     [&](std::int64_t it, const UsageTracker&) {
+                       seen.push_back(it);
+                     });
+  EXPECT_EQ(seen, (std::vector<std::int64_t>{1, 2, 3, 4, 5}));
+}
+
+/// The exact-periodicity fast-forward must be bit-identical to the naive
+/// per-tile path for every policy that implements it.
+TEST(Simulator, FastForwardMatchesNaivePath) {
+  util::SplitMix64 rng(555);
+  for (PolicyKind kind : {PolicyKind::kBaseline, PolicyKind::kRwl,
+                          PolicyKind::kRwlRo}) {
+    for (int trial = 0; trial < 20; ++trial) {
+      const std::int64_t w = 3 + static_cast<std::int64_t>(rng.next_below(14));
+      const std::int64_t h = 3 + static_cast<std::int64_t>(rng.next_below(14));
+      arch::AcceleratorConfig cfg = arch::rota_like();
+      cfg.array_width = w;
+      cfg.array_height = h;
+
+      sched::NetworkSchedule ns;
+      ns.network_name = "rand";
+      ns.network_abbr = "rand";
+      ns.config = cfg;
+      const int layer_count = 1 + static_cast<int>(rng.next_below(5));
+      for (int l = 0; l < layer_count; ++l) {
+        const std::int64_t x =
+            1 + static_cast<std::int64_t>(rng.next_below(static_cast<std::uint64_t>(w)));
+        const std::int64_t y =
+            1 + static_cast<std::int64_t>(rng.next_below(static_cast<std::uint64_t>(h)));
+        const std::int64_t z =
+            1 + static_cast<std::int64_t>(rng.next_below(900));
+        std::string lname = "l";
+        lname += std::to_string(l);
+        ns.layers.push_back(layer_of(x, y, z, lname.c_str()));
+      }
+
+      WearSimulator fast(cfg, SimulatorOptions{true});
+      WearSimulator naive(cfg, SimulatorOptions{false});
+      auto pf = make_policy(kind, w, h);
+      auto pn = make_policy(kind, w, h);
+      fast.run_iterations(ns, *pf, 3);
+      naive.run_iterations(ns, *pn, 3);
+      EXPECT_TRUE(fast.tracker().usage() == naive.tracker().usage())
+          << to_string(kind) << " trial " << trial;
+    }
+  }
+}
+
+TEST(Simulator, FastForwardMatchesNaiveInFrozenBandState) {
+  // RWL+RO can enter a state whose horizontal coordinate is off the
+  // column-0 stride lattice of the next layer (gcd(w, x) does not divide
+  // u): v freezes and the fast path levels a horizontal band instead of
+  // the whole array. Construct that state deliberately: layer A (x = 5,
+  // one tile) leaves u = 5; layer B has x = 8 on w = 14 (gcd 2, 5 is odd).
+  sched::NetworkSchedule ns;
+  ns.config = arch::rota_like();
+  ns.layers.push_back(layer_of(5, 4, 1, "odd_shift"));
+  ns.layers.push_back(layer_of(8, 7, 300, "frozen_band"));
+
+  WearSimulator fast(arch::rota_like(), SimulatorOptions{true});
+  WearSimulator naive(arch::rota_like(), SimulatorOptions{false});
+  auto pf = make_policy(PolicyKind::kRwlRo, 14, 12);
+  auto pn = make_policy(PolicyKind::kRwlRo, 14, 12);
+  fast.run_iterations(ns, *pf, 3);
+  naive.run_iterations(ns, *pn, 3);
+  EXPECT_TRUE(fast.tracker().usage() == naive.tracker().usage());
+
+  // Sanity: the frozen layer really could not advance v — rows outside
+  // its band plus the first layer's rows stay at low usage.
+  const auto st = naive.tracker().stats();
+  EXPECT_GT(st.max_diff, 0);
+}
+
+TEST(Simulator, FastForwardMatchesNaiveAcrossOddEvenLayerMixes) {
+  // Random walks through layers with mixed gcd structure, so both bulk
+  // branches (full-lattice and frozen-band) interleave.
+  util::SplitMix64 rng(777);
+  for (int trial = 0; trial < 10; ++trial) {
+    sched::NetworkSchedule ns;
+    ns.config = arch::rota_like();
+    const int layers = 4 + static_cast<int>(rng.next_below(5));
+    for (int l = 0; l < layers; ++l) {
+      const std::int64_t x =
+          1 + static_cast<std::int64_t>(rng.next_below(14));
+      const std::int64_t y =
+          1 + static_cast<std::int64_t>(rng.next_below(12));
+      const std::int64_t z =
+          1 + static_cast<std::int64_t>(rng.next_below(600));
+      std::string lname = "l";
+      lname += std::to_string(l);
+      ns.layers.push_back(layer_of(x, y, z, lname.c_str()));
+    }
+    WearSimulator fast(arch::rota_like(), SimulatorOptions{true});
+    WearSimulator naive(arch::rota_like(), SimulatorOptions{false});
+    auto pf = make_policy(PolicyKind::kRwlRo, 14, 12);
+    auto pn = make_policy(PolicyKind::kRwlRo, 14, 12);
+    fast.run_iterations(ns, *pf, 5);
+    naive.run_iterations(ns, *pn, 5);
+    EXPECT_TRUE(fast.tracker().usage() == naive.tracker().usage())
+        << "trial " << trial;
+  }
+}
+
+TEST(Simulator, AllocationConservation) {
+  // Every policy records exactly Σ Z·x·y PE-allocations per iteration.
+  const auto ns = tiny_schedule(arch::rota_like());
+  std::int64_t expected = 0;
+  for (const auto& l : ns.layers) expected += l.tiles * l.space.x * l.space.y;
+  for (PolicyKind kind : {PolicyKind::kBaseline, PolicyKind::kRwl,
+                          PolicyKind::kRwlRo, PolicyKind::kRandomStart,
+                          PolicyKind::kDiagonalStride}) {
+    WearSimulator sim(arch::rota_like());
+    auto policy = make_policy(kind, 14, 12);
+    sim.run_iterations(ns, *policy, 4);
+    EXPECT_EQ(sim.tracker().total_pe_allocations(), 4 * expected)
+        << to_string(kind);
+    std::int64_t grid_sum = 0;
+    for (std::int64_t v : sim.tracker().usage().cells()) grid_sum += v;
+    EXPECT_EQ(grid_sum, 4 * expected) << to_string(kind);
+  }
+}
+
+TEST(Simulator, RwlRoBoundsUsageDifferenceOverIterations) {
+  // Fig. 6b: with RWL+RO the max usage difference stays bounded while the
+  // baseline's grows linearly in the iteration count.
+  const auto ns = tiny_schedule(arch::rota_like());
+  WearSimulator ro_sim(arch::rota_like());
+  auto ro = make_policy(PolicyKind::kRwlRo, 14, 12);
+  std::int64_t ro_worst = 0;
+  ro_sim.run_iterations(ns, *ro, 200,
+                        [&](std::int64_t, const UsageTracker& t) {
+                          ro_worst = std::max(ro_worst, t.stats().max_diff);
+                        });
+
+  WearSimulator base_sim(arch::rota_like());
+  auto base = make_policy(PolicyKind::kBaseline, 14, 12);
+  base_sim.run_iterations(ns, *base, 200);
+  const std::int64_t base_final = base_sim.tracker().stats().max_diff;
+
+  EXPECT_LT(ro_worst * 20, base_final);
+}
+
+TEST(Simulator, ActiveCycleMetricScalesCountersUniformly) {
+  // For a schedule whose layers share one weight, cycle-weighted usage is
+  // exactly the allocation-counted usage times that weight.
+  sched::NetworkSchedule ns;
+  ns.config = arch::rota_like();
+  auto layer = layer_of(8, 8, 40, "a");
+  layer.compute_macs_per_pe = 6;
+  layer.reduction_steps = 2;
+  layer.allocations_per_tile = 3;
+  ns.layers.push_back(layer);
+
+  wear::WearSimulator alloc_sim(
+      arch::rota_like(), SimulatorOptions{true, WearMetric::kAllocations});
+  wear::WearSimulator cyc_sim(
+      arch::rota_like(), SimulatorOptions{true, WearMetric::kActiveCycles});
+  auto p1 = make_policy(PolicyKind::kRwlRo, 14, 12);
+  auto p2 = make_policy(PolicyKind::kRwlRo, 14, 12);
+  alloc_sim.run_iterations(ns, *p1, 3);
+  cyc_sim.run_iterations(ns, *p2, 3);
+
+  const std::int64_t weight = 6 * 2 * 3;
+  const auto& a = alloc_sim.tracker().usage();
+  const auto& c = cyc_sim.tracker().usage();
+  for (std::size_t i = 0; i < a.cells().size(); ++i) {
+    EXPECT_EQ(c.cells()[i], a.cells()[i] * weight);
+  }
+}
+
+TEST(Simulator, ActiveCycleFastForwardMatchesNaive) {
+  sched::NetworkSchedule ns;
+  ns.config = arch::rota_like();
+  for (int l = 0; l < 3; ++l) {
+    auto layer = layer_of(3 + 2 * l, 5 + l, 57 + 13 * l,
+                          ("l" + std::to_string(l)).c_str());
+    layer.layer_name = "l" + std::to_string(l);
+    layer.compute_macs_per_pe = 2 + l;
+    layer.reduction_steps = 1 + l;
+    layer.allocations_per_tile = 1 + 2 * l;
+    ns.layers.push_back(layer);
+  }
+  for (PolicyKind kind : {PolicyKind::kBaseline, PolicyKind::kRwl,
+                          PolicyKind::kRwlRo}) {
+    wear::WearSimulator fast(
+        arch::rota_like(), SimulatorOptions{true, WearMetric::kActiveCycles});
+    wear::WearSimulator naive(
+        arch::rota_like(), SimulatorOptions{false, WearMetric::kActiveCycles});
+    auto pf = make_policy(kind, 14, 12);
+    auto pn = make_policy(kind, 14, 12);
+    fast.run_iterations(ns, *pf, 4);
+    naive.run_iterations(ns, *pn, 4);
+    EXPECT_TRUE(fast.tracker().usage() == naive.tracker().usage())
+        << to_string(kind);
+  }
+}
+
+TEST(Simulator, OversizedSpaceRejected) {
+  WearSimulator sim(arch::rota_like());
+  auto policy = make_policy(PolicyKind::kRwlRo, 14, 12);
+  sched::NetworkSchedule ns;
+  ns.config = arch::rota_like();
+  ns.layers.push_back(layer_of(15, 3, 4));
+  EXPECT_THROW(sim.run_layer(ns.layers[0], *policy), precondition_error);
+}
+
+}  // namespace
+}  // namespace rota::wear
