@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_dataflow.dir/abl_dataflow.cpp.o"
+  "CMakeFiles/abl_dataflow.dir/abl_dataflow.cpp.o.d"
+  "abl_dataflow"
+  "abl_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_mapper.dir/abl_mapper.cpp.o"
+  "CMakeFiles/abl_mapper.dir/abl_mapper.cpp.o.d"
+  "abl_mapper"
+  "abl_mapper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_mapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

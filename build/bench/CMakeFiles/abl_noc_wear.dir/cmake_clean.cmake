@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_noc_wear.dir/abl_noc_wear.cpp.o"
+  "CMakeFiles/abl_noc_wear.dir/abl_noc_wear.cpp.o.d"
+  "abl_noc_wear"
+  "abl_noc_wear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_noc_wear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

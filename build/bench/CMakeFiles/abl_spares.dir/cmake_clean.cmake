@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_spares.dir/abl_spares.cpp.o"
+  "CMakeFiles/abl_spares.dir/abl_spares.cpp.o.d"
+  "abl_spares"
+  "abl_spares.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_spares.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_thermal.dir/abl_thermal.cpp.o"
+  "CMakeFiles/abl_thermal.dir/abl_thermal.cpp.o.d"
+  "abl_thermal"
+  "abl_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

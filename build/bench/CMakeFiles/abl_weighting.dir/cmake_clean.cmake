@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_weighting.dir/abl_weighting.cpp.o"
+  "CMakeFiles/abl_weighting.dir/abl_weighting.cpp.o.d"
+  "abl_weighting"
+  "abl_weighting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_weighting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

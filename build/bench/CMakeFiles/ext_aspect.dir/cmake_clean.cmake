@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_aspect.dir/ext_aspect.cpp.o"
+  "CMakeFiles/ext_aspect.dir/ext_aspect.cpp.o.d"
+  "ext_aspect"
+  "ext_aspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_aspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multinet.dir/ext_multinet.cpp.o"
+  "CMakeFiles/ext_multinet.dir/ext_multinet.cpp.o.d"
+  "ext_multinet"
+  "ext_multinet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multinet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

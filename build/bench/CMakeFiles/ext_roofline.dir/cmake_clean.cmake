@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_roofline.dir/ext_roofline.cpp.o"
+  "CMakeFiles/ext_roofline.dir/ext_roofline.cpp.o.d"
+  "ext_roofline"
+  "ext_roofline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

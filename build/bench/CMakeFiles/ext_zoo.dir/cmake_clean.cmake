@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_zoo.dir/ext_zoo.cpp.o"
+  "CMakeFiles/ext_zoo.dir/ext_zoo.cpp.o.d"
+  "ext_zoo"
+  "ext_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig02_pe_utilization.cpp" "bench/CMakeFiles/fig02_pe_utilization.dir/fig02_pe_utilization.cpp.o" "gcc" "bench/CMakeFiles/fig02_pe_utilization.dir/fig02_pe_utilization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/rota_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rota_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/rota_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rota_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/reliability/CMakeFiles/rota_rel.dir/DependInfo.cmake"
+  "/root/repo/build/src/wear/CMakeFiles/rota_wear.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/rota_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/rota_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/rota_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rota_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_pe_utilization.dir/fig02_pe_utilization.cpp.o"
+  "CMakeFiles/fig02_pe_utilization.dir/fig02_pe_utilization.cpp.o.d"
+  "fig02_pe_utilization"
+  "fig02_pe_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_pe_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

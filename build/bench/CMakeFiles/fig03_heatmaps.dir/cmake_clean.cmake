@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_heatmaps.dir/fig03_heatmaps.cpp.o"
+  "CMakeFiles/fig03_heatmaps.dir/fig03_heatmaps.cpp.o.d"
+  "fig03_heatmaps"
+  "fig03_heatmaps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_heatmaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_rwl_math.dir/fig05_rwl_math.cpp.o"
+  "CMakeFiles/fig05_rwl_math.dir/fig05_rwl_math.cpp.o.d"
+  "fig05_rwl_math"
+  "fig05_rwl_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_rwl_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

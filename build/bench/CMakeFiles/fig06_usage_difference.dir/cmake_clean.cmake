@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_usage_difference.dir/fig06_usage_difference.cpp.o"
+  "CMakeFiles/fig06_usage_difference.dir/fig06_usage_difference.cpp.o.d"
+  "fig06_usage_difference"
+  "fig06_usage_difference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_usage_difference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

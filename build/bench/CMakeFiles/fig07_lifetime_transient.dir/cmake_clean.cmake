@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_lifetime_transient.dir/fig07_lifetime_transient.cpp.o"
+  "CMakeFiles/fig07_lifetime_transient.dir/fig07_lifetime_transient.cpp.o.d"
+  "fig07_lifetime_transient"
+  "fig07_lifetime_transient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_lifetime_transient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_lifetime_improvement.dir/fig08_lifetime_improvement.cpp.o"
+  "CMakeFiles/fig08_lifetime_improvement.dir/fig08_lifetime_improvement.cpp.o.d"
+  "fig08_lifetime_improvement"
+  "fig08_lifetime_improvement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_lifetime_improvement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

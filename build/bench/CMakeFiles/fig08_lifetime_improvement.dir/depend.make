@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_lifetime_improvement.
+# This may be replaced when dependencies are built.

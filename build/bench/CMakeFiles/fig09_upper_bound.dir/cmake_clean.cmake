@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_upper_bound.dir/fig09_upper_bound.cpp.o"
+  "CMakeFiles/fig09_upper_bound.dir/fig09_upper_bound.cpp.o.d"
+  "fig09_upper_bound"
+  "fig09_upper_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_upper_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

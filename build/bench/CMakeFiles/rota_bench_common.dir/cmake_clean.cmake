@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/librota_bench_common.a"
+  "../lib/librota_bench_common.pdb"
+  "CMakeFiles/rota_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/rota_bench_common.dir/bench_common.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rota_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

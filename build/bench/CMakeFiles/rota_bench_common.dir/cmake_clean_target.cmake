@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/librota_bench_common.a"
+)

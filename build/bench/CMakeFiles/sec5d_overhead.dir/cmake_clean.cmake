@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec5d_overhead.dir/sec5d_overhead.cpp.o"
+  "CMakeFiles/sec5d_overhead.dir/sec5d_overhead.cpp.o.d"
+  "sec5d_overhead"
+  "sec5d_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec5d_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

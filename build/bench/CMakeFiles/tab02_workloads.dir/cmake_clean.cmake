@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_workloads.dir/tab02_workloads.cpp.o"
+  "CMakeFiles/tab02_workloads.dir/tab02_workloads.cpp.o.d"
+  "tab02_workloads"
+  "tab02_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

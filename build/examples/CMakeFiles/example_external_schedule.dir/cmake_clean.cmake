@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_external_schedule.dir/external_schedule.cpp.o"
+  "CMakeFiles/example_external_schedule.dir/external_schedule.cpp.o.d"
+  "external_schedule"
+  "external_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_external_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

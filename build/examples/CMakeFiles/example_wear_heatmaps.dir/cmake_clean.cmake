@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_wear_heatmaps.dir/wear_heatmaps.cpp.o"
+  "CMakeFiles/example_wear_heatmaps.dir/wear_heatmaps.cpp.o.d"
+  "wear_heatmaps"
+  "wear_heatmaps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_wear_heatmaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rota_arch.dir/area.cpp.o"
+  "CMakeFiles/rota_arch.dir/area.cpp.o.d"
+  "CMakeFiles/rota_arch.dir/config.cpp.o"
+  "CMakeFiles/rota_arch.dir/config.cpp.o.d"
+  "CMakeFiles/rota_arch.dir/energy.cpp.o"
+  "CMakeFiles/rota_arch.dir/energy.cpp.o.d"
+  "CMakeFiles/rota_arch.dir/topology.cpp.o"
+  "CMakeFiles/rota_arch.dir/topology.cpp.o.d"
+  "librota_arch.a"
+  "librota_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rota_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rota_cli.dir/main.cpp.o"
+  "CMakeFiles/rota_cli.dir/main.cpp.o.d"
+  "rota"
+  "rota.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rota_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

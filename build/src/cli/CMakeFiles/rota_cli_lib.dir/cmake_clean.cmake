@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rota_cli_lib.dir/commands.cpp.o"
+  "CMakeFiles/rota_cli_lib.dir/commands.cpp.o.d"
+  "CMakeFiles/rota_cli_lib.dir/options.cpp.o"
+  "CMakeFiles/rota_cli_lib.dir/options.cpp.o.d"
+  "librota_cli_lib.a"
+  "librota_cli_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rota_cli_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rota_core.dir/experiment.cpp.o"
+  "CMakeFiles/rota_core.dir/experiment.cpp.o.d"
+  "librota_core.a"
+  "librota_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rota_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

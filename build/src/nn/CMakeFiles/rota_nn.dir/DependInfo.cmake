@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/layer.cpp" "src/nn/CMakeFiles/rota_nn.dir/layer.cpp.o" "gcc" "src/nn/CMakeFiles/rota_nn.dir/layer.cpp.o.d"
+  "/root/repo/src/nn/network.cpp" "src/nn/CMakeFiles/rota_nn.dir/network.cpp.o" "gcc" "src/nn/CMakeFiles/rota_nn.dir/network.cpp.o.d"
+  "/root/repo/src/nn/workloads/efficientnet_b0.cpp" "src/nn/CMakeFiles/rota_nn.dir/workloads/efficientnet_b0.cpp.o" "gcc" "src/nn/CMakeFiles/rota_nn.dir/workloads/efficientnet_b0.cpp.o.d"
+  "/root/repo/src/nn/workloads/extra.cpp" "src/nn/CMakeFiles/rota_nn.dir/workloads/extra.cpp.o" "gcc" "src/nn/CMakeFiles/rota_nn.dir/workloads/extra.cpp.o.d"
+  "/root/repo/src/nn/workloads/inception_v4.cpp" "src/nn/CMakeFiles/rota_nn.dir/workloads/inception_v4.cpp.o" "gcc" "src/nn/CMakeFiles/rota_nn.dir/workloads/inception_v4.cpp.o.d"
+  "/root/repo/src/nn/workloads/llama2_7b.cpp" "src/nn/CMakeFiles/rota_nn.dir/workloads/llama2_7b.cpp.o" "gcc" "src/nn/CMakeFiles/rota_nn.dir/workloads/llama2_7b.cpp.o.d"
+  "/root/repo/src/nn/workloads/mobilenet_v3.cpp" "src/nn/CMakeFiles/rota_nn.dir/workloads/mobilenet_v3.cpp.o" "gcc" "src/nn/CMakeFiles/rota_nn.dir/workloads/mobilenet_v3.cpp.o.d"
+  "/root/repo/src/nn/workloads/mobilevit_s.cpp" "src/nn/CMakeFiles/rota_nn.dir/workloads/mobilevit_s.cpp.o" "gcc" "src/nn/CMakeFiles/rota_nn.dir/workloads/mobilevit_s.cpp.o.d"
+  "/root/repo/src/nn/workloads/registry.cpp" "src/nn/CMakeFiles/rota_nn.dir/workloads/registry.cpp.o" "gcc" "src/nn/CMakeFiles/rota_nn.dir/workloads/registry.cpp.o.d"
+  "/root/repo/src/nn/workloads/resnet50.cpp" "src/nn/CMakeFiles/rota_nn.dir/workloads/resnet50.cpp.o" "gcc" "src/nn/CMakeFiles/rota_nn.dir/workloads/resnet50.cpp.o.d"
+  "/root/repo/src/nn/workloads/squeezenet.cpp" "src/nn/CMakeFiles/rota_nn.dir/workloads/squeezenet.cpp.o" "gcc" "src/nn/CMakeFiles/rota_nn.dir/workloads/squeezenet.cpp.o.d"
+  "/root/repo/src/nn/workloads/vit_b16.cpp" "src/nn/CMakeFiles/rota_nn.dir/workloads/vit_b16.cpp.o" "gcc" "src/nn/CMakeFiles/rota_nn.dir/workloads/vit_b16.cpp.o.d"
+  "/root/repo/src/nn/workloads/yolo_v3.cpp" "src/nn/CMakeFiles/rota_nn.dir/workloads/yolo_v3.cpp.o" "gcc" "src/nn/CMakeFiles/rota_nn.dir/workloads/yolo_v3.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rota_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

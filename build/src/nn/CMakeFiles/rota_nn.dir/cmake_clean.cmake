@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rota_nn.dir/layer.cpp.o"
+  "CMakeFiles/rota_nn.dir/layer.cpp.o.d"
+  "CMakeFiles/rota_nn.dir/network.cpp.o"
+  "CMakeFiles/rota_nn.dir/network.cpp.o.d"
+  "CMakeFiles/rota_nn.dir/workloads/efficientnet_b0.cpp.o"
+  "CMakeFiles/rota_nn.dir/workloads/efficientnet_b0.cpp.o.d"
+  "CMakeFiles/rota_nn.dir/workloads/extra.cpp.o"
+  "CMakeFiles/rota_nn.dir/workloads/extra.cpp.o.d"
+  "CMakeFiles/rota_nn.dir/workloads/inception_v4.cpp.o"
+  "CMakeFiles/rota_nn.dir/workloads/inception_v4.cpp.o.d"
+  "CMakeFiles/rota_nn.dir/workloads/llama2_7b.cpp.o"
+  "CMakeFiles/rota_nn.dir/workloads/llama2_7b.cpp.o.d"
+  "CMakeFiles/rota_nn.dir/workloads/mobilenet_v3.cpp.o"
+  "CMakeFiles/rota_nn.dir/workloads/mobilenet_v3.cpp.o.d"
+  "CMakeFiles/rota_nn.dir/workloads/mobilevit_s.cpp.o"
+  "CMakeFiles/rota_nn.dir/workloads/mobilevit_s.cpp.o.d"
+  "CMakeFiles/rota_nn.dir/workloads/registry.cpp.o"
+  "CMakeFiles/rota_nn.dir/workloads/registry.cpp.o.d"
+  "CMakeFiles/rota_nn.dir/workloads/resnet50.cpp.o"
+  "CMakeFiles/rota_nn.dir/workloads/resnet50.cpp.o.d"
+  "CMakeFiles/rota_nn.dir/workloads/squeezenet.cpp.o"
+  "CMakeFiles/rota_nn.dir/workloads/squeezenet.cpp.o.d"
+  "CMakeFiles/rota_nn.dir/workloads/vit_b16.cpp.o"
+  "CMakeFiles/rota_nn.dir/workloads/vit_b16.cpp.o.d"
+  "CMakeFiles/rota_nn.dir/workloads/yolo_v3.cpp.o"
+  "CMakeFiles/rota_nn.dir/workloads/yolo_v3.cpp.o.d"
+  "librota_nn.a"
+  "librota_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rota_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

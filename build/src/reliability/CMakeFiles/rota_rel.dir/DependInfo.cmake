@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reliability/array_reliability.cpp" "src/reliability/CMakeFiles/rota_rel.dir/array_reliability.cpp.o" "gcc" "src/reliability/CMakeFiles/rota_rel.dir/array_reliability.cpp.o.d"
+  "/root/repo/src/reliability/monte_carlo.cpp" "src/reliability/CMakeFiles/rota_rel.dir/monte_carlo.cpp.o" "gcc" "src/reliability/CMakeFiles/rota_rel.dir/monte_carlo.cpp.o.d"
+  "/root/repo/src/reliability/spares.cpp" "src/reliability/CMakeFiles/rota_rel.dir/spares.cpp.o" "gcc" "src/reliability/CMakeFiles/rota_rel.dir/spares.cpp.o.d"
+  "/root/repo/src/reliability/weibull.cpp" "src/reliability/CMakeFiles/rota_rel.dir/weibull.cpp.o" "gcc" "src/reliability/CMakeFiles/rota_rel.dir/weibull.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rota_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rota_rel.dir/array_reliability.cpp.o"
+  "CMakeFiles/rota_rel.dir/array_reliability.cpp.o.d"
+  "CMakeFiles/rota_rel.dir/monte_carlo.cpp.o"
+  "CMakeFiles/rota_rel.dir/monte_carlo.cpp.o.d"
+  "CMakeFiles/rota_rel.dir/spares.cpp.o"
+  "CMakeFiles/rota_rel.dir/spares.cpp.o.d"
+  "CMakeFiles/rota_rel.dir/weibull.cpp.o"
+  "CMakeFiles/rota_rel.dir/weibull.cpp.o.d"
+  "librota_rel.a"
+  "librota_rel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rota_rel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/cost.cpp" "src/sched/CMakeFiles/rota_sched.dir/cost.cpp.o" "gcc" "src/sched/CMakeFiles/rota_sched.dir/cost.cpp.o.d"
+  "/root/repo/src/sched/mapper.cpp" "src/sched/CMakeFiles/rota_sched.dir/mapper.cpp.o" "gcc" "src/sched/CMakeFiles/rota_sched.dir/mapper.cpp.o.d"
+  "/root/repo/src/sched/mapping.cpp" "src/sched/CMakeFiles/rota_sched.dir/mapping.cpp.o" "gcc" "src/sched/CMakeFiles/rota_sched.dir/mapping.cpp.o.d"
+  "/root/repo/src/sched/rs_mapper.cpp" "src/sched/CMakeFiles/rota_sched.dir/rs_mapper.cpp.o" "gcc" "src/sched/CMakeFiles/rota_sched.dir/rs_mapper.cpp.o.d"
+  "/root/repo/src/sched/schedule.cpp" "src/sched/CMakeFiles/rota_sched.dir/schedule.cpp.o" "gcc" "src/sched/CMakeFiles/rota_sched.dir/schedule.cpp.o.d"
+  "/root/repo/src/sched/serialize.cpp" "src/sched/CMakeFiles/rota_sched.dir/serialize.cpp.o" "gcc" "src/sched/CMakeFiles/rota_sched.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/rota_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/rota_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rota_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rota_sched.dir/cost.cpp.o"
+  "CMakeFiles/rota_sched.dir/cost.cpp.o.d"
+  "CMakeFiles/rota_sched.dir/mapper.cpp.o"
+  "CMakeFiles/rota_sched.dir/mapper.cpp.o.d"
+  "CMakeFiles/rota_sched.dir/mapping.cpp.o"
+  "CMakeFiles/rota_sched.dir/mapping.cpp.o.d"
+  "CMakeFiles/rota_sched.dir/rs_mapper.cpp.o"
+  "CMakeFiles/rota_sched.dir/rs_mapper.cpp.o.d"
+  "CMakeFiles/rota_sched.dir/schedule.cpp.o"
+  "CMakeFiles/rota_sched.dir/schedule.cpp.o.d"
+  "CMakeFiles/rota_sched.dir/serialize.cpp.o"
+  "CMakeFiles/rota_sched.dir/serialize.cpp.o.d"
+  "librota_sched.a"
+  "librota_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rota_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/rota_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/rota_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/noc_traffic.cpp" "src/sim/CMakeFiles/rota_sim.dir/noc_traffic.cpp.o" "gcc" "src/sim/CMakeFiles/rota_sim.dir/noc_traffic.cpp.o.d"
+  "/root/repo/src/sim/pipeline.cpp" "src/sim/CMakeFiles/rota_sim.dir/pipeline.cpp.o" "gcc" "src/sim/CMakeFiles/rota_sim.dir/pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wear/CMakeFiles/rota_wear.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/rota_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/rota_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rota_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/rota_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rota_sim.dir/engine.cpp.o"
+  "CMakeFiles/rota_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/rota_sim.dir/noc_traffic.cpp.o"
+  "CMakeFiles/rota_sim.dir/noc_traffic.cpp.o.d"
+  "CMakeFiles/rota_sim.dir/pipeline.cpp.o"
+  "CMakeFiles/rota_sim.dir/pipeline.cpp.o.d"
+  "librota_sim.a"
+  "librota_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rota_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rota_thermal.dir/thermal.cpp.o"
+  "CMakeFiles/rota_thermal.dir/thermal.cpp.o.d"
+  "librota_thermal.a"
+  "librota_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rota_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

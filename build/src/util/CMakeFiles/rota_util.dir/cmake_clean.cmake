@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rota_util.dir/csv.cpp.o"
+  "CMakeFiles/rota_util.dir/csv.cpp.o.d"
+  "CMakeFiles/rota_util.dir/heatmap.cpp.o"
+  "CMakeFiles/rota_util.dir/heatmap.cpp.o.d"
+  "CMakeFiles/rota_util.dir/math.cpp.o"
+  "CMakeFiles/rota_util.dir/math.cpp.o.d"
+  "CMakeFiles/rota_util.dir/stats.cpp.o"
+  "CMakeFiles/rota_util.dir/stats.cpp.o.d"
+  "CMakeFiles/rota_util.dir/table.cpp.o"
+  "CMakeFiles/rota_util.dir/table.cpp.o.d"
+  "librota_util.a"
+  "librota_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rota_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

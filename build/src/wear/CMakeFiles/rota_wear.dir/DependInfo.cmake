@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wear/policy.cpp" "src/wear/CMakeFiles/rota_wear.dir/policy.cpp.o" "gcc" "src/wear/CMakeFiles/rota_wear.dir/policy.cpp.o.d"
+  "/root/repo/src/wear/rwl_math.cpp" "src/wear/CMakeFiles/rota_wear.dir/rwl_math.cpp.o" "gcc" "src/wear/CMakeFiles/rota_wear.dir/rwl_math.cpp.o.d"
+  "/root/repo/src/wear/simulator.cpp" "src/wear/CMakeFiles/rota_wear.dir/simulator.cpp.o" "gcc" "src/wear/CMakeFiles/rota_wear.dir/simulator.cpp.o.d"
+  "/root/repo/src/wear/trace.cpp" "src/wear/CMakeFiles/rota_wear.dir/trace.cpp.o" "gcc" "src/wear/CMakeFiles/rota_wear.dir/trace.cpp.o.d"
+  "/root/repo/src/wear/usage_tracker.cpp" "src/wear/CMakeFiles/rota_wear.dir/usage_tracker.cpp.o" "gcc" "src/wear/CMakeFiles/rota_wear.dir/usage_tracker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/rota_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/rota_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rota_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/rota_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rota_wear.dir/policy.cpp.o"
+  "CMakeFiles/rota_wear.dir/policy.cpp.o.d"
+  "CMakeFiles/rota_wear.dir/rwl_math.cpp.o"
+  "CMakeFiles/rota_wear.dir/rwl_math.cpp.o.d"
+  "CMakeFiles/rota_wear.dir/simulator.cpp.o"
+  "CMakeFiles/rota_wear.dir/simulator.cpp.o.d"
+  "CMakeFiles/rota_wear.dir/trace.cpp.o"
+  "CMakeFiles/rota_wear.dir/trace.cpp.o.d"
+  "CMakeFiles/rota_wear.dir/usage_tracker.cpp.o"
+  "CMakeFiles/rota_wear.dir/usage_tracker.cpp.o.d"
+  "librota_wear.a"
+  "librota_wear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rota_wear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

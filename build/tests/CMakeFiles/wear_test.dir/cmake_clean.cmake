@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wear_test.dir/wear_test.cpp.o"
+  "CMakeFiles/wear_test.dir/wear_test.cpp.o.d"
+  "wear_test"
+  "wear_test.pdb"
+  "wear_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wear_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
