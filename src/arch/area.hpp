@@ -40,7 +40,7 @@ struct AreaBreakdown {
   double global_network = 0.0; ///< GLB-to-PE distribution
   double local_network = 0.0;  ///< inter-PE links (mesh or torus)
 
-  double total() const {
+  [[nodiscard]] double total() const {
     return pe_array + glb + controller + global_network + local_network;
   }
 };
@@ -50,10 +50,10 @@ class AreaModel {
  public:
   explicit AreaModel(AreaParams params = {}) : params_(params) {}
 
-  const AreaParams& params() const { return params_; }
+  [[nodiscard]] const AreaParams& params() const { return params_; }
 
   /// Area of one PE (MAC + 3 local buffers + control).
-  double pe_area_um2(const AcceleratorConfig& cfg) const;
+  [[nodiscard]] double pe_area_um2(const AcceleratorConfig& cfg) const;
 
   /// Full chip breakdown. `with_wear_leveling` adds the RWL+RO counters
   /// to the controller (only meaningful for the torus design).
@@ -64,14 +64,14 @@ class AreaModel {
   /// local network) over the mesh PE array at the same size — the ratio
   /// the paper's synthesis reports (§V-D, ≈ 0.003). Wear-leveling logic
   /// lives in the controller and is excluded here.
-  double array_overhead_fraction(const AcceleratorConfig& mesh_cfg) const;
+  [[nodiscard]] double array_overhead_fraction(const AcceleratorConfig& mesh_cfg) const;
 
   /// Fractional overhead of the full chip (array + GLB + controller with
   /// RWL+RO logic + networks) — strictly smaller than the array ratio.
-  double chip_overhead_fraction(const AcceleratorConfig& mesh_cfg) const;
+  [[nodiscard]] double chip_overhead_fraction(const AcceleratorConfig& mesh_cfg) const;
 
  private:
-  double local_network_area_um2(const AcceleratorConfig& cfg) const;
+  [[nodiscard]] double local_network_area_um2(const AcceleratorConfig& cfg) const;
 
   AreaParams params_;
 };

@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <string>
 
+#include "util/safe_math.hpp"
+
 /// \file config.hpp
 /// Structural parameters of the modeled accelerator. The default matches
 /// the evaluation platform of the paper (§V): a 14×12 Eyeriss-style PE
@@ -17,7 +19,7 @@ enum class TopologyKind {
   kTorus2D,  ///< RoTA: unidirectional ring per row and per column
 };
 
-std::string to_string(TopologyKind kind);
+[[nodiscard]] std::string to_string(TopologyKind kind);
 
 /// Static configuration of one accelerator instance.
 struct AcceleratorConfig {
@@ -37,24 +39,27 @@ struct AcceleratorConfig {
   /// Words the global network can move between GLB and the array per cycle.
   std::int64_t global_net_words_per_cycle = 4;
 
-  std::int64_t pe_count() const { return array_width * array_height; }
+  /// Throws util::invariant_error if w*h does not fit in 64 bits.
+  [[nodiscard]] std::int64_t pe_count() const {
+    return util::checked_mul(array_width, array_height);
+  }
 
-  std::int64_t lb_input_words() const { return lb_input_bytes / word_bytes; }
-  std::int64_t lb_weight_words() const { return lb_weight_bytes / word_bytes; }
-  std::int64_t lb_output_words() const { return lb_output_bytes / word_bytes; }
-  std::int64_t glb_words() const { return glb_bytes / word_bytes; }
+  [[nodiscard]] std::int64_t lb_input_words() const { return lb_input_bytes / word_bytes; }
+  [[nodiscard]] std::int64_t lb_weight_words() const { return lb_weight_bytes / word_bytes; }
+  [[nodiscard]] std::int64_t lb_output_words() const { return lb_output_bytes / word_bytes; }
+  [[nodiscard]] std::int64_t glb_words() const { return glb_bytes / word_bytes; }
 
   /// Throws util::precondition_error on inconsistent parameters.
   void validate() const;
 };
 
 /// The paper's baseline: Eyeriss-style 14×12 mesh array.
-AcceleratorConfig eyeriss_like();
+[[nodiscard]] AcceleratorConfig eyeriss_like();
 
 /// The proposed design: same array with torus row/column rings.
-AcceleratorConfig rota_like();
+[[nodiscard]] AcceleratorConfig rota_like();
 
 /// A square array of the given side, used by the Fig. 10 scaling study.
-AcceleratorConfig scaled_array(std::int64_t side, TopologyKind topology);
+[[nodiscard]] AcceleratorConfig scaled_array(std::int64_t side, TopologyKind topology);
 
 }  // namespace rota::arch

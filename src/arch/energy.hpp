@@ -32,6 +32,6 @@ struct AccessCounts {
 };
 
 /// Total energy of a set of access counts under a model, in MAC units.
-double total_energy(const EnergyModel& model, const AccessCounts& counts);
+[[nodiscard]] double total_energy(const EnergyModel& model, const AccessCounts& counts);
 
 }  // namespace rota::arch

@@ -33,22 +33,22 @@ class Topology {
   Topology(TopologyKind kind, std::int64_t width, std::int64_t height,
            TorusLayout layout = TorusLayout::kFolded);
 
-  TopologyKind kind() const { return kind_; }
-  std::int64_t width() const { return width_; }
-  std::int64_t height() const { return height_; }
-  TorusLayout layout() const { return layout_; }
+  [[nodiscard]] TopologyKind kind() const { return kind_; }
+  [[nodiscard]] std::int64_t width() const { return width_; }
+  [[nodiscard]] std::int64_t height() const { return height_; }
+  [[nodiscard]] TorusLayout layout() const { return layout_; }
 
   /// Whether a utilization space may wrap around the array edges.
   /// True only for the torus: its row/column rings carry traffic across
   /// the array boundary, which the mesh cannot do.
-  bool allows_wraparound() const { return kind_ == TopologyKind::kTorus2D; }
+  [[nodiscard]] bool allows_wraparound() const { return kind_ == TopologyKind::kTorus2D; }
 
   /// Link statistics of this network.
-  LinkStats link_stats() const;
+  [[nodiscard]] LinkStats link_stats() const;
 
   /// Number of links a torus adds on top of the equivalent mesh
   /// (one ring-closing link per row and per column); 0 for a mesh.
-  std::int64_t extra_links_vs_mesh() const;
+  [[nodiscard]] std::int64_t extra_links_vs_mesh() const;
 
  private:
   TopologyKind kind_;

@@ -48,11 +48,11 @@ struct ExperimentResult {
   std::vector<PolicyRun> runs;
 
   /// The run for a given policy; throws if the policy was not included.
-  const PolicyRun& run(wear::PolicyKind kind) const;
+  [[nodiscard]] const PolicyRun& run(wear::PolicyKind kind) const;
 
   /// Relative lifetime improvement of `kind` over the baseline run
   /// (Eq. 4). Requires both runs to be present.
-  double improvement_over_baseline(wear::PolicyKind kind) const;
+  [[nodiscard]] double improvement_over_baseline(wear::PolicyKind kind) const;
 };
 
 /// One transient sample (Figs. 6 and 7).
@@ -69,7 +69,7 @@ class Experiment {
  public:
   explicit Experiment(ExperimentConfig config = {});
 
-  const ExperimentConfig& config() const { return config_; }
+  [[nodiscard]] const ExperimentConfig& config() const { return config_; }
   sched::Mapper& mapper() { return mapper_; }
 
   /// Schedule (memoized) a network on this experiment's accelerator.

@@ -23,7 +23,7 @@ enum class LayerKind {
 };
 
 /// Human-readable name of a layer kind.
-std::string to_string(LayerKind kind);
+[[nodiscard]] std::string to_string(LayerKind kind);
 
 /// Shape of one layer, in the conventional 7-D convolution nest
 /// (N, K, C, P, Q, R, S) plus strides, padding and groups.
@@ -45,20 +45,20 @@ struct LayerSpec {
   std::int64_t groups = 1;
 
   /// Output feature-map height P = (H + 2·pad_h − R)/stride_h + 1.
-  std::int64_t out_h() const;
+  [[nodiscard]] std::int64_t out_h() const;
   /// Output feature-map width Q = (W + 2·pad_w − S)/stride_w + 1.
-  std::int64_t out_w() const;
+  [[nodiscard]] std::int64_t out_w() const;
 
   /// Input channels seen by one output channel (C / groups).
-  std::int64_t channels_per_group() const;
+  [[nodiscard]] std::int64_t channels_per_group() const;
 
   /// Total multiply-accumulate operations: N·K·(C/g)·P·Q·R·S.
-  std::int64_t macs() const;
+  [[nodiscard]] std::int64_t macs() const;
 
   /// Tensor footprints in data words (one word per element).
-  std::int64_t input_words() const;   ///< N·C·H·W
-  std::int64_t weight_words() const;  ///< K·(C/g)·R·S
-  std::int64_t output_words() const;  ///< N·K·P·Q
+  [[nodiscard]] std::int64_t input_words() const;   ///< N·C·H·W
+  [[nodiscard]] std::int64_t weight_words() const;  ///< K·(C/g)·R·S
+  [[nodiscard]] std::int64_t output_words() const;  ///< N·K·P·Q
 
   /// Throws util::precondition_error if any dimension is inconsistent
   /// (non-positive bound, groups not dividing channels, empty output, ...).
@@ -66,38 +66,38 @@ struct LayerSpec {
 
   /// Structural equality ignoring the name; used to deduplicate scheduler
   /// work across repeated blocks (ResNet stages, Llama decoder layers).
-  bool same_shape(const LayerSpec& other) const;
+  [[nodiscard]] bool same_shape(const LayerSpec& other) const;
 
   /// A stable string key of the shape (not the name), for memoization.
-  std::string shape_key() const;
+  [[nodiscard]] std::string shape_key() const;
 };
 
 /// Factory: dense convolution. Padding defaults to 'same'-style
 /// (kernel−1)/2 when pad is negative.
-LayerSpec conv(std::string name, std::int64_t in_c, std::int64_t out_c,
+[[nodiscard]] LayerSpec conv(std::string name, std::int64_t in_c, std::int64_t out_c,
                std::int64_t in_hw, std::int64_t kernel, std::int64_t stride,
                std::int64_t pad = -1);
 
 /// Factory: dense convolution with rectangular input / kernel.
-LayerSpec conv2d(std::string name, std::int64_t in_c, std::int64_t out_c,
+[[nodiscard]] LayerSpec conv2d(std::string name, std::int64_t in_c, std::int64_t out_c,
                  std::int64_t in_h, std::int64_t in_w, std::int64_t kernel_h,
                  std::int64_t kernel_w, std::int64_t stride,
                  std::int64_t pad_h, std::int64_t pad_w);
 
 /// Factory: depthwise convolution (groups == channels).
-LayerSpec dwconv(std::string name, std::int64_t channels, std::int64_t in_hw,
+[[nodiscard]] LayerSpec dwconv(std::string name, std::int64_t channels, std::int64_t in_hw,
                  std::int64_t kernel, std::int64_t stride,
                  std::int64_t pad = -1);
 
 /// Factory: grouped convolution.
-LayerSpec group_conv(std::string name, std::int64_t in_c, std::int64_t out_c,
+[[nodiscard]] LayerSpec group_conv(std::string name, std::int64_t in_c, std::int64_t out_c,
                      std::int64_t in_hw, std::int64_t kernel,
                      std::int64_t stride, std::int64_t groups,
                      std::int64_t pad = -1);
 
 /// Factory: GEMM of size M×N×K (output M×N, reduction depth K), with an
 /// optional leading batch dimension (e.g. attention heads).
-LayerSpec gemm(std::string name, std::int64_t m, std::int64_t n,
+[[nodiscard]] LayerSpec gemm(std::string name, std::int64_t m, std::int64_t n,
                std::int64_t k, std::int64_t batch = 1);
 
 }  // namespace rota::nn

@@ -21,7 +21,7 @@ enum class Domain {
   kTransformer,
 };
 
-std::string to_string(Domain domain);
+[[nodiscard]] std::string to_string(Domain domain);
 
 /// An ordered sequence of layers with identity metadata.
 class Network {
@@ -31,21 +31,21 @@ class Network {
   /// Append a validated layer; names must be unique within the network.
   void add(LayerSpec layer);
 
-  const std::string& name() const { return name_; }
-  const std::string& abbr() const { return abbr_; }
-  Domain domain() const { return domain_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::string& abbr() const { return abbr_; }
+  [[nodiscard]] Domain domain() const { return domain_; }
 
-  const std::vector<LayerSpec>& layers() const { return layers_; }
-  std::size_t layer_count() const { return layers_.size(); }
+  [[nodiscard]] const std::vector<LayerSpec>& layers() const { return layers_; }
+  [[nodiscard]] std::size_t layer_count() const { return layers_.size(); }
 
   /// Sum of MACs over all layers.
-  std::int64_t total_macs() const;
+  [[nodiscard]] std::int64_t total_macs() const;
 
   /// Number of structurally distinct layer shapes (scheduler work units).
-  std::size_t unique_shape_count() const;
+  [[nodiscard]] std::size_t unique_shape_count() const;
 
   /// Find a layer by name; throws util::precondition_error if absent.
-  const LayerSpec& layer(const std::string& layer_name) const;
+  [[nodiscard]] const LayerSpec& layer(const std::string& layer_name) const;
 
  private:
   std::string name_;

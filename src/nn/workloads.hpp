@@ -15,31 +15,31 @@
 
 namespace rota::nn {
 
-Network make_resnet50();        ///< Res — residual blocks, 224×224
-Network make_inception_v4();    ///< Inc — asymmetric 1×7/7×1 kernels, 299×299
-Network make_yolo_v3();         ///< YL  — Darknet-53 + detection heads, 416×416
-Network make_squeezenet();      ///< Sqz — fire modules, 224×224
-Network make_mobilenet_v3();    ///< Mb  — bneck blocks with SE, 224×224
-Network make_efficientnet_b0(); ///< Eff — MBConv blocks, 224×224
-Network make_vit_b16();         ///< VT  — ViT-Base/16 encoder, 224×224
-Network make_mobilevit_s();     ///< MVT — MobileViT-S hybrid, 256×256
-Network make_llama2_7b();       ///< LM  — Llama-2 7B decoder, 512-token prompt
+[[nodiscard]] Network make_resnet50();        ///< Res — residual blocks, 224×224
+[[nodiscard]] Network make_inception_v4();    ///< Inc — asymmetric 1×7/7×1 kernels, 299×299
+[[nodiscard]] Network make_yolo_v3();         ///< YL  — Darknet-53 + detection heads, 416×416
+[[nodiscard]] Network make_squeezenet();      ///< Sqz — fire modules, 224×224
+[[nodiscard]] Network make_mobilenet_v3();    ///< Mb  — bneck blocks with SE, 224×224
+[[nodiscard]] Network make_efficientnet_b0(); ///< Eff — MBConv blocks, 224×224
+[[nodiscard]] Network make_vit_b16();         ///< VT  — ViT-Base/16 encoder, 224×224
+[[nodiscard]] Network make_mobilevit_s();     ///< MVT — MobileViT-S hybrid, 256×256
+[[nodiscard]] Network make_llama2_7b();       ///< LM  — Llama-2 7B decoder, 512-token prompt
 
 /// All nine workloads in the order of Table II.
-std::vector<Network> all_workloads();
+[[nodiscard]] std::vector<Network> all_workloads();
 
 // Extended zoo (beyond Table II): the classic CNNs of the original
 // Eyeriss evaluation and an encoder transformer, used by the extension
 // benches and available to library users.
-Network make_alexnet();    ///< AN — AlexNet, 227×227
-Network make_vgg16();      ///< VGG — VGG-16, 224×224
-Network make_bert_base();  ///< BRT — BERT-Base, 128-token sequence
+[[nodiscard]] Network make_alexnet();    ///< AN — AlexNet, 227×227
+[[nodiscard]] Network make_vgg16();      ///< VGG — VGG-16, 224×224
+[[nodiscard]] Network make_bert_base();  ///< BRT — BERT-Base, 128-token sequence
 
 /// Table II plus the extended zoo.
-std::vector<Network> extended_workloads();
+[[nodiscard]] std::vector<Network> extended_workloads();
 
 /// Look up one workload by abbreviation (Table II or extended zoo).
 /// Throws util::precondition_error for an unknown abbreviation.
-Network workload_by_abbr(const std::string& abbr);
+[[nodiscard]] Network workload_by_abbr(const std::string& abbr);
 
 }  // namespace rota::nn

@@ -17,25 +17,25 @@ namespace rota::rel {
 
 /// R_array(t) = exp(−Σ (t·α_ij/η)^β)  (Eq. 2).
 /// \pre alphas non-empty, all non-negative.
-double array_reliability(const std::vector<double>& alphas, double t,
+[[nodiscard]] double array_reliability(const std::vector<double>& alphas, double t,
                          double beta = kJedecShape, double eta = 1.0);
 
 /// MTTF of the array: η·Γ(1 + 1/β) / (Σ α_ij^β)^{1/β}  (Eq. 3).
 /// \pre at least one α > 0.
-double array_mttf(const std::vector<double>& alphas,
+[[nodiscard]] double array_mttf(const std::vector<double>& alphas,
                   double beta = kJedecShape, double eta = 1.0);
 
 /// Relative lifetime improvement of a wear-leveling scheme over the
 /// baseline (Eq. 4): (Σ α_B^β)^{1/β} / (Σ α_WL^β)^{1/β}.
 /// Both activity vectors must cover the same total work (same workload,
 /// same iteration count), or the ratio is meaningless.
-double lifetime_improvement(const std::vector<double>& baseline_alphas,
+[[nodiscard]] double lifetime_improvement(const std::vector<double>& baseline_alphas,
                             const std::vector<double>& wl_alphas,
                             double beta = kJedecShape);
 
 /// Theoretical upper bound of the improvement under perfect wear-leveling
 /// of a layer with the given PE utilization ratio (§V-C):
 /// bound = utilization^(1/β − 1).  utilization ∈ (0, 1].
-double perfect_wl_upper_bound(double utilization, double beta = kJedecShape);
+[[nodiscard]] double perfect_wl_upper_bound(double utilization, double beta = kJedecShape);
 
 }  // namespace rota::rel

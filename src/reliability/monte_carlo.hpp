@@ -24,14 +24,14 @@ struct MonteCarloResult {
 
 /// Estimate the array MTTF by sampling. PEs with α = 0 never fail.
 /// \pre alphas non-empty with at least one positive entry; trials >= 1.
-MonteCarloResult monte_carlo_mttf(const std::vector<double>& alphas,
+[[nodiscard]] MonteCarloResult monte_carlo_mttf(const std::vector<double>& alphas,
                                   double beta = kJedecShape, double eta = 1.0,
                                   std::int64_t trials = 10000,
                                   std::uint64_t seed = 0x6d634d54);
 
 /// Empirical survival probability R(t) by sampling (for plotting and for
 /// cross-checking array_reliability()).
-double monte_carlo_reliability(const std::vector<double>& alphas, double t,
+[[nodiscard]] double monte_carlo_reliability(const std::vector<double>& alphas, double t,
                                double beta = kJedecShape, double eta = 1.0,
                                std::int64_t trials = 10000,
                                std::uint64_t seed = 0x6d634d54);
@@ -52,7 +52,7 @@ struct VariationResult {
 /// ratio. σ = 0 collapses to the deterministic Eq. 4 value.
 /// \pre both activity vectors same non-zero size, each with a positive
 /// entry; sigma >= 0; trials >= 1.
-VariationResult lifetime_improvement_under_variation(
+[[nodiscard]] VariationResult lifetime_improvement_under_variation(
     const std::vector<double>& baseline_alphas,
     const std::vector<double>& wl_alphas, double beta = kJedecShape,
     double sigma = 0.1, std::int64_t trials = 2000,

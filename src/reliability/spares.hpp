@@ -24,14 +24,14 @@ namespace rota::rel {
 /// Reliability at time t of an array that tolerates up to `spares` failed
 /// PEs. spares = 0 degenerates to array_reliability().
 /// \pre alphas non-empty, all non-negative; spares >= 0.
-double spare_array_reliability(const std::vector<double>& alphas, double t,
+[[nodiscard]] double spare_array_reliability(const std::vector<double>& alphas, double t,
                                std::int64_t spares,
                                double beta = kJedecShape, double eta = 1.0);
 
 /// MTTF of the spare-tolerant array: ∫ R_s(t) dt, integrated numerically
 /// (adaptive horizon, trapezoid rule; relative accuracy ~1e-4).
 /// \pre at least one α > 0.
-double spare_array_mttf(const std::vector<double>& alphas,
+[[nodiscard]] double spare_array_mttf(const std::vector<double>& alphas,
                         std::int64_t spares, double beta = kJedecShape,
                         double eta = 1.0);
 

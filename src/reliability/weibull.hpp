@@ -17,20 +17,20 @@ class Weibull {
   /// \pre beta > 0, eta > 0.
   explicit Weibull(double beta = kJedecShape, double eta = 1.0);
 
-  double beta() const { return beta_; }
-  double eta() const { return eta_; }
+  [[nodiscard]] double beta() const { return beta_; }
+  [[nodiscard]] double eta() const { return eta_; }
 
   /// Reliability function R(t) = exp(−(t/η)^β) for t >= 0.
-  double reliability(double t) const;
+  [[nodiscard]] double reliability(double t) const;
 
   /// Cumulative failure probability F(t) = 1 − R(t).
-  double cdf(double t) const;
+  [[nodiscard]] double cdf(double t) const;
 
   /// Probability density f(t).
-  double pdf(double t) const;
+  [[nodiscard]] double pdf(double t) const;
 
   /// Mean time to failure: η·Γ(1 + 1/β).
-  double mean() const;
+  [[nodiscard]] double mean() const;
 
  private:
   double beta_;

@@ -55,12 +55,12 @@ class CostModel {
  public:
   CostModel(arch::AcceleratorConfig cfg, arch::EnergyModel energy = {});
 
-  const arch::AcceleratorConfig& config() const { return cfg_; }
-  const arch::EnergyModel& energy_model() const { return energy_; }
+  [[nodiscard]] const arch::AcceleratorConfig& config() const { return cfg_; }
+  [[nodiscard]] const arch::EnergyModel& energy_model() const { return energy_; }
 
   /// Evaluate one candidate mapping. Never throws for in-range mappings;
   /// infeasible candidates return {valid = false}.
-  CostResult evaluate(const nn::LayerSpec& layer, const Mapping& m) const;
+  [[nodiscard]] CostResult evaluate(const nn::LayerSpec& layer, const Mapping& m) const;
 
  private:
   arch::AcceleratorConfig cfg_;

@@ -36,8 +36,8 @@ class Mapper {
   explicit Mapper(arch::AcceleratorConfig cfg, arch::EnergyModel energy = {},
                   MapperOptions options = {});
 
-  const arch::AcceleratorConfig& config() const { return cost_.config(); }
-  const MapperOptions& options() const { return options_; }
+  [[nodiscard]] const arch::AcceleratorConfig& config() const { return cost_.config(); }
+  [[nodiscard]] const MapperOptions& options() const { return options_; }
 
   /// Energy-optimal schedule of one layer. Throws util::invariant_error if
   /// no feasible mapping exists (cannot happen for validated layers on a
@@ -48,7 +48,7 @@ class Mapper {
   NetworkSchedule schedule_network(const nn::Network& net);
 
   /// Number of distinct shapes searched so far (memoization statistic).
-  std::size_t cache_size() const { return cache_.size(); }
+  [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
 
  private:
   /// Candidate tiling factors for a loop bound, clipped to [1, cap]: all
@@ -60,7 +60,7 @@ class Mapper {
   std::vector<std::int64_t> spatial_candidates(std::int64_t bound,
                                                std::int64_t array_dim) const;
 
-  LayerSchedule search(const nn::LayerSpec& layer) const;
+  [[nodiscard]] LayerSchedule search(const nn::LayerSpec& layer) const;
 
   CostModel cost_;
   MapperOptions options_;

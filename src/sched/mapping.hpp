@@ -46,7 +46,7 @@ struct Mapping {
   std::int64_t lb_q = 1;  ///< output columns produced per PE per tile
   std::int64_t lb_s = 1;  ///< filter-column taps resident per PE per tile
 
-  std::string str() const;
+  [[nodiscard]] std::string str() const;
 };
 
 }  // namespace rota::sched

@@ -51,13 +51,13 @@ class RsMapper {
   explicit RsMapper(arch::AcceleratorConfig cfg,
                     arch::EnergyModel energy = {});
 
-  const arch::AcceleratorConfig& config() const { return cfg_; }
+  [[nodiscard]] const arch::AcceleratorConfig& config() const { return cfg_; }
 
   LayerSchedule schedule_layer(const nn::LayerSpec& layer);
   NetworkSchedule schedule_network(const nn::Network& net);
 
  private:
-  LayerSchedule derive(const nn::LayerSpec& layer) const;
+  [[nodiscard]] LayerSchedule derive(const nn::LayerSpec& layer) const;
 
   arch::AcceleratorConfig cfg_;
   arch::EnergyModel energy_;

@@ -48,7 +48,7 @@ struct LayerSchedule {
   std::int64_t reduction_steps = 1;     ///< refills per output drain
 
   /// PE utilization ratio of this layer: x·y / (w·h).
-  double utilization(const arch::AcceleratorConfig& cfg) const {
+  [[nodiscard]] double utilization(const arch::AcceleratorConfig& cfg) const {
     return static_cast<double>(space.x * space.y) /
            static_cast<double>(cfg.pe_count());
   }
@@ -62,18 +62,18 @@ struct NetworkSchedule {
   std::vector<LayerSchedule> layers;
 
   /// Unweighted mean of per-layer PE utilization ratios (Fig. 2a metric).
-  double mean_utilization() const;
+  [[nodiscard]] double mean_utilization() const;
 
   /// Mean PE utilization weighted by each layer's tile count — the
   /// fraction of dispatches that activate a given fraction of the array.
-  double tile_weighted_utilization() const;
+  [[nodiscard]] double tile_weighted_utilization() const;
 
   /// Total tiles per inference iteration.
-  std::int64_t total_tiles() const;
+  [[nodiscard]] std::int64_t total_tiles() const;
 
   /// Total energy / cycles per inference iteration.
-  double total_energy() const;
-  double total_cycles() const;
+  [[nodiscard]] double total_energy() const;
+  [[nodiscard]] double total_cycles() const;
 };
 
 }  // namespace rota::sched

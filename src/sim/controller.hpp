@@ -35,8 +35,8 @@ class WearLevelingController {
     y_ = y;
   }
 
-  std::int64_t u() const { return u_; }
-  std::int64_t v() const { return v_; }
+  [[nodiscard]] std::int64_t u() const { return u_; }
+  [[nodiscard]] std::int64_t v() const { return v_; }
 
   /// One tile dispatched: advance the circular counters (one cycle of
   /// counter logic, overlapped with the tile's compute phase).

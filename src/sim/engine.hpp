@@ -42,24 +42,24 @@ class ExecutionEngine {
  public:
   explicit ExecutionEngine(arch::AcceleratorConfig cfg);
 
-  const arch::AcceleratorConfig& config() const { return cfg_; }
+  [[nodiscard]] const arch::AcceleratorConfig& config() const { return cfg_; }
 
   /// Phase durations of one dispatch of this layer. `drained` selects
   /// whether this dispatch completes a reduction and drains outputs.
-  TilePhases phases_of(const sched::LayerSchedule& layer, bool drained) const;
+  [[nodiscard]] TilePhases phases_of(const sched::LayerSchedule& layer, bool drained) const;
 
   /// Exact tile-by-tile pipeline simulation of one layer (gathers modeled
   /// on every reduction_steps-th tile). O(tiles) — use for layers, tests
   /// and the overhead bench.
-  LayerTiming simulate_layer(const sched::LayerSchedule& layer) const;
+  [[nodiscard]] LayerTiming simulate_layer(const sched::LayerSchedule& layer) const;
 
   /// Fast estimate using the steady-state pipeline rate with the gather
   /// amortized over the reduction; exact for compute- or scatter-bound
   /// layers, and within one drain of exact otherwise. O(1) per layer.
-  LayerTiming estimate_layer(const sched::LayerSchedule& layer) const;
+  [[nodiscard]] LayerTiming estimate_layer(const sched::LayerSchedule& layer) const;
 
   /// Sum of per-layer estimates over a network (one inference pass).
-  double network_cycles(const sched::NetworkSchedule& schedule) const;
+  [[nodiscard]] double network_cycles(const sched::NetworkSchedule& schedule) const;
 
   /// Roofline-style estimate including the off-chip memory system: a layer
   /// can run no faster than its DRAM traffic divided by the sustained

@@ -27,8 +27,8 @@ class LinkTrafficTracker {
  public:
   LinkTrafficTracker(std::int64_t width, std::int64_t height);
 
-  std::int64_t width() const { return width_; }
-  std::int64_t height() const { return height_; }
+  [[nodiscard]] std::int64_t width() const { return width_; }
+  [[nodiscard]] std::int64_t height() const { return height_; }
 
   /// Record one tile: a space anchored at (u, v) of size x×y whose columns
   /// each accumulate partial sums upward across y−1 hops, `words` words
@@ -36,10 +36,10 @@ class LinkTrafficTracker {
   void add_space_traffic(std::int64_t u, std::int64_t v, std::int64_t x,
                          std::int64_t y, std::int64_t words, bool allow_wrap);
 
-  const util::Grid<std::int64_t>& vertical_links() const { return links_; }
+  [[nodiscard]] const util::Grid<std::int64_t>& vertical_links() const { return links_; }
 
-  std::int64_t max_link() const;
-  std::int64_t total_words() const;
+  [[nodiscard]] std::int64_t max_link() const;
+  [[nodiscard]] std::int64_t total_words() const;
 
  private:
   std::int64_t width_;

@@ -28,9 +28,9 @@ class TilePipeline {
   void push_uniform(const TilePhases& phases, std::int64_t count);
 
   /// Cycles at which the last compute / gather completed so far.
-  double makespan() const;
+  [[nodiscard]] double makespan() const;
 
-  std::int64_t tiles() const { return tiles_; }
+  [[nodiscard]] std::int64_t tiles() const { return tiles_; }
 
  private:
   // Completion times of the previous tiles' stages.

@@ -42,11 +42,11 @@ class ThermalModel {
  public:
   explicit ThermalModel(ThermalParams params = {});
 
-  const ThermalParams& params() const { return params_; }
+  [[nodiscard]] const ThermalParams& params() const { return params_; }
 
   /// Temperature field (°C) for a per-PE power map (W).
   /// \pre all powers non-negative.
-  util::Grid<double> steady_state(const util::Grid<double>& power_w) const;
+  [[nodiscard]] util::Grid<double> steady_state(const util::Grid<double>& power_w) const;
 
   /// Convenience: power map from usage counters. Activity is normalized by
   /// `reference_peak` — the counter value of a PE that would be active the
@@ -66,7 +66,7 @@ class ThermalModel {
 /// AF = exp(Ea/k · (1/T_ref − 1/T)), temperatures in Kelvin internally.
 /// AF(ref) = 1; hotter-than-reference gives AF > 1.
 /// \pre activation energy positive; temperatures above absolute zero.
-double arrhenius_factor(double temp_c, double ref_c = 55.0,
+[[nodiscard]] double arrhenius_factor(double temp_c, double ref_c = 55.0,
                         double activation_energy_ev = 0.7);
 
 /// Thermally-accelerated effective activity: α'_ij = α_ij · AF(T_ij),
@@ -74,7 +74,7 @@ double arrhenius_factor(double temp_c, double ref_c = 55.0,
 /// the reference temperature is the *mean* of that field, so a perfectly
 /// level design is unaffected. Row-major, ready for rel::*.
 /// `reference_peak` follows power_from_usage() semantics.
-std::vector<double> accelerated_alphas(
+[[nodiscard]] std::vector<double> accelerated_alphas(
     const util::Grid<std::int64_t>& usage, const ThermalModel& model,
     double activation_energy_ev = 0.7, std::int64_t reference_peak = 0);
 

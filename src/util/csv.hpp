@@ -27,6 +27,6 @@ class CsvWriter {
 };
 
 /// Quote a single CSV field if it contains a comma, quote or newline.
-std::string csv_escape(const std::string& field);
+[[nodiscard]] std::string csv_escape(const std::string& field);
 
 }  // namespace rota::util

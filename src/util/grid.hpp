@@ -24,17 +24,17 @@ class Grid {
     ROTA_REQUIRE(width > 0 && height > 0, "grid dimensions must be positive");
   }
 
-  std::size_t width() const { return width_; }
-  std::size_t height() const { return height_; }
-  std::size_t size() const { return cells_.size(); }
-  bool empty() const { return cells_.empty(); }
+  [[nodiscard]] std::size_t width() const { return width_; }
+  [[nodiscard]] std::size_t height() const { return height_; }
+  [[nodiscard]] std::size_t size() const { return cells_.size(); }
+  [[nodiscard]] bool empty() const { return cells_.empty(); }
 
   /// Cell accessor; col in [0, width), row in [0, height).
   T& at(std::size_t col, std::size_t row) {
     ROTA_REQUIRE(col < width_ && row < height_, "grid index out of range");
     return cells_[row * width_ + col];
   }
-  const T& at(std::size_t col, std::size_t row) const {
+  [[nodiscard]] const T& at(std::size_t col, std::size_t row) const {
     ROTA_REQUIRE(col < width_ && row < height_, "grid index out of range");
     return cells_[row * width_ + col];
   }
@@ -50,7 +50,7 @@ class Grid {
   void fill(T value) { cells_.assign(cells_.size(), value); }
 
   /// Row-major backing store (row 0 first).
-  const std::vector<T>& cells() const { return cells_; }
+  [[nodiscard]] const std::vector<T>& cells() const { return cells_; }
   std::vector<T>& cells() { return cells_; }
 
   friend bool operator==(const Grid& a, const Grid& b) {

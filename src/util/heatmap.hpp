@@ -18,21 +18,21 @@ namespace rota::util {
 /// lower-left origin of the PE array appears at the bottom-left of the text,
 /// matching the paper's figures. Each cell is drawn with a shade from
 /// " .:-=+*#%@" (light → heavy usage).
-std::string ascii_heatmap(const Grid<double>& values);
+[[nodiscard]] std::string ascii_heatmap(const Grid<double>& values);
 
 /// Convenience overload for integer usage counters.
-std::string ascii_heatmap(const Grid<std::int64_t>& values);
+[[nodiscard]] std::string ascii_heatmap(const Grid<std::int64_t>& values);
 
 /// Render the *deviation* structure of a nearly-level grid: values are
 /// normalized between the grid's min and max instead of 0 and max, so a
 /// well-leveled wear map (where every absolute value is within a fraction
 /// of a percent of the mean) still shows where the residual peaks sit.
 /// A grid with max == min renders as all mid-shade.
-std::string ascii_heatmap_deviation(const Grid<std::int64_t>& values);
+[[nodiscard]] std::string ascii_heatmap_deviation(const Grid<std::int64_t>& values);
 
 /// Write an 8-bit binary PGM (P5) image of the grid, normalized to its max;
 /// one pixel per PE, row h-1 at the top (image convention). Returns false
 /// if the file could not be opened.
-bool write_pgm(const Grid<double>& values, const std::string& path);
+[[nodiscard]] bool write_pgm(const Grid<double>& values, const std::string& path);
 
 }  // namespace rota::util

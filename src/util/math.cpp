@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "util/check.hpp"
+#include "util/safe_math.hpp"
 
 namespace rota::util {
 
@@ -15,7 +16,9 @@ std::int64_t gcd(std::int64_t a, std::int64_t b) {
 
 std::int64_t lcm(std::int64_t a, std::int64_t b) {
   ROTA_REQUIRE(a > 0 && b > 0, "lcm operands must be positive");
-  return std::lcm(a, b);
+  // std::lcm silently wraps when the value exceeds int64; the checked form
+  // throws instead, which the array-scaling sweeps rely on.
+  return checked_lcm(a, b);
 }
 
 std::int64_t ceil_div(std::int64_t a, std::int64_t b) {

@@ -12,33 +12,35 @@ namespace rota::util {
 
 /// Greatest common divisor of two positive integers.
 /// \pre a > 0 && b > 0
-std::int64_t gcd(std::int64_t a, std::int64_t b);
+[[nodiscard]] std::int64_t gcd(std::int64_t a, std::int64_t b);
 
-/// Least common multiple of two positive integers.
-/// \pre a > 0 && b > 0; the product must not overflow int64.
-std::int64_t lcm(std::int64_t a, std::int64_t b);
+/// Least common multiple of two positive integers. Throws
+/// rota::util::invariant_error instead of wrapping when the result
+/// exceeds int64 (see util/safe_math.hpp).
+/// \pre a > 0 && b > 0
+[[nodiscard]] std::int64_t lcm(std::int64_t a, std::int64_t b);
 
 /// ceil(a / b) for positive integers.
 /// \pre a >= 0 && b > 0
-std::int64_t ceil_div(std::int64_t a, std::int64_t b);
+[[nodiscard]] std::int64_t ceil_div(std::int64_t a, std::int64_t b);
 
 /// Smallest multiple of `multiple` that is >= `value`.
 /// \pre value >= 0 && multiple > 0
-std::int64_t round_up(std::int64_t value, std::int64_t multiple);
+[[nodiscard]] std::int64_t round_up(std::int64_t value, std::int64_t multiple);
 
 /// All positive divisors of `n`, ascending.
 /// \pre n > 0
-std::vector<std::int64_t> divisors(std::int64_t n);
+[[nodiscard]] std::vector<std::int64_t> divisors(std::int64_t n);
 
 /// Γ(1 + 1/β): the mean of a unit-scale Weibull distribution with shape β.
 /// \pre beta > 0
-double weibull_mean_factor(double beta);
+[[nodiscard]] double weibull_mean_factor(double beta);
 
 /// Population mean of a container of doubles (0 for an empty span).
-double mean(const std::vector<double>& v);
+[[nodiscard]] double mean(const std::vector<double>& v);
 
 /// The p-norm generalized mean used by the serial-chain MTTF expression:
 /// (Σ v_i^p)^(1/p). Values must be non-negative.
-double power_sum_root(const std::vector<double>& v, double p);
+[[nodiscard]] double power_sum_root(const std::vector<double>& v, double p);
 
 }  // namespace rota::util

@@ -2,6 +2,8 @@
 
 #include <cstdint>
 
+#include "util/check.hpp"
+
 /// \file rng.hpp
 /// Deterministic, seedable PRNG (splitmix64) used by extension policies and
 /// property-based tests. std::mt19937 is avoided so results are identical
@@ -24,6 +26,7 @@ class SplitMix64 {
 
   /// Uniform integer in [0, bound). \pre bound > 0.
   std::uint64_t next_below(std::uint64_t bound) {
+    ROTA_REQUIRE(bound > 0, "next_below bound must be positive");
     // Plain modulo reduction: the modulo bias is at most bound/2^64, far
     // below anything observable at the array sizes simulated here, and it
     // keeps the header free of non-standard 128-bit arithmetic.

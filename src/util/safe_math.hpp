@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <sstream>
+
+#include "util/check.hpp"
+
+/// \file safe_math.hpp
+/// Overflow-checked int64 arithmetic for the wear-leveling closed forms.
+///
+/// The RWL equations (Eqs. 5–11) multiply lcm(w,x)-scale quantities, and the
+/// usage tracker accumulates count·x·y products over thousands of iterations;
+/// on the array-scaling sweeps these silently wrap plain int64 arithmetic.
+/// Every helper here detects overflow with the compiler's checked builtins
+/// and throws rota::util::invariant_error instead of returning a wrapped
+/// value, so a number the simulator reports is either exact or an exception.
+
+namespace rota::util {
+
+namespace detail {
+
+[[noreturn]] inline void throw_overflow(const char* op, std::int64_t a,
+                                        std::int64_t b) {
+  std::ostringstream os;
+  os << "int64 overflow in checked_" << op << '(' << a << ", " << b << ')';
+  throw invariant_error(os.str());
+}
+
+}  // namespace detail
+
+/// a + b, throwing invariant_error if the sum does not fit in int64.
+[[nodiscard]] inline std::int64_t checked_add(std::int64_t a, std::int64_t b) {
+  std::int64_t r = 0;
+  if (__builtin_add_overflow(a, b, &r)) detail::throw_overflow("add", a, b);
+  return r;
+}
+
+/// a - b, throwing invariant_error if the difference does not fit in int64.
+[[nodiscard]] inline std::int64_t checked_sub(std::int64_t a, std::int64_t b) {
+  std::int64_t r = 0;
+  if (__builtin_sub_overflow(a, b, &r)) detail::throw_overflow("sub", a, b);
+  return r;
+}
+
+/// a * b, throwing invariant_error if the product does not fit in int64.
+[[nodiscard]] inline std::int64_t checked_mul(std::int64_t a, std::int64_t b) {
+  std::int64_t r = 0;
+  if (__builtin_mul_overflow(a, b, &r)) detail::throw_overflow("mul", a, b);
+  return r;
+}
+
+/// lcm(a, b) = (a / gcd(a, b)) * b with the product overflow-checked.
+/// \pre a > 0 && b > 0
+[[nodiscard]] inline std::int64_t checked_lcm(std::int64_t a, std::int64_t b) {
+  ROTA_REQUIRE(a > 0 && b > 0, "checked_lcm operands must be positive");
+  return checked_mul(a / std::gcd(a, b), b);
+}
+
+}  // namespace rota::util

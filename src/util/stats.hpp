@@ -14,14 +14,14 @@ class RunningStats {
  public:
   void add(double x);
 
-  std::int64_t count() const { return count_; }
-  double min() const;
-  double max() const;
-  double mean() const;
+  [[nodiscard]] std::int64_t count() const { return count_; }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
   /// Population variance (n divisor); 0 with fewer than 2 samples.
-  double variance() const;
-  double stddev() const;
-  double sum() const { return sum_; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double sum() const { return sum_; }
 
  private:
   std::int64_t count_ = 0;
@@ -41,9 +41,9 @@ struct Summary {
 };
 
 /// Summarize a non-empty vector of samples.
-Summary summarize(const std::vector<double>& samples);
+[[nodiscard]] Summary summarize(const std::vector<double>& samples);
 
 /// Geometric mean of strictly positive samples.
-double geomean(const std::vector<double>& samples);
+[[nodiscard]] double geomean(const std::vector<double>& samples);
 
 }  // namespace rota::util

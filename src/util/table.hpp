@@ -19,10 +19,10 @@ class TextTable {
   void add_row(std::vector<std::string> cells);
 
   /// Number of data rows.
-  std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
 
   /// Render with single-space-padded columns and a rule under the header.
-  std::string str() const;
+  [[nodiscard]] std::string str() const;
 
  private:
   std::vector<std::string> headers_;
@@ -30,9 +30,9 @@ class TextTable {
 };
 
 /// Format a double with fixed precision (default 3 decimal places).
-std::string fmt(double value, int precision = 3);
+[[nodiscard]] std::string fmt(double value, int precision = 3);
 
 /// Format a value as a percentage ("55.8%"), precision in decimal places.
-std::string fmt_pct(double fraction, int precision = 1);
+[[nodiscard]] std::string fmt_pct(double fraction, int precision = 1);
 
 }  // namespace rota::util

@@ -32,7 +32,7 @@ enum class PolicyKind {
   kDiagonalStride,  ///< u and v advance together every tile (ablation)
 };
 
-std::string to_string(PolicyKind kind);
+[[nodiscard]] std::string to_string(PolicyKind kind);
 
 /// Strategy interface. A policy is created for a fixed array size and
 /// driven by the simulator: begin_layer() at every layer boundary, then
@@ -42,15 +42,15 @@ class Policy {
   Policy(std::int64_t width, std::int64_t height);
   virtual ~Policy() = default;
 
-  std::int64_t width() const { return width_; }
-  std::int64_t height() const { return height_; }
+  [[nodiscard]] std::int64_t width() const { return width_; }
+  [[nodiscard]] std::int64_t height() const { return height_; }
 
-  virtual std::string name() const = 0;
-  virtual PolicyKind kind() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual PolicyKind kind() const = 0;
 
   /// True if the policy anchors spaces where they cross array edges and
   /// therefore needs the torus local network to operate.
-  virtual bool requires_torus() const = 0;
+  [[nodiscard]] virtual bool requires_torus() const = 0;
 
   /// Called once before each layer's tiles, with that layer's space.
   virtual void begin_layer(const sched::UtilSpace& space) = 0;
@@ -61,7 +61,7 @@ class Policy {
   /// Return to the initial state (origin at the lower-left corner).
   virtual void reset() = 0;
 
-  virtual std::unique_ptr<Policy> clone() const = 0;
+  [[nodiscard]] virtual std::unique_ptr<Policy> clone() const = 0;
 
   /// Optional O(1) fast path: record up to `tiles` allocations of `space`
   /// into `tracker` — each weighted by `weight` counts — with an effect
@@ -78,7 +78,7 @@ class Policy {
 };
 
 /// Create a policy instance. `seed` is used by kRandomStart only.
-std::unique_ptr<Policy> make_policy(PolicyKind kind, std::int64_t width,
+[[nodiscard]] std::unique_ptr<Policy> make_policy(PolicyKind kind, std::int64_t width,
                                     std::int64_t height,
                                     std::uint64_t seed = 0x9e3779b9);
 

@@ -2,6 +2,7 @@
 
 #include "util/check.hpp"
 #include "util/math.hpp"
+#include "util/safe_math.hpp"
 
 namespace rota::wear {
 
@@ -22,17 +23,19 @@ RwlDerived rwl_derive(const RwlParams& p) {
   const std::int64_t l = util::lcm(p.w, p.x);
   d.strides_x = l / p.x;  // Eq. (5)
   d.unfold_w = l / p.w;   // Eq. (6)
-  d.strides_y = p.z / d.strides_x;                 // Eq. (7)
-  d.unfold_h = d.strides_y * p.y / p.h;            // Eq. (8)
-  d.d_max_bound = d.unfold_w + 1;                  // Eq. (9)
+  d.strides_y = p.z / d.strides_x;                               // Eq. (7)
+  d.unfold_h = util::checked_mul(d.strides_y, p.y) / p.h;        // Eq. (8)
+  d.d_max_bound = util::checked_add(d.unfold_w, 1);              // Eq. (9)
 
   // Eq. (10): ① fully-leveled bottom bands, plus the leveled part of the
-  // partial top band (② its width in PE arrays × ③ its height).
-  const std::int64_t term1 = d.unfold_w * d.unfold_h;
-  const std::int64_t term2 = (p.z % d.strides_x) * p.x / p.w;
+  // partial top band (② its width in PE arrays × ③ its height). Every
+  // product here is lcm-scale and overflow-checked.
+  const std::int64_t term1 = util::checked_mul(d.unfold_w, d.unfold_h);
+  const std::int64_t term2 = util::checked_mul(p.z % d.strides_x, p.x) / p.w;
   const std::int64_t ceil_rows = util::ceil_div(p.z, d.strides_x);
-  const std::int64_t term3 = ceil_rows * p.y / p.h - d.unfold_h;
-  d.min_a_pe = term1 + term2 * term3;
+  const std::int64_t term3 =
+      util::checked_sub(util::checked_mul(ceil_rows, p.y) / p.h, d.unfold_h);
+  d.min_a_pe = util::checked_add(term1, util::checked_mul(term2, term3));
 
   // Eq. (11).
   d.r_diff_bound = (d.min_a_pe > 0)
@@ -49,7 +52,7 @@ std::int64_t period_tiles(const RwlParams& p) {
   // the stride lattice exactly once.
   const std::int64_t gx = util::gcd(p.w, p.x);
   const std::int64_t gy = util::gcd(p.h, p.y);
-  return (p.w / gx) * (p.h / gy);
+  return util::checked_mul(p.w / gx, p.h / gy);
 }
 
 std::int64_t uniform_per_period(const RwlParams& p) {
@@ -59,7 +62,7 @@ std::int64_t uniform_per_period(const RwlParams& p) {
   // period·x·y/(w·h) = (x/gx)·(y/gy) to every PE.
   const std::int64_t gx = util::gcd(p.w, p.x);
   const std::int64_t gy = util::gcd(p.h, p.y);
-  return (p.x / gx) * (p.y / gy);
+  return util::checked_mul(p.x / gx, p.y / gy);
 }
 
 }  // namespace rota::wear

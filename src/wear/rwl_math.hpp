@@ -32,7 +32,7 @@ struct RwlDerived {
 };
 
 /// Evaluate Eqs. (5)–(11). \pre all params positive (z may be 0).
-RwlDerived rwl_derive(const RwlParams& params);
+[[nodiscard]] RwlDerived rwl_derive(const RwlParams& params);
 
 /// Exact per-period coverage of the stride lattice: processing
 /// period_tiles(params) consecutive tiles adds exactly
@@ -41,7 +41,7 @@ RwlDerived rwl_derive(const RwlParams& params);
 /// column 0 (gcd(w,x) divides u) — always true for per-layer RWL and for
 /// the 0-coset states of RWL+RO. These drive the simulator's fast-forward
 /// path and are property-tested against the naive per-tile reference.
-std::int64_t period_tiles(const RwlParams& params);
-std::int64_t uniform_per_period(const RwlParams& params);
+[[nodiscard]] std::int64_t period_tiles(const RwlParams& params);
+[[nodiscard]] std::int64_t uniform_per_period(const RwlParams& params);
 
 }  // namespace rota::wear

@@ -43,9 +43,9 @@ class WearSimulator {
   explicit WearSimulator(arch::AcceleratorConfig cfg,
                          SimulatorOptions options = {});
 
-  const arch::AcceleratorConfig& config() const { return cfg_; }
+  [[nodiscard]] const arch::AcceleratorConfig& config() const { return cfg_; }
   UsageTracker& tracker() { return tracker_; }
-  const UsageTracker& tracker() const { return tracker_; }
+  [[nodiscard]] const UsageTracker& tracker() const { return tracker_; }
 
   /// Process one layer's tiles under `policy`.
   /// Throws util::precondition_error if the policy needs a torus but the

@@ -41,7 +41,7 @@ class TracingPolicy final : public Policy {
   std::unique_ptr<Policy> clone() const override;
   // Intentionally no bulk_process override: tracing needs every tile.
 
-  const std::vector<TraceRecord>& records() const { return records_; }
+  [[nodiscard]] const std::vector<TraceRecord>& records() const { return records_; }
   void clear_trace() { records_.clear(); }
 
  private:

@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "util/check.hpp"
+#include "util/safe_math.hpp"
 
 namespace rota::wear {
 
@@ -43,6 +44,11 @@ void UsageTracker::add_space(std::int64_t u, std::int64_t v, std::int64_t x,
   }
   if (count == 0) return;
 
+  // Check the conservation-counter arithmetic up front so an overflow
+  // throws before any difference-array cell is touched.
+  const std::int64_t new_total = util::checked_add(
+      total_allocations_, util::checked_mul(util::checked_mul(count, x), y));
+
   const std::int64_t x_main = std::min(x, width_ - u);
   const std::int64_t x_wrap = x - x_main;
   const std::int64_t y_main = std::min(y, height_ - v);
@@ -53,15 +59,18 @@ void UsageTracker::add_space(std::int64_t u, std::int64_t v, std::int64_t x,
   if (y_wrap > 0) add_rect(u, 0, u + x_main, y_wrap, count);
   if (x_wrap > 0 && y_wrap > 0) add_rect(0, 0, x_wrap, y_wrap, count);
 
-  total_allocations_ += count * x * y;
+  total_allocations_ = new_total;
   dirty_ = true;
 }
 
 void UsageTracker::add_uniform(std::int64_t count) {
   ROTA_REQUIRE(count >= 0, "uniform count must be non-negative");
   if (count == 0) return;
-  uniform_ += count;
-  total_allocations_ += count * width_ * height_;
+  const std::int64_t new_total = util::checked_add(
+      total_allocations_,
+      util::checked_mul(util::checked_mul(count, width_), height_));
+  uniform_ = util::checked_add(uniform_, count);
+  total_allocations_ = new_total;
   dirty_ = true;
 }
 

@@ -29,8 +29,8 @@ class UsageTracker {
  public:
   UsageTracker(std::int64_t width, std::int64_t height);
 
-  std::int64_t width() const { return width_; }
-  std::int64_t height() const { return height_; }
+  [[nodiscard]] std::int64_t width() const { return width_; }
+  [[nodiscard]] std::int64_t height() const { return height_; }
 
   /// Record `count` allocations of an x×y utilization space anchored at
   /// (u, v) (0-indexed, lower-left PE of the space).
@@ -46,18 +46,18 @@ class UsageTracker {
   void add_uniform(std::int64_t count);
 
   /// Materialized per-PE counters.
-  const util::Grid<std::int64_t>& usage() const;
+  [[nodiscard]] const util::Grid<std::int64_t>& usage() const;
 
   /// Usage counters as doubles, row-major (for the reliability model).
-  std::vector<double> usage_as_doubles() const;
+  [[nodiscard]] std::vector<double> usage_as_doubles() const;
 
-  UsageStats stats() const;
+  [[nodiscard]] UsageStats stats() const;
 
   /// Reset all counters to zero.
   void clear();
 
   /// Total allocations recorded so far (Σ count · x · y consistency check).
-  std::int64_t total_pe_allocations() const;
+  [[nodiscard]] std::int64_t total_pe_allocations() const;
 
  private:
   void add_rect(std::int64_t c0, std::int64_t r0, std::int64_t c1,

@@ -187,7 +187,7 @@ TEST(Area, WearLevelingLogicIsTiny) {
 
 TEST(Area, OverheadRequiresMeshBaseline) {
   const AreaModel model;
-  EXPECT_THROW(model.array_overhead_fraction(rota_like()),
+  EXPECT_THROW((void)model.array_overhead_fraction(rota_like()),
                precondition_error);
 }
 

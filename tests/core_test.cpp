@@ -33,15 +33,15 @@ TEST(Experiment, RunsRequestedPoliciesInOrder) {
 TEST(Experiment, MissingPolicyLookupThrows) {
   Experiment exp(quick_config());
   const auto res = exp.run(nn::make_squeezenet(), {PolicyKind::kBaseline});
-  EXPECT_THROW(res.run(PolicyKind::kRwlRo), precondition_error);
-  EXPECT_THROW(res.improvement_over_baseline(PolicyKind::kRwlRo),
+  EXPECT_THROW((void)res.run(PolicyKind::kRwlRo), precondition_error);
+  EXPECT_THROW((void)res.improvement_over_baseline(PolicyKind::kRwlRo),
                precondition_error);
 }
 
 TEST(Experiment, ImprovementRequiresBaselineRun) {
   Experiment exp(quick_config());
   const auto res = exp.run(nn::make_squeezenet(), {PolicyKind::kRwlRo});
-  EXPECT_THROW(res.improvement_over_baseline(PolicyKind::kRwlRo),
+  EXPECT_THROW((void)res.improvement_over_baseline(PolicyKind::kRwlRo),
                precondition_error);
 }
 

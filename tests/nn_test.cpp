@@ -138,7 +138,7 @@ TEST(Network, LayerLookup) {
   Network net("Test", "T", Domain::kLightweight);
   net.add(conv("l1", 3, 8, 28, 3, 1));
   EXPECT_EQ(net.layer("l1").out_channels, 8);
-  EXPECT_THROW(net.layer("nope"), precondition_error);
+  EXPECT_THROW((void)net.layer("nope"), precondition_error);
 }
 
 TEST(Network, TotalMacsIsLayerSum) {

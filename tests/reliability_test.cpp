@@ -72,7 +72,7 @@ TEST(Weibull, ExponentialSpecialCase) {
 TEST(Weibull, RejectsInvalidParameters) {
   EXPECT_THROW(Weibull(0.0, 1.0), precondition_error);
   EXPECT_THROW(Weibull(1.0, 0.0), precondition_error);
-  EXPECT_THROW(Weibull().reliability(-1.0), precondition_error);
+  EXPECT_THROW((void)Weibull().reliability(-1.0), precondition_error);
 }
 
 TEST(Weibull, JedecShapeIsPaperValue) { EXPECT_DOUBLE_EQ(kJedecShape, 3.4); }
@@ -119,8 +119,8 @@ TEST(ArrayMttf, MttfMatchesMedianOfReliabilityCurve) {
 }
 
 TEST(ArrayMttf, RequiresPositiveActivity) {
-  EXPECT_THROW(array_mttf({0.0, 0.0}), precondition_error);
-  EXPECT_THROW(array_mttf({}), precondition_error);
+  EXPECT_THROW((void)array_mttf({0.0, 0.0}), precondition_error);
+  EXPECT_THROW((void)array_mttf({}), precondition_error);
 }
 
 TEST(Improvement, IdenticalActivityGivesUnity) {
@@ -197,8 +197,8 @@ TEST(UpperBound, PaperAnchorsRoughMagnitude) {
 }
 
 TEST(UpperBound, RejectsOutOfRangeUtilization) {
-  EXPECT_THROW(perfect_wl_upper_bound(0.0), precondition_error);
-  EXPECT_THROW(perfect_wl_upper_bound(1.5), precondition_error);
+  EXPECT_THROW((void)perfect_wl_upper_bound(0.0), precondition_error);
+  EXPECT_THROW((void)perfect_wl_upper_bound(1.5), precondition_error);
 }
 
 // ------------------------------------------------------------ Monte Carlo ----
@@ -239,9 +239,9 @@ TEST(MonteCarlo, DeterministicPerSeed) {
 }
 
 TEST(MonteCarlo, RejectsDegenerateInput) {
-  EXPECT_THROW(monte_carlo_mttf({}, 3.4), precondition_error);
-  EXPECT_THROW(monte_carlo_mttf({0.0}, 3.4), precondition_error);
-  EXPECT_THROW(monte_carlo_mttf({1.0}, 3.4, 1.0, 0), precondition_error);
+  EXPECT_THROW((void)monte_carlo_mttf({}, 3.4), precondition_error);
+  EXPECT_THROW((void)monte_carlo_mttf({0.0}, 3.4), precondition_error);
+  EXPECT_THROW((void)monte_carlo_mttf({1.0}, 3.4, 1.0, 0), precondition_error);
 }
 
 // ---------------------------------------------------- process variation ----
@@ -286,10 +286,10 @@ TEST(Variation, DeterministicPerSeed) {
 }
 
 TEST(Variation, RejectsMismatchedArrays) {
-  EXPECT_THROW(lifetime_improvement_under_variation({1.0, 1.0}, {1.0}),
+  EXPECT_THROW((void)lifetime_improvement_under_variation({1.0, 1.0}, {1.0}),
                precondition_error);
   EXPECT_THROW(
-      lifetime_improvement_under_variation({1.0}, {1.0}, 3.4, -0.1),
+      (void)lifetime_improvement_under_variation({1.0}, {1.0}, 3.4, -0.1),
       precondition_error);
 }
 
@@ -371,9 +371,9 @@ TEST(Spares, MttfMatchesMonteCarloWithOneSpare) {
 }
 
 TEST(Spares, RejectsInvalidArguments) {
-  EXPECT_THROW(spare_array_reliability({1.0}, 1.0, -1), precondition_error);
-  EXPECT_THROW(spare_array_reliability({}, 1.0, 0), precondition_error);
-  EXPECT_THROW(spare_array_mttf({0.0}, 1), precondition_error);
+  EXPECT_THROW((void)spare_array_reliability({1.0}, 1.0, -1), precondition_error);
+  EXPECT_THROW((void)spare_array_reliability({}, 1.0, 0), precondition_error);
+  EXPECT_THROW((void)spare_array_mttf({0.0}, 1), precondition_error);
 }
 
 }  // namespace

@@ -107,8 +107,8 @@ TEST(Arrhenius, TenDegreeRuleOfThumbMagnitude) {
 }
 
 TEST(Arrhenius, RejectsNonPhysicalInput) {
-  EXPECT_THROW(arrhenius_factor(55.0, 55.0, 0.0), precondition_error);
-  EXPECT_THROW(arrhenius_factor(-300.0, 55.0), precondition_error);
+  EXPECT_THROW((void)arrhenius_factor(55.0, 55.0, 0.0), precondition_error);
+  EXPECT_THROW((void)arrhenius_factor(-300.0, 55.0), precondition_error);
 }
 
 TEST(AcceleratedAlphas, UniformUsageIsUnaffected) {

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <numeric>
 #include <sstream>
 
@@ -12,6 +13,7 @@
 #include "util/heatmap.hpp"
 #include "util/math.hpp"
 #include "util/rng.hpp"
+#include "util/safe_math.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -51,9 +53,9 @@ TEST(Math, GcdLcmBasics) {
 }
 
 TEST(Math, GcdLcmRejectNonPositive) {
-  EXPECT_THROW(gcd(0, 3), precondition_error);
-  EXPECT_THROW(lcm(3, 0), precondition_error);
-  EXPECT_THROW(gcd(-2, 3), precondition_error);
+  EXPECT_THROW((void)gcd(0, 3), precondition_error);
+  EXPECT_THROW((void)lcm(3, 0), precondition_error);
+  EXPECT_THROW((void)gcd(-2, 3), precondition_error);
 }
 
 TEST(Math, CeilDiv) {
@@ -61,8 +63,8 @@ TEST(Math, CeilDiv) {
   EXPECT_EQ(ceil_div(1, 5), 1);
   EXPECT_EQ(ceil_div(5, 5), 1);
   EXPECT_EQ(ceil_div(6, 5), 2);
-  EXPECT_THROW(ceil_div(1, 0), precondition_error);
-  EXPECT_THROW(ceil_div(-1, 2), precondition_error);
+  EXPECT_THROW((void)ceil_div(1, 0), precondition_error);
+  EXPECT_THROW((void)ceil_div(-1, 2), precondition_error);
 }
 
 TEST(Math, RoundUp) {
@@ -129,6 +131,47 @@ INSTANTIATE_TEST_SUITE_P(Sweep, DivisorsProperty,
                          ::testing::Values(1, 2, 6, 12, 36, 97, 100, 168, 255,
                                            1024));
 
+// ------------------------------------------------------------ safe math ----
+
+TEST(SafeMath, CheckedOpsAgreeWithPlainArithmeticInRange) {
+  EXPECT_EQ(checked_add(3, 4), 7);
+  EXPECT_EQ(checked_sub(3, 4), -1);
+  EXPECT_EQ(checked_mul(-6, 7), -42);
+  EXPECT_EQ(checked_lcm(14, 8), 56);
+  // Largest exactly representable products still work.
+  const std::int64_t big = std::numeric_limits<std::int64_t>::max();
+  EXPECT_EQ(checked_add(big - 1, 1), big);
+  EXPECT_EQ(checked_mul(big / 2, 2), big - 1);
+}
+
+TEST(SafeMath, CheckedOpsThrowInsteadOfWrapping) {
+  const std::int64_t big = std::numeric_limits<std::int64_t>::max();
+  const std::int64_t small = std::numeric_limits<std::int64_t>::min();
+  EXPECT_THROW((void)checked_add(big, 1), invariant_error);
+  EXPECT_THROW((void)checked_sub(small, 1), invariant_error);
+  EXPECT_THROW((void)checked_mul(big / 2 + 1, 2), invariant_error);
+  EXPECT_THROW((void)checked_mul(small, -1), invariant_error);
+}
+
+TEST(SafeMath, CheckedLcmOverflowThrows) {
+  // gcd(2^62, 3) = 1, so the lcm is 3·2^62 > INT64_MAX.
+  EXPECT_THROW((void)checked_lcm(std::int64_t{1} << 62, 3), invariant_error);
+  EXPECT_THROW((void)checked_lcm(3, std::int64_t{1} << 62), invariant_error);
+  // Equal operands never multiply, so no overflow however large.
+  EXPECT_EQ(checked_lcm(std::int64_t{1} << 62, std::int64_t{1} << 62),
+            std::int64_t{1} << 62);
+  EXPECT_THROW((void)checked_lcm(0, 3), precondition_error);
+}
+
+TEST(SafeMath, LcmOverflowRegression) {
+  // util::lcm used to call std::lcm, which silently wraps; it must now
+  // throw on operands whose lcm exceeds INT64_MAX.
+  EXPECT_THROW((void)lcm(std::int64_t{1} << 62, 3), invariant_error);
+  // Coprime Mersenne pair just below the limit: 2^31 · (2^31 − 1) fits.
+  const std::int64_t p = std::int64_t{1} << 31;
+  EXPECT_EQ(lcm(p, p - 1), p * (p - 1));
+}
+
 TEST(Math, WeibullMeanFactorKnownValues) {
   // Γ(2) = 1 for β = 1 (exponential distribution).
   EXPECT_NEAR(weibull_mean_factor(1.0), 1.0, 1e-12);
@@ -136,7 +179,7 @@ TEST(Math, WeibullMeanFactorKnownValues) {
   EXPECT_NEAR(weibull_mean_factor(2.0), std::sqrt(M_PI) / 2.0, 1e-12);
   // β = 3.4 (JEDEC): Γ(1 + 1/3.4) ≈ 0.89843.
   EXPECT_NEAR(weibull_mean_factor(3.4), std::tgamma(1.0 + 1.0 / 3.4), 0.0);
-  EXPECT_THROW(weibull_mean_factor(0.0), precondition_error);
+  EXPECT_THROW((void)weibull_mean_factor(0.0), precondition_error);
 }
 
 TEST(Math, PowerSumRootMatchesDirectComputation) {
@@ -161,7 +204,7 @@ TEST(Math, PowerSumRootAllZeros) {
 }
 
 TEST(Math, PowerSumRootRejectsNegative) {
-  EXPECT_THROW(power_sum_root({1.0, -1.0}, 2.0), precondition_error);
+  EXPECT_THROW((void)power_sum_root({1.0, -1.0}, 2.0), precondition_error);
 }
 
 TEST(Math, PowerSumRootDominatedByMax) {
@@ -193,9 +236,9 @@ TEST(Stats, RunningStatsMatchesDirect) {
 
 TEST(Stats, EmptyStatsThrow) {
   RunningStats rs;
-  EXPECT_THROW(rs.mean(), precondition_error);
-  EXPECT_THROW(rs.min(), precondition_error);
-  EXPECT_THROW(rs.max(), precondition_error);
+  EXPECT_THROW((void)rs.mean(), precondition_error);
+  EXPECT_THROW((void)rs.min(), precondition_error);
+  EXPECT_THROW((void)rs.max(), precondition_error);
   EXPECT_EQ(rs.variance(), 0.0);
 }
 
@@ -205,8 +248,8 @@ TEST(Stats, SummarizeAndGeomean) {
   EXPECT_EQ(s.max, 8.0);
   EXPECT_EQ(s.mean, 5.0);
   EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
-  EXPECT_THROW(summarize({}), precondition_error);
-  EXPECT_THROW(geomean({1.0, 0.0}), precondition_error);
+  EXPECT_THROW((void)summarize({}), precondition_error);
+  EXPECT_THROW((void)geomean({1.0, 0.0}), precondition_error);
 }
 
 // ----------------------------------------------------------------- grid ----

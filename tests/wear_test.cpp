@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "arch/config.hpp"
@@ -186,10 +187,98 @@ TEST(RwlMath, DivisibleSpaceNeedsNoUnfolding) {
   EXPECT_EQ(d.unfold_w, 1);
 }
 
+TEST(RwlMath, ZeroTilesYieldsZeroCoverage) {
+  // z = 0: no strides taken, nothing leveled, bound degenerates to 0.
+  const RwlDerived d = rwl_derive({14, 12, 8, 8, 0});
+  EXPECT_EQ(d.strides_x, 7);   // Eqs. (5)–(6) depend only on (w, x)
+  EXPECT_EQ(d.unfold_w, 4);
+  EXPECT_EQ(d.strides_y, 0);
+  EXPECT_EQ(d.unfold_h, 0);
+  EXPECT_EQ(d.min_a_pe, 0);
+  EXPECT_DOUBLE_EQ(d.r_diff_bound, 0.0);
+}
+
+TEST(RwlMath, SpaceEqualToArrayIsSingleStride) {
+  // x = w: lcm(w, w) = w, so one stride levels a whole band (X = W = 1)
+  // and the bound collapses to D_max <= 2.
+  const RwlDerived d = rwl_derive({14, 12, 14, 4, 33});
+  EXPECT_EQ(d.strides_x, 1);
+  EXPECT_EQ(d.unfold_w, 1);
+  EXPECT_EQ(d.strides_y, 33);
+  EXPECT_EQ(d.unfold_h, 33 * 4 / 12);
+  EXPECT_EQ(d.d_max_bound, 2);
+
+  // Cross-check against the naive per-tile simulator path.
+  UsageTracker t(14, 12);
+  auto policy = make_policy(PolicyKind::kRwl, 14, 12);
+  const sched::UtilSpace space{14, 4};
+  policy->begin_layer(space);
+  for (std::int64_t i = 0; i < 33; ++i) {
+    const Placement at = policy->next_origin(space);
+    EXPECT_EQ(at.u, 0);  // full-width space can only anchor at column 0
+    t.add_space(at.u, at.v, 14, 4, 1, true);
+  }
+  const UsageStats st = t.stats();
+  EXPECT_LE(st.max_diff, d.d_max_bound);
+  EXPECT_GE(st.min, d.min_a_pe);
+}
+
+TEST(RwlMath, NontrivialGcdCosetsMatchSimulator) {
+  // gcd(w, x) = 4: the horizontal stride lattice has 4 cosets and only
+  // w/gcd = 3 distinct origins per band; the closed forms must still
+  // bound the simulated wear exactly.
+  const RwlParams p{12, 10, 8, 4, 47};
+  const RwlDerived d = rwl_derive(p);
+  EXPECT_EQ(d.strides_x, 3);  // lcm(12,8)/8
+  EXPECT_EQ(d.unfold_w, 2);   // lcm(12,8)/12
+  EXPECT_EQ(period_tiles(p), (12 / 4) * (10 / 2));
+  EXPECT_EQ(uniform_per_period(p), (8 / 4) * (4 / 2));
+
+  UsageTracker t(12, 10);
+  auto policy = make_policy(PolicyKind::kRwl, 12, 10);
+  const sched::UtilSpace space{8, 4};
+  policy->begin_layer(space);
+  for (std::int64_t i = 0; i < p.z; ++i) {
+    const Placement at = policy->next_origin(space);
+    EXPECT_EQ(at.u % 4, 0);  // origins stay on the gcd-coset through 0
+    t.add_space(at.u, at.v, 8, 4, 1, true);
+  }
+  const UsageStats st = t.stats();
+  EXPECT_LE(st.max_diff, d.d_max_bound);
+  EXPECT_GE(st.min, d.min_a_pe);
+}
+
+TEST(RwlMath, ArrayScalingSweepStaysExactUpToNearOverflow) {
+  // Fig. 10 scales the array; push the same shapes to lcm magnitudes near
+  // INT64_MAX. With w = 2^k and x = 2^k − 1 coprime, lcm = w·x ≈ 2^(2k);
+  // the unfold identity X·x == W·w must hold exactly (no silent wrap).
+  for (int k : {10, 20, 30, 31}) {
+    const std::int64_t w = std::int64_t{1} << k;
+    const RwlParams p{w, 12, w - 1, 8, 100};
+    const RwlDerived d = rwl_derive(p);
+    EXPECT_EQ(d.strides_x, w);      // lcm/(w−1)
+    EXPECT_EQ(d.unfold_w, w - 1);   // lcm/w
+    EXPECT_EQ(d.strides_x * (w - 1), d.unfold_w * w) << "k=" << k;
+  }
+  // One doubling further the lcm exceeds INT64_MAX: the math must throw
+  // rather than report a wrapped (wrong) leveling bound.
+  const std::int64_t w32 = std::int64_t{1} << 32;
+  EXPECT_THROW((void)rwl_derive({w32, 12, w32 - 1, 8, 100}),
+               util::invariant_error);
+}
+
+TEST(UsageTracker, AllocationCounterOverflowThrows) {
+  // count·x·y beyond int64 must throw, not wrap the conservation counter.
+  UsageTracker t(4, 4);
+  const std::int64_t huge = std::numeric_limits<std::int64_t>::max() / 2;
+  EXPECT_THROW(t.add_space(0, 0, 2, 2, huge, true), util::invariant_error);
+  EXPECT_THROW(t.add_uniform(huge), util::invariant_error);
+}
+
 TEST(RwlMath, RejectsOversizedSpace) {
-  EXPECT_THROW(rwl_derive({14, 12, 15, 8, 10}), precondition_error);
-  EXPECT_THROW(rwl_derive({14, 12, 8, 13, 10}), precondition_error);
-  EXPECT_THROW(rwl_derive({0, 12, 1, 1, 10}), precondition_error);
+  EXPECT_THROW((void)rwl_derive({14, 12, 15, 8, 10}), precondition_error);
+  EXPECT_THROW((void)rwl_derive({14, 12, 8, 13, 10}), precondition_error);
+  EXPECT_THROW((void)rwl_derive({0, 12, 1, 1, 10}), precondition_error);
 }
 
 TEST(RwlMath, PeriodCoversLatticeOnce) {

@@ -1,0 +1,269 @@
+#!/usr/bin/env python3
+"""rota_lint: mechanical repo-specific rules for the rota source tree.
+
+Run from the repository root (the `lint` CMake/CI target does):
+
+    python3 tools/rota_lint.py [--root DIR]
+
+Rules enforced (each can be suppressed on a specific line with a trailing
+`// rota-lint: allow(<rule>)` comment):
+
+  rng          No rand()/srand()/std::mt19937/std::random_device or other
+               unseeded/non-deterministic RNG outside src/util/rng.hpp.
+               Simulation results must be bit-reproducible per seed.
+  float-wear   No `float` anywhere in src/wear/: wear accumulators are
+               int64 (counts) or double (derived ratios); 24-bit float
+               mantissas silently lose allocation counts.
+  pragma-once  Every header's first line is `#pragma once`.
+  pre-require  Every function whose doc comment documents a `\\pre`
+               contract carries a ROTA_REQUIRE in its definition (found in
+               the header itself or the paired .cpp). Pure-virtual
+               declarations are exempt (the contract binds overriders).
+
+Header self-containment is checked by the CMake `rota_header_checks`
+target, which compiles every src/ header as a standalone TU.
+
+Exit status: 0 when clean, 1 when any rule fires, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+SCAN_DIRS = ("src", "bench", "tests", "examples", "tools")
+CPP_SUFFIXES = {".cpp", ".hpp"}
+
+RNG_PATTERN = re.compile(
+    r"\b(?:std::)?(?:rand|srand|rand_r|drand48|mt19937(?:_64)?|"
+    r"random_device|default_random_engine|minstd_rand0?|knuth_b)\b"
+)
+FLOAT_PATTERN = re.compile(r"\bfloat\b")
+ALLOW_PATTERN = re.compile(r"//\s*rota-lint:\s*allow\(([a-z-]+)\)")
+PRE_TAG = re.compile(r"[\\@]pre\b")
+FUNC_NAME = re.compile(r"([A-Za-z_]\w*)\s*\(")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving newlines so
+    line numbers survive. Good enough for the token-level rules here."""
+    out: list[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if text.startswith("//", i):
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif text.startswith("/*", i):
+            j = text.find("*/", i + 2)
+            j = n - 2 if j < 0 else j
+            seg = text[i : j + 2]
+            out.append("".join(ch if ch == "\n" else " " for ch in seg))
+            i = j + 2
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            out.append(quote + " " * (j - i - 1) + quote)
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+class Linter:
+    def __init__(self, root: Path):
+        self.root = root
+        self.failures: list[str] = []
+
+    def fail(self, path: Path, line: int, rule: str, msg: str) -> None:
+        rel = path.relative_to(self.root)
+        self.failures.append(f"{rel}:{line}: [{rule}] {msg}")
+
+    def allowed(self, raw_lines: list[str], lineno: int, rule: str) -> bool:
+        if lineno - 1 >= len(raw_lines):
+            return False
+        m = ALLOW_PATTERN.search(raw_lines[lineno - 1])
+        return bool(m) and m.group(1) == rule
+
+    # ------------------------------------------------------------- rules --
+
+    def check_rng(self, path: Path, stripped: str, raw: list[str]) -> None:
+        if path == self.root / "src" / "util" / "rng.hpp":
+            return
+        for lineno, line in enumerate(stripped.splitlines(), 1):
+            if RNG_PATTERN.search(line) and not self.allowed(raw, lineno, "rng"):
+                self.fail(path, lineno, "rng",
+                          "non-deterministic/unseeded RNG; use "
+                          "rota::util::SplitMix64 (src/util/rng.hpp)")
+
+    def check_float_wear(self, path: Path, stripped: str,
+                         raw: list[str]) -> None:
+        if self.root / "src" / "wear" not in path.parents:
+            return
+        for lineno, line in enumerate(stripped.splitlines(), 1):
+            if FLOAT_PATTERN.search(line) and not self.allowed(
+                    raw, lineno, "float-wear"):
+                self.fail(path, lineno, "float-wear",
+                          "float in wear accounting; use std::int64_t for "
+                          "counters or double for derived ratios")
+
+    def check_pragma_once(self, path: Path, raw: list[str]) -> None:
+        if path.suffix != ".hpp":
+            return
+        first = raw[0].strip() if raw else ""
+        if first != "#pragma once":
+            self.fail(path, 1, "pragma-once",
+                      "header must start with `#pragma once`")
+
+    def check_pre_require(self, path: Path, text: str, stripped: str,
+                          raw: list[str]) -> None:
+        """Each \\pre-documented declaration must have ROTA_REQUIRE in its
+        definition (inline in the header or in the paired .cpp)."""
+        if path.suffix != ".hpp":
+            return
+        lines = text.splitlines()
+        for lineno, line in enumerate(lines, 1):
+            if not PRE_TAG.search(line):
+                continue
+            if "///" not in line and "*" not in line.lstrip()[:2]:
+                continue  # \pre outside a doc comment
+            decl, decl_line = self._declaration_after(lines, lineno)
+            if decl is None:
+                self.fail(path, lineno, "pre-require",
+                          "could not find the declaration this \\pre "
+                          "documents")
+                continue
+            if re.search(r"=\s*0\s*;", decl):
+                continue  # pure virtual: contract binds the overriders
+            m = FUNC_NAME.search(decl)
+            if not m:
+                self.fail(path, decl_line, "pre-require",
+                          "\\pre is not attached to a function declaration")
+                continue
+            name = m.group(1)
+            if self.allowed(raw, decl_line, "pre-require"):
+                continue
+            if not self._definition_has_require(path, name):
+                self.fail(path, decl_line, "pre-require",
+                          f"`{name}` documents a \\pre but its definition "
+                          "has no ROTA_REQUIRE")
+
+    # ----------------------------------------------------------- helpers --
+
+    @staticmethod
+    def _declaration_after(lines: list[str],
+                           lineno: int) -> tuple[str | None, int]:
+        """The declaration is the doc comment's own line (trailing \\pre) or
+        the first non-comment lines after the comment block, joined until a
+        `;` or `{`."""
+        inline = re.sub(r"///.*$|/\*.*?\*/", "", lines[lineno - 1]).strip()
+        if FUNC_NAME.search(inline):
+            return inline, lineno
+        decl: list[str] = []
+        start = 0
+        for j in range(lineno, min(lineno + 12, len(lines))):
+            s = lines[j].strip()
+            if not decl and (s.startswith("///") or s.startswith("*")
+                             or s.startswith("//") or not s):
+                continue
+            decl.append(s)
+            start = start or j + 1
+            if s.endswith((";", "{")) or "{" in s:
+                return " ".join(decl), start
+        return (None, lineno) if not decl else (" ".join(decl), start)
+
+    def _definition_has_require(self, header: Path, name: str) -> bool:
+        candidates = [header, header.with_suffix(".cpp")]
+        candidates += sorted(p for p in header.parent.glob("*.cpp")
+                             if p not in candidates)
+        for src in candidates:
+            if not src.exists():
+                continue
+            body = self._find_body(src.read_text(encoding="utf-8"), name)
+            if body is None:
+                continue
+            # Direct check, or delegation to a local validate*() helper
+            # (idiom used by rwl_math.cpp and monte_carlo.cpp).
+            return bool(re.search(r"ROTA_REQUIRE|\bvalidate\w*\s*\(", body))
+        return False  # no definition found anywhere we can see
+
+    @staticmethod
+    def _find_body(text: str, name: str) -> str | None:
+        """Brace-matched body of the first definition of `name` (skips
+        declarations, which end in `;` before any `{`)."""
+        for m in re.finditer(r"\b%s\s*\(" % re.escape(name), text):
+            depth, i = 1, m.end()
+            while i < len(text) and depth:
+                if text[i] == "(":
+                    depth += 1
+                elif text[i] == ")":
+                    depth -= 1
+                i += 1
+            # Scan past cv-qualifiers/noexcept/initializer list to `;` or `{`.
+            j = i
+            while j < len(text) and text[j] not in ";{":
+                j += 1
+            if j >= len(text) or text[j] == ";":
+                continue
+            depth, k = 1, j + 1
+            while k < len(text) and depth:
+                if text[k] == "{":
+                    depth += 1
+                elif text[k] == "}":
+                    depth -= 1
+                k += 1
+            return text[j:k]
+        return None
+
+    # -------------------------------------------------------------- run --
+
+    def run(self) -> int:
+        files = []
+        for d in SCAN_DIRS:
+            base = self.root / d
+            if base.is_dir():
+                files += sorted(p for p in base.rglob("*")
+                                if p.suffix in CPP_SUFFIXES)
+        if not files:
+            print("rota_lint: no sources found — wrong --root?",
+                  file=sys.stderr)
+            return 2
+        for path in files:
+            text = path.read_text(encoding="utf-8")
+            raw = text.splitlines()
+            stripped = strip_comments_and_strings(text)
+            self.check_rng(path, stripped, raw)
+            self.check_float_wear(path, stripped, raw)
+            self.check_pragma_once(path, raw)
+            self.check_pre_require(path, text, stripped, raw)
+        if self.failures:
+            print("\n".join(self.failures))
+            print(f"rota_lint: {len(self.failures)} failure(s) in "
+                  f"{len(files)} files", file=sys.stderr)
+            return 1
+        print(f"rota_lint: OK ({len(files)} files)")
+        return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", type=Path, default=Path(__file__).parent.parent,
+                    help="repository root (default: parent of tools/)")
+    args = ap.parse_args()
+    root = args.root.resolve()
+    if not (root / "src").is_dir():
+        print(f"rota_lint: {root} does not look like the repo root",
+              file=sys.stderr)
+        return 2
+    return Linter(root).run()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
