@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -7,10 +8,29 @@
 
 /// \file bench_common.hpp
 /// Shared plumbing for the reproduction benches: section banners, the
-/// standard table+CSV emission, and cached scheduling across the workload
-/// zoo so each bench binary stays focused on its figure.
+/// standard table+CSV emission, cached scheduling across the workload
+/// zoo, and machine-readable JSON output for CI regression tracking.
 
 namespace rota::bench {
+
+/// One measured benchmark: name plus per-iteration wall/CPU time.
+struct BenchRecord {
+  std::string name;
+  double real_ms = 0.0;
+  double cpu_ms = 0.0;
+  std::int64_t iterations = 0;
+};
+
+/// Remove `--json FILE` (or `--json=FILE`) from argv before it reaches
+/// benchmark::Initialize, returning the path ("" if absent). Falls back
+/// to the ROTA_BENCH_JSON environment variable so CI can request JSON
+/// without touching the command line.
+std::string take_json_path(int& argc, char** argv);
+
+/// Write `{"manifest": ..., "metrics": {name: {...}}}` to `path` via the
+/// checked util::write_text_file (throws util::io_error on failure).
+void write_bench_json(const std::string& path, const obs::RunManifest& manifest,
+                      const std::vector<BenchRecord>& records);
 
 /// Print a banner naming the reproduced figure/table.
 void banner(const std::string& experiment_id, const std::string& title);

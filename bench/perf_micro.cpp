@@ -3,9 +3,19 @@
 /// periodicity fast-forward, usage-tracker placement rate, and the
 /// reliability evaluation. These guard the tool's interactive usability
 /// rather than reproducing a paper figure.
+///
+/// Pass `--json BENCH_perf.json` (or set ROTA_BENCH_JSON) to also emit a
+/// machine-readable {"manifest", "metrics"} report for CI regression
+/// tracking; all other flags go straight to google-benchmark.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
 #include "core/rota.hpp"
 
 namespace {
@@ -79,6 +89,49 @@ void BM_ExperimentSqueezeNet100(benchmark::State& state) {
 }
 BENCHMARK(BM_ExperimentSqueezeNet100)->Unit(benchmark::kMillisecond);
 
+/// Console reporter that also captures per-iteration timings so main can
+/// write the machine-readable BENCH_perf.json after the run.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const auto& run : runs) {
+      if (run.error_occurred || run.run_type == Run::RT_Aggregate) continue;
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      rota::bench::BenchRecord rec;
+      rec.name = run.benchmark_name();
+      rec.real_ms = run.real_accumulated_time / iters * 1e3;
+      rec.cpu_ms = run.cpu_accumulated_time / iters * 1e3;
+      rec.iterations = run.iterations;
+      records.push_back(rec);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<rota::bench::BenchRecord> records;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string command = "perf_micro";
+  for (int i = 1; i < argc; ++i) command += std::string(" ") + argv[i];
+  const std::string json_path = rota::bench::take_json_path(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  rota::obs::RunManifest manifest =
+      rota::obs::make_run_manifest("perf_micro", command);
+  const auto t0 = std::chrono::steady_clock::now();
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (!json_path.empty()) {
+    manifest.workload = "micro";
+    manifest.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    rota::bench::write_bench_json(json_path, manifest, reporter.records);
+    std::cout << "wrote " << json_path << " (" << reporter.records.size()
+              << " benchmarks)\n";
+  }
+  return 0;
+}

@@ -9,7 +9,7 @@ std::string to_string(TopologyKind kind) {
     case TopologyKind::kMesh2D: return "mesh2d";
     case TopologyKind::kTorus2D: return "torus2d";
   }
-  ROTA_ENSURE(false, "unhandled TopologyKind");
+  ROTA_UNREACHABLE("unhandled TopologyKind");
 }
 
 void AcceleratorConfig::validate() const {

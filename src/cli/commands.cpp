@@ -1,10 +1,18 @@
 #include "cli/commands.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <fstream>
+#include <sstream>
 
 #include "core/rota.hpp"
+#include "obs/build_info.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
+#include "util/io.hpp"
 
 namespace rota::cli {
 
@@ -47,12 +55,11 @@ int cmd_schedule(const Options& opt, std::ostream& out) {
   out << "mean utilization: " << util::fmt_pct(ns.mean_utilization())
       << ", tiles/iteration: " << ns.total_tiles() << '\n';
   if (!opt.csv_out_path.empty()) {
-    std::ofstream file(opt.csv_out_path);
-    if (!file) {
-      out << "error: could not write " << opt.csv_out_path << '\n';
-      return 1;
-    }
-    sched::write_schedule_csv(ns, file);
+    // Checked write: a full disk or bad path must not leave a silently
+    // truncated schedule behind (util::io_error names the file).
+    std::ostringstream csv;
+    sched::write_schedule_csv(ns, csv);
+    util::write_text_file(opt.csv_out_path, csv.str());
     out << "wrote " << opt.csv_out_path << '\n';
   }
   return 0;
@@ -78,7 +85,7 @@ int cmd_wear(const Options& opt, std::ostream& out) {
 
   wear::WearSimulator sim(accel, {true, opt.metric});
   auto policy = wear::make_policy(opt.policy, accel.array_width,
-                                  accel.array_height);
+                                  accel.array_height, opt.seed);
   sim.run_iterations(ns, *policy, opt.iterations);
 
   const auto stats = sim.tracker().stats();
@@ -111,6 +118,7 @@ int cmd_lifetime(const Options& opt, std::ostream& out) {
   cfg.accel = accel_of(opt);
   cfg.iterations = opt.iterations;
   cfg.metric = opt.metric;
+  cfg.seed = opt.seed;
   Experiment exp(cfg);
   const auto res = exp.run(
       net, {wear::PolicyKind::kBaseline, wear::PolicyKind::kRwl,
@@ -125,6 +133,32 @@ int cmd_lifetime(const Options& opt, std::ostream& out) {
                    util::fmt(run.stats.r_diff, 4)});
   }
   out << table.str();
+
+  if (opt.mc_trials > 0) {
+    // Monte-Carlo cross-check of the closed-form Eq. 3/4 algebra on the
+    // measured usage fields (shared activity scale).
+    double peak = 1.0;
+    for (std::int64_t v : res.run(wear::PolicyKind::kBaseline).usage.cells())
+      peak = std::max(peak, static_cast<double>(v));
+    auto alphas = [&](wear::PolicyKind kind) {
+      std::vector<double> a;
+      for (std::int64_t v : res.run(kind).usage.cells())
+        a.push_back(static_cast<double>(v) / peak);
+      return a;
+    };
+    const auto mc_base = rel::monte_carlo_mttf(
+        alphas(wear::PolicyKind::kBaseline), cfg.beta, 1.0, opt.mc_trials,
+        opt.seed);
+    const auto mc_ro = rel::monte_carlo_mttf(
+        alphas(wear::PolicyKind::kRwlRo), cfg.beta, 1.0, opt.mc_trials,
+        opt.seed);
+    out << "Monte-Carlo cross-check (" << opt.mc_trials
+        << " trials): RWL+RO gain = "
+        << util::fmt(mc_ro.mttf / mc_base.mttf, 3) << "x (closed form "
+        << util::fmt(res.improvement_over_baseline(wear::PolicyKind::kRwlRo),
+                     3)
+        << "x)\n";
+  }
 
   if (opt.spares > 0) {
     // Spare-tolerant comparison on a shared activity scale.
@@ -155,6 +189,7 @@ int cmd_thermal(const Options& opt, std::ostream& out) {
   ExperimentConfig cfg;
   cfg.accel = accel;
   cfg.iterations = opt.iterations;
+  cfg.seed = opt.seed;
   Experiment exp(cfg);
   const auto res = exp.run(
       net, {wear::PolicyKind::kBaseline, wear::PolicyKind::kRwlRo});
@@ -224,12 +259,13 @@ int cmd_area(const Options& opt, std::ostream& out) {
   return 0;
 }
 
-}  // namespace
-
-int run(const Options& options, std::ostream& out) {
+int dispatch(const Options& options, std::ostream& out) {
   switch (options.verb) {
     case Verb::kHelp:
       out << usage();
+      return 0;
+    case Verb::kVersion:
+      out << obs::build_info_line() << '\n';
       return 0;
     case Verb::kWorkloads:
       return cmd_workloads(out);
@@ -245,6 +281,96 @@ int run(const Options& options, std::ostream& out) {
       return cmd_thermal(options, out);
   }
   return 1;
+}
+
+/// Arms the global metrics/trace/progress state for one invocation and
+/// guarantees it is restored (and the sinks flushed) however dispatch
+/// exits, so embedding callers and the test suite see no bleed-through.
+class ObservabilityScope {
+ public:
+  explicit ObservabilityScope(const Options& options) : options_(options) {
+    auto& reg = obs::MetricsRegistry::global();
+    auto& tracer = obs::Tracer::global();
+    if (!options_.metrics_path.empty() || options_.verbose) {
+      reg.reset();
+      reg.set_enabled(true);
+    }
+    if (!options_.trace_path.empty()) {
+      tracer.reset();
+      tracer.set_enabled(true);
+    }
+    if (options_.progress) obs::ProgressReporter::set_enabled(true);
+    manifest_ = obs::make_run_manifest("rota", options_.raw_args);
+    manifest_.workload = options_.workload;
+    manifest_.policy = wear::to_string(options_.policy);
+    manifest_.metric =
+        options_.metric == wear::WearMetric::kAllocations ? "alloc" : "cycles";
+    manifest_.array_width = options_.array_width;
+    manifest_.array_height = options_.array_height;
+    manifest_.iterations = options_.iterations;
+    manifest_.seed = options_.seed;
+    if (options_.spares > 0)
+      manifest_.extra["spares"] = std::to_string(options_.spares);
+    if (options_.mc_trials > 0)
+      manifest_.extra["mc_trials"] = std::to_string(options_.mc_trials);
+    start_ = std::chrono::steady_clock::now();
+  }
+
+  ObservabilityScope(const ObservabilityScope&) = delete;
+  ObservabilityScope& operator=(const ObservabilityScope&) = delete;
+
+  /// Write the requested sinks; returns 0 or 1 (sink failure). Called on
+  /// the success path so write errors can influence the exit code.
+  int write_sinks(std::ostream& out) {
+    int rc = 0;
+    auto& reg = obs::MetricsRegistry::global();
+    auto& tracer = obs::Tracer::global();
+    manifest_.wall_seconds =
+        std::chrono::duration_cast<std::chrono::duration<double>>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+    if (!options_.metrics_path.empty()) {
+      try {
+        util::write_text_file(options_.metrics_path,
+                              obs::metrics_report_json(manifest_, reg));
+        out << "wrote metrics " << options_.metrics_path << '\n';
+      } catch (const util::io_error& e) {
+        out << "error: " << e.what() << '\n';
+        rc = 1;
+      }
+    }
+    if (options_.verbose) out << '\n' << reg.table();
+    if (!options_.trace_path.empty()) {
+      try {
+        tracer.write_file(options_.trace_path);
+        out << "wrote trace " << options_.trace_path << '\n';
+      } catch (const util::io_error& e) {
+        out << "error: " << e.what() << '\n';
+        rc = 1;
+      }
+    }
+    return rc;
+  }
+
+  ~ObservabilityScope() {
+    obs::MetricsRegistry::global().set_enabled(false);
+    obs::Tracer::global().set_enabled(false);
+    obs::ProgressReporter::set_enabled(false);
+  }
+
+ private:
+  const Options& options_;
+  obs::RunManifest manifest_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace
+
+int run(const Options& options, std::ostream& out) {
+  ObservabilityScope scope(options);
+  const int rc = dispatch(options, out);
+  const int sink_rc = scope.write_sinks(out);
+  return rc != 0 ? rc : sink_rc;
 }
 
 }  // namespace rota::cli

@@ -20,6 +20,9 @@ int main(int argc, char** argv) {
   } catch (const rota::util::precondition_error& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 2;
+  } catch (const rota::util::io_error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
   } catch (const std::exception& e) {
     std::cerr << "internal error: " << e.what() << '\n';
     return 3;

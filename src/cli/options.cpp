@@ -28,6 +28,16 @@ std::int64_t parse_non_negative_int(const std::string& text,
   return static_cast<std::int64_t>(v);
 }
 
+std::uint64_t parse_u64(const std::string& text, const std::string& flag) {
+  ROTA_REQUIRE(!text.empty() && text[0] != '-', flag + " expects an unsigned "
+               "integer, got '" + text + "'");
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 0);
+  ROTA_REQUIRE(end != nullptr && *end == '\0',
+               flag + " expects an unsigned integer, got '" + text + "'");
+  return static_cast<std::uint64_t>(v);
+}
+
 }  // namespace
 
 void parse_geometry(const std::string& text, std::int64_t& width,
@@ -56,10 +66,14 @@ wear::PolicyKind parse_policy(const std::string& name) {
 Options parse(const std::vector<std::string>& args) {
   Options opt;
   if (args.empty()) return opt;  // help
+  for (std::size_t a = 0; a < args.size(); ++a)
+    opt.raw_args += (a ? " " : "") + args[a];
 
   const std::string& verb = args[0];
   if (verb == "help" || verb == "--help" || verb == "-h") {
     opt.verb = Verb::kHelp;
+  } else if (verb == "version" || verb == "--version" || verb == "-V") {
+    opt.verb = Verb::kVersion;
   } else if (verb == "workloads") {
     opt.verb = Verb::kWorkloads;
   } else if (verb == "schedule") {
@@ -116,6 +130,18 @@ Options parse(const std::vector<std::string>& args) {
       opt.csv_out_path = value_of(flag);
     } else if (flag == "--schedule") {
       opt.schedule_path = value_of(flag);
+    } else if (flag == "--seed") {
+      opt.seed = parse_u64(value_of(flag), flag);
+    } else if (flag == "--mc") {
+      opt.mc_trials = parse_non_negative_int(value_of(flag), flag);
+    } else if (flag == "--metrics") {
+      opt.metrics_path = value_of(flag);
+    } else if (flag == "--trace") {
+      opt.trace_path = value_of(flag);
+    } else if (flag == "--progress") {
+      opt.progress = true;
+    } else if (flag == "--verbose" || flag == "-v") {
+      opt.verbose = true;
     } else {
       ROTA_REQUIRE(false, "unknown flag '" + flag + "'\n" + usage());
     }
@@ -149,6 +175,7 @@ std::string usage() {
       "  area                      area breakdown and torus overhead\n"
       "  thermal <abbr>            temperature fields and thermally-coupled\n"
       "                            lifetime gain (extension)\n"
+      "  version                   build identity (version, git SHA, type)\n"
       "  help                      this text\n"
       "\n"
       "flags:\n"
@@ -164,7 +191,20 @@ std::string usage() {
       "CSV\n"
       "  --schedule FILE           wear: drive the simulator with an "
       "imported\n"
-      "                            schedule CSV (layer,x,y,tiles columns)\n";
+      "                            schedule CSV (layer,x,y,tiles columns)\n"
+      "  --seed N                  seed for stochastic policies and Monte "
+      "Carlo\n"
+      "  --mc N                    lifetime: cross-check the closed-form "
+      "MTTF\n"
+      "                            with N Monte-Carlo trials (default off)\n"
+      "\n"
+      "observability (any command):\n"
+      "  --metrics FILE            write {manifest, metrics} JSON after the "
+      "run\n"
+      "  --trace FILE              write a Chrome trace-event JSON "
+      "(Perfetto)\n"
+      "  --progress                ETA progress on stderr (TTY only)\n"
+      "  -v, --verbose             print the collected metrics table\n";
 }
 
 }  // namespace rota::cli

@@ -17,6 +17,7 @@ namespace rota::cli {
 /// Which subcommand was requested.
 enum class Verb {
   kHelp,
+  kVersion,    ///< print build identity (version, git SHA, build type)
   kWorkloads,  ///< list the Table II zoo
   kSchedule,   ///< per-layer utilization spaces for one workload
   kWear,       ///< run the wear simulator and print stats + heatmap
@@ -33,18 +34,28 @@ struct Options {
   std::int64_t array_height = 12;
   std::int64_t iterations = 1000;
   std::int64_t spares = 0;
+  std::int64_t mc_trials = 0;  ///< lifetime: Monte-Carlo cross-check trials
+  std::uint64_t seed = 0x526f5441;  ///< stochastic policies / MC ("RoTA")
   wear::PolicyKind policy = wear::PolicyKind::kRwlRo;
   wear::WearMetric metric = wear::WearMetric::kAllocations;
   std::string pgm_path;       ///< optional heatmap image output
   std::string csv_out_path;   ///< schedule: export the schedule as CSV
   std::string schedule_path;  ///< wear: import a schedule CSV instead of
                               ///< running the built-in mapper
+  // Observability (see src/obs/): every verb accepts these.
+  std::string metrics_path;  ///< write {manifest, metrics} JSON here
+  std::string trace_path;    ///< write a Chrome trace-event JSON here
+  bool progress = false;     ///< ETA progress lines on stderr (TTY only)
+  bool verbose = false;      ///< print the metrics table after the run
+  std::string raw_args;      ///< the argv tail, joined (for RunManifest)
 };
 
 /// Parse argv (excluding argv[0]).
-/// Recognized: workloads | schedule | wear | lifetime | area | help, plus
-///   --array WxH   --iters N   --policy NAME   --metric alloc|cycles
-///   --spares N    --pgm FILE
+/// Recognized: workloads | schedule | wear | lifetime | area | version |
+/// help, plus
+///   --array WxH   --iters N    --policy NAME   --metric alloc|cycles
+///   --spares N    --pgm FILE   --seed N        --mc N
+///   --metrics FILE  --trace FILE  --progress  -v/--verbose
 /// Throws util::precondition_error on unknown verbs/flags/values.
 Options parse(const std::vector<std::string>& args);
 

@@ -1,5 +1,7 @@
 #include "core/experiment.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace rota {
@@ -41,6 +43,7 @@ sched::NetworkSchedule Experiment::schedule(const nn::Network& net) {
 
 ExperimentResult Experiment::run(
     const nn::Network& net, const std::vector<wear::PolicyKind>& policies) {
+  const obs::TraceSpan exp_span(net.abbr(), "experiment");
   ExperimentResult result;
   result.network_name = net.name();
   result.network_abbr = net.abbr();
@@ -49,6 +52,9 @@ ExperimentResult Experiment::run(
   result.beta = config_.beta;
 
   for (wear::PolicyKind kind : policies) {
+    const obs::TraceSpan policy_span(wear::to_string(kind),
+                                     "experiment.policy");
+    obs::MetricsRegistry::global().add("experiment.policy_runs");
     auto policy = wear::make_policy(kind, config_.accel.array_width,
                                     config_.accel.array_height, config_.seed);
     wear::WearSimulator sim(config_.accel, {true, config_.metric});
@@ -67,6 +73,7 @@ ExperimentResult Experiment::run_mix(
     const std::vector<nn::Network>& mix,
     const std::vector<wear::PolicyKind>& policies) {
   ROTA_REQUIRE(!mix.empty(), "network mix must be non-empty");
+  const obs::TraceSpan exp_span("mix", "experiment");
 
   // Concatenate the mix into one super-schedule: an "iteration" then means
   // one pass over every model, and layer transitions between models are
@@ -95,6 +102,9 @@ ExperimentResult Experiment::run_mix(
   result.beta = config_.beta;
 
   for (wear::PolicyKind kind : policies) {
+    const obs::TraceSpan policy_span(wear::to_string(kind),
+                                     "experiment.policy");
+    obs::MetricsRegistry::global().add("experiment.policy_runs");
     auto policy = wear::make_policy(kind, config_.accel.array_width,
                                     config_.accel.array_height, config_.seed);
     wear::WearSimulator sim(config_.accel, {true, config_.metric});
@@ -112,6 +122,7 @@ ExperimentResult Experiment::run_mix(
 std::vector<TransientSample> Experiment::run_transient(
     const nn::Network& net, wear::PolicyKind kind, std::int64_t iterations) {
   ROTA_REQUIRE(iterations >= 1, "transient run needs at least one iteration");
+  const obs::TraceSpan span(net.abbr(), "experiment.transient");
   const sched::NetworkSchedule ns = schedule(net);
 
   // Baseline usage after one iteration; the baseline is iteration-linear

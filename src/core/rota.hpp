@@ -10,6 +10,7 @@
 ///   - rota::wear      — usage tracking, RWL math, policies, wear simulator
 ///   - rota::rel       — Weibull lifetime-reliability model
 ///   - rota::sim       — tile pipeline timing and the RWL+RO controller
+///   - rota::obs       — metrics, Chrome-trace spans, run manifests
 ///   - rota (core)     — Experiment: the one-call driver used by examples
 ///
 /// Quickstart:
@@ -30,6 +31,11 @@
 #include "nn/layer.hpp"
 #include "nn/network.hpp"
 #include "nn/workloads.hpp"
+#include "obs/build_info.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "obs/trace.hpp"
 #include "reliability/array_reliability.hpp"
 #include "reliability/monte_carlo.hpp"
 #include "reliability/spares.hpp"

@@ -13,7 +13,7 @@ std::string to_string(LayerKind kind) {
     case LayerKind::kDepthwise: return "depthwise";
     case LayerKind::kGemm: return "gemm";
   }
-  ROTA_ENSURE(false, "unhandled LayerKind");
+  ROTA_UNREACHABLE("unhandled LayerKind");
 }
 
 std::int64_t LayerSpec::out_h() const {

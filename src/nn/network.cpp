@@ -13,7 +13,7 @@ std::string to_string(Domain domain) {
     case Domain::kLightweight: return "Lightweight network";
     case Domain::kTransformer: return "Transformer";
   }
-  ROTA_ENSURE(false, "unhandled Domain");
+  ROTA_UNREACHABLE("unhandled Domain");
 }
 
 Network::Network(std::string name, std::string abbr, Domain domain)

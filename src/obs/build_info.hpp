@@ -1,0 +1,25 @@
+#pragma once
+
+#include <string>
+
+/// \file build_info.hpp
+/// Build identity baked in at CMake configure time (see src/obs/
+/// CMakeLists.txt): project version, git commit and build type. Stamped
+/// into every RunManifest and printed by `rota --version` so any result
+/// file can be traced back to the exact tree that produced it.
+
+namespace rota::obs {
+
+/// Project version ("1.0.0").
+[[nodiscard]] const char* version();
+
+/// Short git commit hash of the configured tree ("unknown" outside git).
+[[nodiscard]] const char* git_sha();
+
+/// CMAKE_BUILD_TYPE of this binary ("Release", "Debug", …).
+[[nodiscard]] const char* build_type();
+
+/// One-line identity: "rota <version> (<git sha>, <build type>)".
+[[nodiscard]] std::string build_info_line();
+
+}  // namespace rota::obs

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+/// \file json.hpp
+/// Minimal JSON emission helpers shared by the observability sinks
+/// (metrics, trace events, run manifests) plus a strict validator used by
+/// the test suite and the CI smoke checks. No external dependency: the
+/// JSON we emit is flat and machine-generated, so a small hand-rolled
+/// writer is both sufficient and auditable.
+
+namespace rota::obs {
+
+/// Escape a string for use inside a JSON string literal (quotes, control
+/// characters and backslashes; UTF-8 passes through untouched).
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+/// `text` escaped and wrapped in double quotes.
+[[nodiscard]] std::string json_quote(std::string_view text);
+
+/// Format a double as a JSON number. Non-finite values (which JSON cannot
+/// represent) render as `null`.
+[[nodiscard]] std::string json_number(double value);
+
+/// Strict recursive-descent validation of a complete JSON document
+/// (object, array, string, number, true/false/null; no trailing garbage).
+/// Used by tests to prove the emitted metrics/trace files parse.
+[[nodiscard]] bool json_valid(std::string_view text);
+
+}  // namespace rota::obs

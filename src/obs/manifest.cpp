@@ -1,0 +1,72 @@
+#include "obs/manifest.hpp"
+
+#include <ctime>
+#include <sstream>
+
+#include "obs/build_info.hpp"
+#include "obs/json.hpp"
+
+namespace rota::obs {
+
+namespace {
+
+std::string utc_now_iso8601() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm_utc{};
+#if defined(_WIN32)
+  gmtime_s(&tm_utc, &now);
+#else
+  gmtime_r(&now, &tm_utc);
+#endif
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  return buf;
+}
+
+}  // namespace
+
+std::string RunManifest::to_json() const {
+  std::ostringstream os;
+  os << '{' << "\"tool\":" << json_quote(tool)
+     << ",\"command\":" << json_quote(command)
+     << ",\"workload\":" << json_quote(workload)
+     << ",\"policy\":" << json_quote(policy)
+     << ",\"metric\":" << json_quote(metric)
+     << ",\"array_width\":" << array_width
+     << ",\"array_height\":" << array_height
+     << ",\"iterations\":" << iterations << ",\"seed\":" << seed
+     << ",\"version\":" << json_quote(version)
+     << ",\"git_sha\":" << json_quote(git_sha)
+     << ",\"build_type\":" << json_quote(build_type)
+     << ",\"timestamp_utc\":" << json_quote(timestamp_utc)
+     << ",\"wall_seconds\":" << json_number(wall_seconds) << ",\"extra\":{";
+  bool first = true;
+  for (const auto& [key, value] : extra) {
+    if (!first) os << ',';
+    first = false;
+    os << json_quote(key) << ':' << json_quote(value);
+  }
+  os << "}}";
+  return os.str();
+}
+
+RunManifest make_run_manifest(std::string tool, std::string command) {
+  RunManifest m;
+  m.tool = std::move(tool);
+  m.command = std::move(command);
+  m.version = version();
+  m.git_sha = git_sha();
+  m.build_type = build_type();
+  m.timestamp_utc = utc_now_iso8601();
+  return m;
+}
+
+std::string metrics_report_json(const RunManifest& manifest,
+                                const MetricsRegistry& registry) {
+  std::ostringstream os;
+  os << "{\"manifest\":" << manifest.to_json()
+     << ",\"metrics\":" << registry.json() << "}\n";
+  return os.str();
+}
+
+}  // namespace rota::obs

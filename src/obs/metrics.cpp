@@ -1,0 +1,206 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "util/table.hpp"
+
+namespace rota::obs {
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+void MetricsRegistry::add_slow(std::string_view name, std::int64_t delta) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void MetricsRegistry::gauge_slow(std::string_view name, double value) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+void MetricsRegistry::observe_slow(std::string_view name, double value) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::vector<double>{}).first;
+  }
+  it->second.push_back(value);
+}
+
+std::int64_t MetricsRegistry::counter(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double MetricsRegistry::gauge_value(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+namespace {
+
+/// Nearest-rank percentile of a sorted sample vector: the smallest value
+/// with at least q of the mass at or below it.
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  const std::size_t idx = rank == 0 ? 0 : rank - 1;
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+HistogramSummary summarize(const std::vector<double>& samples) {
+  HistogramSummary s;
+  if (samples.empty()) return s;
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  s.count = static_cast<std::int64_t>(sorted.size());
+  for (double v : sorted) s.sum += v;
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.p50 = percentile(sorted, 0.50);
+  s.p95 = percentile(sorted, 0.95);
+  return s;
+}
+
+}  // namespace
+
+HistogramSummary MetricsRegistry::histogram(std::string_view name) const {
+  std::vector<double> samples;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = histograms_.find(name);
+    if (it != histograms_.end()) samples = it->second;
+  }
+  return summarize(samples);
+}
+
+std::vector<std::string> MetricsRegistry::names() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, _] : counters_) out.push_back(name);
+  for (const auto& [name, _] : gauges_) out.push_back(name);
+  for (const auto& [name, _] : histograms_) out.push_back(name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+void MetricsRegistry::write_json(std::ostream& out) const {
+  // Snapshot under the lock, emit outside it.
+  std::map<std::string, std::int64_t, std::less<>> counters;
+  std::map<std::string, double, std::less<>> gauges;
+  std::map<std::string, std::vector<double>, std::less<>> histograms;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    counters = counters_;
+    gauges = gauges_;
+    histograms = histograms_;
+  }
+  out << '{';
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out << ',';
+    first = false;
+  };
+  for (const auto& [name, value] : counters) {
+    sep();
+    out << json_quote(name) << ":{\"type\":\"counter\",\"value\":" << value
+        << '}';
+  }
+  for (const auto& [name, value] : gauges) {
+    sep();
+    out << json_quote(name) << ":{\"type\":\"gauge\",\"value\":"
+        << json_number(value) << '}';
+  }
+  for (const auto& [name, samples] : histograms) {
+    const HistogramSummary s = summarize(samples);
+    sep();
+    out << json_quote(name) << ":{\"type\":\"histogram\",\"count\":" << s.count
+        << ",\"sum\":" << json_number(s.sum)
+        << ",\"min\":" << json_number(s.min)
+        << ",\"max\":" << json_number(s.max)
+        << ",\"p50\":" << json_number(s.p50)
+        << ",\"p95\":" << json_number(s.p95) << '}';
+  }
+  out << '}';
+}
+
+std::string MetricsRegistry::json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+std::string MetricsRegistry::table() const {
+  util::TextTable tbl({"metric", "type", "value"});
+  std::map<std::string, std::int64_t, std::less<>> counters;
+  std::map<std::string, double, std::less<>> gauges;
+  std::map<std::string, std::vector<double>, std::less<>> histograms;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    counters = counters_;
+    gauges = gauges_;
+    histograms = histograms_;
+  }
+  for (const auto& [name, value] : counters)
+    tbl.add_row({name, "counter", std::to_string(value)});
+  for (const auto& [name, value] : gauges)
+    tbl.add_row({name, "gauge", util::fmt(value, 4)});
+  for (const auto& [name, samples] : histograms) {
+    const HistogramSummary s = summarize(samples);
+    tbl.add_row({name, "histogram",
+                 "n=" + std::to_string(s.count) + " sum=" + util::fmt(s.sum, 4) +
+                     " p50=" + util::fmt(s.p50, 4) +
+                     " p95=" + util::fmt(s.p95, 4)});
+  }
+  return tbl.str();
+}
+
+ScopedTimer::ScopedTimer(std::string_view name, MetricsRegistry& registry)
+    : registry_(registry) {
+  if (!registry_.enabled()) return;
+  name_ = std::string(name);
+  start_ = std::chrono::steady_clock::now();
+  armed_ = true;
+}
+
+void ScopedTimer::stop() {
+  if (!armed_) return;
+  armed_ = false;
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  registry_.observe(
+      name_,
+      std::chrono::duration_cast<std::chrono::duration<double>>(elapsed)
+          .count());
+}
+
+ScopedTimer::~ScopedTimer() { stop(); }
+
+}  // namespace rota::obs

@@ -1,0 +1,97 @@
+#include "obs/progress.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <sstream>
+
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
+#include "util/table.hpp"
+
+namespace rota::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+std::atomic<bool> g_force_tty{false};
+
+bool stderr_is_tty() {
+#if defined(_WIN32)
+  return false;
+#else
+  return isatty(STDERR_FILENO) != 0;
+#endif
+}
+
+constexpr auto kMinPrintInterval = std::chrono::milliseconds(250);
+
+}  // namespace
+
+void ProgressReporter::set_enabled(bool on) {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool ProgressReporter::enabled() {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void ProgressReporter::force_tty(bool on) {
+  g_force_tty.store(on, std::memory_order_relaxed);
+}
+
+ProgressReporter::ProgressReporter(std::string label, std::int64_t total)
+    : label_(std::move(label)), total_(total) {
+  active_ = enabled() && total_ > 0 &&
+            (g_force_tty.load(std::memory_order_relaxed) || stderr_is_tty());
+  if (!active_) return;
+  start_ = std::chrono::steady_clock::now();
+  last_print_ = start_ - kMinPrintInterval;  // first tick prints immediately
+}
+
+void ProgressReporter::tick(std::int64_t delta) {
+  if (!active_) return;
+  done_ += delta;
+  const auto now = std::chrono::steady_clock::now();
+  if (now - last_print_ < kMinPrintInterval && done_ < total_) return;
+  last_print_ = now;
+  print_line(false);
+}
+
+void ProgressReporter::print_line(bool final_line) {
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          std::chrono::steady_clock::now() - start_)
+          .count();
+  const double rate = elapsed > 0.0 ? static_cast<double>(done_) / elapsed : 0.0;
+  const std::int64_t remaining = total_ - done_;
+  std::ostringstream os;
+  os << '\r' << label_ << ' '
+     << (total_ > 0 ? 100 * done_ / total_ : 0) << "% (" << done_ << '/'
+     << total_;
+  if (rate > 0.0) {
+    os << ", " << util::fmt(rate, 1) << "/s, ETA "
+       << util::fmt(remaining > 0 ? static_cast<double>(remaining) / rate
+                                  : 0.0,
+                    0)
+       << "s";
+  }
+  os << ")   ";
+  if (final_line) os << '\n';
+  std::cerr << os.str() << std::flush;
+  printed_ = true;
+}
+
+void ProgressReporter::finish() {
+  if (!active_ || !printed_) {
+    active_ = false;
+    return;
+  }
+  print_line(true);
+  active_ = false;
+}
+
+ProgressReporter::~ProgressReporter() { finish(); }
+
+}  // namespace rota::obs

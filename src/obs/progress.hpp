@@ -1,0 +1,53 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+/// \file progress.hpp
+/// Rate-limited ETA reporting for long runs (thousand-iteration wear
+/// simulations, Monte Carlo batches). Reports go to stderr so they never
+/// contaminate piped stdout, and only when BOTH the global gate is open
+/// (CLI --progress) AND stderr is a terminal (or force_tty(), used by
+/// tests) — a cron job or CI log never sees carriage-return spinners.
+/// A reporter that fails the gate at construction makes tick() a single
+/// branch.
+
+namespace rota::obs {
+
+class ProgressReporter {
+ public:
+  /// \param label prefix shown on the progress line ("wear SN").
+  /// \param total total units of work (must be >= 0; 0 disables output).
+  ProgressReporter(std::string label, std::int64_t total);
+  ~ProgressReporter();
+  ProgressReporter(const ProgressReporter&) = delete;
+  ProgressReporter& operator=(const ProgressReporter&) = delete;
+
+  /// Record `delta` completed units; prints at most ~4 times/second.
+  void tick(std::int64_t delta = 1);
+
+  /// Print the final 100% line and a newline (idempotent; the destructor
+  /// calls it too).
+  void finish();
+
+  /// Global gate, default off (wired to the CLI --progress flag).
+  static void set_enabled(bool on);
+  [[nodiscard]] static bool enabled();
+
+  /// Pretend stderr is a TTY (tests capture std::cerr through rdbuf).
+  static void force_tty(bool on);
+
+ private:
+  void print_line(bool final_line);
+
+  std::string label_;
+  std::int64_t total_;
+  std::int64_t done_ = 0;
+  bool active_ = false;
+  bool printed_ = false;
+  std::chrono::steady_clock::time_point start_{};
+  std::chrono::steady_clock::time_point last_print_{};
+};
+
+}  // namespace rota::obs

@@ -1,0 +1,115 @@
+#include "obs/trace.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "util/io.hpp"
+
+namespace rota::obs {
+
+namespace {
+
+/// Small dense thread ids (0, 1, 2, …) so the Perfetto track list stays
+/// readable; std::thread::id would render as opaque large numbers.
+std::int32_t this_thread_index() {
+  static std::atomic<std::int32_t> next{0};
+  thread_local std::int32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+std::int64_t Tracer::now_us() const {
+  const auto elapsed = std::chrono::steady_clock::now() - epoch_;
+  return std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+      .count();
+}
+
+void Tracer::complete(std::string_view name, std::string_view category,
+                      std::int64_t ts_us, std::int64_t dur_us) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = std::string(name);
+  ev.category = std::string(category);
+  ev.phase = 'X';
+  ev.ts_us = ts_us;
+  ev.dur_us = dur_us;
+  ev.tid = this_thread_index();
+  const std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(ev));
+}
+
+void Tracer::instant(std::string_view name, std::string_view category) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = std::string(name);
+  ev.category = std::string(category);
+  ev.phase = 'i';
+  ev.ts_us = now_us();
+  ev.tid = this_thread_index();
+  const std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(ev));
+}
+
+std::size_t Tracer::event_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void Tracer::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+void Tracer::write_json(std::ostream& out) const {
+  std::vector<TraceEvent> events;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    events = events_;
+  }
+  out << "[{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+         "\"args\":{\"name\":\"rota\"}}";
+  for (const TraceEvent& ev : events) {
+    out << ",{\"name\":" << json_quote(ev.name)
+        << ",\"cat\":" << json_quote(ev.category) << ",\"ph\":\"" << ev.phase
+        << "\",\"ts\":" << ev.ts_us;
+    if (ev.phase == 'X') out << ",\"dur\":" << ev.dur_us;
+    if (ev.phase == 'i') out << ",\"s\":\"t\"";
+    out << ",\"pid\":1,\"tid\":" << ev.tid << '}';
+  }
+  out << "]\n";
+}
+
+std::string Tracer::json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+void Tracer::write_file(const std::string& path) const {
+  util::write_text_file(path, json());
+}
+
+TraceSpan::TraceSpan(std::string_view name, std::string_view category,
+                     Tracer& tracer)
+    : tracer_(tracer) {
+  if (!tracer_.enabled()) return;
+  name_ = std::string(name);
+  category_ = std::string(category);
+  start_us_ = tracer_.now_us();
+}
+
+TraceSpan::~TraceSpan() {
+  if (start_us_ < 0) return;
+  tracer_.complete(name_, category_, start_us_, tracer_.now_us() - start_us_);
+}
+
+}  // namespace rota::obs

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file trace.hpp
+/// Chrome trace-event recording: scoped spans collected in memory and
+/// written as a JSON trace-event array that loads directly in Perfetto /
+/// chrome://tracing, rendering a whole experiment — per-layer mapper
+/// searches, per-policy wear simulation, Monte Carlo batches — as a flame
+/// timeline. Disabled by default; a disabled TraceSpan costs one relaxed
+/// atomic load and a branch.
+
+namespace rota::obs {
+
+/// One trace event. `phase` follows the trace-event format: 'X' complete
+/// (ts + dur), 'i' instant, 'M' metadata.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  char phase = 'X';
+  std::int64_t ts_us = 0;
+  std::int64_t dur_us = 0;
+  std::int32_t tid = 0;
+};
+
+class Tracer {
+ public:
+  Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// The tracer the built-in instrumentation reports to.
+  static Tracer& global();
+
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  /// Microseconds since this tracer's epoch (its construction).
+  [[nodiscard]] std::int64_t now_us() const;
+
+  /// Record a completed span (thread id is taken from the calling thread).
+  void complete(std::string_view name, std::string_view category,
+                std::int64_t ts_us, std::int64_t dur_us);
+
+  /// Record an instant event at the current time.
+  void instant(std::string_view name, std::string_view category);
+
+  [[nodiscard]] std::size_t event_count() const;
+
+  /// Drop all recorded events (the enabled flag is untouched).
+  void reset();
+
+  /// Emit the trace-event JSON array (metadata naming the process first,
+  /// then every recorded event).
+  void write_json(std::ostream& out) const;
+  [[nodiscard]] std::string json() const;
+
+  /// write_json() to `path`; throws util::io_error naming the file on
+  /// open/write failure.
+  void write_file(const std::string& path) const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII span: captures the start time at construction and records a
+/// complete ('X') event at destruction. Arms itself only if the tracer is
+/// enabled at construction; name/category are copied only when armed.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name, std::string_view category = "rota",
+                     Tracer& tracer = Tracer::global());
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  Tracer& tracer_;
+  std::string name_;
+  std::string category_;
+  std::int64_t start_us_ = -1;
+};
+
+}  // namespace rota::obs

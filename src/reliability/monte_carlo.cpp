@@ -1,9 +1,13 @@
 #include "reliability/monte_carlo.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -22,6 +26,23 @@ void validate_inputs(const std::vector<double>& alphas, double beta,
     any_positive = any_positive || a > 0.0;
   }
   ROTA_REQUIRE(any_positive, "at least one PE must have positive activity");
+}
+
+/// Report one completed sampling batch: sample count, batch wall time and
+/// the derived throughput gauge. One enabled() branch when obs is off.
+void report_batch(std::string_view kind, std::int64_t trials,
+                  std::chrono::steady_clock::time_point t0) {
+  auto& reg = obs::MetricsRegistry::global();
+  if (!reg.enabled()) return;
+  const double secs =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  reg.add("mc.samples", trials);
+  reg.observe(std::string(kind) + "_seconds", secs);
+  if (secs > 0.0)
+    reg.gauge(std::string(kind) + "_samples_per_sec",
+              static_cast<double>(trials) / secs);
 }
 
 /// Sample one array failure time: min over PEs of (η/α)·(−ln U)^{1/β}.
@@ -45,14 +66,19 @@ MonteCarloResult monte_carlo_mttf(const std::vector<double>& alphas,
                                   double beta, double eta,
                                   std::int64_t trials, std::uint64_t seed) {
   validate_inputs(alphas, beta, eta, trials);
+  const obs::TraceSpan span("monte_carlo_mttf", "rel");
+  const auto t0 = std::chrono::steady_clock::now();
   util::SplitMix64 rng(seed);
   double sum = 0.0;
   double sum_sq = 0.0;
+  obs::ProgressReporter progress("monte-carlo mttf", trials);
   for (std::int64_t i = 0; i < trials; ++i) {
     const double t = sample_failure(alphas, beta, eta, rng);
     sum += t;
     sum_sq += t * t;
+    progress.tick();
   }
+  report_batch("mc.mttf", trials, t0);
   MonteCarloResult res;
   res.trials = trials;
   const double n = static_cast<double>(trials);
@@ -71,6 +97,8 @@ VariationResult lifetime_improvement_under_variation(
   ROTA_REQUIRE(baseline_alphas.size() == wl_alphas.size(),
                "activity vectors must describe the same array");
   ROTA_REQUIRE(sigma >= 0.0, "variation sigma must be non-negative");
+  const obs::TraceSpan span("lifetime_improvement_under_variation", "rel");
+  const auto t0 = std::chrono::steady_clock::now();
 
   util::SplitMix64 rng(seed);
   // Box–Muller normal deviates for the lognormal scale samples.
@@ -97,6 +125,7 @@ VariationResult lifetime_improvement_under_variation(
                 "degenerate variation sample");
     ratios.push_back(std::pow(sum_base / sum_wl, 1.0 / beta));
   }
+  report_batch("mc.variation", trials, t0);
   std::sort(ratios.begin(), ratios.end());
 
   VariationResult res;
@@ -120,11 +149,14 @@ double monte_carlo_reliability(const std::vector<double>& alphas, double t,
                                std::uint64_t seed) {
   validate_inputs(alphas, beta, eta, trials);
   ROTA_REQUIRE(t >= 0.0, "time must be non-negative");
+  const obs::TraceSpan span("monte_carlo_reliability", "rel");
+  const auto t0 = std::chrono::steady_clock::now();
   util::SplitMix64 rng(seed);
   std::int64_t alive = 0;
   for (std::int64_t i = 0; i < trials; ++i) {
     if (sample_failure(alphas, beta, eta, rng) > t) ++alive;
   }
+  report_batch("mc.reliability", trials, t0);
   return static_cast<double>(alive) / static_cast<double>(trials);
 }
 

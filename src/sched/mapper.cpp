@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/math.hpp"
 
@@ -76,6 +78,8 @@ LayerSchedule Mapper::search(const nn::LayerSpec& layer) const {
   bool found = false;
   Mapping best_map;
   CostResult best_cost;
+  std::int64_t evaluated = 0;
+  std::int64_t feasible = 0;
 
   const auto lb_s_candidates = util::divisors(s);
   const auto lb_q_candidates =
@@ -104,7 +108,9 @@ LayerSchedule Mapper::search(const nn::LayerSpec& layer) const {
                 m.lb_q = lb_q;
                 m.lb_s = lb_s;
                 const CostResult c = cost_.evaluate(layer, m);
+                ++evaluated;
                 if (!c.valid) continue;
+                ++feasible;
                 if (!found || better(c, m, best_cost, best_map)) {
                   found = true;
                   best_cost = c;
@@ -119,6 +125,13 @@ LayerSchedule Mapper::search(const nn::LayerSpec& layer) const {
   }
 
   ROTA_ENSURE(found, "no feasible mapping for layer " + layer.name);
+
+  auto& reg = obs::MetricsRegistry::global();
+  if (reg.enabled()) {
+    reg.add("mapper.candidates_evaluated", evaluated);
+    reg.add("mapper.candidates_feasible", feasible);
+    reg.add("mapper.candidates_pruned", evaluated - feasible);
+  }
 
   LayerSchedule sched;
   sched.layer_name = layer.name;
@@ -144,16 +157,21 @@ LayerSchedule Mapper::schedule_layer(const nn::LayerSpec& layer) {
   const std::string key = layer.shape_key();
   auto it = cache_.find(key);
   if (it != cache_.end()) {
+    obs::MetricsRegistry::global().add("mapper.cache_hits");
     LayerSchedule sched = it->second;
     sched.layer_name = layer.name;  // cached entry may carry another name
     return sched;
   }
+  const obs::TraceSpan span(layer.name, "mapper.search");
+  const obs::ScopedTimer timer("mapper.search_seconds");
   LayerSchedule sched = search(layer);
+  obs::MetricsRegistry::global().add("mapper.layers_searched");
   cache_.emplace(key, sched);
   return sched;
 }
 
 NetworkSchedule Mapper::schedule_network(const nn::Network& net) {
+  const obs::TraceSpan span(net.abbr(), "mapper.schedule");
   NetworkSchedule ns;
   ns.network_name = net.name();
   ns.network_abbr = net.abbr();

@@ -11,7 +11,7 @@ std::string to_string(SpatialX dim) {
     case SpatialX::kOutChannels: return "K";
     case SpatialX::kOutWidth: return "Q";
   }
-  ROTA_ENSURE(false, "unhandled SpatialX");
+  ROTA_UNREACHABLE("unhandled SpatialX");
 }
 
 std::string to_string(SpatialY dim) {
@@ -19,7 +19,7 @@ std::string to_string(SpatialY dim) {
     case SpatialY::kOutHeight: return "P";
     case SpatialY::kInChannels: return "C";
   }
-  ROTA_ENSURE(false, "unhandled SpatialY");
+  ROTA_UNREACHABLE("unhandled SpatialY");
 }
 
 std::string Mapping::str() const {

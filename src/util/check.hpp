@@ -25,6 +25,14 @@ class invariant_error : public std::logic_error {
   using std::logic_error::logic_error;
 };
 
+/// Thrown when writing an output artifact (CSV, JSON, trace, image) fails
+/// — full disk, unwritable path, closed pipe. The message names the sink
+/// so a truncated file never goes unnoticed.
+class io_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 namespace detail {
 
 [[noreturn]] inline void throw_precondition(const char* expr, const char* file,
@@ -61,3 +69,13 @@ namespace detail {
       ::rota::util::detail::throw_invariant(#expr, __FILE__, __LINE__,       \
                                             (msg));                          \
   } while (false)
+
+/// Marks a statically unreachable point (the tail of an exhaustive switch);
+/// throws rota::util::invariant_error if ever executed. Unlike
+/// ROTA_ENSURE(false, ...) this calls the [[noreturn]] helper
+/// unconditionally, so the compiler's flow analysis still sees the function
+/// as ending here under sanitizer instrumentation (GCC fails to fold the
+/// constant branch with -fsanitize=thread and emits -Wreturn-type).
+#define ROTA_UNREACHABLE(msg)                                                \
+  ::rota::util::detail::throw_invariant("unreachable", __FILE__, __LINE__,   \
+                                        (msg))

@@ -17,8 +17,9 @@ std::string csv_escape(const std::string& field) {
   return out;
 }
 
-CsvWriter::CsvWriter(std::ostream& out, const std::vector<std::string>& headers)
-    : out_(out), width_(headers.size()) {
+CsvWriter::CsvWriter(std::ostream& out, const std::vector<std::string>& headers,
+                     std::string sink_name)
+    : out_(out), width_(headers.size()), sink_name_(std::move(sink_name)) {
   ROTA_REQUIRE(width_ > 0, "csv needs at least one column");
   emit(headers);
 }
@@ -34,6 +35,10 @@ void CsvWriter::emit(const std::vector<std::string>& cells) {
     if (i + 1 != cells.size()) out_ << ',';
   }
   out_ << '\n';
+  if (!out_)
+    throw io_error("csv write failed" +
+                   (sink_name_.empty() ? std::string(" (stream error)")
+                                       : " for " + sink_name_));
 }
 
 }  // namespace rota::util

@@ -10,11 +10,16 @@
 
 namespace rota::util {
 
-/// Streams rows of comma-separated values with proper quoting.
+/// Streams rows of comma-separated values with proper quoting. Every
+/// write is checked: a stream that enters a failed state (full disk, bad
+/// file) raises util::io_error naming the sink instead of silently
+/// truncating the CSV.
 class CsvWriter {
  public:
-  /// Writes the header row immediately.
-  CsvWriter(std::ostream& out, const std::vector<std::string>& headers);
+  /// Writes the header row immediately. `sink_name` (e.g. the file path)
+  /// is used in error messages; empty means an anonymous stream.
+  CsvWriter(std::ostream& out, const std::vector<std::string>& headers,
+            std::string sink_name = {});
 
   /// Append a data row; width must match the header.
   void row(const std::vector<std::string>& cells);
@@ -24,6 +29,7 @@ class CsvWriter {
 
   std::ostream& out_;
   std::size_t width_;
+  std::string sink_name_;
 };
 
 /// Quote a single CSV field if it contains a comma, quote or newline.

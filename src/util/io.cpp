@@ -1,0 +1,18 @@
+#include "util/io.hpp"
+
+#include <fstream>
+
+#include "util/check.hpp"
+
+namespace rota::util {
+
+void write_text_file(const std::string& path, std::string_view content) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) throw io_error("could not open " + path + " for writing");
+  file.write(content.data(),
+             static_cast<std::streamsize>(content.size()));
+  file.flush();
+  if (!file) throw io_error("write failed (disk full?) for " + path);
+}
+
+}  // namespace rota::util

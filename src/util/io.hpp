@@ -1,0 +1,19 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+/// \file io.hpp
+/// Checked file output. Every artifact writer (CSV exports, metrics JSON,
+/// bench output) routes through write_text_file so a full disk or bad
+/// path raises util::io_error naming the file instead of silently
+/// truncating the artifact.
+
+namespace rota::util {
+
+/// Write `content` to `path` (binary mode, overwriting), flush, and
+/// verify the stream; throws util::io_error naming the file on any
+/// failure.
+void write_text_file(const std::string& path, std::string_view content);
+
+}  // namespace rota::util

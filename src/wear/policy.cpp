@@ -14,7 +14,7 @@ std::string to_string(PolicyKind kind) {
     case PolicyKind::kRandomStart: return "RandomStart";
     case PolicyKind::kDiagonalStride: return "DiagonalStride";
   }
-  ROTA_ENSURE(false, "unhandled PolicyKind");
+  ROTA_UNREACHABLE("unhandled PolicyKind");
 }
 
 Policy::Policy(std::int64_t width, std::int64_t height)
@@ -238,7 +238,7 @@ std::unique_ptr<Policy> make_policy(PolicyKind kind, std::int64_t width,
     case PolicyKind::kDiagonalStride:
       return std::make_unique<DiagonalStridePolicy>(width, height);
   }
-  ROTA_ENSURE(false, "unhandled PolicyKind");
+  ROTA_UNREACHABLE("unhandled PolicyKind");
 }
 
 }  // namespace rota::wear

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace rota::wear {
@@ -42,14 +45,29 @@ void WearSimulator::run_layer(const sched::LayerSchedule& layer,
 
   policy.begin_layer(space);
   std::int64_t remaining = layer.tiles;
+  std::int64_t fast_forwarded = 0;
   if (options_.fast_forward && remaining > 0) {
-    remaining -= policy.bulk_process(space, remaining, tracker_, allow_wrap_,
-                                     weight);
+    fast_forwarded = policy.bulk_process(space, remaining, tracker_,
+                                         allow_wrap_, weight);
+    remaining -= fast_forwarded;
     ROTA_ENSURE(remaining >= 0, "bulk_process consumed more tiles than given");
   }
+  const std::int64_t per_tile = remaining;
   for (; remaining > 0; --remaining) {
     const Placement at = policy.next_origin(space);
     tracker_.add_space(at.u, at.v, space.x, space.y, weight, allow_wrap_);
+  }
+
+  auto& reg = obs::MetricsRegistry::global();
+  if (reg.enabled()) {
+    reg.add("wear.layers");
+    reg.add("wear.tiles_fast_forwarded", fast_forwarded);
+    reg.add("wear.tiles_per_tile", per_tile);
+    // Which path handled the layer: exact periodicity fast path vs. the
+    // per-tile reference fallback (partial bulk consumption counts both).
+    if (fast_forwarded > 0) reg.add("wear.fast_forward_hits");
+    if (per_tile > 0) reg.add("wear.fast_forward_misses");
+    reg.add("wear.counter_updates", layer.tiles * space.x * space.y);
   }
 }
 
@@ -62,10 +80,20 @@ void WearSimulator::run_iterations(const sched::NetworkSchedule& schedule,
                                    Policy& policy, std::int64_t iterations,
                                    const IterationSampler& sampler) {
   ROTA_REQUIRE(iterations >= 0, "iteration count must be non-negative");
+  const std::string& label = schedule.network_abbr.empty()
+                                 ? schedule.network_name
+                                 : schedule.network_abbr;
+  const obs::TraceSpan span(policy.name() + (label.empty() ? "" : " " + label),
+                            "wear.run");
+  obs::ProgressReporter progress("wear " + policy.name() +
+                                     (label.empty() ? "" : " " + label),
+                                 iterations);
   for (std::int64_t it = 1; it <= iterations; ++it) {
     run_iteration(schedule, policy);
+    progress.tick();
     if (sampler) sampler(it, tracker_);
   }
+  obs::MetricsRegistry::global().add("wear.iterations", iterations);
 }
 
 }  // namespace rota::wear

@@ -1,10 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "cli/commands.hpp"
 #include "cli/options.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace rota::cli {
@@ -207,6 +211,109 @@ TEST(CliRun, CustomArrayPropagates) {
   // The 8×8 heatmap has 8 rows of 8 cells + scale line; the 14-wide one
   // would have longer lines. Just check it ran and produced a heatmap.
   EXPECT_NE(out.str().find("scale:"), std::string::npos);
+}
+
+// -------------------------------------------------------- observability ----
+
+TEST(CliParse, ObservabilityFlagsParse) {
+  const Options o = parse({"wear", "Sqz", "--metrics", "/tmp/m.json",
+                           "--trace", "/tmp/t.json", "--progress", "-v",
+                           "--seed", "42"});
+  EXPECT_EQ(o.metrics_path, "/tmp/m.json");
+  EXPECT_EQ(o.trace_path, "/tmp/t.json");
+  EXPECT_TRUE(o.progress);
+  EXPECT_TRUE(o.verbose);
+  EXPECT_EQ(o.seed, 42u);
+  EXPECT_NE(o.raw_args.find("--metrics"), std::string::npos);
+}
+
+TEST(CliParse, ObservabilityDefaultsOff) {
+  const Options o = parse({"wear", "Sqz"});
+  EXPECT_TRUE(o.metrics_path.empty());
+  EXPECT_TRUE(o.trace_path.empty());
+  EXPECT_FALSE(o.progress);
+  EXPECT_FALSE(o.verbose);
+  EXPECT_EQ(o.mc_trials, 0);
+}
+
+TEST(CliParse, VersionVerbForms) {
+  EXPECT_EQ(parse({"version"}).verb, Verb::kVersion);
+  EXPECT_EQ(parse({"--version"}).verb, Verb::kVersion);
+  EXPECT_EQ(parse({"-V"}).verb, Verb::kVersion);
+}
+
+TEST(CliParse, BadObservabilityValuesRejected) {
+  EXPECT_THROW(parse({"wear", "Sqz", "--seed", "abc"}), precondition_error);
+  EXPECT_THROW(parse({"wear", "Sqz", "--seed", "-5"}), precondition_error);
+  EXPECT_THROW(parse({"wear", "Sqz", "--metrics"}), precondition_error);
+  EXPECT_THROW(parse({"lifetime", "Sqz", "--mc", "-1"}), precondition_error);
+}
+
+TEST(CliRun, VersionPrintsBuildIdentity) {
+  std::ostringstream out;
+  EXPECT_EQ(run(parse({"version"}), out), 0);
+  EXPECT_NE(out.str().find("rota "), std::string::npos);
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(CliRun, MetricsAndTraceSinksWriteValidJson) {
+  const std::string metrics_path = ::testing::TempDir() + "rota_cli_m.json";
+  const std::string trace_path = ::testing::TempDir() + "rota_cli_t.json";
+  std::ostringstream out;
+  EXPECT_EQ(run(parse({"wear", "Sqz", "--iters", "5", "--metrics",
+                       metrics_path, "--trace", trace_path}),
+                out),
+            0);
+
+  const std::string metrics = slurp(metrics_path);
+  EXPECT_TRUE(obs::json_valid(metrics)) << metrics;
+  for (const char* key : {"\"manifest\"", "\"metrics\"", "\"git_sha\"",
+                          "\"seed\"", "\"workload\"", "\"wear.iterations\""}) {
+    EXPECT_NE(metrics.find(key), std::string::npos) << key;
+  }
+
+  const std::string trace = slurp(trace_path);
+  EXPECT_TRUE(obs::json_valid(trace)) << trace;
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+  std::remove(metrics_path.c_str());
+  std::remove(trace_path.c_str());
+}
+
+TEST(CliRun, MetricsSinkOffLeavesGlobalsDisabled) {
+  std::ostringstream out;
+  EXPECT_EQ(run(parse({"wear", "Sqz", "--iters", "3"}), out), 0);
+  EXPECT_FALSE(obs::MetricsRegistry::global().enabled());
+  EXPECT_FALSE(obs::Tracer::global().enabled());
+}
+
+TEST(CliRun, VerbosePrintsMetricsTable) {
+  std::ostringstream out;
+  EXPECT_EQ(run(parse({"wear", "Sqz", "--iters", "3", "-v"}), out), 0);
+  EXPECT_NE(out.str().find("wear.iterations"), std::string::npos);
+  EXPECT_FALSE(obs::MetricsRegistry::global().enabled());  // scope closed
+}
+
+TEST(CliRun, UnwritableMetricsPathReportsIoError) {
+  std::ostringstream out;
+  const int rc = run(parse({"wear", "Sqz", "--iters", "3", "--metrics",
+                            "/nonexistent-dir/m.json"}),
+                     out);
+  EXPECT_EQ(rc, 1);
+  EXPECT_NE(out.str().find("error"), std::string::npos);
+}
+
+TEST(CliRun, LifetimeMonteCarloCrossCheck) {
+  std::ostringstream out;
+  EXPECT_EQ(run(parse({"lifetime", "Sqz", "--iters", "10", "--mc", "200"}),
+                out),
+            0);
+  EXPECT_NE(out.str().find("Monte-Carlo"), std::string::npos);
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 #include "util/csv.hpp"
 #include "util/grid.hpp"
 #include "util/heatmap.hpp"
+#include "util/io.hpp"
 #include "util/math.hpp"
 #include "util/rng.hpp"
 #include "util/safe_math.hpp"
@@ -322,6 +323,46 @@ TEST(Csv, WritesHeaderAndRows) {
   w.row({"1", "2"});
   EXPECT_EQ(os.str(), "x,y\n1,2\n");
   EXPECT_THROW(w.row({"too", "many", "cells"}), precondition_error);
+}
+
+TEST(Csv, FailedStreamRaisesIoErrorInsteadOfTruncating) {
+  std::ostringstream os;
+  os.setstate(std::ios::failbit);
+  EXPECT_THROW(CsvWriter(os, {"x"}), io_error);
+}
+
+TEST(Csv, IoErrorNamesTheSink) {
+  std::ostringstream os;
+  CsvWriter w(os, {"x"}, "results.csv");
+  os.setstate(std::ios::badbit);
+  try {
+    w.row({"1"});
+    FAIL() << "should have thrown";
+  } catch (const io_error& e) {
+    EXPECT_NE(std::string(e.what()).find("results.csv"), std::string::npos);
+  }
+}
+
+// ------------------------------------------------------------------- io ----
+
+TEST(Io, WriteTextFileRoundTrips) {
+  const std::string path = ::testing::TempDir() + "rota_util_io.txt";
+  write_text_file(path, "hello\nworld\n");
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), "hello\nworld\n");
+  std::remove(path.c_str());
+}
+
+TEST(Io, WriteTextFileThrowsNamingUnwritablePath) {
+  const std::string path = "/nonexistent-dir/out.txt";
+  try {
+    write_text_file(path, "x");
+    FAIL() << "should have thrown";
+  } catch (const io_error& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+  }
 }
 
 // -------------------------------------------------------------- heatmap ----

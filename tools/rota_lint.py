@@ -19,6 +19,12 @@ Rules enforced (each can be suppressed on a specific line with a trailing
                contract carries a ROTA_REQUIRE in its definition (found in
                the header itself or the paired .cpp). Pure-virtual
                declarations are exempt (the contract binds overriders).
+  log-discipline
+               No bare std::cout/std::cerr/std::clog/printf in src/
+               library code: libraries report through rota::obs metrics,
+               traces, or returned strings; only the CLI front-end
+               (src/cli/) and the obs sinks themselves talk to the
+               process-global streams.
 
 Header self-containment is checked by the CMake `rota_header_checks`
 target, which compiles every src/ header as a standalone TU.
@@ -41,6 +47,14 @@ RNG_PATTERN = re.compile(
     r"random_device|default_random_engine|minstd_rand0?|knuth_b)\b"
 )
 FLOAT_PATTERN = re.compile(r"\bfloat\b")
+LOG_PATTERN = re.compile(
+    r"\bstd::(?:cout|cerr|clog)\b|\b(?:f?printf|puts|fputs)\s*\(")
+# The CLI front-end owns stdout/stderr; the progress sink is the one obs
+# component whose whole job is writing to stderr.
+LOG_ALLOWED = (
+    Path("src") / "cli",
+    Path("src") / "obs" / "progress.cpp",
+)
 ALLOW_PATTERN = re.compile(r"//\s*rota-lint:\s*allow\(([a-z-]+)\)")
 PRE_TAG = re.compile(r"[\\@]pre\b")
 FUNC_NAME = re.compile(r"([A-Za-z_]\w*)\s*\(")
@@ -113,6 +127,22 @@ class Linter:
                 self.fail(path, lineno, "float-wear",
                           "float in wear accounting; use std::int64_t for "
                           "counters or double for derived ratios")
+
+    def check_log_discipline(self, path: Path, stripped: str,
+                             raw: list[str]) -> None:
+        if self.root / "src" not in path.parents:
+            return
+        rel = path.relative_to(self.root)
+        for prefix in LOG_ALLOWED:
+            if rel == prefix or prefix in rel.parents:
+                return
+        for lineno, line in enumerate(stripped.splitlines(), 1):
+            if LOG_PATTERN.search(line) and not self.allowed(
+                    raw, lineno, "log-discipline"):
+                self.fail(path, lineno, "log-discipline",
+                          "library code must not write to global streams; "
+                          "report via rota::obs or a caller-supplied "
+                          "std::ostream")
 
     def check_pragma_once(self, path: Path, raw: list[str]) -> None:
         if path.suffix != ".hpp":
@@ -241,6 +271,7 @@ class Linter:
             stripped = strip_comments_and_strings(text)
             self.check_rng(path, stripped, raw)
             self.check_float_wear(path, stripped, raw)
+            self.check_log_discipline(path, stripped, raw)
             self.check_pragma_once(path, raw)
             self.check_pre_require(path, text, stripped, raw)
         if self.failures:
