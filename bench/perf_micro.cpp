@@ -40,6 +40,45 @@ void BM_MapperScheduleSqueezeNet(benchmark::State& state) {
 }
 BENCHMARK(BM_MapperScheduleSqueezeNet)->Unit(benchmark::kMillisecond);
 
+void BM_MapperDivisors(benchmark::State& state) {
+  // Divisor-heavy shape: 960 and 512 channels have long divisor ladders,
+  // so this isolates the per-search divisor memo and ladder hoisting.
+  const auto layer = nn::conv("d", 960, 512, 14, 3, 1);
+  for (auto _ : state) {
+    sched::Mapper mapper(arch::eyeriss_like());  // fresh: defeat the cache
+    benchmark::DoNotOptimize(mapper.schedule_layer(layer));
+  }
+}
+BENCHMARK(BM_MapperDivisors)->Unit(benchmark::kMillisecond);
+
+void BM_MapperScheduleSqueezeNetPar(benchmark::State& state) {
+  const auto net = nn::make_squeezenet();
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sched::Mapper mapper(arch::eyeriss_like(), {},
+                         sched::MapperOptions{true, threads});
+    benchmark::DoNotOptimize(mapper.schedule_network(net));
+  }
+}
+BENCHMARK(BM_MapperScheduleSqueezeNetPar)
+    ->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_MonteCarloMttfPar(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  std::vector<double> alphas(168);
+  for (std::size_t i = 0; i < alphas.size(); ++i)
+    alphas[i] = 1.0 + static_cast<double>(i % 7);
+  // 8 chunks of rel::kMonteCarloChunkTrials, so every lane count divides
+  // the work evenly and the result is identical across the Arg sweep.
+  const std::int64_t trials = 8 * rel::kMonteCarloChunkTrials;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rel::monte_carlo_mttf(alphas, 2.0, 1.0, trials, 0x526f5441, threads));
+  }
+}
+BENCHMARK(BM_MonteCarloMttfPar)
+    ->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
 void BM_TrackerAddSpaceWrapped(benchmark::State& state) {
   wear::UsageTracker tracker(14, 12);
   std::int64_t u = 0;
@@ -88,6 +127,22 @@ void BM_ExperimentSqueezeNet100(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ExperimentSqueezeNet100)->Unit(benchmark::kMillisecond);
+
+void BM_ExperimentSqueezeNet100Par(benchmark::State& state) {
+  const auto net = nn::make_squeezenet();
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    ExperimentConfig cfg{arch::rota_like(), 100};
+    cfg.threads = threads;
+    Experiment exp(cfg);
+    benchmark::DoNotOptimize(exp.run(net, {wear::PolicyKind::kBaseline,
+                                           wear::PolicyKind::kRwl,
+                                           wear::PolicyKind::kRwlRo,
+                                           wear::PolicyKind::kRandomStart}));
+  }
+}
+BENCHMARK(BM_ExperimentSqueezeNet100Par)
+    ->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
 
 /// Console reporter that also captures per-iteration timings so main can
 /// write the machine-readable BENCH_perf.json after the run.

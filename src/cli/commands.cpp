@@ -26,6 +26,10 @@ arch::AcceleratorConfig accel_of(const Options& opt) {
   return cfg;
 }
 
+int threads_of(const Options& opt) {
+  return static_cast<int>(opt.threads);
+}
+
 int cmd_workloads(std::ostream& out) {
   util::TextTable table({"abbr", "network", "domain", "layers", "GMACs"});
   for (const auto& net : nn::all_workloads()) {
@@ -40,7 +44,8 @@ int cmd_workloads(std::ostream& out) {
 
 int cmd_schedule(const Options& opt, std::ostream& out) {
   const nn::Network net = nn::workload_by_abbr(opt.workload);
-  sched::Mapper mapper(accel_of(opt));
+  sched::Mapper mapper(accel_of(opt), {},
+                       sched::MapperOptions{true, threads_of(opt)});
   const auto ns = mapper.schedule_network(net);
   util::TextTable table({"layer", "space", "tiles Z", "util", "mapping"});
   for (const auto& l : ns.layers) {
@@ -78,7 +83,8 @@ int cmd_wear(const Options& opt, std::ostream& out) {
     source_name = "imported schedule " + opt.schedule_path;
   } else {
     const nn::Network net = nn::workload_by_abbr(opt.workload);
-    sched::Mapper mapper(accel);
+    sched::Mapper mapper(accel, {},
+                         sched::MapperOptions{true, threads_of(opt)});
     ns = mapper.schedule_network(net);
     source_name = net.name();
   }
@@ -119,6 +125,7 @@ int cmd_lifetime(const Options& opt, std::ostream& out) {
   cfg.iterations = opt.iterations;
   cfg.metric = opt.metric;
   cfg.seed = opt.seed;
+  cfg.threads = threads_of(opt);
   Experiment exp(cfg);
   const auto res = exp.run(
       net, {wear::PolicyKind::kBaseline, wear::PolicyKind::kRwl,
@@ -148,10 +155,10 @@ int cmd_lifetime(const Options& opt, std::ostream& out) {
     };
     const auto mc_base = rel::monte_carlo_mttf(
         alphas(wear::PolicyKind::kBaseline), cfg.beta, 1.0, opt.mc_trials,
-        opt.seed);
+        opt.seed, threads_of(opt));
     const auto mc_ro = rel::monte_carlo_mttf(
         alphas(wear::PolicyKind::kRwlRo), cfg.beta, 1.0, opt.mc_trials,
-        opt.seed);
+        opt.seed, threads_of(opt));
     out << "Monte-Carlo cross-check (" << opt.mc_trials
         << " trials): RWL+RO gain = "
         << util::fmt(mc_ro.mttf / mc_base.mttf, 3) << "x (closed form "
@@ -190,6 +197,7 @@ int cmd_thermal(const Options& opt, std::ostream& out) {
   cfg.accel = accel;
   cfg.iterations = opt.iterations;
   cfg.seed = opt.seed;
+  cfg.threads = threads_of(opt);
   Experiment exp(cfg);
   const auto res = exp.run(
       net, {wear::PolicyKind::kBaseline, wear::PolicyKind::kRwlRo});
@@ -313,6 +321,8 @@ class ObservabilityScope {
       manifest_.extra["spares"] = std::to_string(options_.spares);
     if (options_.mc_trials > 0)
       manifest_.extra["mc_trials"] = std::to_string(options_.mc_trials);
+    if (options_.threads != 1)
+      manifest_.extra["threads"] = std::to_string(options_.threads);
     start_ = std::chrono::steady_clock::now();
   }
 

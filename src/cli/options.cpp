@@ -134,6 +134,8 @@ Options parse(const std::vector<std::string>& args) {
       opt.seed = parse_u64(value_of(flag), flag);
     } else if (flag == "--mc") {
       opt.mc_trials = parse_non_negative_int(value_of(flag), flag);
+    } else if (flag == "--threads") {
+      opt.threads = parse_non_negative_int(value_of(flag), flag);
     } else if (flag == "--metrics") {
       opt.metrics_path = value_of(flag);
     } else if (flag == "--trace") {
@@ -197,6 +199,12 @@ std::string usage() {
       "  --mc N                    lifetime: cross-check the closed-form "
       "MTTF\n"
       "                            with N Monte-Carlo trials (default off)\n"
+      "  --threads N               worker lanes for scheduling, simulation "
+      "and\n"
+      "                            Monte Carlo (default 1 = serial, 0 = one "
+      "per\n"
+      "                            hardware thread); results are identical\n"
+      "                            for any value, only wall time changes\n"
       "\n"
       "observability (any command):\n"
       "  --metrics FILE            write {manifest, metrics} JSON after the "

@@ -35,6 +35,8 @@ struct Options {
   std::int64_t iterations = 1000;
   std::int64_t spares = 0;
   std::int64_t mc_trials = 0;  ///< lifetime: Monte-Carlo cross-check trials
+  std::int64_t threads = 1;    ///< worker lanes (0 = hardware concurrency);
+                               ///< results are identical for any value
   std::uint64_t seed = 0x526f5441;  ///< stochastic policies / MC ("RoTA")
   wear::PolicyKind policy = wear::PolicyKind::kRwlRo;
   wear::WearMetric metric = wear::WearMetric::kAllocations;
@@ -55,7 +57,7 @@ struct Options {
 /// help, plus
 ///   --array WxH   --iters N    --policy NAME   --metric alloc|cycles
 ///   --spares N    --pgm FILE   --seed N        --mc N
-///   --metrics FILE  --trace FILE  --progress  -v/--verbose
+///   --threads N   --metrics FILE  --trace FILE  --progress  -v/--verbose
 /// Throws util::precondition_error on unknown verbs/flags/values.
 Options parse(const std::vector<std::string>& args);
 

@@ -2,6 +2,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "par/parallel.hpp"
 #include "util/check.hpp"
 
 namespace rota {
@@ -31,7 +32,9 @@ double ExperimentResult::improvement_over_baseline(
 }
 
 Experiment::Experiment(ExperimentConfig config)
-    : config_(std::move(config)), mapper_(config_.accel) {
+    : config_(std::move(config)),
+      mapper_(config_.accel, {},
+              sched::MapperOptions{true, config_.threads}) {
   config_.accel.validate();
   ROTA_REQUIRE(config_.iterations >= 0,
                "iteration count must be non-negative");
@@ -39,6 +42,35 @@ Experiment::Experiment(ExperimentConfig config)
 
 sched::NetworkSchedule Experiment::schedule(const nn::Network& net) {
   return mapper_.schedule_network(net);
+}
+
+std::vector<PolicyRun> Experiment::run_policies(
+    const sched::NetworkSchedule& ns,
+    const std::vector<wear::PolicyKind>& policies) {
+  // Each cell owns its policy object and simulator; the shared schedule
+  // is read-only, so cells are independent and results land in the slot
+  // named by the policy's input position — identical for any lane count.
+  std::vector<PolicyRun> runs(policies.size());
+  par::parallel_for(
+      static_cast<std::int64_t>(policies.size()), config_.threads,
+      [this, &ns, &policies, &runs](std::int64_t i) {
+        const wear::PolicyKind kind = policies[static_cast<std::size_t>(i)];
+        const obs::TraceSpan policy_span(wear::to_string(kind),
+                                         "experiment.policy");
+        obs::MetricsRegistry::global().add("experiment.policy_runs");
+        auto policy =
+            wear::make_policy(kind, config_.accel.array_width,
+                              config_.accel.array_height, config_.seed);
+        wear::WearSimulator sim(config_.accel, {true, config_.metric});
+        sim.run_iterations(ns, *policy, config_.iterations);
+        PolicyRun run;
+        run.kind = kind;
+        run.policy_name = policy->name();
+        run.usage = sim.tracker().usage();
+        run.stats = sim.tracker().stats();
+        runs[static_cast<std::size_t>(i)] = std::move(run);
+      });
+  return runs;
 }
 
 ExperimentResult Experiment::run(
@@ -50,22 +82,7 @@ ExperimentResult Experiment::run(
   result.schedule = schedule(net);
   result.iterations = config_.iterations;
   result.beta = config_.beta;
-
-  for (wear::PolicyKind kind : policies) {
-    const obs::TraceSpan policy_span(wear::to_string(kind),
-                                     "experiment.policy");
-    obs::MetricsRegistry::global().add("experiment.policy_runs");
-    auto policy = wear::make_policy(kind, config_.accel.array_width,
-                                    config_.accel.array_height, config_.seed);
-    wear::WearSimulator sim(config_.accel, {true, config_.metric});
-    sim.run_iterations(result.schedule, *policy, config_.iterations);
-    PolicyRun run;
-    run.kind = kind;
-    run.policy_name = policy->name();
-    run.usage = sim.tracker().usage();
-    run.stats = sim.tracker().stats();
-    result.runs.push_back(std::move(run));
-  }
+  result.runs = run_policies(result.schedule, policies);
   return result;
 }
 
@@ -100,23 +117,55 @@ ExperimentResult Experiment::run_mix(
   result.schedule = std::move(combined);
   result.iterations = config_.iterations;
   result.beta = config_.beta;
-
-  for (wear::PolicyKind kind : policies) {
-    const obs::TraceSpan policy_span(wear::to_string(kind),
-                                     "experiment.policy");
-    obs::MetricsRegistry::global().add("experiment.policy_runs");
-    auto policy = wear::make_policy(kind, config_.accel.array_width,
-                                    config_.accel.array_height, config_.seed);
-    wear::WearSimulator sim(config_.accel, {true, config_.metric});
-    sim.run_iterations(result.schedule, *policy, config_.iterations);
-    PolicyRun run;
-    run.kind = kind;
-    run.policy_name = policy->name();
-    run.usage = sim.tracker().usage();
-    run.stats = sim.tracker().stats();
-    result.runs.push_back(std::move(run));
-  }
+  result.runs = run_policies(result.schedule, policies);
   return result;
+}
+
+std::vector<ExperimentResult> Experiment::run_sweep(
+    const std::vector<nn::Network>& nets,
+    const std::vector<wear::PolicyKind>& policies) {
+  ROTA_REQUIRE(!nets.empty(), "sweep needs at least one network");
+  const obs::TraceSpan sweep_span("sweep", "experiment");
+
+  // Schedule every network first (schedule_network fans distinct shapes
+  // out on its own, and the shared mapper memo carries shapes repeated
+  // across networks), then flatten the policy×workload grid into
+  // independent cells.
+  std::vector<ExperimentResult> results(nets.size());
+  for (std::size_t n = 0; n < nets.size(); ++n) {
+    results[n].network_name = nets[n].name();
+    results[n].network_abbr = nets[n].abbr();
+    results[n].schedule = schedule(nets[n]);
+    results[n].iterations = config_.iterations;
+    results[n].beta = config_.beta;
+    results[n].runs.resize(policies.size());
+  }
+  const std::int64_t cells =
+      static_cast<std::int64_t>(nets.size() * policies.size());
+  par::parallel_for(
+      cells, config_.threads, [this, &policies, &results](std::int64_t cell) {
+        const std::size_t n =
+            static_cast<std::size_t>(cell) / policies.size();
+        const std::size_t p =
+            static_cast<std::size_t>(cell) % policies.size();
+        const wear::PolicyKind kind = policies[p];
+        const obs::TraceSpan policy_span(results[n].network_abbr + ":" +
+                                             wear::to_string(kind),
+                                         "experiment.policy");
+        obs::MetricsRegistry::global().add("experiment.policy_runs");
+        auto policy =
+            wear::make_policy(kind, config_.accel.array_width,
+                              config_.accel.array_height, config_.seed);
+        wear::WearSimulator sim(config_.accel, {true, config_.metric});
+        sim.run_iterations(results[n].schedule, *policy, config_.iterations);
+        PolicyRun run;
+        run.kind = kind;
+        run.policy_name = policy->name();
+        run.usage = sim.tracker().usage();
+        run.stats = sim.tracker().stats();
+        results[n].runs[p] = std::move(run);
+      });
+  return results;
 }
 
 std::vector<TransientSample> Experiment::run_transient(

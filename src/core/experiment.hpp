@@ -28,6 +28,10 @@ struct ExperimentConfig {
   /// Wear accounting: allocation counts (the paper's A_PE) or
   /// busy-cycle-weighted counts (extension).
   wear::WearMetric metric = wear::WearMetric::kAllocations;
+  /// Worker lanes for scheduling and policy/workload cells: 1 = serial
+  /// (default, the historical path), 0 = one lane per hardware thread.
+  /// Results are bit-identical for any value (DESIGN.md §9).
+  int threads = 1;
 };
 
 /// Outcome of running one policy over the workload.
@@ -85,6 +89,15 @@ class Experiment {
   ExperimentResult run_mix(const std::vector<nn::Network>& mix,
                            const std::vector<wear::PolicyKind>& policies);
 
+  /// Full evaluation sweep: every network under every policy, one result
+  /// per network in input order. With config().threads != 1 the
+  /// policy×workload cells run concurrently (each cell owns its policy
+  /// and simulator, so cells are independent); outputs are identical to
+  /// calling run() per network.
+  std::vector<ExperimentResult> run_sweep(
+      const std::vector<nn::Network>& nets,
+      const std::vector<wear::PolicyKind>& policies);
+
   /// Run one policy and sample D_max / R_diff / improvement-vs-baseline
   /// after every iteration. The baseline usage needed for the improvement
   /// series is computed analytically per iteration (the baseline anchors
@@ -94,6 +107,12 @@ class Experiment {
                                              std::int64_t iterations);
 
  private:
+  /// Run every policy over one fixed schedule, one PolicyRun per policy
+  /// in input order (cells run concurrently when threads != 1).
+  std::vector<PolicyRun> run_policies(
+      const sched::NetworkSchedule& ns,
+      const std::vector<wear::PolicyKind>& policies);
+
   ExperimentConfig config_;
   sched::Mapper mapper_;
 };

@@ -4,11 +4,14 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
 #include "obs/trace.hpp"
+#include "par/parallel.hpp"
 #include "util/check.hpp"
+#include "util/math.hpp"
 #include "util/rng.hpp"
 
 namespace rota::rel {
@@ -45,6 +48,25 @@ void report_batch(std::string_view kind, std::int64_t trials,
               static_cast<double>(trials) / secs);
 }
 
+/// The RNG substream of one chunk. XOR keeps chunk 0 on the historical
+/// single-stream seed; splitmix64's per-step avalanche decorrelates the
+/// neighboring seeds (its increment constant is odd, so nearby states
+/// diverge after one step).
+util::SplitMix64 chunk_rng(std::uint64_t seed, std::int64_t chunk) {
+  return util::SplitMix64(seed ^ static_cast<std::uint64_t>(chunk));
+}
+
+/// [begin, end) bounds of chunk c in a `trials`-long run.
+struct ChunkBounds {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+};
+ChunkBounds chunk_bounds(std::int64_t chunk, std::int64_t chunk_trials,
+                         std::int64_t trials) {
+  const std::int64_t begin = chunk * chunk_trials;
+  return {begin, std::min(trials, begin + chunk_trials)};
+}
+
 /// Sample one array failure time: min over PEs of (η/α)·(−ln U)^{1/β}.
 double sample_failure(const std::vector<double>& alphas, double beta,
                       double eta, util::SplitMix64& rng) {
@@ -64,26 +86,48 @@ double sample_failure(const std::vector<double>& alphas, double beta,
 
 MonteCarloResult monte_carlo_mttf(const std::vector<double>& alphas,
                                   double beta, double eta,
-                                  std::int64_t trials, std::uint64_t seed) {
+                                  std::int64_t trials, std::uint64_t seed,
+                                  int threads) {
   validate_inputs(alphas, beta, eta, trials);
   const obs::TraceSpan span("monte_carlo_mttf", "rel");
   const auto t0 = std::chrono::steady_clock::now();
-  util::SplitMix64 rng(seed);
-  double sum = 0.0;
-  double sum_sq = 0.0;
-  obs::ProgressReporter progress("monte-carlo mttf", trials);
-  for (std::int64_t i = 0; i < trials; ++i) {
-    const double t = sample_failure(alphas, beta, eta, rng);
-    sum += t;
-    sum_sq += t * t;
-    progress.tick();
-  }
+  const std::int64_t chunks =
+      util::ceil_div(trials, kMonteCarloChunkTrials);
+  // Progress only on the serial path: the reporter is single-threaded by
+  // design (rate-limited stderr), and parallel runs are short anyway.
+  const bool serial = par::resolve_threads(threads) <= 1;
+  obs::ProgressReporter progress("monte-carlo mttf", serial ? trials : 0);
+
+  struct Moments {
+    double sum = 0.0;
+    double sum_sq = 0.0;
+  };
+  const Moments total = par::parallel_reduce<Moments>(
+      chunks, threads, Moments{},
+      [&](std::int64_t c) {
+        const ChunkBounds b = chunk_bounds(c, kMonteCarloChunkTrials, trials);
+        util::SplitMix64 rng = chunk_rng(seed, c);
+        Moments m;
+        for (std::int64_t i = b.begin; i < b.end; ++i) {
+          const double t = sample_failure(alphas, beta, eta, rng);
+          m.sum += t;
+          m.sum_sq += t * t;
+        }
+        if (serial) progress.tick(b.end - b.begin);
+        return m;
+      },
+      [](Moments acc, Moments m) {
+        acc.sum += m.sum;
+        acc.sum_sq += m.sum_sq;
+        return acc;
+      });
+
   report_batch("mc.mttf", trials, t0);
   MonteCarloResult res;
   res.trials = trials;
   const double n = static_cast<double>(trials);
-  res.mttf = sum / n;
-  const double var = std::max(0.0, sum_sq / n - res.mttf * res.mttf);
+  res.mttf = total.sum / n;
+  const double var = std::max(0.0, total.sum_sq / n - res.mttf * res.mttf);
   res.stderr_ = std::sqrt(var / n);
   return res;
 }
@@ -91,7 +135,7 @@ MonteCarloResult monte_carlo_mttf(const std::vector<double>& alphas,
 VariationResult lifetime_improvement_under_variation(
     const std::vector<double>& baseline_alphas,
     const std::vector<double>& wl_alphas, double beta, double sigma,
-    std::int64_t trials, std::uint64_t seed) {
+    std::int64_t trials, std::uint64_t seed, int threads) {
   validate_inputs(baseline_alphas, beta, 1.0, trials);
   validate_inputs(wl_alphas, beta, 1.0, trials);
   ROTA_REQUIRE(baseline_alphas.size() == wl_alphas.size(),
@@ -100,31 +144,41 @@ VariationResult lifetime_improvement_under_variation(
   const obs::TraceSpan span("lifetime_improvement_under_variation", "rel");
   const auto t0 = std::chrono::steady_clock::now();
 
-  util::SplitMix64 rng(seed);
-  // Box–Muller normal deviates for the lognormal scale samples.
-  auto next_normal = [&rng]() {
-    const double u1 = std::max(rng.next_double(), 1e-18);
-    const double u2 = rng.next_double();
-    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
-  };
-
   // With per-PE scale η_i, the serial-chain MTTF is
   // Γ(1+1/β)/(Σ (α_i/η_i)^β)^{1/β}; the Γ factor cancels in the ratio.
-  std::vector<double> ratios;
-  ratios.reserve(static_cast<std::size_t>(trials));
   const std::size_t n = baseline_alphas.size();
-  for (std::int64_t trial = 0; trial < trials; ++trial) {
-    double sum_base = 0.0;
-    double sum_wl = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      const double inv_eta = std::exp(-sigma * next_normal());
-      sum_base += std::pow(baseline_alphas[i] * inv_eta, beta);
-      sum_wl += std::pow(wl_alphas[i] * inv_eta, beta);
-    }
-    ROTA_ENSURE(sum_base > 0.0 && sum_wl > 0.0,
-                "degenerate variation sample");
-    ratios.push_back(std::pow(sum_base / sum_wl, 1.0 / beta));
-  }
+  const std::int64_t chunks = util::ceil_div(trials, kVariationChunkTrials);
+  std::vector<double> ratios = par::parallel_reduce<std::vector<double>>(
+      chunks, threads, std::vector<double>{},
+      [&](std::int64_t c) {
+        const ChunkBounds b = chunk_bounds(c, kVariationChunkTrials, trials);
+        util::SplitMix64 rng = chunk_rng(seed, c);
+        // Box–Muller normal deviates for the lognormal scale samples.
+        auto next_normal = [&rng]() {
+          const double u1 = std::max(rng.next_double(), 1e-18);
+          const double u2 = rng.next_double();
+          return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+        };
+        std::vector<double> chunk_ratios;
+        chunk_ratios.reserve(static_cast<std::size_t>(b.end - b.begin));
+        for (std::int64_t trial = b.begin; trial < b.end; ++trial) {
+          double sum_base = 0.0;
+          double sum_wl = 0.0;
+          for (std::size_t i = 0; i < n; ++i) {
+            const double inv_eta = std::exp(-sigma * next_normal());
+            sum_base += std::pow(baseline_alphas[i] * inv_eta, beta);
+            sum_wl += std::pow(wl_alphas[i] * inv_eta, beta);
+          }
+          ROTA_ENSURE(sum_base > 0.0 && sum_wl > 0.0,
+                      "degenerate variation sample");
+          chunk_ratios.push_back(std::pow(sum_base / sum_wl, 1.0 / beta));
+        }
+        return chunk_ratios;
+      },
+      [](std::vector<double> acc, std::vector<double> part) {
+        acc.insert(acc.end(), part.begin(), part.end());
+        return acc;
+      });
   report_batch("mc.variation", trials, t0);
   std::sort(ratios.begin(), ratios.end());
 
@@ -146,16 +200,25 @@ VariationResult lifetime_improvement_under_variation(
 
 double monte_carlo_reliability(const std::vector<double>& alphas, double t,
                                double beta, double eta, std::int64_t trials,
-                               std::uint64_t seed) {
+                               std::uint64_t seed, int threads) {
   validate_inputs(alphas, beta, eta, trials);
   ROTA_REQUIRE(t >= 0.0, "time must be non-negative");
   const obs::TraceSpan span("monte_carlo_reliability", "rel");
   const auto t0 = std::chrono::steady_clock::now();
-  util::SplitMix64 rng(seed);
-  std::int64_t alive = 0;
-  for (std::int64_t i = 0; i < trials; ++i) {
-    if (sample_failure(alphas, beta, eta, rng) > t) ++alive;
-  }
+  const std::int64_t chunks =
+      util::ceil_div(trials, kMonteCarloChunkTrials);
+  const std::int64_t alive = par::parallel_reduce<std::int64_t>(
+      chunks, threads, std::int64_t{0},
+      [&](std::int64_t c) {
+        const ChunkBounds b = chunk_bounds(c, kMonteCarloChunkTrials, trials);
+        util::SplitMix64 rng = chunk_rng(seed, c);
+        std::int64_t chunk_alive = 0;
+        for (std::int64_t i = b.begin; i < b.end; ++i) {
+          if (sample_failure(alphas, beta, eta, rng) > t) ++chunk_alive;
+        }
+        return chunk_alive;
+      },
+      [](std::int64_t acc, std::int64_t part) { return acc + part; });
   report_batch("mc.reliability", trials, t0);
   return static_cast<double>(alive) / static_cast<double>(trials);
 }

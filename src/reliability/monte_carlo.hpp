@@ -12,8 +12,21 @@
 /// array failure as the minimum (serial chain). The estimator converges
 /// to array_mttf(); the test suite checks agreement within sampling error,
 /// which independently validates the algebra behind Eqs. 2–4.
+///
+/// Determinism contract (DESIGN.md §9): trials are drawn in fixed-size
+/// chunks, each from its own RNG substream seeded `seed ⊕ chunk_index`,
+/// and per-chunk partial results are combined in ascending chunk order.
+/// The decomposition depends only on `trials`, never on `threads`, so
+/// every estimate is **bit-identical for any thread count** — `threads`
+/// (1 = serial, 0 = hardware concurrency) only buys wall-clock time.
 
 namespace rota::rel {
+
+/// Trials per RNG substream chunk — part of the determinism contract:
+/// changing it changes the sampled streams (not their statistics).
+inline constexpr std::int64_t kMonteCarloChunkTrials = 4096;
+/// Chunk size for the heavier per-trial variation sweep.
+inline constexpr std::int64_t kVariationChunkTrials = 256;
 
 /// Result of a Monte-Carlo MTTF estimation.
 struct MonteCarloResult {
@@ -27,14 +40,16 @@ struct MonteCarloResult {
 [[nodiscard]] MonteCarloResult monte_carlo_mttf(const std::vector<double>& alphas,
                                   double beta = kJedecShape, double eta = 1.0,
                                   std::int64_t trials = 10000,
-                                  std::uint64_t seed = 0x6d634d54);
+                                  std::uint64_t seed = 0x6d634d54,
+                                  int threads = 1);
 
 /// Empirical survival probability R(t) by sampling (for plotting and for
 /// cross-checking array_reliability()).
 [[nodiscard]] double monte_carlo_reliability(const std::vector<double>& alphas, double t,
                                double beta = kJedecShape, double eta = 1.0,
                                std::int64_t trials = 10000,
-                               std::uint64_t seed = 0x6d634d54);
+                               std::uint64_t seed = 0x6d634d54,
+                               int threads = 1);
 
 /// Distribution summary of the Eq. 4 lifetime-improvement ratio when each
 /// PE's Weibull scale η carries lognormal process variation.
@@ -56,6 +71,6 @@ struct VariationResult {
     const std::vector<double>& baseline_alphas,
     const std::vector<double>& wl_alphas, double beta = kJedecShape,
     double sigma = 0.1, std::int64_t trials = 2000,
-    std::uint64_t seed = 0x76617254);
+    std::uint64_t seed = 0x76617254, int threads = 1);
 
 }  // namespace rota::rel

@@ -1,25 +1,86 @@
 #include "sched/mapper.hpp"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "par/parallel.hpp"
 #include "util/check.hpp"
 #include "util/math.hpp"
 
 namespace rota::sched {
 
+LayerShapeKey LayerShapeKey::of(const nn::LayerSpec& layer) {
+  LayerShapeKey key;
+  key.kind = static_cast<int>(layer.kind);
+  key.batch = layer.batch;
+  key.out_channels = layer.out_channels;
+  key.in_channels = layer.in_channels;
+  key.in_h = layer.in_h;
+  key.in_w = layer.in_w;
+  key.kernel_h = layer.kernel_h;
+  key.kernel_w = layer.kernel_w;
+  key.stride_h = layer.stride_h;
+  key.stride_w = layer.stride_w;
+  key.pad_h = layer.pad_h;
+  key.pad_w = layer.pad_w;
+  key.groups = layer.groups;
+  return key;
+}
+
+std::size_t LayerShapeKeyHash::operator()(const LayerShapeKey& key) const {
+  // splitmix64 finalizer over each field: cheap, and the avalanche keeps
+  // near-identical shapes (off-by-one bounds) in different buckets/shards.
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  auto mix = [&h](std::uint64_t v) {
+    std::uint64_t z = (h += v + 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    h = z ^ (z >> 31);
+  };
+  mix(static_cast<std::uint64_t>(key.kind));
+  mix(static_cast<std::uint64_t>(key.batch));
+  mix(static_cast<std::uint64_t>(key.out_channels));
+  mix(static_cast<std::uint64_t>(key.in_channels));
+  mix(static_cast<std::uint64_t>(key.in_h));
+  mix(static_cast<std::uint64_t>(key.in_w));
+  mix(static_cast<std::uint64_t>(key.kernel_h));
+  mix(static_cast<std::uint64_t>(key.kernel_w));
+  mix(static_cast<std::uint64_t>(key.stride_h));
+  mix(static_cast<std::uint64_t>(key.stride_w));
+  mix(static_cast<std::uint64_t>(key.pad_h));
+  mix(static_cast<std::uint64_t>(key.pad_w));
+  mix(static_cast<std::uint64_t>(key.groups));
+  return static_cast<std::size_t>(h);
+}
+
 Mapper::Mapper(arch::AcceleratorConfig cfg, arch::EnergyModel energy,
                MapperOptions options)
     : cost_(std::move(cfg), energy), options_(options) {}
 
-std::vector<std::int64_t> Mapper::factor_ladder(std::int64_t bound,
-                                                std::int64_t cap) const {
+Mapper::CacheShard& Mapper::shard_of(const LayerShapeKey& key) {
+  return cache_[LayerShapeKeyHash{}(key) % kCacheShards];
+}
+
+std::size_t Mapper::cache_size() const {
+  std::size_t total = 0;
+  for (const CacheShard& shard : cache_) {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.map.size();
+  }
+  return total;
+}
+
+std::vector<std::int64_t> Mapper::factor_ladder(
+    const std::vector<std::int64_t>& bound_divisors, std::int64_t bound,
+    std::int64_t cap) const {
   ROTA_REQUIRE(bound > 0, "factor ladder needs a positive bound");
   cap = std::min(cap, bound);
   if (cap < 1) return {};
   std::vector<std::int64_t> ladder;
-  for (std::int64_t d : util::divisors(bound)) {
+  ladder.reserve(bound_divisors.size());
+  for (std::int64_t d : bound_divisors) {
     if (d <= cap) ladder.push_back(d);
   }
   if (!options_.exact_factors_only &&
@@ -30,11 +91,13 @@ std::vector<std::int64_t> Mapper::factor_ladder(std::int64_t bound,
 }
 
 std::vector<std::int64_t> Mapper::spatial_candidates(
-    std::int64_t bound, std::int64_t array_dim) const {
+    const std::vector<std::int64_t>& bound_divisors, std::int64_t bound,
+    std::int64_t array_dim) const {
   const std::int64_t cap = std::min(array_dim, bound);
   std::vector<std::int64_t> out;
   if (options_.exact_factors_only) {
-    for (std::int64_t d : util::divisors(bound)) {
+    out.reserve(bound_divisors.size());
+    for (std::int64_t d : bound_divisors) {
       if (d <= cap) out.push_back(d);
     }
   } else {
@@ -64,6 +127,21 @@ bool better(const CostResult& a, const Mapping& ma, const CostResult& b,
   return key(ma) < key(mb);
 }
 
+/// Per-search memo of util::divisors: one layer's search asks for the
+/// divisors of the same handful of bounds (K, C/g, P, Q, S) hundreds of
+/// times across the candidate loops; trial division is paid once each.
+class DivisorCache {
+ public:
+  const std::vector<std::int64_t>& of(std::int64_t n) {
+    const auto it = memo_.find(n);
+    if (it != memo_.end()) return it->second;
+    return memo_.emplace(n, util::divisors(n)).first->second;
+  }
+
+ private:
+  std::unordered_map<std::int64_t, std::vector<std::int64_t>> memo_;
+};
+
 }  // namespace
 
 LayerSchedule Mapper::search(const nn::LayerSpec& layer) const {
@@ -81,23 +159,41 @@ LayerSchedule Mapper::search(const nn::LayerSpec& layer) const {
   std::int64_t evaluated = 0;
   std::int64_t feasible = 0;
 
-  const auto lb_s_candidates = util::divisors(s);
+  DivisorCache divs;
+  // References into the memo stay valid across later of() calls
+  // (unordered_map never moves nodes on rehash).
+  const auto& lb_s_candidates = divs.of(s);
   const auto lb_q_candidates =
-      factor_ladder(q, std::min(q, cfg.lb_output_words()));
+      factor_ladder(divs.of(q), q, std::min(q, cfg.lb_output_words()));
+
+  // The lb_c ladder depends only on lb_s (through the buffer capacity
+  // cap), not on the spatial factors: hoist one ladder per lb_s out of
+  // the four-deep candidate loops.
+  std::vector<std::vector<std::int64_t>> lb_c_ladders;
+  lb_c_ladders.reserve(lb_s_candidates.size());
+  for (std::int64_t lb_s : lb_s_candidates) {
+    const std::int64_t cap_c =
+        std::min(cfg.lb_weight_words() / (r * lb_s),
+                 cfg.lb_input_words() / lb_s);
+    lb_c_ladders.push_back(cap_c < 1 ? std::vector<std::int64_t>{}
+                                     : factor_ladder(divs.of(cg), cg, cap_c));
+  }
 
   for (SpatialX dx : {SpatialX::kOutChannels, SpatialX::kOutWidth}) {
     const std::int64_t bound_x = (dx == SpatialX::kOutChannels) ? k : q;
+    const auto sx_candidates =
+        spatial_candidates(divs.of(bound_x), bound_x, cfg.array_width);
     for (SpatialY dy : {SpatialY::kOutHeight, SpatialY::kInChannels}) {
       const std::int64_t bound_y = (dy == SpatialY::kOutHeight) ? p : cg;
-      for (std::int64_t sx : spatial_candidates(bound_x, cfg.array_width)) {
-        for (std::int64_t sy :
-             spatial_candidates(bound_y, cfg.array_height)) {
-          for (std::int64_t lb_s : lb_s_candidates) {
-            const std::int64_t cap_c =
-                std::min(cfg.lb_weight_words() / (r * lb_s),
-                         cfg.lb_input_words() / lb_s);
-            if (cap_c < 1) continue;
-            for (std::int64_t lb_c : factor_ladder(cg, cap_c)) {
+      const auto sy_candidates =
+          spatial_candidates(divs.of(bound_y), bound_y, cfg.array_height);
+      for (std::int64_t sx : sx_candidates) {
+        for (std::int64_t sy : sy_candidates) {
+          for (std::size_t si = 0; si < lb_s_candidates.size(); ++si) {
+            const std::int64_t lb_s = lb_s_candidates[si];
+            const auto& lb_c_ladder = lb_c_ladders[si];
+            if (lb_c_ladder.empty()) continue;
+            for (std::int64_t lb_c : lb_c_ladder) {
               for (std::int64_t lb_q : lb_q_candidates) {
                 Mapping m;
                 m.dim_x = dx;
@@ -154,19 +250,30 @@ LayerSchedule Mapper::search(const nn::LayerSpec& layer) const {
 
 LayerSchedule Mapper::schedule_layer(const nn::LayerSpec& layer) {
   layer.validate();
-  const std::string key = layer.shape_key();
-  auto it = cache_.find(key);
-  if (it != cache_.end()) {
-    obs::MetricsRegistry::global().add("mapper.cache_hits");
-    LayerSchedule sched = it->second;
-    sched.layer_name = layer.name;  // cached entry may carry another name
-    return sched;
+  const LayerShapeKey key = LayerShapeKey::of(layer);
+  CacheShard& shard = shard_of(key);
+  {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      obs::MetricsRegistry::global().add("mapper.cache_hits");
+      LayerSchedule sched = it->second;
+      sched.layer_name = layer.name;  // cached entry may carry another name
+      return sched;
+    }
   }
+  // Search outside the shard lock: sibling shapes (even same-shard ones)
+  // keep making progress while this one is explored.
   const obs::TraceSpan span(layer.name, "mapper.search");
   const obs::ScopedTimer timer("mapper.search_seconds");
   LayerSchedule sched = search(layer);
   obs::MetricsRegistry::global().add("mapper.layers_searched");
-  cache_.emplace(key, sched);
+  {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    // A racing thread may have inserted the same shape meanwhile; both
+    // computed identical schedules (the search is pure), so first-in wins.
+    shard.map.emplace(key, sched);
+  }
   return sched;
 }
 
@@ -177,6 +284,30 @@ NetworkSchedule Mapper::schedule_network(const nn::Network& net) {
   ns.network_abbr = net.abbr();
   ns.config = cost_.config();
   ns.layers.reserve(net.layer_count());
+
+  if (par::resolve_threads(options_.threads) > 1) {
+    // Dedupe shapes first so repeated blocks (ResNet stages, decoder
+    // layers) dispatch one search, then warm the memo concurrently. The
+    // assembly loop below then runs entirely on cache hits.
+    std::vector<const nn::LayerSpec*> unique;
+    std::unordered_set<LayerShapeKey, LayerShapeKeyHash> seen;
+    unique.reserve(net.layer_count());
+    seen.reserve(net.layer_count());
+    for (const auto& layer : net.layers()) {
+      if (seen.insert(LayerShapeKey::of(layer)).second) {
+        unique.push_back(&layer);
+      }
+    }
+    obs::MetricsRegistry::global().add(
+        "mapper.layers_deduped",
+        static_cast<std::int64_t>(net.layer_count() - unique.size()));
+    par::parallel_for(static_cast<std::int64_t>(unique.size()),
+                      options_.threads, [this, &unique](std::int64_t i) {
+                        (void)schedule_layer(
+                            *unique[static_cast<std::size_t>(i)]);
+                      });
+  }
+
   for (const auto& layer : net.layers()) {
     ns.layers.push_back(schedule_layer(layer));
   }

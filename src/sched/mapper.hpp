@@ -1,5 +1,8 @@
 #pragma once
 
+#include <array>
+#include <cstddef>
+#include <mutex>
 #include <unordered_map>
 
 #include "nn/network.hpp"
@@ -13,6 +16,13 @@
 /// factor up to the array size, and a divisor-derived ladder of local-buffer
 /// tiling factors. Results are memoized by layer shape, which collapses the
 /// repeated blocks of ResNet / Llama-style networks to one search each.
+///
+/// Concurrency (DESIGN.md §9): the shape memo is striped across
+/// independently locked shards, so schedule_network() can search distinct
+/// shapes on pool workers concurrently. The search itself is a pure
+/// function of the layer shape, which makes the schedules bit-identical
+/// for every thread count; `threads == 1` (the default) walks the
+/// historical fully serial path.
 
 namespace rota::sched {
 
@@ -26,6 +36,37 @@ struct MapperOptions {
   /// array better and *shrinks* the wear-leveling headroom (see the
   /// abl_mapper bench).
   bool exact_factors_only = true;
+  /// Worker lanes for schedule_network(): 1 = serial (default), 0 = one
+  /// lane per hardware thread, N = at most N shapes searched at once.
+  /// Any value yields identical schedules.
+  int threads = 1;
+};
+
+/// Canonical memo key: the twelve LayerSpec shape fields (everything but
+/// the name), compared and hashed as integers so a cache probe costs no
+/// string formatting or allocation.
+struct LayerShapeKey {
+  int kind = 0;
+  std::int64_t batch = 0;
+  std::int64_t out_channels = 0;
+  std::int64_t in_channels = 0;
+  std::int64_t in_h = 0;
+  std::int64_t in_w = 0;
+  std::int64_t kernel_h = 0;
+  std::int64_t kernel_w = 0;
+  std::int64_t stride_h = 0;
+  std::int64_t stride_w = 0;
+  std::int64_t pad_h = 0;
+  std::int64_t pad_w = 0;
+  std::int64_t groups = 0;
+
+  [[nodiscard]] static LayerShapeKey of(const nn::LayerSpec& layer);
+  bool operator==(const LayerShapeKey& other) const = default;
+};
+
+/// splitmix64-style avalanche over the key fields.
+struct LayerShapeKeyHash {
+  [[nodiscard]] std::size_t operator()(const LayerShapeKey& key) const;
 };
 
 /// Deterministic tie-breaking makes schedules reproducible across runs:
@@ -41,30 +82,47 @@ class Mapper {
 
   /// Energy-optimal schedule of one layer. Throws util::invariant_error if
   /// no feasible mapping exists (cannot happen for validated layers on a
-  /// non-degenerate accelerator).
+  /// non-degenerate accelerator). Thread-safe: concurrent callers share
+  /// the striped shape memo.
   LayerSchedule schedule_layer(const nn::LayerSpec& layer);
 
-  /// Schedule every layer of a network in execution order.
+  /// Schedule every layer of a network in execution order. With
+  /// options().threads != 1, distinct layer shapes are deduped up front
+  /// and searched concurrently; the resulting schedules are bit-identical
+  /// to the serial path.
   NetworkSchedule schedule_network(const nn::Network& net);
 
   /// Number of distinct shapes searched so far (memoization statistic).
-  [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
+  [[nodiscard]] std::size_t cache_size() const;
 
  private:
-  /// Candidate tiling factors for a loop bound, clipped to [1, cap]: all
-  /// divisors, plus the cap itself in imperfect-factorization mode.
-  std::vector<std::int64_t> factor_ladder(std::int64_t bound,
-                                          std::int64_t cap) const;
+  /// Tiling-factor ladder for a loop bound, clipped to [1, cap]: the
+  /// bound's divisors (precomputed by the caller, ascending), plus the cap
+  /// itself in imperfect-factorization mode.
+  std::vector<std::int64_t> factor_ladder(
+      const std::vector<std::int64_t>& bound_divisors, std::int64_t bound,
+      std::int64_t cap) const;
 
   /// Candidate spatial factors for a loop bound across `array_dim` PEs.
-  std::vector<std::int64_t> spatial_candidates(std::int64_t bound,
-                                               std::int64_t array_dim) const;
+  std::vector<std::int64_t> spatial_candidates(
+      const std::vector<std::int64_t>& bound_divisors, std::int64_t bound,
+      std::int64_t array_dim) const;
 
   [[nodiscard]] LayerSchedule search(const nn::LayerSpec& layer) const;
 
+  /// One lock stripe of the shape memo; shapes hash to a fixed shard, so
+  /// concurrent searches of distinct shapes rarely contend.
+  struct CacheShard {
+    mutable std::mutex mu;
+    std::unordered_map<LayerShapeKey, LayerSchedule, LayerShapeKeyHash> map;
+  };
+  static constexpr std::size_t kCacheShards = 8;
+
+  CacheShard& shard_of(const LayerShapeKey& key);
+
   CostModel cost_;
   MapperOptions options_;
-  std::unordered_map<std::string, LayerSchedule> cache_;
+  std::array<CacheShard, kCacheShards> cache_;
 };
 
 }  // namespace rota::sched

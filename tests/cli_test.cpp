@@ -67,6 +67,16 @@ TEST(CliParse, DefaultsAreSane) {
   EXPECT_EQ(o.iterations, 1000);
   EXPECT_EQ(o.policy, wear::PolicyKind::kRwlRo);
   EXPECT_EQ(o.metric, wear::WearMetric::kAllocations);
+  EXPECT_EQ(o.threads, 1);  // serial unless --threads is given
+}
+
+TEST(CliParse, ThreadsFlag) {
+  EXPECT_EQ(parse({"lifetime", "Sqz", "--threads", "4"}).threads, 4);
+  // 0 = one lane per hardware thread (resolved later by par::).
+  EXPECT_EQ(parse({"lifetime", "Sqz", "--threads", "0"}).threads, 0);
+  EXPECT_THROW(parse({"lifetime", "Sqz", "--threads", "-2"}),
+               precondition_error);
+  EXPECT_THROW(parse({"lifetime", "Sqz", "--threads"}), precondition_error);
 }
 
 TEST(CliParse, BadValuesRejected) {

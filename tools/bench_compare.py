@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_perf.json reports and gate CI on serial regressions.
+
+Usage: bench_compare.py BASELINE.json CURRENT.json [--threshold PCT]
+
+Both files use the {"manifest": ..., "metrics": {name: {...}}} envelope
+written by bench_common.hpp. For every timing metric in the baseline:
+
+  * serial benchmarks (no "Par/" in the name) FAIL the run when the
+    current cpu time regresses by more than the threshold (default 25%),
+    and FAIL when the metric disappeared from the current report;
+  * parallel benchmarks ("Par/" in the name) only WARN, because their
+    wall/cpu time depends on the runner's core count and the committed
+    baseline may come from a machine with a different topology.
+
+Metrics that are new in the current report are listed informationally.
+Exit status: 0 = OK (possibly with warnings), 1 = at least one failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_metrics(path: str) -> dict:
+    with open(path) as f:
+        doc = json.load(f)
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        sys.exit(f"error: {path}: no metrics in report")
+    return {
+        name: rec
+        for name, rec in metrics.items()
+        if isinstance(rec, dict) and rec.get("type") == "timing"
+    }
+
+
+def is_parallel(name: str) -> bool:
+    return "Par/" in name
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=25.0,
+                    help="allowed regression in percent (default 25)")
+    args = ap.parse_args()
+
+    base = load_metrics(args.baseline)
+    cur = load_metrics(args.current)
+    limit = 1.0 + args.threshold / 100.0
+
+    failures = []
+    warnings = []
+    width = max(len(n) for n in set(base) | set(cur))
+    print(f"{'benchmark':<{width}}  {'base ms':>10}  {'cur ms':>10}  "
+          f"{'ratio':>6}  status")
+    for name in sorted(set(base) | set(cur)):
+        if name not in base:
+            print(f"{name:<{width}}  {'-':>10}  "
+                  f"{cur[name]['cpu_ms']:>10.4f}  {'-':>6}  new")
+            continue
+        if name not in cur:
+            msg = f"{name}: present in baseline, missing from current report"
+            if is_parallel(name):
+                warnings.append(msg)
+                status = "WARN missing"
+            else:
+                failures.append(msg)
+                status = "FAIL missing"
+            print(f"{name:<{width}}  {base[name]['cpu_ms']:>10.4f}  "
+                  f"{'-':>10}  {'-':>6}  {status}")
+            continue
+        b = base[name]["cpu_ms"]
+        c = cur[name]["cpu_ms"]
+        ratio = c / b if b > 0 else float("inf")
+        status = "ok"
+        if ratio > limit:
+            msg = (f"{name}: cpu {b:.4f} ms -> {c:.4f} ms "
+                   f"({(ratio - 1) * 100:.1f}% > {args.threshold:.0f}% limit)")
+            if is_parallel(name):
+                warnings.append(msg)
+                status = "WARN slower"
+            else:
+                failures.append(msg)
+                status = "FAIL slower"
+        print(f"{name:<{width}}  {b:>10.4f}  {c:>10.4f}  {ratio:>6.2f}  "
+              f"{status}")
+
+    for msg in warnings:
+        print(f"warning: {msg}")
+    for msg in failures:
+        print(f"FAILURE: {msg}")
+    if failures:
+        print(f"{len(failures)} serial regression(s) beyond "
+              f"{args.threshold:.0f}%")
+        return 1
+    print("bench comparison OK"
+          + (f" ({len(warnings)} warning(s))" if warnings else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
