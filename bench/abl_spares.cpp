@@ -23,7 +23,7 @@ int main() {
   // Both runs processed identical work, so their activities must share one
   // time scale: normalize both by the baseline's peak usage.
   double peak = 1.0;
-  for (std::int64_t v : res.run(PolicyKind::kBaseline).usage.cells())
+  for (std::int64_t v : bench::run_of(res, PolicyKind::kBaseline).usage.cells())
     peak = std::max(peak, static_cast<double>(v));
   auto normalized = [peak](const util::Grid<std::int64_t>& usage) {
     std::vector<double> a;
@@ -32,8 +32,8 @@ int main() {
       a.push_back(static_cast<double>(v) / peak);
     return a;
   };
-  const auto base = normalized(res.run(PolicyKind::kBaseline).usage);
-  const auto ro = normalized(res.run(PolicyKind::kRwlRo).usage);
+  const auto base = normalized(bench::run_of(res, PolicyKind::kBaseline).usage);
+  const auto ro = normalized(bench::run_of(res, PolicyKind::kRwlRo).usage);
 
   util::TextTable table({"spares", "baseline MTTF", "RWL+RO MTTF",
                          "WL gain at this spare level"});

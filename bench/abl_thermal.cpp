@@ -24,8 +24,8 @@ int main() {
     Experiment exp({arch::rota_like(), 300});
     const auto res = exp.run(nn::workload_by_abbr(abbr),
                              {PolicyKind::kBaseline, PolicyKind::kRwlRo});
-    const auto& base_usage = res.run(PolicyKind::kBaseline).usage;
-    const auto& ro_usage = res.run(PolicyKind::kRwlRo).usage;
+    const auto& base_usage = bench::run_of(res, PolicyKind::kBaseline).usage;
+    const auto& ro_usage = bench::run_of(res, PolicyKind::kRwlRo).usage;
 
     // One shared activity scale: both schemes did the same work in the
     // same time, and the baseline's corner PE is the busiest of all.

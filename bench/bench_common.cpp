@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "obs/json.hpp"
+#include "util/check.hpp"
 #include "util/csv.hpp"
 #include "util/io.hpp"
 
@@ -33,7 +34,8 @@ std::string take_json_path(int& argc, char** argv) {
 void write_bench_json(const std::string& path, const obs::RunManifest& manifest,
                       const std::vector<BenchRecord>& records) {
   std::ostringstream out;
-  out << "{\"manifest\":" << manifest.to_json() << ",\"metrics\":{";
+  out << "{\"schema_version\":" << obs::kSchemaVersion
+      << ",\"manifest\":" << manifest.to_json() << ",\"metrics\":{";
   for (std::size_t i = 0; i < records.size(); ++i) {
     const BenchRecord& rec = records[i];
     if (i != 0) out << ',';
@@ -76,6 +78,14 @@ const std::vector<wear::PolicyKind>& paper_policies() {
       wear::PolicyKind::kBaseline, wear::PolicyKind::kRwl,
       wear::PolicyKind::kRwlRo};
   return kPolicies;
+}
+
+const PolicyRun& run_of(const ExperimentResult& result,
+                        wear::PolicyKind kind) {
+  const PolicyRun* run = result.find_run(kind);
+  ROTA_ENSURE(run != nullptr, "bench requested the " + wear::to_string(kind) +
+                                  " run but the experiment did not include it");
+  return *run;
 }
 
 }  // namespace rota::bench

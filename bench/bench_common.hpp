@@ -27,8 +27,10 @@ struct BenchRecord {
 /// without touching the command line.
 std::string take_json_path(int& argc, char** argv);
 
-/// Write `{"manifest": ..., "metrics": {name: {...}}}` to `path` via the
-/// checked util::write_text_file (throws util::io_error on failure).
+/// Write `{"schema_version": N, "manifest": ..., "metrics": {name: {...}}}`
+/// to `path` via the checked util::write_text_file (throws util::io_error
+/// on failure). tools/bench_compare.py rejects envelopes whose
+/// schema_version it does not understand.
 void write_bench_json(const std::string& path, const obs::RunManifest& manifest,
                       const std::vector<BenchRecord>& records);
 
@@ -47,5 +49,12 @@ std::vector<sched::NetworkSchedule> schedule_all_workloads(
 
 /// The three schemes compared throughout the paper's evaluation.
 const std::vector<wear::PolicyKind>& paper_policies();
+
+/// The run for `kind`, which must have been part of the experiment (the
+/// benches always look up policies they just ran). Built on the
+/// non-throwing ExperimentResult::find_run; aborts via ROTA_ENSURE on a
+/// bench-harness bug instead of unwinding mid-report.
+const PolicyRun& run_of(const ExperimentResult& result,
+                        wear::PolicyKind kind);
 
 }  // namespace rota::bench

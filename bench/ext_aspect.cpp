@@ -35,7 +35,7 @@ int main() {
     const auto res = exp.run(net, {PolicyKind::kBaseline,
                                    PolicyKind::kRwlRo});
     const double gain = res.improvement_over_baseline(PolicyKind::kRwlRo);
-    const auto& st = res.run(PolicyKind::kRwlRo).stats;
+    const auto& st = bench::run_of(res, PolicyKind::kRwlRo).stats;
     const std::string dim = std::to_string(s.w) + "x" + std::to_string(s.h);
     table.add_row({dim, std::to_string(s.w * s.h),
                    util::fmt_pct(res.schedule.mean_utilization()),

@@ -21,9 +21,9 @@ int main() {
                            {PolicyKind::kBaseline, PolicyKind::kRwlRo});
   std::vector<double> base;
   std::vector<double> ro;
-  for (auto v : res.run(PolicyKind::kBaseline).usage.cells())
+  for (auto v : bench::run_of(res, PolicyKind::kBaseline).usage.cells())
     base.push_back(static_cast<double>(v));
-  for (auto v : res.run(PolicyKind::kRwlRo).usage.cells())
+  for (auto v : bench::run_of(res, PolicyKind::kRwlRo).usage.cells())
     ro.push_back(static_cast<double>(v));
   const double util_mean = res.schedule.mean_utilization();
 

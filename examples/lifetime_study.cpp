@@ -47,7 +47,12 @@ int main(int argc, char** argv) {
   // Reliability curves: evaluate R(t) for each scheme at the baseline's
   // MTTF — the survival probability gained by wear-leveling at the moment
   // the unleveled design is expected to die.
-  const auto& base = result.run(PolicyKind::kBaseline);
+  const rota::PolicyRun* base_ptr = result.find_run(PolicyKind::kBaseline);
+  if (base_ptr == nullptr) {
+    std::cerr << "baseline run missing from experiment result\n";
+    return 1;
+  }
+  const auto& base = *base_ptr;
   std::vector<double> base_alpha;
   for (auto v : base.usage.cells())
     base_alpha.push_back(static_cast<double>(v));

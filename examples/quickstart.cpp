@@ -43,9 +43,14 @@ int main() {
               << "x\n";
   }
 
+  // find_run is the non-throwing lookup of the v1 API; the throwing
+  // result.run(kind) accessor is deprecated.
+  const rota::PolicyRun* ro = result.find_run(PolicyKind::kRwlRo);
+  if (ro == nullptr) {
+    std::cout << "RWL+RO run missing from experiment result\n";
+    return 1;
+  }
   std::cout << "\nRWL+RO usage heatmap after " << result.iterations
-            << " iterations:\n"
-            << rota::util::ascii_heatmap(
-                   result.run(PolicyKind::kRwlRo).usage);
+            << " iterations:\n" << rota::util::ascii_heatmap(ro->usage);
   return 0;
 }

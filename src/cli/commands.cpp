@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 
 #include "core/rota.hpp"
+#include "svc/engine.hpp"
 #include "obs/build_info.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
@@ -141,15 +143,24 @@ int cmd_lifetime(const Options& opt, std::ostream& out) {
   }
   out << table.str();
 
+  // Non-throwing run lookup: every kind below was requested above, so an
+  // absent run is an internal invariant violation, not a user error.
+  const auto usage_of =
+      [&res](wear::PolicyKind kind) -> const util::Grid<std::int64_t>& {
+    const PolicyRun* run = res.find_run(kind);
+    ROTA_ENSURE(run != nullptr, "policy run missing from experiment result");
+    return run->usage;
+  };
+
   if (opt.mc_trials > 0) {
     // Monte-Carlo cross-check of the closed-form Eq. 3/4 algebra on the
     // measured usage fields (shared activity scale).
     double peak = 1.0;
-    for (std::int64_t v : res.run(wear::PolicyKind::kBaseline).usage.cells())
+    for (std::int64_t v : usage_of(wear::PolicyKind::kBaseline).cells())
       peak = std::max(peak, static_cast<double>(v));
     auto alphas = [&](wear::PolicyKind kind) {
       std::vector<double> a;
-      for (std::int64_t v : res.run(kind).usage.cells())
+      for (std::int64_t v : usage_of(kind).cells())
         a.push_back(static_cast<double>(v) / peak);
       return a;
     };
@@ -170,12 +181,11 @@ int cmd_lifetime(const Options& opt, std::ostream& out) {
   if (opt.spares > 0) {
     // Spare-tolerant comparison on a shared activity scale.
     double peak = 1.0;
-    for (std::int64_t v :
-         res.run(wear::PolicyKind::kBaseline).usage.cells())
+    for (std::int64_t v : usage_of(wear::PolicyKind::kBaseline).cells())
       peak = std::max(peak, static_cast<double>(v));
     auto alphas = [&](wear::PolicyKind kind) {
       std::vector<double> a;
-      for (std::int64_t v : res.run(kind).usage.cells())
+      for (std::int64_t v : usage_of(kind).cells())
         a.push_back(static_cast<double>(v) / peak);
       return a;
     };
@@ -202,8 +212,12 @@ int cmd_thermal(const Options& opt, std::ostream& out) {
   const auto res = exp.run(
       net, {wear::PolicyKind::kBaseline, wear::PolicyKind::kRwlRo});
 
-  const auto& base_usage = res.run(wear::PolicyKind::kBaseline).usage;
-  const auto& ro_usage = res.run(wear::PolicyKind::kRwlRo).usage;
+  const PolicyRun* base_run = res.find_run(wear::PolicyKind::kBaseline);
+  const PolicyRun* ro_run = res.find_run(wear::PolicyKind::kRwlRo);
+  ROTA_ENSURE(base_run != nullptr && ro_run != nullptr,
+              "policy run missing from experiment result");
+  const auto& base_usage = base_run->usage;
+  const auto& ro_usage = ro_run->usage;
   std::int64_t ref = 0;
   for (std::int64_t v : base_usage.cells()) ref = std::max(ref, v);
   for (std::int64_t v : ro_usage.cells()) ref = std::max(ref, v);
@@ -267,7 +281,17 @@ int cmd_area(const Options& opt, std::ostream& out) {
   return 0;
 }
 
-int dispatch(const Options& options, std::ostream& out) {
+int cmd_serve(const Options& opt, std::istream& in, std::ostream& out) {
+  svc::EngineOptions eo;
+  eo.threads = threads_of(opt);
+  eo.cache.capacity = static_cast<std::size_t>(opt.cache_capacity);
+  eo.cache.disk_dir = opt.cache_dir;
+  eo.max_batch = static_cast<std::size_t>(opt.max_batch);
+  svc::Engine engine(eo);
+  return engine.serve(in, out);
+}
+
+int dispatch(const Options& options, std::istream& in, std::ostream& out) {
   switch (options.verb) {
     case Verb::kHelp:
       out << usage();
@@ -287,6 +311,8 @@ int dispatch(const Options& options, std::ostream& out) {
       return cmd_area(options, out);
     case Verb::kThermal:
       return cmd_thermal(options, out);
+    case Verb::kServe:
+      return cmd_serve(options, in, out);
   }
   return 1;
 }
@@ -376,11 +402,19 @@ class ObservabilityScope {
 
 }  // namespace
 
-int run(const Options& options, std::ostream& out) {
+int run(const Options& options, std::istream& in, std::ostream& out) {
   ObservabilityScope scope(options);
-  const int rc = dispatch(options, out);
-  const int sink_rc = scope.write_sinks(out);
+  const int rc = dispatch(options, in, out);
+  // serve owns `out` as its JSON-lines reply channel, so "wrote metrics"
+  // notices must not be interleaved with protocol replies.
+  std::ostream& notices = options.verb == Verb::kServe ? std::cerr : out;
+  const int sink_rc = scope.write_sinks(notices);
   return rc != 0 ? rc : sink_rc;
+}
+
+int run(const Options& options, std::ostream& out) {
+  std::istringstream empty;
+  return run(options, empty, out);
 }
 
 }  // namespace rota::cli

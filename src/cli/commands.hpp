@@ -1,16 +1,22 @@
 #pragma once
 
+#include <istream>
 #include <ostream>
 
 #include "cli/options.hpp"
 
 /// \file commands.hpp
-/// Implementations of the `rota` subcommands, writing to a caller-supplied
-/// stream so the test suite can verify output without spawning processes.
+/// Implementations of the `rota` subcommands, reading from / writing to
+/// caller-supplied streams so the test suite can verify behavior without
+/// spawning processes.
 
 namespace rota::cli {
 
-/// Execute the parsed invocation; returns a process exit code.
+/// Execute the parsed invocation; returns a process exit code. `in` is
+/// consumed only by `rota serve` (the JSON-lines request stream).
+int run(const Options& options, std::istream& in, std::ostream& out);
+
+/// Overload for verbs that never read input; serve gets an empty stream.
 int run(const Options& options, std::ostream& out);
 
 }  // namespace rota::cli

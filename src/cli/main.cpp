@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   try {
     const rota::cli::Options options = rota::cli::parse(args);
-    return rota::cli::run(options, std::cout);
+    return rota::cli::run(options, std::cin, std::cout);
   } catch (const rota::util::precondition_error& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 2;

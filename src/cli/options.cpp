@@ -1,6 +1,8 @@
 #include "cli/options.hpp"
 
 #include <cstdlib>
+#include <iterator>
+#include <string_view>
 
 #include "util/check.hpp"
 
@@ -38,7 +40,89 @@ std::uint64_t parse_u64(const std::string& text, const std::string& flag) {
   return static_cast<std::uint64_t>(v);
 }
 
+/// Every flag the tool knows, for distinguishing "exists, wrong verb"
+/// from "does not exist" in error messages.
+constexpr std::string_view kAllFlags[] = {
+    "--array",   "--iters",   "--spares",  "--policy",    "--metric",
+    "--pgm",     "--csv",     "--schedule", "--seed",     "--mc",
+    "--threads", "--metrics", "--trace",   "--progress",  "-v",
+    "--verbose", "--cache-dir", "--cache-cap", "--batch"};
+
+/// The observability flags every working verb owns.
+constexpr std::string_view kObsFlags[] = {"--metrics", "--trace",
+                                          "--progress", "-v", "--verbose"};
+
+/// Flags owned by `verb` beyond the shared observability set. The scoping
+/// mirrors what each cmd_* actually reads: a flag a verb would silently
+/// ignore is rejected up front.
+std::vector<std::string_view> owned_flags(Verb verb) {
+  std::vector<std::string_view> flags;
+  switch (verb) {
+    case Verb::kHelp:
+    case Verb::kVersion:
+      return flags;  // no flags, not even observability
+    case Verb::kWorkloads:
+      break;
+    case Verb::kSchedule:
+      flags = {"--array", "--threads", "--csv"};
+      break;
+    case Verb::kWear:
+      flags = {"--array", "--iters", "--policy", "--metric", "--seed",
+               "--schedule", "--pgm", "--threads"};
+      break;
+    case Verb::kLifetime:
+      // No --policy: lifetime always compares all paper schemes.
+      flags = {"--array", "--iters", "--metric", "--seed", "--spares",
+               "--mc", "--threads"};
+      break;
+    case Verb::kArea:
+      flags = {"--array"};
+      break;
+    case Verb::kThermal:
+      flags = {"--array", "--iters", "--seed", "--threads"};
+      break;
+    case Verb::kServe:
+      // Geometry travels inside each request, not on the command line.
+      flags = {"--threads", "--cache-dir", "--cache-cap", "--batch"};
+      break;
+  }
+  flags.insert(flags.end(), std::begin(kObsFlags), std::end(kObsFlags));
+  return flags;
+}
+
+template <typename Range>
+bool contains(const Range& range, std::string_view flag) {
+  for (std::string_view f : range) {
+    if (f == flag) return true;
+  }
+  return false;
+}
+
 }  // namespace
+
+std::string verb_name(Verb verb) {
+  switch (verb) {
+    case Verb::kHelp:
+      return "help";
+    case Verb::kVersion:
+      return "version";
+    case Verb::kWorkloads:
+      return "workloads";
+    case Verb::kSchedule:
+      return "schedule";
+    case Verb::kWear:
+      return "wear";
+    case Verb::kLifetime:
+      return "lifetime";
+    case Verb::kArea:
+      return "area";
+    case Verb::kThermal:
+      return "thermal";
+    case Verb::kServe:
+      return "serve";
+  }
+  ROTA_UNREACHABLE("unhandled Verb");
+}
 
 void parse_geometry(const std::string& text, std::int64_t& width,
                     std::int64_t& height) {
@@ -86,6 +170,8 @@ Options parse(const std::vector<std::string>& args) {
     opt.verb = Verb::kArea;
   } else if (verb == "thermal") {
     opt.verb = Verb::kThermal;
+  } else if (verb == "serve") {
+    opt.verb = Verb::kServe;
   } else {
     ROTA_REQUIRE(false, "unknown command '" + verb + "'\n" + usage());
   }
@@ -104,8 +190,20 @@ Options parse(const std::vector<std::string>& args) {
     return args[++i];
   };
 
+  const std::vector<std::string_view> owned = owned_flags(opt.verb);
   for (; i < args.size(); ++i) {
     const std::string& flag = args[i];
+    if (!contains(owned, flag)) {
+      if (contains(kAllFlags, flag)) {
+        ROTA_REQUIRE(false, "option '" + flag +
+                                "' is not accepted by 'rota " +
+                                verb_name(opt.verb) +
+                                "' (see 'rota help' for the flags each "
+                                "command owns)");
+      }
+      ROTA_REQUIRE(false, "unknown option '" + flag + "' for 'rota " +
+                              verb_name(opt.verb) + "'\n" + usage());
+    }
     if (flag == "--array") {
       parse_geometry(value_of(flag), opt.array_width, opt.array_height);
     } else if (flag == "--iters") {
@@ -140,12 +238,18 @@ Options parse(const std::vector<std::string>& args) {
       opt.metrics_path = value_of(flag);
     } else if (flag == "--trace") {
       opt.trace_path = value_of(flag);
+    } else if (flag == "--cache-dir") {
+      opt.cache_dir = value_of(flag);
+    } else if (flag == "--cache-cap") {
+      opt.cache_capacity = parse_positive_int(value_of(flag), flag);
+    } else if (flag == "--batch") {
+      opt.max_batch = parse_positive_int(value_of(flag), flag);
     } else if (flag == "--progress") {
       opt.progress = true;
     } else if (flag == "--verbose" || flag == "-v") {
       opt.verbose = true;
     } else {
-      ROTA_REQUIRE(false, "unknown flag '" + flag + "'\n" + usage());
+      ROTA_UNREACHABLE("flag '" + flag + "' owned but not handled");
     }
   }
 
@@ -167,46 +271,57 @@ std::string usage() {
       "\n"
       "usage: rota <command> [workload] [flags]\n"
       "\n"
-      "commands:\n"
+      "Every command owns its own flag set and rejects the rest; the\n"
+      "observability flags at the bottom work with every command.\n"
+      "\n"
+      "commands and their flags:\n"
       "  workloads                 list the Table II workload zoo\n"
       "  schedule <abbr>           energy-optimal per-layer utilization "
       "spaces\n"
+      "    --array WxH             PE array geometry (default 14x12)\n"
+      "    --csv FILE              also export the schedule as CSV\n"
+      "    --threads N             worker lanes (see below)\n"
       "  wear <abbr>               run the wear simulator, print stats + "
       "heatmap\n"
+      "    --array WxH  --iters N  geometry / inference iterations\n"
+      "    --policy NAME           Baseline | RWL | RWL+RO | RandomStart |\n"
+      "                            DiagonalStride (default RWL+RO)\n"
+      "    --metric alloc|cycles   wear accounting (default alloc)\n"
+      "    --schedule FILE         drive the simulator with an imported\n"
+      "                            schedule CSV (layer,x,y,tiles columns)\n"
+      "    --pgm FILE              write the wear heatmap as a PGM image\n"
+      "    --seed N  --threads N   stochastic-policy seed / worker lanes\n"
       "  lifetime <abbr>           lifetime improvement of all schemes\n"
+      "    --array WxH  --iters N  geometry / inference iterations\n"
+      "    --metric alloc|cycles   wear accounting (default alloc)\n"
+      "    --spares N              tolerated PE failures (default 0)\n"
+      "    --mc N                  cross-check the closed-form MTTF with N\n"
+      "                            Monte-Carlo trials (default off)\n"
+      "    --seed N  --threads N   Monte-Carlo seed / worker lanes\n"
       "  area                      area breakdown and torus overhead\n"
+      "    --array WxH             PE array geometry (default 14x12)\n"
       "  thermal <abbr>            temperature fields and thermally-coupled\n"
       "                            lifetime gain (extension)\n"
+      "    --array WxH  --iters N  --seed N  --threads N\n"
+      "  serve                     JSON-lines batch service on stdin/stdout\n"
+      "                            (one request object per line; see "
+      "README)\n"
+      "    --threads N             concurrent requests per batch (default "
+      "1)\n"
+      "    --cache-dir DIR         on-disk schedule-cache tier (default "
+      "off)\n"
+      "    --cache-cap N           in-memory schedule-cache entries "
+      "(default\n"
+      "                            4096)\n"
+      "    --batch N               flush replies at least every N requests\n"
       "  version                   build identity (version, git SHA, type)\n"
       "  help                      this text\n"
       "\n"
-      "flags:\n"
-      "  --array WxH               PE array geometry (default 14x12)\n"
-      "  --iters N                 inference iterations (default 1000)\n"
-      "  --policy NAME             Baseline | RWL | RWL+RO | RandomStart |\n"
-      "                            DiagonalStride (default RWL+RO)\n"
-      "  --metric alloc|cycles     wear accounting (default alloc)\n"
-      "  --spares N                tolerated PE failures for lifetime "
-      "(default 0)\n"
-      "  --pgm FILE                write the wear heatmap as a PGM image\n"
-      "  --csv FILE                schedule: also export the schedule as "
-      "CSV\n"
-      "  --schedule FILE           wear: drive the simulator with an "
-      "imported\n"
-      "                            schedule CSV (layer,x,y,tiles columns)\n"
-      "  --seed N                  seed for stochastic policies and Monte "
-      "Carlo\n"
-      "  --mc N                    lifetime: cross-check the closed-form "
-      "MTTF\n"
-      "                            with N Monte-Carlo trials (default off)\n"
-      "  --threads N               worker lanes for scheduling, simulation "
-      "and\n"
-      "                            Monte Carlo (default 1 = serial, 0 = one "
-      "per\n"
-      "                            hardware thread); results are identical\n"
-      "                            for any value, only wall time changes\n"
+      "  --threads N everywhere: 1 = serial (default), 0 = one lane per\n"
+      "  hardware thread; results are identical for any value, only wall\n"
+      "  time changes.\n"
       "\n"
-      "observability (any command):\n"
+      "observability (any working command):\n"
       "  --metrics FILE            write {manifest, metrics} JSON after the "
       "run\n"
       "  --trace FILE              write a Chrome trace-event JSON "

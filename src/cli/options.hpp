@@ -11,6 +11,13 @@
 /// Command-line parsing for the `rota` tool. Kept free of I/O so the test
 /// suite can exercise it directly; parse errors throw
 /// util::precondition_error with a user-facing message.
+///
+/// Options are subcommand-scoped: every verb declares the set of flags it
+/// owns and rejects the rest with an "option not accepted by this
+/// subcommand" error, so `rota lifetime --policy RWL` (lifetime always
+/// compares all schemes) fails loudly instead of silently ignoring the
+/// flag. The observability flags (--metrics, --trace, --progress,
+/// -v/--verbose) are owned by every working verb.
 
 namespace rota::cli {
 
@@ -24,7 +31,11 @@ enum class Verb {
   kLifetime,   ///< lifetime improvement of all schemes for one workload
   kArea,       ///< area breakdown and torus overhead
   kThermal,    ///< temperature fields and Arrhenius-coupled lifetime
+  kServe,      ///< JSON-lines batch service on stdin/stdout (rota::svc)
 };
+
+/// The verb's name as typed on the command line ("wear", "serve", ...).
+[[nodiscard]] std::string verb_name(Verb verb);
 
 /// Fully parsed invocation.
 struct Options {
@@ -44,6 +55,10 @@ struct Options {
   std::string csv_out_path;   ///< schedule: export the schedule as CSV
   std::string schedule_path;  ///< wear: import a schedule CSV instead of
                               ///< running the built-in mapper
+  // serve (see src/svc/):
+  std::string cache_dir;      ///< on-disk schedule-cache tier ("" = off)
+  std::int64_t cache_capacity = 4096;  ///< in-memory schedule-cache entries
+  std::int64_t max_batch = 64;  ///< flush replies at least this often
   // Observability (see src/obs/): every verb accepts these.
   std::string metrics_path;  ///< write {manifest, metrics} JSON here
   std::string trace_path;    ///< write a Chrome trace-event JSON here
@@ -53,12 +68,12 @@ struct Options {
 };
 
 /// Parse argv (excluding argv[0]).
-/// Recognized: workloads | schedule | wear | lifetime | area | version |
-/// help, plus
-///   --array WxH   --iters N    --policy NAME   --metric alloc|cycles
-///   --spares N    --pgm FILE   --seed N        --mc N
-///   --threads N   --metrics FILE  --trace FILE  --progress  -v/--verbose
-/// Throws util::precondition_error on unknown verbs/flags/values.
+/// Verbs: workloads | schedule | wear | lifetime | area | thermal |
+/// serve | version | help. Each verb accepts only the flags it owns (see
+/// usage()); a flag that exists but belongs to a different verb produces
+/// "option --X is not accepted by 'rota <verb>'", a flag that exists
+/// nowhere produces "unknown option". Throws util::precondition_error on
+/// any parse failure.
 Options parse(const std::vector<std::string>& args);
 
 /// Parse "14x12"-style geometry. Throws on malformed input.

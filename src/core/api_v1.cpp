@@ -1,0 +1,73 @@
+#include "core/api_v1.hpp"
+
+#include <exception>
+
+#include "nn/workloads.hpp"
+#include "util/check.hpp"
+
+namespace rota::api::v1 {
+
+namespace {
+
+/// Translate the historical throwing surface into the v1 error taxonomy.
+/// rota-lint: allow(pre-require)
+template <typename Fn>
+auto guarded(Fn&& fn) -> Result<decltype(fn())> {
+  try {
+    return fn();
+  } catch (const util::precondition_error& e) {
+    return Error{ErrorCode::kInvalidArgument, e.what()};
+  } catch (const util::io_error& e) {
+    return Error{ErrorCode::kIo, e.what()};
+  } catch (const std::exception& e) {
+    return Error{ErrorCode::kInternal, e.what()};
+  }
+}
+
+}  // namespace
+
+Result<nn::Network> find_workload(const std::string& abbr) {
+  return guarded([&] { return nn::workload_by_abbr(abbr); });
+}
+
+Result<sched::NetworkSchedule> schedule_workload(
+    const ExperimentConfig& config, const nn::Network& net) {
+  return guarded([&] {
+    Experiment exp(config);
+    return exp.schedule(net);
+  });
+}
+
+Result<ExperimentResult> run_experiment(
+    const ExperimentConfig& config, const nn::Network& net,
+    const std::vector<wear::PolicyKind>& policies) {
+  return guarded([&] {
+    Experiment exp(config);
+    return exp.run(net, policies);
+  });
+}
+
+Result<PolicyRun> find_run(const ExperimentResult& result,
+                           wear::PolicyKind kind) {
+  const PolicyRun* run = result.find_run(kind);
+  if (run == nullptr) {
+    return Error{ErrorCode::kNotFound,
+                 "policy " + wear::to_string(kind) +
+                     " was not part of this experiment"};
+  }
+  return *run;
+}
+
+Result<double> lifetime_improvement(const ExperimentResult& result,
+                                    wear::PolicyKind kind) {
+  if (result.find_run(wear::PolicyKind::kBaseline) == nullptr ||
+      result.find_run(kind) == nullptr) {
+    return Error{ErrorCode::kNotFound,
+                 "lifetime_improvement requires both the baseline run and "
+                 "the " +
+                     wear::to_string(kind) + " run to be present"};
+  }
+  return result.improvement_over_baseline(kind);
+}
+
+}  // namespace rota::api::v1

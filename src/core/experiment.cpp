@@ -7,19 +7,31 @@
 
 namespace rota {
 
-const PolicyRun& ExperimentResult::run(wear::PolicyKind kind) const {
+const PolicyRun* ExperimentResult::find_run(
+    wear::PolicyKind kind) const noexcept {
   for (const auto& r : runs) {
-    if (r.kind == kind) return r;
+    if (r.kind == kind) return &r;
   }
-  ROTA_REQUIRE(false, "policy " + wear::to_string(kind) +
-                          " was not part of this experiment");
-  throw util::precondition_error("unreachable");
+  return nullptr;
+}
+
+const PolicyRun& ExperimentResult::run(wear::PolicyKind kind) const {
+  const PolicyRun* found = find_run(kind);
+  ROTA_REQUIRE(found != nullptr, "policy " + wear::to_string(kind) +
+                                     " was not part of this experiment");
+  return *found;
 }
 
 double ExperimentResult::improvement_over_baseline(
     wear::PolicyKind kind) const {
-  const PolicyRun& base = run(wear::PolicyKind::kBaseline);
-  const PolicyRun& wl = run(kind);
+  const PolicyRun* base_ptr = find_run(wear::PolicyKind::kBaseline);
+  const PolicyRun* wl_ptr = find_run(kind);
+  ROTA_REQUIRE(base_ptr != nullptr && wl_ptr != nullptr,
+               "improvement_over_baseline requires both the baseline run "
+               "and the " +
+                   wear::to_string(kind) + " run to be present");
+  const PolicyRun& base = *base_ptr;
+  const PolicyRun& wl = *wl_ptr;
   std::vector<double> base_alphas;
   std::vector<double> wl_alphas;
   base_alphas.reserve(base.usage.size());

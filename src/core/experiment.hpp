@@ -51,7 +51,16 @@ struct ExperimentResult {
   double beta = rel::kJedecShape;
   std::vector<PolicyRun> runs;
 
-  /// The run for a given policy; throws if the policy was not included.
+  /// The run for a given policy, or nullptr if the policy was not part of
+  /// this experiment. The non-throwing lookup used by the v1 API and the
+  /// service layer.
+  [[nodiscard]] const PolicyRun* find_run(wear::PolicyKind kind) const noexcept;
+
+  /// The run for a given policy; throws util::precondition_error if the
+  /// policy was not included. Deprecated in favor of find_run(): new code
+  /// (and everything behind rota::api::v1) must use the non-throwing
+  /// lookup. Kept as a thin shim for source compatibility; scheduled for
+  /// removal with the v1 API's first breaking release.
   [[nodiscard]] const PolicyRun& run(wear::PolicyKind kind) const;
 
   /// Relative lifetime improvement of `kind` over the baseline run

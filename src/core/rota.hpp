@@ -4,6 +4,10 @@
 /// Umbrella header of the RoTA library. Including this gives the full
 /// public API:
 ///
+///   - rota::api::v1   — the versioned, non-throwing facade (api_v1.hpp):
+///                       Result<T> returns, stable error codes, JSON
+///                       envelopes stamped with schema_version. New
+///                       integrations should target this surface.
 ///   - rota::nn        — layer / network model and the Table II workload zoo
 ///   - rota::arch      — accelerator configuration, energy, area, topology
 ///   - rota::sched     — the NeuroSpector-lite energy-optimal mapper
@@ -11,22 +15,36 @@
 ///   - rota::rel       — Weibull lifetime-reliability model
 ///   - rota::sim       — tile pipeline timing and the RWL+RO controller
 ///   - rota::obs       — metrics, Chrome-trace spans, run manifests
+///   - rota::svc       — embeddable batch-request engine + schedule cache
+///                       (src/svc; behind `rota serve`, not pulled in here)
 ///   - rota (core)     — Experiment: the one-call driver used by examples
 ///
-/// Quickstart:
+/// Versioning and deprecation policy: the module namespaces above are the
+/// historical throwing surface and remain supported for in-process use.
+/// `rota::api::v1` wraps them without forking the implementation; it only
+/// grows compatibly, and a breaking change opens `rota::api::v2` while v1
+/// lives on for two releases. Members documented as deprecated (e.g. the
+/// throwing ExperimentResult::run, replaced by find_run) are removed with
+/// the next generation bump, never silently.
+///
+/// Quickstart (v1 facade):
 /// \code
-///   rota::Experiment exp;                       // 14×12 torus, 1000 iters
-///   auto net = rota::nn::make_squeezenet();
-///   auto res = exp.run(net, {rota::wear::PolicyKind::kBaseline,
-///                            rota::wear::PolicyKind::kRwlRo});
-///   double gain = res.improvement_over_baseline(
-///       rota::wear::PolicyKind::kRwlRo);        // ≈ paper's Fig. 8
+///   namespace api = rota::api::v1;
+///   rota::ExperimentConfig cfg;                 // 14×12 torus, 1000 iters
+///   auto net = api::find_workload("Sqz");
+///   auto res = api::run_experiment(cfg, net.value(),
+///                                  {rota::wear::PolicyKind::kBaseline,
+///                                   rota::wear::PolicyKind::kRwlRo});
+///   auto gain = api::lifetime_improvement(
+///       res.value(), rota::wear::PolicyKind::kRwlRo);  // ≈ Fig. 8
+///   if (!gain.ok()) { /* gain.error().code, .message */ }
 /// \endcode
 
 #include "arch/area.hpp"
 #include "arch/config.hpp"
 #include "arch/energy.hpp"
 #include "arch/topology.hpp"
+#include "core/api_v1.hpp"
 #include "core/experiment.hpp"
 #include "nn/layer.hpp"
 #include "nn/network.hpp"

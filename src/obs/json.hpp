@@ -12,6 +12,15 @@
 
 namespace rota::obs {
 
+/// Version of every JSON envelope this repo emits or accepts: the
+/// {manifest, metrics} report, BENCH_perf.json, the trace envelope and
+/// the svc request/reply protocol. Unversioned envelopes from before the
+/// v1 API redesign are retroactively version 1; bump this whenever any
+/// envelope's layout changes so downstream tooling (tools/bench_compare.py,
+/// CI smoke checks, svc clients) fails loudly on drift instead of
+/// misreading fields.
+inline constexpr int kSchemaVersion = 2;
+
 /// Escape a string for use inside a JSON string literal (quotes, control
 /// characters and backslashes; UTF-8 passes through untouched).
 [[nodiscard]] std::string json_escape(std::string_view text);

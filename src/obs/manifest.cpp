@@ -64,7 +64,8 @@ RunManifest make_run_manifest(std::string tool, std::string command) {
 std::string metrics_report_json(const RunManifest& manifest,
                                 const MetricsRegistry& registry) {
   std::ostringstream os;
-  os << "{\"manifest\":" << manifest.to_json()
+  os << "{\"schema_version\":" << kSchemaVersion
+     << ",\"manifest\":" << manifest.to_json()
      << ",\"metrics\":" << registry.json() << "}\n";
   return os.str();
 }

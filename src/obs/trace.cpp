@@ -75,7 +75,11 @@ void Tracer::write_json(std::ostream& out) const {
     const std::lock_guard<std::mutex> lock(mu_);
     events = events_;
   }
-  out << "[{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+  // The object form of the trace-event format (still loadable by
+  // chrome://tracing and Perfetto), so the envelope can carry
+  // schema_version like every other JSON artifact this repo emits.
+  out << "{\"schema_version\":" << kSchemaVersion << ",\"traceEvents\":"
+      << "[{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
          "\"args\":{\"name\":\"rota\"}}";
   for (const TraceEvent& ev : events) {
     out << ",{\"name\":" << json_quote(ev.name)
@@ -85,7 +89,7 @@ void Tracer::write_json(std::ostream& out) const {
     if (ev.phase == 'i') out << ",\"s\":\"t\"";
     out << ",\"pid\":1,\"tid\":" << ev.tid << '}';
   }
-  out << "]\n";
+  out << "]}\n";
 }
 
 std::string Tracer::json() const {

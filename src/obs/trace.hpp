@@ -59,8 +59,10 @@ class Tracer {
   /// Drop all recorded events (the enabled flag is untouched).
   void reset();
 
-  /// Emit the trace-event JSON array (metadata naming the process first,
-  /// then every recorded event).
+  /// Emit the trace as a versioned envelope —
+  /// {"schema_version":N,"traceEvents":[...]} — using the trace-event
+  /// format's object form (loadable by chrome://tracing and Perfetto).
+  /// The array holds process metadata first, then every recorded event.
   void write_json(std::ostream& out) const;
   [[nodiscard]] std::string json() const;
 

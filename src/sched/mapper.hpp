@@ -26,6 +26,12 @@
 
 namespace rota::sched {
 
+/// Version of the mapper's search algorithm and cost model. Bump whenever
+/// a change can alter the schedule chosen for some layer shape: persisted
+/// schedule caches (rota::svc) key on this, so stale entries from an older
+/// search are never replayed as current results.
+inline constexpr int kMapperVersion = 3;
+
 /// Mapper search-space options.
 struct MapperOptions {
   /// Restrict spatial and local-buffer tiling factors to exact divisors of

@@ -1,0 +1,150 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "nn/network.hpp"
+#include "sched/mapper.hpp"
+#include "sched/schedule.hpp"
+#include "util/result.hpp"
+
+/// \file cache.hpp
+/// The two-tier schedule cache at the heart of `rota::svc`. A layer's
+/// energy-optimal schedule is a pure function of (accelerator geometry,
+/// layer shape, mapper version/options) — nothing else — so once computed
+/// it can be replayed forever. Tier 1 is an in-memory sharded LRU shared
+/// by every request the engine executes; tier 2 is an optional on-disk
+/// directory that survives process restarts. Entries round-trip every
+/// LayerSchedule field bit-exactly (doubles are stored as hexfloats), so
+/// a cache hit is indistinguishable from a fresh mapper search.
+///
+/// Corruption policy: a damaged, truncated or stale cache file is treated
+/// as a miss (counted in `svc.cache.disk_corrupt`) and the schedule is
+/// recomputed — the cache can lose work, never invent it, and never
+/// crashes the service.
+
+namespace rota::svc {
+
+/// The canonical cache key. `fingerprint` is the full human-readable
+/// derivation (mapper version and options, every scheduling-relevant
+/// AcceleratorConfig field, every LayerShapeKey field); `hash` is a stable
+/// FNV-1a of the fingerprint used for shard selection and file naming.
+/// Disk entries embed the fingerprint and verify it on load, so a hash
+/// collision degrades to a miss instead of returning a wrong schedule.
+struct ScheduleCacheKey {
+  std::string fingerprint;
+  std::uint64_t hash = 0;
+
+  [[nodiscard]] static ScheduleCacheKey of(
+      const arch::AcceleratorConfig& accel, const sched::LayerShapeKey& shape,
+      const sched::MapperOptions& options,
+      int mapper_version = sched::kMapperVersion);
+};
+
+/// Stable 64-bit FNV-1a (not std::hash, whose value may differ between
+/// runs and standard libraries — disk file names must be reproducible).
+[[nodiscard]] std::uint64_t stable_fingerprint_hash(std::string_view text);
+
+struct ScheduleCacheOptions {
+  /// In-memory entries across all shards (minimum one per shard).
+  std::size_t capacity = 4096;
+  /// On-disk tier directory; empty disables the disk tier. Created on
+  /// first insert if missing.
+  std::string disk_dir;
+};
+
+/// Monotonic counters mirrored into the global MetricsRegistry under
+/// `svc.cache.*` when it is enabled.
+struct ScheduleCacheStats {
+  std::int64_t hits_memory = 0;
+  std::int64_t hits_disk = 0;
+  std::int64_t misses = 0;
+  std::int64_t evictions = 0;
+  std::int64_t disk_corrupt = 0;        ///< unreadable/stale files seen
+  std::int64_t disk_write_failures = 0; ///< best-effort writes that failed
+};
+
+class ScheduleCache {
+ public:
+  explicit ScheduleCache(ScheduleCacheOptions options = {});
+  ScheduleCache(const ScheduleCache&) = delete;
+  ScheduleCache& operator=(const ScheduleCache&) = delete;
+
+  [[nodiscard]] const ScheduleCacheOptions& options() const {
+    return options_;
+  }
+
+  /// Probe both tiers. A disk hit is promoted into memory. The returned
+  /// schedule carries an empty layer_name (names are per-call site, not
+  /// part of the cached value).
+  [[nodiscard]] std::optional<sched::LayerSchedule> lookup(
+      const ScheduleCacheKey& key);
+
+  /// Insert into memory (evicting the shard's least-recently-used entry
+  /// beyond capacity) and, when a disk tier is configured, write the
+  /// entry best-effort (failures are counted, never thrown).
+  void insert(const ScheduleCacheKey& key, const sched::LayerSchedule& value);
+
+  [[nodiscard]] ScheduleCacheStats stats() const;
+  [[nodiscard]] std::size_t size() const;
+
+  /// The file a key would live at on disk ("" when no disk tier).
+  [[nodiscard]] std::string disk_path(const ScheduleCacheKey& key) const;
+
+ private:
+  struct Entry {
+    sched::LayerSchedule value;
+    std::list<std::string>::iterator lru_pos;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, Entry> map;  ///< fingerprint -> entry
+    std::list<std::string> lru;                  ///< MRU at front
+  };
+  static constexpr std::size_t kShards = 8;
+
+  Shard& shard_of(const ScheduleCacheKey& key);
+  [[nodiscard]] std::size_t shard_capacity() const;
+
+  /// Memory-tier insert/promote (no disk write).
+  void insert_memory_only(const ScheduleCacheKey& key,
+                          const sched::LayerSchedule& value);
+
+  /// Try the disk tier; counts corruption internally.
+  [[nodiscard]] std::optional<sched::LayerSchedule> load_from_disk(
+      const ScheduleCacheKey& key);
+  void store_to_disk(const ScheduleCacheKey& key,
+                     const sched::LayerSchedule& value);
+
+  ScheduleCacheOptions options_;
+  std::array<Shard, kShards> shards_;
+
+  mutable std::mutex stats_mu_;
+  ScheduleCacheStats stats_;
+};
+
+/// Serialize one cache entry (versioned textual format; see cache.cpp).
+[[nodiscard]] std::string encode_cache_entry(const ScheduleCacheKey& key,
+                                             const sched::LayerSchedule& value);
+
+/// Parse a cache entry, verifying the format version and that the stored
+/// fingerprint matches `key`. Any mismatch, truncation or garbage yields
+/// an error — callers treat it as a miss.
+[[nodiscard]] util::Result<sched::LayerSchedule> decode_cache_entry(
+    std::string_view text, const ScheduleCacheKey& key);
+
+/// Schedule `net` like Mapper::schedule_network, but with every layer
+/// routed through `cache` first. Produces bit-identical schedules to the
+/// uncached path (the cache stores exact copies); on a warm cache the
+/// mapper search is skipped entirely. Thread-safe (cache and mapper both
+/// are).
+[[nodiscard]] sched::NetworkSchedule cached_schedule_network(
+    sched::Mapper& mapper, const nn::Network& net, ScheduleCache& cache);
+
+}  // namespace rota::svc

@@ -1,0 +1,303 @@
+#include "svc/engine.hpp"
+
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "arch/config.hpp"
+#include "nn/workloads.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "par/parallel.hpp"
+#include "reliability/array_reliability.hpp"
+#include "util/check.hpp"
+#include "wear/policy.hpp"
+#include "wear/simulator.hpp"
+
+namespace rota::svc {
+
+namespace {
+
+using util::ErrorCode;
+
+arch::AcceleratorConfig accel_of(const Request& req) {
+  arch::AcceleratorConfig cfg = arch::rota_like();
+  cfg.array_width = req.array_width;
+  cfg.array_height = req.array_height;
+  cfg.validate();
+  return cfg;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+std::string payload_schedule(const sched::NetworkSchedule& ns) {
+  std::ostringstream os;
+  os << "{\"workload\":" << obs::json_quote(ns.network_abbr)
+     << ",\"layers\":" << ns.layers.size()
+     << ",\"total_tiles\":" << ns.total_tiles()
+     << ",\"mean_utilization\":" << obs::json_number(ns.mean_utilization())
+     << ",\"total_energy\":" << obs::json_number(ns.total_energy())
+     << ",\"total_cycles\":" << obs::json_number(ns.total_cycles()) << '}';
+  return os.str();
+}
+
+std::string json_stats(const wear::UsageStats& stats) {
+  std::ostringstream os;
+  os << "{\"min\":" << stats.min << ",\"max\":" << stats.max
+     << ",\"d_max\":" << stats.max_diff
+     << ",\"r_diff\":" << obs::json_number(stats.r_diff)
+     << ",\"mean\":" << obs::json_number(stats.mean) << '}';
+  return os.str();
+}
+
+/// One policy pass over a schedule — the exact computation Experiment's
+/// run_policies performs for one cell (same simulator options, same
+/// policy seeding), so engine replies are bit-identical to the CLI path.
+struct PolicyOutcome {
+  std::string name;
+  wear::UsageStats stats;
+  std::vector<double> alphas;
+};
+
+PolicyOutcome run_policy(const arch::AcceleratorConfig& accel,
+                         const sched::NetworkSchedule& ns,
+                         const Request& req, wear::PolicyKind kind) {
+  auto policy =
+      wear::make_policy(kind, accel.array_width, accel.array_height, req.seed);
+  wear::WearSimulator sim(accel, {true, req.metric});
+  sim.run_iterations(ns, *policy, req.iterations);
+  PolicyOutcome out;
+  out.name = policy->name();
+  out.stats = sim.tracker().stats();
+  out.alphas = sim.tracker().usage_as_doubles();
+  return out;
+}
+
+}  // namespace
+
+Engine::Engine(EngineOptions options)
+    : options_(options), cache_(options.cache) {
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+Engine::~Engine() { shutdown(); }
+
+void Engine::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && !dispatcher_.joinable()) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+std::future<Response> Engine::submit(Request request) {
+  Job job;
+  job.request = std::move(request);
+  job.submitted = std::chrono::steady_clock::now();
+  std::future<Response> future = job.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      Response refused;
+      refused.id = job.request.id;
+      refused.error = {ErrorCode::kUnavailable,
+                       "engine is shutting down; request not accepted"};
+      job.promise.set_value(std::move(refused));
+      return future;
+    }
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void Engine::dispatcher_loop() {
+  for (;;) {
+    std::vector<Job> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ && drained
+      batch.reserve(queue_.size());
+      while (!queue_.empty()) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    obs::MetricsRegistry::global().add("svc.batches");
+    // Fan the batch out; each job lands in its own promise, so reply
+    // routing is index-stable regardless of lane count (DESIGN.md §9).
+    par::parallel_for(static_cast<std::int64_t>(batch.size()),
+                      options_.threads, [this, &batch](std::int64_t i) {
+                        Job& job = batch[static_cast<std::size_t>(i)];
+                        job.promise.set_value(run_job(job));
+                      });
+  }
+}
+
+Response Engine::run_job(Job& job) {
+  const Request& req = job.request;
+  if (req.cancel && req.cancel->load()) {
+    obs::MetricsRegistry::global().add("svc.requests_cancelled");
+    Response resp;
+    resp.id = req.id;
+    resp.error = {ErrorCode::kCancelled,
+                  "request was cancelled while queued"};
+    return resp;
+  }
+  const std::int64_t deadline_ms =
+      req.deadline_ms > 0 ? req.deadline_ms : options_.default_deadline_ms;
+  if (deadline_ms > 0) {
+    const double queued_ms = seconds_since(job.submitted) * 1e3;
+    if (queued_ms > static_cast<double>(deadline_ms)) {
+      obs::MetricsRegistry::global().add("svc.requests_expired");
+      Response resp;
+      resp.id = req.id;
+      resp.error = {ErrorCode::kDeadlineExceeded,
+                    "deadline of " + std::to_string(deadline_ms) +
+                        " ms expired while the request was queued"};
+      return resp;
+    }
+  }
+  return execute(req);
+}
+
+Response Engine::execute(const Request& request) {
+  const auto start = std::chrono::steady_clock::now();
+  const obs::TraceSpan span(std::string(to_string(request.op)),
+                            "svc.request");
+  obs::MetricsRegistry::global().add("svc.requests_total");
+
+  Response resp;
+  resp.id = request.id;
+  try {
+    switch (request.op) {
+      case RequestOp::kPing:
+        resp.payload_json = "{\"pong\":true}";
+        break;
+      case RequestOp::kShutdown:
+        resp.payload_json = "{\"stopping\":true}";
+        break;
+      case RequestOp::kSchedule: {
+        const nn::Network net = nn::workload_by_abbr(request.workload);
+        const arch::AcceleratorConfig accel = accel_of(request);
+        sched::Mapper mapper(accel, {}, sched::MapperOptions{true, 1});
+        resp.payload_json =
+            payload_schedule(cached_schedule_network(mapper, net, cache_));
+        break;
+      }
+      case RequestOp::kWear: {
+        const nn::Network net = nn::workload_by_abbr(request.workload);
+        const arch::AcceleratorConfig accel = accel_of(request);
+        sched::Mapper mapper(accel, {}, sched::MapperOptions{true, 1});
+        const sched::NetworkSchedule ns =
+            cached_schedule_network(mapper, net, cache_);
+        const PolicyOutcome run =
+            run_policy(accel, ns, request, request.policy);
+        std::ostringstream os;
+        os << "{\"workload\":" << obs::json_quote(net.abbr())
+           << ",\"policy\":" << obs::json_quote(run.name)
+           << ",\"iters\":" << request.iterations
+           << ",\"stats\":" << json_stats(run.stats) << '}';
+        resp.payload_json = os.str();
+        break;
+      }
+      case RequestOp::kLifetime: {
+        const nn::Network net = nn::workload_by_abbr(request.workload);
+        const arch::AcceleratorConfig accel = accel_of(request);
+        sched::Mapper mapper(accel, {}, sched::MapperOptions{true, 1});
+        const sched::NetworkSchedule ns =
+            cached_schedule_network(mapper, net, cache_);
+        std::vector<PolicyOutcome> runs;
+        for (wear::PolicyKind kind :
+             {wear::PolicyKind::kBaseline, wear::PolicyKind::kRwl,
+              wear::PolicyKind::kRwlRo}) {
+          runs.push_back(run_policy(accel, ns, request, kind));
+        }
+        std::ostringstream os;
+        os << "{\"workload\":" << obs::json_quote(net.abbr())
+           << ",\"iters\":" << request.iterations << ",\"runs\":[";
+        for (std::size_t i = 0; i < runs.size(); ++i) {
+          const double gain = rel::lifetime_improvement(
+              runs.front().alphas, runs[i].alphas, rel::kJedecShape);
+          os << (i == 0 ? "" : ",") << "{\"policy\":"
+             << obs::json_quote(runs[i].name)
+             << ",\"improvement\":" << obs::json_number(gain)
+             << ",\"stats\":" << json_stats(runs[i].stats) << '}';
+        }
+        os << "]}";
+        resp.payload_json = os.str();
+        break;
+      }
+    }
+    resp.ok = true;
+  } catch (const util::precondition_error& e) {
+    resp.error = {ErrorCode::kInvalidArgument, e.what()};
+  } catch (const util::io_error& e) {
+    resp.error = {ErrorCode::kIo, e.what()};
+  } catch (const std::exception& e) {
+    resp.error = {ErrorCode::kInternal, e.what()};
+  }
+  if (!resp.ok) obs::MetricsRegistry::global().add("svc.requests_failed");
+  resp.wall_seconds = seconds_since(start);
+  obs::MetricsRegistry::global().observe("svc.request_seconds",
+                                         resp.wall_seconds);
+  return resp;
+}
+
+int Engine::serve(std::istream& in, std::ostream& out) {
+  // Pending replies for one flush window, in input order. A parse
+  // failure is answered in place (no job), so ordering never depends on
+  // whether a line was valid.
+  struct Pending {
+    bool immediate = false;
+    Response response;
+    std::future<Response> future;
+  };
+  std::vector<Pending> window;
+  window.reserve(options_.max_batch);
+
+  const auto flush = [&] {
+    for (Pending& p : window) {
+      const Response& resp = p.immediate ? p.response
+                                         : (p.response = p.future.get());
+      out << to_json(resp) << '\n';
+    }
+    out.flush();
+    window.clear();
+  };
+
+  bool stop_requested = false;
+  std::string line;
+  while (!stop_requested && std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto parsed = parse_request(line, options_.max_request_bytes);
+    if (!parsed.ok()) {
+      obs::MetricsRegistry::global().add("svc.requests_rejected");
+      Pending p;
+      p.immediate = true;
+      p.response.id = salvage_request_id(line);
+      p.response.error = parsed.error();
+      window.push_back(std::move(p));
+    } else {
+      Request req = std::move(parsed).take();
+      stop_requested = req.op == RequestOp::kShutdown;
+      Pending p;
+      p.future = submit(std::move(req));
+      window.push_back(std::move(p));
+    }
+    if (window.size() >= options_.max_batch) flush();
+  }
+  flush();
+  shutdown();
+  return 0;
+}
+
+}  // namespace rota::svc

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+
+#include "svc/cache.hpp"
+#include "svc/request.hpp"
+
+/// \file engine.hpp
+/// `rota::svc::Engine`: the embeddable asynchronous batch-request engine
+/// behind `rota serve`. Requests are submitted from any thread and
+/// answered through futures; a dispatcher thread collects whatever is
+/// queued into one batch and fans it out on the shared rota::par pool, so
+/// a burst of requests is executed concurrently while each individual
+/// result stays bit-identical to the serial CLI path (requests are
+/// independent and every computation is a pure function of the request —
+/// DESIGN.md §9/§10).
+///
+/// The engine owns the process's two-tier ScheduleCache: repeated
+/// workloads skip the mapper search entirely after the first request
+/// (and, with a disk tier, across restarts).
+///
+/// Failure containment: malformed requests, unknown workloads, expired
+/// deadlines and cancelled requests all produce structured error replies;
+/// nothing a client sends can unwind the engine. shutdown() (and the
+/// destructor) drain gracefully — every accepted request is answered.
+
+namespace rota::svc {
+
+struct EngineOptions {
+  /// Worker lanes per batch (rota::par convention: 1 = serial inline,
+  /// 0 = one lane per hardware thread). Results are identical for any
+  /// value.
+  int threads = 1;
+  ScheduleCacheOptions cache;
+  /// serve(): replies are flushed at least every `max_batch` requests.
+  std::size_t max_batch = 64;
+  /// Requests longer than this many bytes are rejected with
+  /// resource_exhausted (stdin is untrusted).
+  std::size_t max_request_bytes = 1 << 20;
+  /// Default deadline for requests that do not carry one; 0 = none.
+  std::int64_t default_deadline_ms = 0;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+  ~Engine();  ///< shutdown(): drains the queue, then joins the dispatcher
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] const EngineOptions& options() const { return options_; }
+
+  /// Enqueue one request; the future resolves to its reply. After
+  /// shutdown() began, resolves immediately with code unavailable.
+  std::future<Response> submit(Request request);
+
+  /// Execute one request synchronously on the calling thread (no queue,
+  /// no deadline bookkeeping). This is the single code path workers also
+  /// run, so batch and inline execution cannot diverge.
+  [[nodiscard]] Response execute(const Request& request);
+
+  /// Stop accepting work, answer everything already queued, join the
+  /// dispatcher. Idempotent.
+  void shutdown();
+
+  /// JSON-lines loop: read requests from `in` one per line, reply on
+  /// `out` in input order (flushed at least every options().max_batch
+  /// requests and at EOF). Returns the process exit code (0 — protocol
+  /// errors are replies, not exits). An op=shutdown request drains and
+  /// ends the loop.
+  int serve(std::istream& in, std::ostream& out);
+
+  [[nodiscard]] ScheduleCacheStats cache_stats() const {
+    return cache_.stats();
+  }
+  [[nodiscard]] ScheduleCache& cache() { return cache_; }
+
+ private:
+  struct Job {
+    Request request;
+    std::promise<Response> promise;
+    std::chrono::steady_clock::time_point submitted;
+  };
+
+  void dispatcher_loop();
+
+  /// Deadline/cancellation gate + execute() + metrics, for one job.
+  Response run_job(Job& job);
+
+  EngineOptions options_;
+  ScheduleCache cache_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Job> queue_;
+  bool stopping_ = false;
+  std::thread dispatcher_;
+};
+
+}  // namespace rota::svc

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/result.hpp"
+#include "wear/policy.hpp"
+#include "wear/simulator.hpp"
+
+/// \file request.hpp
+/// The svc wire protocol: JSON-lines requests and replies, one object per
+/// line. Every envelope (both directions) carries `schema_version`;
+/// requests with a missing or unknown version are rejected with a
+/// structured error, never guessed at (the versioned-API contract —
+/// downstream tooling fails loudly on schema drift instead of silently
+/// misreading fields).
+///
+/// Request:  {"schema_version":2,"id":"r1","op":"lifetime","workload":"Sqz",
+///            "array":"14x12","iters":1000,"policy":"RWL+RO",
+///            "seed":1381193793,"deadline_ms":5000}
+/// Reply:    {"schema_version":2,"id":"r1","ok":true,"result":{...},
+///            "wall_seconds":0.12}
+/// Error:    {"schema_version":2,"id":"r1","ok":false,
+///            "error":{"code":"invalid_argument","message":"..."}}
+
+namespace rota::svc {
+
+/// Operations the engine serves.
+enum class RequestOp {
+  kPing,      ///< liveness probe; replies {"pong":true}
+  kSchedule,  ///< energy-optimal schedule summary for one workload
+  kWear,      ///< wear-simulate one policy; replies usage statistics
+  kLifetime,  ///< full policy comparison with improvement factors
+  kShutdown,  ///< drain and stop the serve loop (socket-ready semantics)
+};
+
+[[nodiscard]] std::string_view to_string(RequestOp op);
+
+/// Shared cancellation token: flip to true to abandon a queued request.
+/// Checked when a worker picks the request up (a request that already
+/// started executing runs to completion — executions are short).
+using CancelToken = std::shared_ptr<std::atomic<bool>>;
+
+/// One parsed request.
+struct Request {
+  std::string id;  ///< client-chosen correlation id, echoed verbatim
+  RequestOp op = RequestOp::kPing;
+  std::string workload;  ///< Table II abbreviation
+  std::int64_t array_width = 14;
+  std::int64_t array_height = 12;
+  std::int64_t iterations = 1000;
+  std::uint64_t seed = 0x526f5441;
+  wear::PolicyKind policy = wear::PolicyKind::kRwlRo;  ///< op=wear
+  wear::WearMetric metric = wear::WearMetric::kAllocations;
+  /// Relative deadline from submission; 0 inherits the engine default
+  /// (which may be "none"). A request whose deadline has passed before a
+  /// worker picks it up is answered with code deadline_exceeded.
+  std::int64_t deadline_ms = 0;
+  CancelToken cancel;  ///< optional; null = not cancellable
+};
+
+/// One reply. `payload_json` is the op-specific "result" object (already
+/// serialized), empty on error.
+struct Response {
+  std::string id;
+  bool ok = false;
+  util::Error error;         ///< meaningful when !ok
+  std::string payload_json;  ///< meaningful when ok
+  double wall_seconds = 0.0;
+};
+
+/// Parse one JSON-lines request. Enforces `schema_version`, known `op`,
+/// field types/ranges and a byte budget; all failures are structured
+/// errors (code invalid_argument or resource_exhausted), never throws.
+[[nodiscard]] util::Result<Request> parse_request(std::string_view line,
+                                                  std::size_t max_bytes);
+
+/// Serialize a reply as one JSON line (no trailing newline), stamped with
+/// obs::kSchemaVersion.
+[[nodiscard]] std::string to_json(const Response& response);
+
+/// Best-effort extraction of "id" from a line that failed full parsing,
+/// so even malformed-request errors can be correlated by the client.
+[[nodiscard]] std::string salvage_request_id(std::string_view line);
+
+}  // namespace rota::svc

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "cli/commands.hpp"
 #include "cli/options.hpp"
@@ -49,15 +50,17 @@ TEST(CliParse, WorkloadRequiredForPerWorkloadVerbs) {
 TEST(CliParse, FlagsParse) {
   const Options o = parse({"wear", "YL", "--array", "20x16", "--iters", "77",
                            "--policy", "RWL", "--metric", "cycles",
-                           "--spares", "3", "--pgm", "/tmp/x.pgm"});
+                           "--pgm", "/tmp/x.pgm"});
   EXPECT_EQ(o.workload, "YL");
   EXPECT_EQ(o.array_width, 20);
   EXPECT_EQ(o.array_height, 16);
   EXPECT_EQ(o.iterations, 77);
   EXPECT_EQ(o.policy, wear::PolicyKind::kRwl);
   EXPECT_EQ(o.metric, wear::WearMetric::kActiveCycles);
-  EXPECT_EQ(o.spares, 3);
   EXPECT_EQ(o.pgm_path, "/tmp/x.pgm");
+
+  const Options l = parse({"lifetime", "Sqz", "--spares", "3"});
+  EXPECT_EQ(l.spares, 3);
 }
 
 TEST(CliParse, DefaultsAreSane) {
@@ -88,9 +91,56 @@ TEST(CliParse, BadValuesRejected) {
                precondition_error);
   EXPECT_THROW(parse({"wear", "Sqz", "--policy", "magic"}),
                precondition_error);
-  EXPECT_THROW(parse({"wear", "Sqz", "--spares", "-1"}), precondition_error);
+  EXPECT_THROW(parse({"lifetime", "Sqz", "--spares", "-1"}),
+               precondition_error);
   EXPECT_THROW(parse({"wear", "Sqz", "--iters"}), precondition_error);
   EXPECT_THROW(parse({"wear", "Sqz", "--nope"}), precondition_error);
+}
+
+TEST(CliParse, OptionsAreSubcommandScoped) {
+  // A flag that exists but belongs to a different verb is rejected with a
+  // message naming the verb, not silently ignored.
+  try {
+    parse({"lifetime", "Sqz", "--policy", "RWL"});
+    FAIL() << "lifetime must reject --policy (it compares all schemes)";
+  } catch (const precondition_error& e) {
+    EXPECT_NE(std::string(e.what()).find("not accepted by 'rota lifetime'"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(parse({"schedule", "Sqz", "--iters", "5"}),
+               precondition_error);
+  EXPECT_THROW(parse({"wear", "Sqz", "--csv", "/tmp/x.csv"}),
+               precondition_error);
+  EXPECT_THROW(parse({"area", "--iters", "5"}), precondition_error);
+  EXPECT_THROW(parse({"workloads", "--array", "8x8"}), precondition_error);
+  EXPECT_THROW(parse({"serve", "--policy", "RWL"}), precondition_error);
+  EXPECT_THROW(parse({"version", "--metrics", "/tmp/m.json"}),
+               precondition_error);
+
+  // A flag that exists nowhere gets the "unknown option for" wording.
+  try {
+    parse({"wear", "Sqz", "--frobnicate"});
+    FAIL() << "unknown options must be rejected";
+  } catch (const precondition_error& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown option '--frobnicate' "
+                                         "for 'rota wear'"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CliParse, ServeVerbAndFlags) {
+  const Options o = parse({"serve", "--threads", "2", "--cache-dir",
+                           "/tmp/rsc", "--cache-cap", "128", "--batch",
+                           "16"});
+  EXPECT_EQ(o.verb, Verb::kServe);
+  EXPECT_EQ(o.threads, 2);
+  EXPECT_EQ(o.cache_dir, "/tmp/rsc");
+  EXPECT_EQ(o.cache_capacity, 128);
+  EXPECT_EQ(o.max_batch, 16);
+  EXPECT_THROW(parse({"serve", "--cache-cap", "0"}), precondition_error);
+  EXPECT_THROW(parse({"serve", "--batch", "-1"}), precondition_error);
 }
 
 TEST(CliParse, PolicyNamesRoundTrip) {
@@ -223,6 +273,40 @@ TEST(CliRun, CustomArrayPropagates) {
   EXPECT_NE(out.str().find("scale:"), std::string::npos);
 }
 
+TEST(CliRun, ServeAnswersJsonLinesOnStdout) {
+  std::istringstream in(
+      "{\"schema_version\":2,\"id\":\"q1\",\"op\":\"ping\"}\n"
+      "garbage line\n"
+      "{\"schema_version\":2,\"id\":\"q2\",\"op\":\"wear\","
+      "\"workload\":\"Sqz\",\"array\":\"8x8\",\"iters\":5}\n"
+      "{\"schema_version\":2,\"id\":\"q3\",\"op\":\"shutdown\"}\n");
+  std::ostringstream out;
+  EXPECT_EQ(run(parse({"serve", "--threads", "2"}), in, out), 0);
+  std::vector<std::string> lines;
+  std::string line;
+  std::istringstream replies(out.str());
+  while (std::getline(replies, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 4u);  // one reply per line, input order
+  EXPECT_NE(lines[0].find("\"id\":\"q1\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(lines[1].find("invalid_argument"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"id\":\"q2\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"d_max\""), std::string::npos);
+  EXPECT_NE(lines[3].find("\"stopping\":true"), std::string::npos);
+  for (const std::string& reply : lines) {
+    EXPECT_EQ(reply.rfind("{\"schema_version\":2,", 0), 0u) << reply;
+  }
+}
+
+TEST(CliRun, ServeGetsEmptyInputFromLegacyOverload) {
+  // The two-argument run() hands serve an empty stream: it must come back
+  // immediately with exit code 0 and no replies.
+  std::ostringstream out;
+  EXPECT_EQ(run(parse({"serve"}), out), 0);
+  EXPECT_TRUE(out.str().empty());
+}
+
 // -------------------------------------------------------- observability ----
 
 TEST(CliParse, ObservabilityFlagsParse) {
@@ -283,13 +367,16 @@ TEST(CliRun, MetricsAndTraceSinksWriteValidJson) {
 
   const std::string metrics = slurp(metrics_path);
   EXPECT_TRUE(obs::json_valid(metrics)) << metrics;
-  for (const char* key : {"\"manifest\"", "\"metrics\"", "\"git_sha\"",
-                          "\"seed\"", "\"workload\"", "\"wear.iterations\""}) {
+  for (const char* key : {"\"schema_version\"", "\"manifest\"", "\"metrics\"",
+                          "\"git_sha\"", "\"seed\"", "\"workload\"",
+                          "\"wear.iterations\""}) {
     EXPECT_NE(metrics.find(key), std::string::npos) << key;
   }
 
   const std::string trace = slurp(trace_path);
   EXPECT_TRUE(obs::json_valid(trace)) << trace;
+  EXPECT_NE(trace.find("\"schema_version\""), std::string::npos);
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
   EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
   std::remove(metrics_path.c_str());
   std::remove(trace_path.c_str());

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/api_v1.hpp"
 #include "core/experiment.hpp"
 #include "nn/workloads.hpp"
+#include "obs/json.hpp"
 #include "util/check.hpp"
 
 namespace rota {
@@ -33,9 +35,71 @@ TEST(Experiment, RunsRequestedPoliciesInOrder) {
 TEST(Experiment, MissingPolicyLookupThrows) {
   Experiment exp(quick_config());
   const auto res = exp.run(nn::make_squeezenet(), {PolicyKind::kBaseline});
+  // The deprecated throwing shim still throws...
   EXPECT_THROW((void)res.run(PolicyKind::kRwlRo), precondition_error);
   EXPECT_THROW((void)res.improvement_over_baseline(PolicyKind::kRwlRo),
                precondition_error);
+}
+
+TEST(Experiment, FindRunIsNonThrowing) {
+  Experiment exp(quick_config());
+  const auto res = exp.run(nn::make_squeezenet(),
+                           {PolicyKind::kBaseline, PolicyKind::kRwl});
+  const PolicyRun* base = res.find_run(PolicyKind::kBaseline);
+  ASSERT_NE(base, nullptr);
+  EXPECT_EQ(base->kind, PolicyKind::kBaseline);
+  // find_run and the deprecated run() agree on present policies.
+  EXPECT_EQ(base, &res.run(PolicyKind::kBaseline));
+  // An absent policy is a nullptr, not an exception.
+  EXPECT_EQ(res.find_run(PolicyKind::kRwlRo), nullptr);
+}
+
+TEST(ApiV1, ResultsInsteadOfExceptions) {
+  namespace api = rota::api::v1;
+  static_assert(api::kSchemaVersion == obs::kSchemaVersion);
+
+  EXPECT_FALSE(api::find_workload("Zzz").ok());
+  EXPECT_EQ(api::find_workload("Zzz").error().code,
+            api::ErrorCode::kInvalidArgument);
+  auto net = api::find_workload("Sqz");
+  ASSERT_TRUE(net.ok());
+
+  ExperimentConfig cfg = quick_config();
+  auto res = api::run_experiment(cfg, net.value(),
+                                 {PolicyKind::kBaseline, PolicyKind::kRwl});
+  ASSERT_TRUE(res.ok()) << res.error().message;
+  EXPECT_EQ(res.value().network_abbr, "Sqz");
+
+  auto found = api::find_run(res.value(), PolicyKind::kRwl);
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value().kind, PolicyKind::kRwl);
+  auto absent = api::find_run(res.value(), PolicyKind::kRwlRo);
+  ASSERT_FALSE(absent.ok());
+  EXPECT_EQ(absent.error().code, api::ErrorCode::kNotFound);
+
+  auto gain = api::lifetime_improvement(res.value(), PolicyKind::kRwl);
+  ASSERT_TRUE(gain.ok());
+  EXPECT_EQ(gain.value(),
+            res.value().improvement_over_baseline(PolicyKind::kRwl));
+  EXPECT_FALSE(api::lifetime_improvement(res.value(), PolicyKind::kRwlRo)
+                   .ok());
+
+  // Data errors that the historical surface throws for come back as
+  // structured errors here.
+  ExperimentConfig broken = quick_config();
+  broken.iterations = -1;
+  EXPECT_FALSE(api::run_experiment(broken, net.value(),
+                                   {PolicyKind::kBaseline})
+                   .ok());
+  ExperimentConfig bad_geometry = quick_config();
+  bad_geometry.accel.array_width = 0;
+  auto sched_err = api::schedule_workload(bad_geometry, net.value());
+  ASSERT_FALSE(sched_err.ok());
+  EXPECT_EQ(sched_err.error().code, api::ErrorCode::kInvalidArgument);
+
+  auto sched_ok = api::schedule_workload(cfg, net.value());
+  ASSERT_TRUE(sched_ok.ok());
+  EXPECT_EQ(sched_ok.value().network_abbr, "Sqz");
 }
 
 TEST(Experiment, ImprovementRequiresBaselineRun) {

@@ -203,9 +203,14 @@ TEST(Trace, SpansProduceValidChromeTraceJson) {
 
   const std::string json = tracer.json();
   EXPECT_TRUE(json_valid(json)) << json;
-  // Perfetto essentials: a plain array, process metadata first, complete
-  // events with ts+dur, instant with a scope.
-  EXPECT_EQ(json.front(), '[');
+  // Perfetto essentials in the versioned object form: the schema_version
+  // envelope wrapping a traceEvents array, process metadata first,
+  // complete events with ts+dur, instant with a scope.
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"schema_version\":" +
+                      std::to_string(kSchemaVersion)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
   EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
   EXPECT_NE(json.find("\"process_name\""), std::string::npos);
   EXPECT_NE(json.find("\"inner\""), std::string::npos);
@@ -294,6 +299,9 @@ TEST(Manifest, MetricsReportJsonHasManifestAndMetrics) {
   const RunManifest m = make_run_manifest("test", "cmd");
   const std::string report = metrics_report_json(m, reg);
   EXPECT_TRUE(json_valid(report)) << report;
+  EXPECT_NE(report.find("\"schema_version\":" +
+                        std::to_string(kSchemaVersion)),
+            std::string::npos);
   EXPECT_NE(report.find("\"manifest\""), std::string::npos);
   EXPECT_NE(report.find("\"metrics\""), std::string::npos);
   EXPECT_NE(report.find("\"n\""), std::string::npos);

@@ -3,8 +3,10 @@
 
 Usage: bench_compare.py BASELINE.json CURRENT.json [--threshold PCT]
 
-Both files use the {"manifest": ..., "metrics": {name: {...}}} envelope
-written by bench_common.hpp. For every timing metric in the baseline:
+Both files use the {"schema_version": N, "manifest": ..., "metrics":
+{name: {...}}} envelope written by bench_common.hpp. A report whose
+schema_version is missing or unknown fails loudly instead of being
+field-guessed. For every timing metric in the baseline:
 
   * serial benchmarks (no "Par/" in the name) FAIL the run when the
     current cpu time regresses by more than the threshold (default 25%),
@@ -23,10 +25,21 @@ import argparse
 import json
 import sys
 
+# The envelope generation this tool understands (obs::kSchemaVersion in
+# src/obs/json.hpp). Bump in lockstep with the C++ constant.
+SCHEMA_VERSION = 2
+
 
 def load_metrics(path: str) -> dict:
     with open(path) as f:
         doc = json.load(f)
+    version = doc.get("schema_version")
+    if version != SCHEMA_VERSION:
+        sys.exit(
+            f"error: {path}: schema_version is {version!r}, this tool "
+            f"understands {SCHEMA_VERSION} — regenerate the report or "
+            f"update tools/bench_compare.py in lockstep with "
+            f"obs::kSchemaVersion")
     metrics = doc.get("metrics")
     if not isinstance(metrics, dict) or not metrics:
         sys.exit(f"error: {path}: no metrics in report")

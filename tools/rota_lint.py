@@ -25,6 +25,11 @@ Rules enforced (each can be suppressed on a specific line with a trailing
                traces, or returned strings; only the CLI front-end
                (src/cli/) and the obs sinks themselves talk to the
                process-global streams.
+  api-no-throw No `throw` statement in a header that declares part of the
+               versioned public API (any header containing `namespace
+               rota::api`). v1 entry points report data errors through
+               Result<T>; exceptions are an implementation detail of the
+               historical surface and must not leak into the facade.
 
 Header self-containment is checked by the CMake `rota_header_checks`
 target, which compiles every src/ header as a standalone TU.
@@ -143,6 +148,21 @@ class Linter:
                           "library code must not write to global streams; "
                           "report via rota::obs or a caller-supplied "
                           "std::ostream")
+
+    def check_api_no_throw(self, path: Path, stripped: str,
+                           raw: list[str]) -> None:
+        """Versioned-API headers must be exception-free: entry points
+        return Result<T> (DESIGN.md §10)."""
+        if path.suffix != ".hpp":
+            return
+        if not re.search(r"\bnamespace\s+rota::api\b", stripped):
+            return
+        for lineno, line in enumerate(stripped.splitlines(), 1):
+            if re.search(r"\bthrow\b", line) and not self.allowed(
+                    raw, lineno, "api-no-throw"):
+                self.fail(path, lineno, "api-no-throw",
+                          "public api::v1 headers must not throw; return "
+                          "util::Result<T> instead")
 
     def check_pragma_once(self, path: Path, raw: list[str]) -> None:
         if path.suffix != ".hpp":
@@ -272,6 +292,7 @@ class Linter:
             self.check_rng(path, stripped, raw)
             self.check_float_wear(path, stripped, raw)
             self.check_log_discipline(path, stripped, raw)
+            self.check_api_no_throw(path, stripped, raw)
             self.check_pragma_once(path, raw)
             self.check_pre_require(path, text, stripped, raw)
         if self.failures:
