@@ -2,11 +2,18 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
+#include "cli/signals.hpp"
 #include "core/rota.hpp"
+#include "fi/checkpoint.hpp"
+#include "fi/hooks.hpp"
+#include "fi/inject.hpp"
 #include "svc/engine.hpp"
 #include "obs/build_info.hpp"
 #include "obs/manifest.hpp"
@@ -287,8 +294,285 @@ int cmd_serve(const Options& opt, std::istream& in, std::ostream& out) {
   eo.cache.capacity = static_cast<std::size_t>(opt.cache_capacity);
   eo.cache.disk_dir = opt.cache_dir;
   eo.max_batch = static_cast<std::size_t>(opt.max_batch);
+  eo.max_queue = static_cast<std::size_t>(opt.queue_cap);
   svc::Engine engine(eo);
-  return engine.serve(in, out);
+  return engine.serve(in, out, interrupt_flag());
+}
+
+/// Exact round-trip rendering for checkpointed / CSV'd doubles — the
+/// bit-identical-after-resume guarantee must survive the text format.
+std::string hexfloat(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  return buf;
+}
+
+double parse_hexfloat(const std::string& text, const std::string& what) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  ROTA_REQUIRE(!text.empty() && end != nullptr && *end == '\0',
+               "corrupt checkpoint: field '" + what +
+                   "' is not a number: '" + text + "'");
+  return v;
+}
+
+/// Load `path` if it exists and matches this run's identity; kNotFound is
+/// a fresh start, anything else (corrupt file, wrong work) fails loudly —
+/// resuming from garbage or from someone else's run is never an option.
+bool load_matching_checkpoint(const std::string& path,
+                              const std::string& kind,
+                              const std::string& fingerprint,
+                              fi::Checkpoint& checkpoint) {
+  auto loaded = fi::load_checkpoint(path);
+  if (!loaded.ok()) {
+    ROTA_REQUIRE(loaded.error().code == util::ErrorCode::kNotFound,
+                 "cannot resume from " + path + ": " +
+                     loaded.error().message);
+    return false;
+  }
+  checkpoint = std::move(loaded).take();
+  ROTA_REQUIRE(
+      checkpoint.kind == kind && checkpoint.fingerprint == fingerprint,
+      "checkpoint " + path + " records different work (kind '" +
+          checkpoint.kind + "', fingerprint '" + checkpoint.fingerprint +
+          "'); delete it or rerun with the original flags");
+  return true;
+}
+
+/// A finished run's checkpoint is stale by definition; best-effort
+/// removal so the next invocation starts fresh.
+void discard_checkpoint(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+}
+
+int cmd_inject(const Options& opt, std::ostream& out) {
+  ROTA_REQUIRE(!opt.faults.empty(),
+               "inject needs at least one --fault SPEC (pe=U,V@ITER[+K], "
+               "rank=R@ITER or weibull=N)");
+  const nn::Network net = nn::workload_by_abbr(opt.workload);
+  const arch::AcceleratorConfig accel = accel_of(opt);
+  sched::Mapper mapper(accel, {},
+                       sched::MapperOptions{true, threads_of(opt)});
+  const sched::NetworkSchedule ns = mapper.schedule_network(net);
+
+  fi::InjectOptions io;
+  io.iterations = opt.iterations;
+  io.spares = opt.spares;
+  io.seed = opt.seed;
+  for (const std::string& spec : opt.faults) {
+    auto fault = fi::parse_hardware_fault(spec);
+    ROTA_REQUIRE(fault.ok(),
+                 "--fault " + spec + ": " + fault.error().message);
+    io.faults.push_back(std::move(fault).take());
+  }
+
+  auto policy = wear::make_policy(opt.policy, accel.array_width,
+                                  accel.array_height, opt.seed);
+  const fi::FaultRunReport report =
+      fi::run_fault_injection(accel, ns, *policy, io);
+
+  out << net.name() << " x " << report.iterations_run
+      << " iterations, policy " << policy->name() << ", " << io.spares
+      << " spare(s):\n";
+  for (const std::string& event : report.events) out << "  " << event << '\n';
+
+  util::TextTable table({"quantity", "value"});
+  table.add_row({"faults injected",
+                 std::to_string(report.faults_injected)});
+  table.add_row({"transient restores",
+                 std::to_string(report.transient_restores)});
+  table.add_row({"remaps", std::to_string(report.spare_stats.remaps)});
+  table.add_row({"spare migrations",
+                 std::to_string(report.spare_stats.migrations)});
+  table.add_row({"spares in service",
+                 std::to_string(report.spare_stats.spares_in_service)});
+  table.add_row({"spares free",
+                 std::to_string(report.spare_stats.spares_free)});
+  table.add_row({"redirected units",
+                 std::to_string(report.redirected_units)});
+  table.add_row({"lost units", std::to_string(report.lost_units)});
+  table.add_row({"redirect fraction",
+                 util::fmt_pct(report.redirect_fraction, 2)});
+  out << table.str();
+  out << "MTTF, full spare pool: " << util::fmt(report.baseline_mttf, 4)
+      << "  degraded: " << util::fmt(report.degraded_mttf, 4)
+      << "  ratio: " << util::fmt(report.mttf_ratio, 3) << "x\n";
+  return 0;
+}
+
+int cmd_sweep(const Options& opt, std::ostream& out) {
+  const std::vector<nn::Network> nets = nn::all_workloads();
+  const std::vector<wear::PolicyKind> policies = {
+      wear::PolicyKind::kBaseline, wear::PolicyKind::kRwl,
+      wear::PolicyKind::kRwlRo};
+
+  ExperimentConfig cfg;
+  cfg.accel = accel_of(opt);
+  cfg.iterations = opt.iterations;
+  cfg.metric = opt.metric;
+  cfg.seed = opt.seed;
+  cfg.threads = threads_of(opt);
+  Experiment exp(cfg);
+
+  // Work identity: everything that shapes the rows, nothing that does not
+  // (threads are bit-identical by contract — DESIGN.md §9 — so a resume
+  // may legally use a different lane count).
+  std::string fingerprint = "sweep";
+  for (const nn::Network& net : nets) fingerprint += "|" + net.abbr();
+  for (wear::PolicyKind kind : policies)
+    fingerprint += "|" + std::string(wear::to_string(kind));
+  fingerprint += "|" + std::to_string(opt.array_width) + "x" +
+                 std::to_string(opt.array_height) + "|" +
+                 std::to_string(opt.iterations) + "|" +
+                 std::to_string(opt.seed) + "|" +
+                 (opt.metric == wear::WearMetric::kAllocations ? "alloc"
+                                                               : "cycles");
+
+  std::string csv = "workload,policy,improvement,d_max,r_diff\n";
+  std::size_t next_cell = 0;
+  if (!opt.checkpoint_path.empty()) {
+    fi::Checkpoint cp;
+    if (load_matching_checkpoint(opt.checkpoint_path, "sweep", fingerprint,
+                                 cp)) {
+      const auto rows = cp.fields.find("csv");
+      ROTA_REQUIRE(rows != cp.fields.end() && cp.progress >= 0 &&
+                       cp.progress <= static_cast<std::int64_t>(nets.size()),
+                   "corrupt checkpoint: sweep state out of range");
+      csv = rows->second;
+      next_cell = static_cast<std::size_t>(cp.progress);
+      std::cerr << "resuming sweep from checkpoint " << opt.checkpoint_path
+                << " (" << next_cell << "/" << nets.size()
+                << " workloads done)\n";
+    }
+  }
+
+  const auto save = [&](std::size_t done) {
+    if (opt.checkpoint_path.empty()) return;
+    fi::Checkpoint cp;
+    cp.kind = "sweep";
+    cp.fingerprint = fingerprint;
+    cp.progress = static_cast<std::int64_t>(done);
+    cp.fields["csv"] = csv;
+    fi::save_checkpoint(opt.checkpoint_path, cp);
+  };
+
+  obs::ProgressReporter progress("sweep",
+                                 static_cast<std::int64_t>(nets.size()));
+  for (std::size_t n = next_cell; n < nets.size(); ++n) {
+    if (interrupted()) {
+      save(n);
+      std::cerr << "interrupted; sweep state saved at " << n << "/"
+                << nets.size() << " workloads\n";
+      return kExitInterrupted;
+    }
+    const ExperimentResult res = exp.run(nets[n], policies);
+    for (const PolicyRun& run : res.runs) {
+      csv += res.network_abbr + "," + run.policy_name + "," +
+             hexfloat(res.improvement_over_baseline(run.kind)) + "," +
+             std::to_string(run.stats.max_diff) + "," +
+             hexfloat(run.stats.r_diff) + "\n";
+    }
+    save(n + 1);
+    progress.tick(1);
+    tick_interrupt_budget();
+  }
+
+  if (!opt.csv_out_path.empty()) {
+    util::write_text_file(opt.csv_out_path, csv);
+    out << "wrote " << opt.csv_out_path << '\n';
+  } else {
+    out << csv;
+  }
+  if (!opt.checkpoint_path.empty()) discard_checkpoint(opt.checkpoint_path);
+  return 0;
+}
+
+int cmd_mc(const Options& opt, std::ostream& out) {
+  const nn::Network net = nn::workload_by_abbr(opt.workload);
+  const arch::AcceleratorConfig accel = accel_of(opt);
+  sched::Mapper mapper(accel, {},
+                       sched::MapperOptions{true, threads_of(opt)});
+  const sched::NetworkSchedule ns = mapper.schedule_network(net);
+
+  // The activity field whose MTTF we estimate: one wear run under the
+  // requested policy, normalized to peak usage (as cmd_lifetime does).
+  wear::WearSimulator sim(accel, {true, opt.metric});
+  auto policy = wear::make_policy(opt.policy, accel.array_width,
+                                  accel.array_height, opt.seed);
+  sim.run_iterations(ns, *policy, opt.iterations);
+  double peak = 1.0;
+  for (std::int64_t v : sim.tracker().usage().cells())
+    peak = std::max(peak, static_cast<double>(v));
+  std::vector<double> alphas;
+  for (std::int64_t v : sim.tracker().usage().cells())
+    alphas.push_back(static_cast<double>(v) / peak);
+  const double beta = rel::kJedecShape;
+
+  std::string fingerprint =
+      "mc|" + net.abbr() + "|" + std::string(wear::to_string(opt.policy)) +
+      "|" + std::to_string(opt.array_width) + "x" +
+      std::to_string(opt.array_height) + "|" +
+      std::to_string(opt.iterations) + "|" + std::to_string(opt.trials) +
+      "|" + std::to_string(opt.seed) + "|" +
+      (opt.metric == wear::WearMetric::kAllocations ? "alloc" : "cycles");
+
+  rel::McPartial partial;
+  if (!opt.checkpoint_path.empty()) {
+    fi::Checkpoint cp;
+    if (load_matching_checkpoint(opt.checkpoint_path, "mc", fingerprint,
+                                 cp)) {
+      const auto sum = cp.fields.find("sum");
+      const auto sum_sq = cp.fields.find("sum_sq");
+      ROTA_REQUIRE(sum != cp.fields.end() && sum_sq != cp.fields.end() &&
+                       cp.progress >= 0,
+                   "corrupt checkpoint: mc state incomplete");
+      partial.sum = parse_hexfloat(sum->second, "sum");
+      partial.sum_sq = parse_hexfloat(sum_sq->second, "sum_sq");
+      partial.next_chunk = cp.progress;
+      std::cerr << "resuming mc from checkpoint " << opt.checkpoint_path
+                << " (chunk " << partial.next_chunk << ")\n";
+    }
+  }
+
+  const auto save = [&] {
+    if (opt.checkpoint_path.empty()) return;
+    fi::Checkpoint cp;
+    cp.kind = "mc";
+    cp.fingerprint = fingerprint;
+    cp.progress = partial.next_chunk;
+    cp.fields["sum"] = hexfloat(partial.sum);
+    cp.fields["sum_sq"] = hexfloat(partial.sum_sq);
+    fi::save_checkpoint(opt.checkpoint_path, cp);
+  };
+
+  // Checkpoint cadence: 8 substream chunks (32768 trials) per step keeps
+  // the save overhead negligible against the sampling work.
+  constexpr std::int64_t kChunksPerStep = 8;
+  for (;;) {
+    if (interrupted()) {
+      save();
+      std::cerr << "interrupted; mc state saved at chunk "
+                << partial.next_chunk << '\n';
+      return kExitInterrupted;
+    }
+    const bool more =
+        rel::monte_carlo_mttf_step(alphas, beta, 1.0, opt.trials, opt.seed,
+                                   threads_of(opt), &partial, kChunksPerStep);
+    save();
+    tick_interrupt_budget();
+    if (!more) break;
+  }
+
+  const rel::MonteCarloResult res =
+      rel::monte_carlo_mttf_finalize(partial, opt.trials);
+  out << net.abbr() << " policy " << policy->name() << ": MTTF = "
+      << util::fmt(res.mttf, 6) << " (stderr " << util::fmt(res.stderr_, 6)
+      << ", " << res.trials << " trials)\n"
+      << "exact: mttf " << hexfloat(res.mttf) << " stderr "
+      << hexfloat(res.stderr_) << '\n';
+  if (!opt.checkpoint_path.empty()) discard_checkpoint(opt.checkpoint_path);
+  return 0;
 }
 
 int dispatch(const Options& options, std::istream& in, std::ostream& out) {
@@ -313,6 +597,12 @@ int dispatch(const Options& options, std::istream& in, std::ostream& out) {
       return cmd_thermal(options, out);
     case Verb::kServe:
       return cmd_serve(options, in, out);
+    case Verb::kInject:
+      return cmd_inject(options, out);
+    case Verb::kSweep:
+      return cmd_sweep(options, out);
+    case Verb::kMc:
+      return cmd_mc(options, out);
   }
   return 1;
 }
@@ -349,6 +639,18 @@ class ObservabilityScope {
       manifest_.extra["mc_trials"] = std::to_string(options_.mc_trials);
     if (options_.threads != 1)
       manifest_.extra["threads"] = std::to_string(options_.threads);
+    // Fault-injection state is part of reproducibility: a run with
+    // ROTA_FI armed or --fault events is not comparable to a clean one.
+    if (fi::Hooks::armed())
+      manifest_.extra["fi"] = fi::Hooks::plan().to_spec();
+    if (!options_.faults.empty()) {
+      std::string joined;
+      for (const std::string& f : options_.faults)
+        joined += (joined.empty() ? "" : ";") + f;
+      manifest_.extra["faults"] = joined;
+    }
+    if (options_.verb == Verb::kMc)
+      manifest_.extra["trials"] = std::to_string(options_.trials);
     start_ = std::chrono::steady_clock::now();
   }
 
@@ -403,6 +705,9 @@ class ObservabilityScope {
 }  // namespace
 
 int run(const Options& options, std::istream& in, std::ostream& out) {
+  // Operator-requested software fault injection (ROTA_FI in the
+  // environment); a malformed spec throws before any work starts.
+  fi::Hooks::arm_from_env();
   ObservabilityScope scope(options);
   const int rc = dispatch(options, in, out);
   // serve owns `out` as its JSON-lines reply channel, so "wrote metrics"

@@ -10,12 +10,21 @@
 
 #include "cli/commands.hpp"
 #include "cli/options.hpp"
+#include "cli/signals.hpp"
 #include "util/check.hpp"
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   try {
     const rota::cli::Options options = rota::cli::parse(args);
+    // Long-running verbs drain + checkpoint on the first SIGINT/SIGTERM
+    // (exit 4) and force-exit on the second; the short verbs keep the
+    // default die-immediately handlers.
+    if (options.verb == rota::cli::Verb::kServe ||
+        options.verb == rota::cli::Verb::kSweep ||
+        options.verb == rota::cli::Verb::kMc) {
+      rota::cli::install_signal_handlers();
+    }
     return rota::cli::run(options, std::cin, std::cout);
   } catch (const rota::util::precondition_error& e) {
     std::cerr << "error: " << e.what() << '\n';

@@ -46,7 +46,8 @@ constexpr std::string_view kAllFlags[] = {
     "--array",   "--iters",   "--spares",  "--policy",    "--metric",
     "--pgm",     "--csv",     "--schedule", "--seed",     "--mc",
     "--threads", "--metrics", "--trace",   "--progress",  "-v",
-    "--verbose", "--cache-dir", "--cache-cap", "--batch"};
+    "--verbose", "--cache-dir", "--cache-cap", "--batch", "--queue-cap",
+    "--fault",   "--checkpoint", "--trials"};
 
 /// The observability flags every working verb owns.
 constexpr std::string_view kObsFlags[] = {"--metrics", "--trace",
@@ -83,7 +84,21 @@ std::vector<std::string_view> owned_flags(Verb verb) {
       break;
     case Verb::kServe:
       // Geometry travels inside each request, not on the command line.
-      flags = {"--threads", "--cache-dir", "--cache-cap", "--batch"};
+      flags = {"--threads", "--cache-dir", "--cache-cap", "--batch",
+               "--queue-cap"};
+      break;
+    case Verb::kInject:
+      flags = {"--array", "--iters", "--spares", "--policy", "--seed",
+               "--fault", "--threads"};
+      break;
+    case Verb::kSweep:
+      // No workload argument: sweep always covers the whole Table II zoo.
+      flags = {"--array", "--iters", "--metric", "--seed", "--csv",
+               "--checkpoint", "--threads"};
+      break;
+    case Verb::kMc:
+      flags = {"--array", "--iters", "--policy", "--metric", "--seed",
+               "--trials", "--checkpoint", "--threads"};
       break;
   }
   flags.insert(flags.end(), std::begin(kObsFlags), std::end(kObsFlags));
@@ -120,6 +135,12 @@ std::string verb_name(Verb verb) {
       return "thermal";
     case Verb::kServe:
       return "serve";
+    case Verb::kInject:
+      return "inject";
+    case Verb::kSweep:
+      return "sweep";
+    case Verb::kMc:
+      return "mc";
   }
   ROTA_UNREACHABLE("unhandled Verb");
 }
@@ -172,13 +193,24 @@ Options parse(const std::vector<std::string>& args) {
     opt.verb = Verb::kThermal;
   } else if (verb == "serve") {
     opt.verb = Verb::kServe;
+  } else if (verb == "inject") {
+    opt.verb = Verb::kInject;
+  } else if (verb == "sweep") {
+    opt.verb = Verb::kSweep;
+  } else if (verb == "mc") {
+    opt.verb = Verb::kMc;
   } else {
     ROTA_REQUIRE(false, "unknown command '" + verb + "'\n" + usage());
   }
 
+  // inject routes faulted work through the spare pool, so its default
+  // pool is non-empty (lifetime keeps 0 = the plain Eq. 3 array).
+  if (opt.verb == Verb::kInject) opt.spares = 4;
+
   const bool wants_workload =
       opt.verb == Verb::kSchedule || opt.verb == Verb::kWear ||
-      opt.verb == Verb::kLifetime || opt.verb == Verb::kThermal;
+      opt.verb == Verb::kLifetime || opt.verb == Verb::kThermal ||
+      opt.verb == Verb::kInject || opt.verb == Verb::kMc;
   std::size_t i = 1;
   if (wants_workload && args.size() > 1 && args[1].rfind("--", 0) != 0) {
     opt.workload = args[1];
@@ -244,6 +276,16 @@ Options parse(const std::vector<std::string>& args) {
       opt.cache_capacity = parse_positive_int(value_of(flag), flag);
     } else if (flag == "--batch") {
       opt.max_batch = parse_positive_int(value_of(flag), flag);
+    } else if (flag == "--queue-cap") {
+      opt.queue_cap = parse_non_negative_int(value_of(flag), flag);
+    } else if (flag == "--fault") {
+      opt.faults.push_back(value_of(flag));
+    } else if (flag == "--checkpoint") {
+      opt.checkpoint_path = value_of(flag);
+      ROTA_REQUIRE(!opt.checkpoint_path.empty(),
+                   "--checkpoint needs a file path");
+    } else if (flag == "--trials") {
+      opt.trials = parse_positive_int(value_of(flag), flag);
     } else if (flag == "--progress") {
       opt.progress = true;
     } else if (flag == "--verbose" || flag == "-v") {
@@ -314,6 +356,32 @@ std::string usage() {
       "(default\n"
       "                            4096)\n"
       "    --batch N               flush replies at least every N requests\n"
+      "    --queue-cap N           shed requests beyond N queued (default\n"
+      "                            0 = unbounded)\n"
+      "  inject <abbr>             kill PEs mid-run, route work through the\n"
+      "                            spare pool, report degraded MTTF\n"
+      "    --array WxH  --iters N  geometry / inference iterations\n"
+      "    --spares N              spare-pool size (default 4)\n"
+      "    --policy NAME           wear policy driven during the run\n"
+      "    --fault SPEC            repeatable; pe=U,V@ITER[+K] |\n"
+      "                            rank=R@ITER | weibull=N\n"
+      "    --seed N  --threads N   weibull sampling seed / worker lanes\n"
+      "  sweep                     every workload x policy cell, CSV out\n"
+      "    --array WxH  --iters N  geometry / inference iterations\n"
+      "    --metric alloc|cycles   wear accounting (default alloc)\n"
+      "    --csv FILE              write the result CSV here (default "
+      "stdout)\n"
+      "    --checkpoint FILE       save progress per workload; resume from\n"
+      "                            the file if it exists (bit-identical)\n"
+      "    --seed N  --threads N   policy seed / worker lanes\n"
+      "  mc <abbr>                 Monte-Carlo MTTF of one workload+policy\n"
+      "    --array WxH  --iters N  geometry / inference iterations\n"
+      "    --policy NAME           wear policy (default RWL+RO)\n"
+      "    --metric alloc|cycles   wear accounting (default alloc)\n"
+      "    --trials N              Monte-Carlo trials (default 100000)\n"
+      "    --checkpoint FILE       save moments per step; resume from the\n"
+      "                            file if it exists (bit-identical)\n"
+      "    --seed N  --threads N   sampling seed / worker lanes\n"
       "  version                   build identity (version, git SHA, type)\n"
       "  help                      this text\n"
       "\n"
@@ -327,7 +395,12 @@ std::string usage() {
       "  --trace FILE              write a Chrome trace-event JSON "
       "(Perfetto)\n"
       "  --progress                ETA progress on stderr (TTY only)\n"
-      "  -v, --verbose             print the collected metrics table\n";
+      "  -v, --verbose             print the collected metrics table\n"
+      "\n"
+      "signals (serve, sweep, mc): the first SIGINT/SIGTERM drains, saves\n"
+      "any --checkpoint and exits 4; a second signal force-exits (130).\n"
+      "ROTA_FI=read=0.1,corrupt=0.05,... arms software fault injection\n"
+      "(see README).\n";
 }
 
 }  // namespace rota::cli

@@ -32,6 +32,9 @@ enum class Verb {
   kArea,       ///< area breakdown and torus overhead
   kThermal,    ///< temperature fields and Arrhenius-coupled lifetime
   kServe,      ///< JSON-lines batch service on stdin/stdout (rota::svc)
+  kInject,     ///< hardware fault injection through the spare pool (rota::fi)
+  kSweep,      ///< full workload x policy sweep to CSV, checkpointable
+  kMc,         ///< Monte-Carlo MTTF of one workload+policy, checkpointable
 };
 
 /// The verb's name as typed on the command line ("wear", "serve", ...).
@@ -59,6 +62,11 @@ struct Options {
   std::string cache_dir;      ///< on-disk schedule-cache tier ("" = off)
   std::int64_t cache_capacity = 4096;  ///< in-memory schedule-cache entries
   std::int64_t max_batch = 64;  ///< flush replies at least this often
+  std::int64_t queue_cap = 0;   ///< shed beyond this queue depth (0 = off)
+  // inject / sweep / mc (see src/fi/):
+  std::vector<std::string> faults;  ///< --fault specs, unparsed (repeatable)
+  std::string checkpoint_path;      ///< checkpoint/resume file ("" = off)
+  std::int64_t trials = 100000;     ///< mc: Monte-Carlo trials
   // Observability (see src/obs/): every verb accepts these.
   std::string metrics_path;  ///< write {manifest, metrics} JSON here
   std::string trace_path;    ///< write a Chrome trace-event JSON here
@@ -69,7 +77,8 @@ struct Options {
 
 /// Parse argv (excluding argv[0]).
 /// Verbs: workloads | schedule | wear | lifetime | area | thermal |
-/// serve | version | help. Each verb accepts only the flags it owns (see
+/// serve | inject | sweep | mc | version | help. Each verb accepts only
+/// the flags it owns (see
 /// usage()); a flag that exists but belongs to a different verb produces
 /// "option --X is not accepted by 'rota <verb>'", a flag that exists
 /// nowhere produces "unknown option". Throws util::precondition_error on

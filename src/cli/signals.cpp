@@ -1,0 +1,70 @@
+#include "cli/signals.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <csignal>
+#include <unistd.h>
+#define ROTA_CLI_HAVE_SIGNALS 1
+#endif
+
+namespace rota::cli {
+
+namespace {
+
+std::atomic<bool> g_interrupted{false};
+
+#ifdef ROTA_CLI_HAVE_SIGNALS
+/// Async-signal-safe by construction: one atomic exchange, and _exit on
+/// the second hit (128 + SIGINT, the conventional killed-by-signal code).
+extern "C" void rota_cli_signal_handler(int /*signum*/) {
+  if (g_interrupted.exchange(true, std::memory_order_relaxed)) {
+    _exit(130);
+  }
+}
+#endif
+
+}  // namespace
+
+void install_signal_handlers() {
+#ifdef ROTA_CLI_HAVE_SIGNALS
+  struct sigaction action {};
+  action.sa_handler = &rota_cli_signal_handler;
+  sigemptyset(&action.sa_mask);
+  // Deliberately no SA_RESTART: serve's blocking getline must EINTR so
+  // the drain starts now, not at the next request line.
+  action.sa_flags = 0;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+#endif
+}
+
+const std::atomic<bool>* interrupt_flag() { return &g_interrupted; }
+
+bool interrupted() {
+  return g_interrupted.load(std::memory_order_relaxed);
+}
+
+void simulate_interrupt() {
+  g_interrupted.store(true, std::memory_order_relaxed);
+}
+
+void clear_interrupt() {
+  g_interrupted.store(false, std::memory_order_relaxed);
+}
+
+namespace {
+std::atomic<int> g_interrupt_budget{-1};
+}  // namespace
+
+void simulate_interrupt_after(int units) {
+  g_interrupt_budget.store(units, std::memory_order_relaxed);
+}
+
+void tick_interrupt_budget() {
+  if (g_interrupt_budget.load(std::memory_order_relaxed) < 0) return;
+  if (g_interrupt_budget.fetch_sub(1, std::memory_order_relaxed) <= 1) {
+    g_interrupt_budget.store(-1, std::memory_order_relaxed);
+    g_interrupted.store(true, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace rota::cli

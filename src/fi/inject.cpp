@@ -1,0 +1,268 @@
+#include "fi/inject.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "wear/simulator.hpp"
+
+namespace rota::fi {
+
+namespace {
+
+/// One scheduled boundary action (declared faults, resolved weibull
+/// samples and pending transient restores all become events).
+struct Event {
+  std::int64_t iteration = 1;
+  bool is_restore = false;
+  HardwareFaultKind kind = HardwareFaultKind::kCoordinate;
+  std::int64_t u = -1;
+  std::int64_t v = -1;
+  std::int64_t rank = -1;
+  std::int64_t restore_after = 0;
+};
+
+std::string pe_name(std::int64_t u, std::int64_t v) {
+  std::ostringstream out;
+  out << "pe=(" << u << "," << v << ")";
+  return out.str();
+}
+
+/// The rank-th most-worn live primary (ties broken toward lower index);
+/// ranks past the end clamp to the least-worn live PE. Returns false when
+/// no primary is alive.
+bool pick_by_rank(const std::vector<std::int64_t>& usage,
+                  const rel::SpareRemapper& remapper, std::int64_t rank,
+                  std::int64_t width, std::int64_t* u, std::int64_t* v) {
+  std::vector<std::size_t> live;
+  live.reserve(usage.size());
+  for (std::size_t idx = 0; idx < usage.size(); ++idx) {
+    const auto iu = static_cast<std::int64_t>(idx) % width;
+    const auto iv = static_cast<std::int64_t>(idx) / width;
+    if (!remapper.is_dead(iu, iv)) live.push_back(idx);
+  }
+  if (live.empty()) return false;
+  std::sort(live.begin(), live.end(), [&](std::size_t a, std::size_t b) {
+    if (usage[a] != usage[b]) return usage[a] > usage[b];
+    return a < b;
+  });
+  const std::size_t pick = std::min<std::size_t>(
+      static_cast<std::size_t>(rank), live.size() - 1);
+  *u = static_cast<std::int64_t>(live[pick]) % width;
+  *v = static_cast<std::int64_t>(live[pick]) / width;
+  return true;
+}
+
+/// MTTF guarded against an all-zero (or empty) activity vector, which
+/// spare_array_mttf rejects: a dead array has zero remaining lifetime.
+double guarded_mttf(const std::vector<double>& alphas, std::int64_t spares,
+                    double beta) {
+  bool active = false;
+  for (const double a : alphas) active = active || a > 0.0;
+  if (!active) return 0.0;
+  return rel::spare_array_mttf(alphas, spares, beta);
+}
+
+}  // namespace
+
+FaultRunReport run_fault_injection(const arch::AcceleratorConfig& config,
+                                   const sched::NetworkSchedule& schedule,
+                                   wear::Policy& policy,
+                                   const InjectOptions& options) {
+  ROTA_REQUIRE(options.iterations >= 1, "need at least one iteration");
+  ROTA_REQUIRE(options.spares >= 0, "spare count must be non-negative");
+  const std::int64_t width = config.array_width;
+  const std::int64_t height = config.array_height;
+
+  std::vector<Event> pending;
+  std::int64_t weibull_count = 0;
+  for (const HardwareFault& fault : options.faults) {
+    if (fault.kind == HardwareFaultKind::kWeibull) {
+      weibull_count += fault.count;
+      continue;
+    }
+    Event event;
+    event.iteration = fault.iteration;
+    event.kind = fault.kind;
+    event.u = fault.u;
+    event.v = fault.v;
+    event.rank = fault.rank;
+    event.restore_after = fault.restore_after;
+    if (fault.kind == HardwareFaultKind::kCoordinate) {
+      ROTA_REQUIRE(fault.u >= 0 && fault.u < width && fault.v >= 0 &&
+                       fault.v < height,
+                   "coordinate fault " + to_string(fault) +
+                       " lies outside the configured array");
+    }
+    pending.push_back(event);
+  }
+
+  wear::WearSimulator sim(config);
+  rel::SpareRemapper remapper(width, height, options.spares);
+  FaultRunReport report;
+  report.spare_usage.assign(static_cast<std::size_t>(options.spares), 0);
+
+  std::vector<std::int64_t> prev(
+      static_cast<std::size_t>(width) * static_cast<std::size_t>(height), 0);
+
+  auto apply_fault = [&](std::int64_t it, std::int64_t u, std::int64_t v,
+                         const char* label, std::int64_t restore_after) {
+    const rel::SpareRemapper::Outcome outcome = remapper.fault_primary(u, v);
+    ++report.faults_injected;
+    std::ostringstream line;
+    line << "it=" << it << " " << label << " " << pe_name(u, v);
+    if (outcome.remapped)
+      line << " -> spare " << outcome.spare;
+    else
+      line << " -> unmapped (pool exhausted)";
+    report.events.push_back(line.str());
+    if (restore_after > 0) {
+      Event restore;
+      restore.iteration = it + restore_after;
+      restore.is_restore = true;
+      restore.u = u;
+      restore.v = v;
+      pending.push_back(restore);
+    }
+  };
+
+  auto sampler = [&](std::int64_t it,
+                     const wear::UsageTracker& tracker) -> bool {
+    const std::vector<std::int64_t>& usage = tracker.usage().cells();
+    // Credit this iteration's work under the mapping that was live while
+    // it ran — before applying this boundary's fault events.
+    for (std::size_t idx = 0; idx < usage.size(); ++idx) {
+      const std::int64_t delta = usage[idx] - prev[idx];
+      if (delta == 0) continue;
+      const auto u = static_cast<std::int64_t>(idx) % width;
+      const auto v = static_cast<std::int64_t>(idx) / width;
+      if (!remapper.is_dead(u, v)) continue;
+      const std::int64_t spare = remapper.spare_of(u, v);
+      if (spare >= 0) {
+        report.redirected_units += delta;
+        report.spare_usage[static_cast<std::size_t>(spare)] += delta;
+      } else {
+        report.lost_units += delta;
+      }
+    }
+    prev = usage;
+
+    // Weibull faults resolve against the first iteration's wear profile:
+    // PE picked with probability ∝ α^β (its early failure probability),
+    // strike time T·U^(1/β) — the Weibull CDF conditioned on failing
+    // within the run window T.
+    if (it == 1 && weibull_count > 0) {
+      util::SplitMix64 rng(options.seed ^ 0x77656962756c6cULL);  // "weibull"
+      std::vector<double> weight(usage.size(), 0.0);
+      for (std::size_t idx = 0; idx < usage.size(); ++idx)
+        weight[idx] = std::pow(static_cast<double>(usage[idx]), options.beta);
+      for (std::int64_t n = 0; n < weibull_count; ++n) {
+        double total = 0.0;
+        for (const double w : weight) total += w;
+        if (total <= 0.0) break;
+        double pick = rng.next_double() * total;
+        std::size_t idx = 0;
+        for (; idx + 1 < weight.size(); ++idx) {
+          if (pick < weight[idx]) break;
+          pick -= weight[idx];
+        }
+        weight[idx] = 0.0;  // without replacement
+        Event event;
+        const double frac =
+            std::pow(rng.next_double(), 1.0 / options.beta);
+        event.iteration = std::clamp<std::int64_t>(
+            static_cast<std::int64_t>(
+                std::ceil(frac * static_cast<double>(options.iterations))),
+            std::min<std::int64_t>(2, options.iterations), options.iterations);
+        event.kind = HardwareFaultKind::kCoordinate;
+        event.u = static_cast<std::int64_t>(idx) % width;
+        event.v = static_cast<std::int64_t>(idx) / width;
+        pending.push_back(event);
+        std::ostringstream line;
+        line << "weibull scheduled " << pe_name(event.u, event.v) << "@"
+             << event.iteration;
+        report.events.push_back(line.str());
+      }
+      weibull_count = 0;
+    }
+
+    // Apply this boundary's events in declaration order.
+    for (std::size_t e = 0; e < pending.size(); ++e) {
+      if (pending[e].iteration != it) continue;
+      const Event event = pending[e];
+      if (event.is_restore) {
+        remapper.restore_primary(event.u, event.v);
+        ++report.transient_restores;
+        report.events.push_back("it=" + std::to_string(it) + " restore " +
+                                pe_name(event.u, event.v));
+      } else if (event.kind == HardwareFaultKind::kWearRank) {
+        std::int64_t u = 0;
+        std::int64_t v = 0;
+        if (pick_by_rank(usage, remapper, event.rank, width, &u, &v))
+          apply_fault(it, u, v, "fault rank", 0);
+      } else {
+        apply_fault(it, event.u, event.v, "fault", event.restore_after);
+      }
+    }
+
+    // Nothing left to run on: every primary is dead.
+    bool any_alive = false;
+    for (std::int64_t v = 0; v < height && !any_alive; ++v)
+      for (std::int64_t u = 0; u < width && !any_alive; ++u)
+        any_alive = !remapper.is_dead(u, v);
+    return any_alive;
+  };
+
+  report.iterations_run =
+      sim.run_iterations_while(schedule, policy, options.iterations, sampler);
+
+  // Lifetime before/after: per-iteration wear rates from this run (the
+  // policy is fault-oblivious, so this is also the fault-free profile).
+  const std::vector<std::int64_t>& usage = sim.tracker().usage().cells();
+  std::vector<double> alphas(usage.size(), 0.0);
+  std::int64_t total_usage = 0;
+  for (std::size_t idx = 0; idx < usage.size(); ++idx) {
+    alphas[idx] = static_cast<double>(usage[idx]) /
+                  static_cast<double>(report.iterations_run);
+    total_usage += usage[idx];
+  }
+  report.baseline_mttf = guarded_mttf(alphas, options.spares, options.beta);
+
+  std::vector<double> degraded;
+  degraded.reserve(usage.size());
+  for (std::size_t idx = 0; idx < usage.size(); ++idx) {
+    const auto u = static_cast<std::int64_t>(idx) % width;
+    const auto v = static_cast<std::int64_t>(idx) / width;
+    if (!remapper.is_dead(u, v)) {
+      degraded.push_back(alphas[idx]);
+    } else if (remapper.spare_of(u, v) >= 0) {
+      // The spare inherits its primary's load.
+      degraded.push_back(alphas[idx]);
+    }
+    // Unmapped dead PEs contribute no further wear (their work is lost).
+  }
+  report.degraded_mttf =
+      guarded_mttf(degraded, remapper.spares_free(), options.beta);
+  report.mttf_ratio = report.baseline_mttf > 0.0
+                          ? report.degraded_mttf / report.baseline_mttf
+                          : 0.0;
+
+  report.redirect_fraction =
+      total_usage > 0 ? static_cast<double>(report.redirected_units) /
+                            static_cast<double>(total_usage)
+                      : 0.0;
+  report.spare_stats = remapper.stats();
+
+  auto& reg = obs::MetricsRegistry::global();
+  if (reg.enabled()) {
+    reg.add("fi.hw_faults_injected", report.faults_injected);
+    reg.add("fi.hw_redirected_units", report.redirected_units);
+    reg.add("fi.hw_lost_units", report.lost_units);
+  }
+  return report;
+}
+
+}  // namespace rota::fi

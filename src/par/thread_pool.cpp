@@ -24,7 +24,37 @@ std::size_t hardware_threads() {
   return hw == 0 ? 1 : static_cast<std::size_t>(hw);
 }
 
+/// The fi worker-stall seam (see set_worker_fault_hook): armed flag on
+/// the task fast path, hook copy under a mutex on the slow path.
+/// NOLINTNEXTLINE(cppcoreguidelines-avoid-non-const-global-variables)
+std::atomic<bool> g_worker_hook_armed{false};
+/// NOLINTNEXTLINE(cppcoreguidelines-avoid-non-const-global-variables)
+std::mutex g_worker_hook_mu;
+/// NOLINTNEXTLINE(cppcoreguidelines-avoid-non-const-global-variables)
+std::function<void()> g_worker_hook;
+
+void run_worker_hook() {
+  if (!g_worker_hook_armed.load(std::memory_order_relaxed)) return;
+  std::function<void()> hook;
+  {
+    const std::lock_guard<std::mutex> lock(g_worker_hook_mu);
+    hook = g_worker_hook;
+  }
+  if (hook) hook();
+}
+
 }  // namespace
+
+void set_worker_fault_hook(std::function<void()> hook) {
+  const std::lock_guard<std::mutex> lock(g_worker_hook_mu);
+  g_worker_hook = std::move(hook);
+  g_worker_hook_armed.store(static_cast<bool>(g_worker_hook),
+                            std::memory_order_relaxed);
+}
+
+bool worker_fault_hook_armed() {
+  return g_worker_hook_armed.load(std::memory_order_relaxed);
+}
 
 std::size_t resolve_threads(int requested) {
   ROTA_REQUIRE(requested >= 0, "thread count must be non-negative "
@@ -106,6 +136,7 @@ void ThreadPool::run_lane(const std::shared_ptr<BatchState>& state) {
     const auto t0 = metered ? std::chrono::steady_clock::now()
                             : std::chrono::steady_clock::time_point{};
     try {
+      run_worker_hook();
       state->task(i);
     } catch (...) {
       err = std::current_exception();
@@ -148,6 +179,7 @@ void ThreadPool::run_batch(std::size_t task_count,
   if (lanes <= 1 || on_worker_thread()) {
     if (on_worker_thread() && reg.enabled()) reg.add("par.nested_serial");
     for (std::size_t i = 0; i < task_count; ++i) {
+      run_worker_hook();
       task(i);
       if (reg.enabled()) reg.add("par.tasks_executed");
     }

@@ -98,22 +98,46 @@ MonteCarloResult monte_carlo_mttf(const std::vector<double>& alphas,
   const bool serial = par::resolve_threads(threads) <= 1;
   obs::ProgressReporter progress("monte-carlo mttf", serial ? trials : 0);
 
+  McPartial partial;
+  monte_carlo_mttf_step(alphas, beta, eta, trials, seed, threads, &partial,
+                        chunks);
+  if (serial) progress.tick(trials);
+  report_batch("mc.mttf", trials, t0);
+  return monte_carlo_mttf_finalize(partial, trials);
+}
+
+bool monte_carlo_mttf_step(const std::vector<double>& alphas, double beta,
+                           double eta, std::int64_t trials,
+                           std::uint64_t seed, int threads,
+                           McPartial* partial, std::int64_t max_chunks) {
+  validate_inputs(alphas, beta, eta, trials);
+  ROTA_REQUIRE(partial != nullptr && partial->next_chunk >= 0,
+               "monte_carlo_mttf_step needs a valid partial");
+  ROTA_REQUIRE(max_chunks >= 1, "need at least one chunk per step");
+  const std::int64_t chunks = util::ceil_div(trials, kMonteCarloChunkTrials);
+  const std::int64_t first = partial->next_chunk;
+  if (first >= chunks) return false;
+  const std::int64_t step = std::min(max_chunks, chunks - first);
+
   struct Moments {
     double sum = 0.0;
     double sum_sq = 0.0;
   };
+  // Seeding the fold with the carried moments preserves the exact
+  // left-to-right summation order of the uninterrupted run:
+  // ((…(0+m0)+m1…)+m_k — no matter where the run was cut.
   const Moments total = par::parallel_reduce<Moments>(
-      chunks, threads, Moments{},
-      [&](std::int64_t c) {
+      step, threads, Moments{partial->sum, partial->sum_sq},
+      [&](std::int64_t i) {
+        const std::int64_t c = first + i;
         const ChunkBounds b = chunk_bounds(c, kMonteCarloChunkTrials, trials);
         util::SplitMix64 rng = chunk_rng(seed, c);
         Moments m;
-        for (std::int64_t i = b.begin; i < b.end; ++i) {
-          const double t = sample_failure(alphas, beta, eta, rng);
-          m.sum += t;
-          m.sum_sq += t * t;
+        for (std::int64_t t = b.begin; t < b.end; ++t) {
+          const double sample = sample_failure(alphas, beta, eta, rng);
+          m.sum += sample;
+          m.sum_sq += sample * sample;
         }
-        if (serial) progress.tick(b.end - b.begin);
         return m;
       },
       [](Moments acc, Moments m) {
@@ -121,13 +145,23 @@ MonteCarloResult monte_carlo_mttf(const std::vector<double>& alphas,
         acc.sum_sq += m.sum_sq;
         return acc;
       });
+  partial->sum = total.sum;
+  partial->sum_sq = total.sum_sq;
+  partial->next_chunk = first + step;
+  return partial->next_chunk < chunks;
+}
 
-  report_batch("mc.mttf", trials, t0);
+MonteCarloResult monte_carlo_mttf_finalize(const McPartial& partial,
+                                           std::int64_t trials) {
+  ROTA_REQUIRE(trials >= 1, "need at least one trial");
+  ROTA_REQUIRE(partial.next_chunk >=
+                   util::ceil_div(trials, kMonteCarloChunkTrials),
+               "cannot finalize a partial Monte-Carlo run (chunks remain)");
   MonteCarloResult res;
   res.trials = trials;
   const double n = static_cast<double>(trials);
-  res.mttf = total.sum / n;
-  const double var = std::max(0.0, total.sum_sq / n - res.mttf * res.mttf);
+  res.mttf = partial.sum / n;
+  const double var = std::max(0.0, partial.sum_sq / n - res.mttf * res.mttf);
   res.stderr_ = std::sqrt(var / n);
   return res;
 }

@@ -43,6 +43,34 @@ struct MonteCarloResult {
                                   std::uint64_t seed = 0x6d634d54,
                                   int threads = 1);
 
+/// Partial state of an interruptible MTTF estimation: the moments
+/// accumulated over chunks [0, next_chunk). Because every chunk draws
+/// from its own RNG substream and partials fold in ascending chunk order
+/// (the determinism contract above), carrying these three numbers across
+/// a process restart — hexfloat-encoded, so bit-exactly — reproduces the
+/// uninterrupted estimate to the last bit. This is what `rota mc
+/// --checkpoint` persists through fi::Checkpoint.
+struct McPartial {
+  double sum = 0.0;     ///< Σ tᵢ over completed chunks
+  double sum_sq = 0.0;  ///< Σ tᵢ² over completed chunks
+  std::int64_t next_chunk = 0;  ///< first chunk not yet sampled
+};
+
+/// Advance `partial` by up to `max_chunks` chunks of a `trials`-long run
+/// (parallel inside the step; fold order stays ascending). Returns true
+/// while chunks remain. \pre same preconditions as monte_carlo_mttf,
+/// max_chunks >= 1, 0 <= partial->next_chunk.
+bool monte_carlo_mttf_step(const std::vector<double>& alphas, double beta,
+                           double eta, std::int64_t trials,
+                           std::uint64_t seed, int threads,
+                           McPartial* partial, std::int64_t max_chunks);
+
+/// Turn a fully-advanced partial into the estimate; bit-identical to
+/// monte_carlo_mttf with the same inputs regardless of how the chunks
+/// were stepped. \pre partial covers every chunk of `trials`.
+[[nodiscard]] MonteCarloResult monte_carlo_mttf_finalize(
+    const McPartial& partial, std::int64_t trials);
+
 /// Empirical survival probability R(t) by sampling (for plotting and for
 /// cross-checking array_reliability()).
 [[nodiscard]] double monte_carlo_reliability(const std::vector<double>& alphas, double t,

@@ -72,4 +72,132 @@ double spare_array_mttf(const std::vector<double>& alphas,
   return integral;
 }
 
+SpareRemapper::SpareRemapper(std::int64_t width, std::int64_t height,
+                             std::int64_t spares)
+    : width_(width), height_(height) {
+  ROTA_REQUIRE(width >= 1 && height >= 1, "array dimensions must be positive");
+  ROTA_REQUIRE(spares >= 0, "spare count must be non-negative");
+  const auto cells = static_cast<std::size_t>(width) *
+                     static_cast<std::size_t>(height);
+  primary_dead_.assign(cells, false);
+  primary_spare_.assign(cells, -1);
+  spare_state_.assign(static_cast<std::size_t>(spares), SpareState::kFree);
+  spare_primary_.assign(static_cast<std::size_t>(spares), -1);
+  stats_.spares_free = spares;
+}
+
+std::size_t SpareRemapper::index_of(std::int64_t u, std::int64_t v) const {
+  ROTA_REQUIRE(u >= 0 && u < width_ && v >= 0 && v < height_,
+               "PE coordinate outside the array");
+  return static_cast<std::size_t>(v) * static_cast<std::size_t>(width_) +
+         static_cast<std::size_t>(u);
+}
+
+std::int64_t SpareRemapper::claim_free_spare() {
+  for (std::size_t s = 0; s < spare_state_.size(); ++s) {
+    if (spare_state_[s] == SpareState::kFree) {
+      spare_state_[s] = SpareState::kInService;
+      --stats_.spares_free;
+      ++stats_.spares_in_service;
+      return static_cast<std::int64_t>(s);
+    }
+  }
+  return -1;
+}
+
+SpareRemapper::Outcome SpareRemapper::fault_primary(std::int64_t u,
+                                                    std::int64_t v) {
+  ROTA_REQUIRE(u >= 0 && u < width_ && v >= 0 && v < height_,
+               "fault_primary coordinate outside the array");
+  const std::size_t idx = index_of(u, v);
+  if (primary_dead_[idx]) {
+    const std::int64_t spare = primary_spare_[idx];
+    return {spare >= 0, spare};
+  }
+  primary_dead_[idx] = true;
+  ++stats_.primary_faults;
+  const std::int64_t spare = claim_free_spare();
+  primary_spare_[idx] = spare;
+  if (spare >= 0) {
+    spare_primary_[static_cast<std::size_t>(spare)] =
+        static_cast<std::int64_t>(idx);
+    ++stats_.remaps;
+  } else {
+    ++stats_.unmapped;
+  }
+  check_invariants();
+  return {spare >= 0, spare};
+}
+
+SpareRemapper::Outcome SpareRemapper::fault_spare(std::int64_t spare) {
+  ROTA_REQUIRE(spare >= 0 && spare < spare_count(),
+               "spare id outside the pool");
+  const auto s = static_cast<std::size_t>(spare);
+  if (spare_state_[s] == SpareState::kDead) return {false, -1};
+  ++stats_.spare_faults;
+  if (spare_state_[s] == SpareState::kFree) {
+    spare_state_[s] = SpareState::kDead;
+    --stats_.spares_free;
+    ++stats_.spares_dead;
+    check_invariants();
+    return {false, -1};
+  }
+  // In service: migrate its primary to a fresh spare when one is free.
+  const std::int64_t primary = spare_primary_[s];
+  spare_state_[s] = SpareState::kDead;
+  spare_primary_[s] = -1;
+  --stats_.spares_in_service;
+  ++stats_.spares_dead;
+  const std::int64_t next = claim_free_spare();
+  primary_spare_[static_cast<std::size_t>(primary)] = next;
+  if (next >= 0) {
+    spare_primary_[static_cast<std::size_t>(next)] = primary;
+    ++stats_.remaps;
+    ++stats_.migrations;
+  } else {
+    ++stats_.unmapped;
+  }
+  check_invariants();
+  return {next >= 0, next};
+}
+
+void SpareRemapper::restore_primary(std::int64_t u, std::int64_t v) {
+  ROTA_REQUIRE(u >= 0 && u < width_ && v >= 0 && v < height_,
+               "restore_primary coordinate outside the array");
+  const std::size_t idx = index_of(u, v);
+  if (!primary_dead_[idx]) return;
+  primary_dead_[idx] = false;
+  ++stats_.restores;
+  const std::int64_t spare = primary_spare_[idx];
+  primary_spare_[idx] = -1;
+  if (spare >= 0) {
+    const auto s = static_cast<std::size_t>(spare);
+    spare_state_[s] = SpareState::kFree;
+    spare_primary_[s] = -1;
+    --stats_.spares_in_service;
+    ++stats_.spares_free;
+  }
+  check_invariants();
+}
+
+bool SpareRemapper::is_dead(std::int64_t u, std::int64_t v) const {
+  return primary_dead_[index_of(u, v)];
+}
+
+std::int64_t SpareRemapper::spare_of(std::int64_t u, std::int64_t v) const {
+  return primary_spare_[index_of(u, v)];
+}
+
+std::int64_t SpareRemapper::spares_free() const { return stats_.spares_free; }
+
+void SpareRemapper::check_invariants() const {
+  ROTA_ENSURE(stats_.spares_in_service + stats_.spares_free +
+                      stats_.spares_dead ==
+                  spare_count(),
+              "spare pool accounting out of balance");
+  ROTA_ENSURE(stats_.spares_in_service >= 0 && stats_.spares_free >= 0 &&
+                  stats_.spares_dead >= 0,
+              "spare pool occupancy went negative");
+}
+
 }  // namespace rota::rel

@@ -235,6 +235,25 @@ util::Result<sched::LayerSchedule> decode_cache_entry(
 ScheduleCache::ScheduleCache(ScheduleCacheOptions options)
     : options_(std::move(options)) {
   if (options_.capacity < kShards) options_.capacity = kShards;
+  if (options_.disk_dir.empty()) return;
+  // Sweep temp files orphaned by a crash between write and rename. Only
+  // our own naming pattern (<hash>.rsc.tmp) is touched; sweep errors are
+  // ignored (the directory may not exist yet).
+  std::error_code ec;
+  std::filesystem::directory_iterator it(options_.disk_dir, ec);
+  if (ec) return;
+  std::int64_t removed = 0;
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() <= 8 || name.rfind(".rsc.tmp") != name.size() - 8)
+      continue;
+    std::error_code remove_ec;
+    if (std::filesystem::remove(entry.path(), remove_ec)) ++removed;
+  }
+  if (removed > 0) {
+    obs::MetricsRegistry::global().add("svc.cache.orphans_removed", removed);
+    stats_.orphans_removed = removed;
+  }
 }
 
 ScheduleCache::Shard& ScheduleCache::shard_of(const ScheduleCacheKey& key) {
@@ -322,11 +341,26 @@ std::optional<sched::LayerSchedule> ScheduleCache::load_from_disk(
     const ScheduleCacheKey& key) {
   const std::string path = disk_path(key);
   if (path.empty()) return std::nullopt;
-  std::ifstream file(path, std::ios::binary);
-  if (!file) return std::nullopt;  // plain miss: the entry was never written
-  std::ostringstream content;
-  content << file.rdbuf();
-  auto decoded = decode_cache_entry(content.str(), key);
+  std::optional<std::string> content;
+  try {
+    content = util::retry_io(
+        options_.retry, key.hash,
+        [&] { return util::read_text_file_if_exists(path); },
+        [&](int /*attempt*/, const util::io_error&) {
+          obs::MetricsRegistry::global().add("svc.cache.disk_read_retries");
+          const std::lock_guard<std::mutex> stats_lock(stats_mu_);
+          ++stats_.disk_read_retries;
+        });
+  } catch (const util::io_error&) {
+    // Persistently unreadable: degrade to a miss and recompute.
+    obs::MetricsRegistry::global().add("svc.cache.disk_corrupt");
+    const std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++stats_.disk_corrupt;
+    return std::nullopt;
+  }
+  if (!content.has_value())
+    return std::nullopt;  // plain miss: the entry was never written
+  auto decoded = decode_cache_entry(*content, key);
   if (!decoded.ok()) {
     obs::MetricsRegistry::global().add("svc.cache.disk_corrupt");
     const std::lock_guard<std::mutex> stats_lock(stats_mu_);
@@ -342,7 +376,18 @@ void ScheduleCache::store_to_disk(const ScheduleCacheKey& key,
     std::filesystem::create_directories(options_.disk_dir);
     sched::LayerSchedule stored = value;
     stored.layer_name.clear();
-    util::write_text_file(disk_path(key), encode_cache_entry(key, stored));
+    const std::string encoded = encode_cache_entry(key, stored);
+    const std::string path = disk_path(key);
+    // Atomic commit: concurrent readers see the old entry or the new one,
+    // never a torn file, and a crash leaves only a (swept) .tmp behind.
+    util::retry_io(
+        options_.retry, key.hash,
+        [&] { util::write_file_atomic(path, encoded); },
+        [&](int /*attempt*/, const util::io_error&) {
+          obs::MetricsRegistry::global().add("svc.cache.disk_write_retries");
+          const std::lock_guard<std::mutex> stats_lock(stats_mu_);
+          ++stats_.disk_write_retries;
+        });
   } catch (const std::exception&) {
     // Best-effort tier: a read-only or full disk degrades to memory-only.
     obs::MetricsRegistry::global().add("svc.cache.disk_write_failures");

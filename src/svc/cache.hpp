@@ -13,6 +13,7 @@
 #include "sched/mapper.hpp"
 #include "sched/schedule.hpp"
 #include "util/result.hpp"
+#include "util/retry.hpp"
 
 /// \file cache.hpp
 /// The two-tier schedule cache at the heart of `rota::svc`. A layer's
@@ -28,6 +29,12 @@
 /// as a miss (counted in `svc.cache.disk_corrupt`) and the schedule is
 /// recomputed — the cache can lose work, never invent it, and never
 /// crashes the service.
+///
+/// Durability policy: disk writes are crash-safe (temp file + fsync +
+/// rename via util::write_file_atomic, so a reader never observes a torn
+/// entry) and transient I/O errors on either direction are retried with
+/// capped exponential backoff (util::retry_io). Temp files orphaned by a
+/// crash mid-write are deleted when the cache opens the directory.
 
 namespace rota::svc {
 
@@ -57,6 +64,8 @@ struct ScheduleCacheOptions {
   /// On-disk tier directory; empty disables the disk tier. Created on
   /// first insert if missing.
   std::string disk_dir;
+  /// Backoff schedule for transient disk-tier I/O errors.
+  util::RetryOptions retry{};
 };
 
 /// Monotonic counters mirrored into the global MetricsRegistry under
@@ -68,6 +77,9 @@ struct ScheduleCacheStats {
   std::int64_t evictions = 0;
   std::int64_t disk_corrupt = 0;        ///< unreadable/stale files seen
   std::int64_t disk_write_failures = 0; ///< best-effort writes that failed
+  std::int64_t disk_read_retries = 0;   ///< transient read errors retried
+  std::int64_t disk_write_retries = 0;  ///< transient write errors retried
+  std::int64_t orphans_removed = 0;     ///< crash-orphaned .tmp files deleted
 };
 
 class ScheduleCache {

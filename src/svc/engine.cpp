@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "arch/config.hpp"
+#include "fi/hooks.hpp"
 #include "nn/workloads.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
@@ -112,6 +113,19 @@ std::future<Response> Engine::submit(Request request) {
       job.promise.set_value(std::move(refused));
       return future;
     }
+    if (options_.max_queue > 0 && queue_.size() >= options_.max_queue) {
+      // Shed, never drop: the caller gets a structured overloaded reply
+      // immediately and can back off and retry.
+      shed_count_.fetch_add(1, std::memory_order_relaxed);
+      obs::MetricsRegistry::global().add("svc.requests_shed");
+      Response shed;
+      shed.id = job.request.id;
+      shed.error = {ErrorCode::kOverloaded,
+                    "queue is full (" + std::to_string(options_.max_queue) +
+                        " requests waiting); retry after backoff"};
+      job.promise.set_value(std::move(shed));
+      return future;
+    }
     queue_.push_back(std::move(job));
   }
   cv_.notify_one();
@@ -178,6 +192,12 @@ Response Engine::execute(const Request& request) {
   Response resp;
   resp.id = request.id;
   try {
+    // Injected allocation failure (fi): compute ops only, so protocol
+    // control (ping/shutdown) stays reachable under heavy fault rates.
+    if (request.op != RequestOp::kPing && request.op != RequestOp::kShutdown &&
+        fi::Hooks::should_fail_alloc("svc.engine")) {
+      throw std::bad_alloc();
+    }
     switch (request.op) {
       case RequestOp::kPing:
         resp.payload_json = "{\"pong\":true}";
@@ -242,6 +262,11 @@ Response Engine::execute(const Request& request) {
     resp.error = {ErrorCode::kInvalidArgument, e.what()};
   } catch (const util::io_error& e) {
     resp.error = {ErrorCode::kIo, e.what()};
+  } catch (const std::bad_alloc&) {
+    // One request's allocation failure (real or injected) is that
+    // request's problem, not the process's.
+    resp.error = {ErrorCode::kResourceExhausted,
+                  "allocation failed while executing the request"};
   } catch (const std::exception& e) {
     resp.error = {ErrorCode::kInternal, e.what()};
   }
@@ -252,7 +277,8 @@ Response Engine::execute(const Request& request) {
   return resp;
 }
 
-int Engine::serve(std::istream& in, std::ostream& out) {
+int Engine::serve(std::istream& in, std::ostream& out,
+                  const std::atomic<bool>* interrupt) {
   // Pending replies for one flush window, in input order. A parse
   // failure is answered in place (no job), so ordering never depends on
   // whether a line was valid.
@@ -274,9 +300,12 @@ int Engine::serve(std::istream& in, std::ostream& out) {
     window.clear();
   };
 
+  const auto interrupted = [&] {
+    return interrupt != nullptr && interrupt->load(std::memory_order_relaxed);
+  };
   bool stop_requested = false;
   std::string line;
-  while (!stop_requested && std::getline(in, line)) {
+  while (!stop_requested && !interrupted() && std::getline(in, line)) {
     if (line.empty()) continue;
     auto parsed = parse_request(line, options_.max_request_bytes);
     if (!parsed.ok()) {
@@ -295,8 +324,14 @@ int Engine::serve(std::istream& in, std::ostream& out) {
     }
     if (window.size() >= options_.max_batch) flush();
   }
+  // Graceful drain (EOF, op=shutdown or a signal): every request read so
+  // far is answered and flushed before the loop returns.
   flush();
   shutdown();
+  if (interrupted()) {
+    obs::MetricsRegistry::global().add("svc.serve_interrupted");
+    return 4;  // cli::kExitInterrupted: drained cleanly after a signal
+  }
   return 0;
 }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -32,6 +33,14 @@
 /// deadlines and cancelled requests all produce structured error replies;
 /// nothing a client sends can unwind the engine. shutdown() (and the
 /// destructor) drain gracefully — every accepted request is answered.
+///
+/// Overload policy: with `max_queue` configured, submissions beyond the
+/// queue bound are *shed* — answered immediately with a structured
+/// `overloaded` error (never silently dropped) and counted in
+/// `svc.requests_shed` — so a flood degrades the flood, not the process.
+/// Simulated allocation failure (fi::Hooks alloc faults) surfaces the
+/// same way as real std::bad_alloc: a `resource_exhausted` reply for that
+/// request only.
 
 namespace rota::svc {
 
@@ -48,6 +57,9 @@ struct EngineOptions {
   std::size_t max_request_bytes = 1 << 20;
   /// Default deadline for requests that do not carry one; 0 = none.
   std::int64_t default_deadline_ms = 0;
+  /// Queue bound: submissions while `max_queue` jobs are already waiting
+  /// are shed with an `overloaded` error. 0 = unbounded (trusted callers).
+  std::size_t max_queue = 0;
 };
 
 class Engine {
@@ -77,12 +89,24 @@ class Engine {
   /// requests and at EOF). Returns the process exit code (0 — protocol
   /// errors are replies, not exits). An op=shutdown request drains and
   /// ends the loop.
-  int serve(std::istream& in, std::ostream& out);
+  ///
+  /// `interrupt` (optional) is the graceful-drain flag a signal handler
+  /// sets: it is checked between lines, the loop stops reading, every
+  /// already-accepted request is still answered and flushed, and serve
+  /// returns 4 (the CLI's "interrupted, drained cleanly" exit code)
+  /// instead of 0.
+  int serve(std::istream& in, std::ostream& out,
+            const std::atomic<bool>* interrupt = nullptr);
 
   [[nodiscard]] ScheduleCacheStats cache_stats() const {
     return cache_.stats();
   }
   [[nodiscard]] ScheduleCache& cache() { return cache_; }
+
+  /// Requests shed by the overload policy since construction.
+  [[nodiscard]] std::int64_t shed_count() const {
+    return shed_count_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Job {
@@ -104,6 +128,7 @@ class Engine {
   std::deque<Job> queue_;
   bool stopping_ = false;
   std::thread dispatcher_;
+  std::atomic<std::int64_t> shed_count_{0};
 };
 
 }  // namespace rota::svc

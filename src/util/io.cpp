@@ -1,18 +1,127 @@
 #include "util/io.hpp"
 
+#include <atomic>
+#include <filesystem>
 #include <fstream>
+#include <mutex>
+#include <sstream>
+#include <utility>
+
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
 
 #include "util/check.hpp"
 
 namespace rota::util {
 
-void write_text_file(const std::string& path, std::string_view content) {
+namespace {
+
+/// The installed hook plus a relaxed-atomic armed flag so the production
+/// fast path is one load and a branch (same discipline as obs metrics).
+/// NOLINTNEXTLINE(cppcoreguidelines-avoid-non-const-global-variables)
+std::atomic<bool> g_hook_armed{false};
+/// NOLINTNEXTLINE(cppcoreguidelines-avoid-non-const-global-variables)
+std::mutex g_hook_mu;
+/// NOLINTNEXTLINE(cppcoreguidelines-avoid-non-const-global-variables)
+IoFaultHook g_hook;
+
+void run_hook(IoOp op, const std::string& path, std::string* data) {
+  if (!g_hook_armed.load(std::memory_order_relaxed)) return;
+  IoFaultHook hook;
+  {
+    const std::lock_guard<std::mutex> lock(g_hook_mu);
+    hook = g_hook;
+  }
+  if (hook) hook(op, path, data);
+}
+
+/// fsync a file that was just written (POSIX; no-op elsewhere). The
+/// stream must already be closed so all buffered bytes reached the OS.
+void fsync_path(const std::string& path, bool directory) {
+#if !defined(_WIN32)
+  const int flags = directory ? (O_RDONLY | O_DIRECTORY) : O_RDONLY;
+  const int fd = ::open(path.c_str(), flags);  // NOLINT(cppcoreguidelines-pro-type-vararg)
+  if (fd < 0) {
+    // A filesystem that cannot open directories read-only (or a missing
+    // parent) degrades to a non-durable rename, matching write_text_file.
+    return;
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0 && !directory)
+    throw io_error("fsync failed for " + path);
+#else
+  (void)path;
+  (void)directory;
+#endif
+}
+
+void write_stream_checked(const std::string& path, std::string_view content) {
   std::ofstream file(path, std::ios::binary);
   if (!file) throw io_error("could not open " + path + " for writing");
   file.write(content.data(),
              static_cast<std::streamsize>(content.size()));
   file.flush();
   if (!file) throw io_error("write failed (disk full?) for " + path);
+}
+
+}  // namespace
+
+void set_io_fault_hook(IoFaultHook hook) {
+  const std::lock_guard<std::mutex> lock(g_hook_mu);
+  g_hook = std::move(hook);
+  g_hook_armed.store(static_cast<bool>(g_hook), std::memory_order_relaxed);
+}
+
+bool io_fault_hook_armed() {
+  return g_hook_armed.load(std::memory_order_relaxed);
+}
+
+void write_text_file(const std::string& path, std::string_view content) {
+  run_hook(IoOp::kWrite, path, nullptr);
+  write_stream_checked(path, content);
+}
+
+void write_file_atomic(const std::string& path, std::string_view content) {
+  run_hook(IoOp::kWrite, path, nullptr);
+  const std::string tmp = path + ".tmp";
+  try {
+    write_stream_checked(tmp, content);
+    fsync_path(tmp, /*directory=*/false);
+    std::filesystem::rename(tmp, path);
+  } catch (const std::filesystem::filesystem_error& e) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    throw io_error("could not commit " + path + ": " + e.what());
+  } catch (...) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    throw;
+  }
+  const std::string parent =
+      std::filesystem::path(path).parent_path().string();
+  fsync_path(parent.empty() ? "." : parent, /*directory=*/true);
+}
+
+std::string read_text_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw io_error("could not open " + path + " for reading");
+  std::ostringstream content;
+  content << file.rdbuf();
+  if (file.bad()) throw io_error("read failed for " + path);
+  std::string text = std::move(content).str();
+  run_hook(IoOp::kRead, path, &text);
+  return text;
+}
+
+std::optional<std::string> read_text_file_if_exists(const std::string& path) {
+  {
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec)) return std::nullopt;
+  }
+  return read_text_file(path);
 }
 
 }  // namespace rota::util

@@ -1,19 +1,66 @@
 #pragma once
 
+#include <functional>
+#include <optional>
 #include <string>
 #include <string_view>
 
 /// \file io.hpp
-/// Checked file output. Every artifact writer (CSV exports, metrics JSON,
-/// bench output) routes through write_text_file so a full disk or bad
-/// path raises util::io_error naming the file instead of silently
-/// truncating the artifact.
+/// Checked file I/O. Every artifact writer (CSV exports, metrics JSON,
+/// bench output, cache entries, checkpoints) routes through these helpers
+/// so a full disk or bad path raises util::io_error naming the file
+/// instead of silently truncating the artifact, and so the fault-injection
+/// subsystem (src/fi) has one seam through which it can make any read or
+/// write fail or return corrupted bytes.
+///
+/// Crash safety: write_text_file is a plain overwrite (fine for artifacts
+/// that are regenerated wholesale); write_file_atomic stages the content
+/// in `<path>.tmp`, fsyncs it, renames it over `path` and fsyncs the
+/// directory on POSIX, so a crash or kill at any instant leaves either the
+/// old content or the new content — never a torn file.
 
 namespace rota::util {
+
+/// Which I/O operation a fault hook is observing.
+enum class IoOp {
+  kRead,   ///< after the bytes were read; the hook may mutate them
+  kWrite,  ///< before the bytes are written; the hook may throw
+};
+
+/// Fault-injection seam (installed by fi::Hooks, unset in production).
+/// Called on every checked read/write with the operation, the file path
+/// and, for reads, the content buffer (mutable, so a hook can corrupt
+/// it). A hook injects a failure by throwing util::io_error.
+using IoFaultHook =
+    std::function<void(IoOp op, const std::string& path, std::string* data)>;
+
+/// Install (or, with nullptr-like empty function, clear) the process-wide
+/// I/O fault hook. Not thread-safe against concurrent I/O: install before
+/// spawning work, clear after joining it (the fi test scaffolding does).
+void set_io_fault_hook(IoFaultHook hook);
+
+/// True when a fault hook is installed (one relaxed atomic load).
+[[nodiscard]] bool io_fault_hook_armed();
 
 /// Write `content` to `path` (binary mode, overwriting), flush, and
 /// verify the stream; throws util::io_error naming the file on any
 /// failure.
 void write_text_file(const std::string& path, std::string_view content);
+
+/// Crash-safe write: stage in `<path>.tmp`, flush + fsync (POSIX), rename
+/// over `path`, fsync the parent directory (POSIX). Throws util::io_error
+/// naming the file on any failure; a failed attempt removes the temp file
+/// best-effort so it cannot be mistaken for a committed entry.
+void write_file_atomic(const std::string& path, std::string_view content);
+
+/// Read the whole file; throws util::io_error when the file cannot be
+/// opened or read.
+[[nodiscard]] std::string read_text_file(const std::string& path);
+
+/// Read the whole file, or std::nullopt when it does not exist. Other
+/// failures (permissions, injected faults) still throw util::io_error so
+/// "absent" and "unreadable" stay distinguishable.
+[[nodiscard]] std::optional<std::string> read_text_file_if_exists(
+    const std::string& path);
 
 }  // namespace rota::util

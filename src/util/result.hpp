@@ -34,6 +34,7 @@ enum class ErrorCode {
   kUnavailable,        ///< engine shutting down / not accepting work
   kIo,                 ///< artifact or cache file could not be written/read
   kInternal,           ///< invariant failure (a library bug)
+  kOverloaded,         ///< engine queue full; shed — retry after backoff
 };
 
 [[nodiscard]] std::string_view to_string(ErrorCode code);
@@ -104,6 +105,8 @@ inline std::string_view to_string(ErrorCode code) {
       return "io_error";
     case ErrorCode::kInternal:
       return "internal";
+    case ErrorCode::kOverloaded:
+      return "overloaded";
   }
   ROTA_UNREACHABLE("unhandled ErrorCode");
 }

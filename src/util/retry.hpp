@@ -1,0 +1,80 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+/// \file retry.hpp
+/// Retry-with-exponential-backoff for transient I/O failures. Disk-cache
+/// reads/writes (src/svc) and checkpoint persistence (src/fi) wrap their
+/// file operations in retry_io so a transient error — NFS hiccup, AV scan
+/// holding a handle, an injected fi fault — costs a few milliseconds
+/// instead of a lost cache tier. Delays grow exponentially from
+/// `base_delay_ms`, are capped at `max_delay_ms`, and carry deterministic
+/// jitter (seeded splitmix64, so tests are reproducible): attempt k waits
+/// uniformly in [d/2, d] for d = min(max, base * 2^(k-1)).
+
+namespace rota::util {
+
+struct RetryOptions {
+  /// Total attempts including the first (1 = no retry).
+  int max_attempts = 4;
+  std::int64_t base_delay_ms = 1;
+  std::int64_t max_delay_ms = 50;
+  /// Seeds the jitter stream; the per-call salt decorrelates sites.
+  std::uint64_t jitter_seed = 0x726f5449;  // "roTI"
+};
+
+/// The backoff delay before retry number `attempt` (1-based: the wait
+/// after the attempt-th failure). Deterministic per (options, salt,
+/// attempt). \pre attempt >= 1.
+[[nodiscard]] inline std::int64_t backoff_delay_ms(const RetryOptions& options,
+                                                   int attempt,
+                                                   std::uint64_t salt) {
+  ROTA_REQUIRE(attempt >= 1, "backoff attempt numbering is 1-based");
+  std::int64_t delay = options.base_delay_ms;
+  for (int k = 1; k < attempt && delay < options.max_delay_ms; ++k)
+    delay *= 2;
+  if (delay > options.max_delay_ms) delay = options.max_delay_ms;
+  if (delay <= 0) return 0;
+  // Jitter into [delay/2, delay] so concurrent retriers decorrelate.
+  SplitMix64 rng(options.jitter_seed ^ salt ^
+                 (static_cast<std::uint64_t>(attempt) << 32));
+  const std::int64_t half = delay / 2;
+  return half + static_cast<std::int64_t>(
+                    rng.next_below(static_cast<std::uint64_t>(delay - half + 1)));
+}
+
+/// Invoked after each failed attempt (before the backoff sleep) with the
+/// 1-based attempt number and the error; callers hang metrics on it.
+using RetryObserver = std::function<void(int attempt, const io_error& error)>;
+
+/// Run `fn`, retrying on util::io_error with capped exponential backoff.
+/// Rethrows the last error once options.max_attempts is exhausted. Any
+/// other exception type propagates immediately (only I/O is considered
+/// transient). `salt` decorrelates the jitter of distinct call sites —
+/// pass a stable hash of the file path.
+template <typename Fn>
+auto retry_io(const RetryOptions& options, std::uint64_t salt, Fn&& fn,
+              const RetryObserver& on_retry = {}) -> decltype(fn()) {
+  ROTA_REQUIRE(options.max_attempts >= 1, "need at least one attempt");
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return fn();
+    } catch (const io_error& e) {
+      if (attempt >= options.max_attempts) throw;
+      if (on_retry) on_retry(attempt, e);
+      const std::int64_t delay = backoff_delay_ms(options, attempt, salt);
+      if (delay > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    }
+  }
+}
+
+}  // namespace rota::util

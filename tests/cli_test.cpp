@@ -130,6 +130,86 @@ TEST(CliParse, OptionsAreSubcommandScoped) {
   }
 }
 
+TEST(CliParse, FaultToolingVerbsRecognized) {
+  EXPECT_EQ(parse({"inject", "Sqz", "--fault", "pe=1,1@10"}).verb,
+            Verb::kInject);
+  EXPECT_EQ(parse({"sweep"}).verb, Verb::kSweep);
+  EXPECT_EQ(parse({"mc", "Sqz"}).verb, Verb::kMc);
+}
+
+TEST(CliParse, InjectFlagsAndDefaults) {
+  const Options o = parse({"inject", "Sqz", "--fault", "pe=1,1@10",
+                           "--fault", "rank=0@500", "--seed", "7"});
+  EXPECT_EQ(o.verb, Verb::kInject);
+  EXPECT_EQ(o.workload, "Sqz");
+  ASSERT_EQ(o.faults.size(), 2u);
+  EXPECT_EQ(o.faults[0], "pe=1,1@10");
+  EXPECT_EQ(o.faults[1], "rank=0@500");
+  // inject defaults to a small spare pool; lifetime keeps zero spares.
+  EXPECT_EQ(o.spares, 4);
+  EXPECT_EQ(parse({"lifetime", "Sqz"}).spares, 0);
+  EXPECT_EQ(parse({"inject", "Sqz", "--spares", "0"}).spares, 0);
+  // inject is per-workload: the abbreviation is mandatory.
+  EXPECT_THROW(parse({"inject"}), precondition_error);
+}
+
+TEST(CliParse, SweepAndMcFlags) {
+  const Options s = parse({"sweep", "--checkpoint", "/tmp/s.ckpt", "--csv",
+                           "/tmp/s.csv", "--iters", "200"});
+  EXPECT_EQ(s.checkpoint_path, "/tmp/s.ckpt");
+  EXPECT_EQ(s.csv_out_path, "/tmp/s.csv");
+  EXPECT_EQ(s.iterations, 200);
+
+  const Options m = parse({"mc", "Sqz", "--trials", "5000", "--checkpoint",
+                           "/tmp/m.ckpt"});
+  EXPECT_EQ(m.trials, 5000);
+  EXPECT_EQ(m.checkpoint_path, "/tmp/m.ckpt");
+  EXPECT_EQ(parse({"mc", "Sqz"}).trials, 100000);
+
+  EXPECT_THROW(parse({"mc", "Sqz", "--trials", "0"}), precondition_error);
+  EXPECT_THROW(parse({"sweep", "--checkpoint", ""}), precondition_error);
+}
+
+TEST(CliParse, FaultFlagsAreSubcommandScoped) {
+  // --fault belongs to inject, --trials to mc, --queue-cap to serve.
+  EXPECT_THROW(parse({"wear", "Sqz", "--fault", "pe=1,1@10"}),
+               precondition_error);
+  EXPECT_THROW(parse({"sweep", "--trials", "100"}), precondition_error);
+  EXPECT_THROW(parse({"inject", "Sqz", "--queue-cap", "4"}),
+               precondition_error);
+  EXPECT_THROW(parse({"sweep", "--fault", "pe=1,1@10"}), precondition_error);
+  EXPECT_EQ(parse({"serve", "--queue-cap", "8"}).queue_cap, 8);
+  EXPECT_THROW(parse({"serve", "--queue-cap", "-1"}), precondition_error);
+}
+
+TEST(CliRun, UsageMentionsFaultTooling) {
+  std::ostringstream out;
+  EXPECT_EQ(run(parse({"help"}), out), 0);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("inject"), std::string::npos);
+  EXPECT_NE(text.find("sweep"), std::string::npos);
+  EXPECT_NE(text.find("--checkpoint"), std::string::npos);
+  EXPECT_NE(text.find("SIGINT"), std::string::npos);
+}
+
+TEST(CliRun, InjectRequiresAtLeastOneFault) {
+  std::ostringstream out;
+  EXPECT_THROW(run(parse({"inject", "Sqz"}), out), precondition_error);
+}
+
+TEST(CliRun, InjectReportsRemappingAndDegradedMttf) {
+  std::ostringstream out;
+  EXPECT_EQ(run(parse({"inject", "Sqz", "--array", "8x8", "--iters", "50",
+                       "--fault", "pe=1,1@10", "--fault", "rank=0@25"}),
+                out),
+            0);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("faults injected"), std::string::npos);
+  EXPECT_NE(text.find("redirected units"), std::string::npos);
+  EXPECT_NE(text.find("MTTF, full spare pool:"), std::string::npos);
+  EXPECT_NE(text.find("degraded:"), std::string::npos);
+}
+
 TEST(CliParse, ServeVerbAndFlags) {
   const Options o = parse({"serve", "--threads", "2", "--cache-dir",
                            "/tmp/rsc", "--cache-cap", "128", "--batch",

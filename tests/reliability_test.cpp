@@ -376,5 +376,119 @@ TEST(Spares, RejectsInvalidArguments) {
   EXPECT_THROW((void)spare_array_mttf({0.0}, 1), precondition_error);
 }
 
+// -------------------------------------------------------- spare remapper ----
+
+/// The pool invariant the class checks internally, asserted from outside
+/// after every scenario: occupancy states partition the pool.
+void expect_pool_consistent(const SpareRemapper& remapper) {
+  const auto& s = remapper.stats();
+  EXPECT_EQ(s.spares_in_service + s.spares_free + s.spares_dead,
+            remapper.spare_count());
+  EXPECT_EQ(s.spares_free, remapper.spares_free());
+}
+
+TEST(SpareRemapper, AssignsLowestFreeSpareFirst) {
+  SpareRemapper remapper(4, 3, 2);
+  const auto first = remapper.fault_primary(1, 2);
+  EXPECT_TRUE(first.remapped);
+  EXPECT_EQ(first.spare, 0);
+  const auto second = remapper.fault_primary(3, 0);
+  EXPECT_TRUE(second.remapped);
+  EXPECT_EQ(second.spare, 1);
+  EXPECT_TRUE(remapper.is_dead(1, 2));
+  EXPECT_EQ(remapper.spare_of(1, 2), 0);
+  EXPECT_EQ(remapper.spare_of(3, 0), 1);
+  EXPECT_EQ(remapper.spare_of(0, 0), -1);
+  expect_pool_consistent(remapper);
+}
+
+TEST(SpareRemapper, ExhaustedPoolLeavesFaultsUnmapped) {
+  SpareRemapper remapper(4, 3, 1);
+  EXPECT_TRUE(remapper.fault_primary(0, 0).remapped);
+  const auto overflow = remapper.fault_primary(1, 1);
+  EXPECT_FALSE(overflow.remapped);
+  EXPECT_EQ(overflow.spare, -1);
+  EXPECT_TRUE(remapper.is_dead(1, 1));
+  EXPECT_EQ(remapper.spare_of(1, 1), -1);
+  const auto& s = remapper.stats();
+  EXPECT_EQ(s.primary_faults, 2);
+  EXPECT_EQ(s.remaps, 1);
+  EXPECT_EQ(s.unmapped, 1);
+  EXPECT_EQ(s.spares_free, 0);
+  expect_pool_consistent(remapper);
+}
+
+TEST(SpareRemapper, RepeatedFaultOfDeadPrimaryIsANoOp) {
+  SpareRemapper remapper(4, 3, 2);
+  const auto first = remapper.fault_primary(2, 1);
+  const auto again = remapper.fault_primary(2, 1);
+  EXPECT_TRUE(again.remapped);
+  EXPECT_EQ(again.spare, first.spare);  // current mapping, no new claim
+  EXPECT_EQ(remapper.stats().primary_faults, 1);
+  EXPECT_EQ(remapper.stats().remaps, 1);
+  expect_pool_consistent(remapper);
+}
+
+TEST(SpareRemapper, FaultedSpareMigratesItsPrimary) {
+  SpareRemapper remapper(4, 3, 2);
+  ASSERT_EQ(remapper.fault_primary(0, 0).spare, 0);
+  // Kill the in-service spare: the primary migrates to spare 1.
+  const auto migrated = remapper.fault_spare(0);
+  EXPECT_TRUE(migrated.remapped);
+  EXPECT_EQ(migrated.spare, 1);
+  EXPECT_EQ(remapper.spare_of(0, 0), 1);
+  const auto& s = remapper.stats();
+  EXPECT_EQ(s.spare_faults, 1);
+  EXPECT_EQ(s.migrations, 1);
+  EXPECT_EQ(s.spares_dead, 1);
+  EXPECT_EQ(s.spares_in_service, 1);
+  expect_pool_consistent(remapper);
+
+  // Kill the replacement too: nowhere left to migrate.
+  const auto stranded = remapper.fault_spare(1);
+  EXPECT_FALSE(stranded.remapped);
+  EXPECT_EQ(remapper.spare_of(0, 0), -1);
+  EXPECT_TRUE(remapper.is_dead(0, 0));
+  EXPECT_EQ(remapper.stats().unmapped, 1);
+  expect_pool_consistent(remapper);
+}
+
+TEST(SpareRemapper, FaultOfAFreeOrDeadSpareShrinksOnlyThePool) {
+  SpareRemapper remapper(4, 3, 2);
+  (void)remapper.fault_spare(1);  // free spare dies: nothing to migrate
+  EXPECT_EQ(remapper.stats().migrations, 0);
+  EXPECT_EQ(remapper.stats().spares_dead, 1);
+  (void)remapper.fault_spare(1);  // dead spare again: no-op
+  EXPECT_EQ(remapper.stats().spare_faults, 1);
+  // The surviving spare still serves a later fault.
+  EXPECT_EQ(remapper.fault_primary(0, 1).spare, 0);
+  expect_pool_consistent(remapper);
+}
+
+TEST(SpareRemapper, TransientRestoreReturnsTheSpareToThePool) {
+  SpareRemapper remapper(4, 3, 1);
+  ASSERT_TRUE(remapper.fault_primary(2, 2).remapped);
+  remapper.restore_primary(2, 2);
+  EXPECT_FALSE(remapper.is_dead(2, 2));
+  EXPECT_EQ(remapper.spare_of(2, 2), -1);
+  EXPECT_EQ(remapper.stats().restores, 1);
+  EXPECT_EQ(remapper.spares_free(), 1);
+  // The recycled spare is claimable again.
+  EXPECT_EQ(remapper.fault_primary(3, 2).spare, 0);
+  remapper.restore_primary(0, 0);  // restoring a live PE is a no-op
+  EXPECT_EQ(remapper.stats().restores, 1);
+  expect_pool_consistent(remapper);
+}
+
+TEST(SpareRemapper, RejectsOutOfRangeArguments) {
+  SpareRemapper remapper(4, 3, 1);
+  EXPECT_THROW((void)remapper.fault_primary(4, 0), precondition_error);
+  EXPECT_THROW((void)remapper.fault_primary(0, 3), precondition_error);
+  EXPECT_THROW((void)remapper.fault_primary(-1, 0), precondition_error);
+  EXPECT_THROW((void)remapper.fault_spare(1), precondition_error);
+  EXPECT_THROW(remapper.restore_primary(9, 9), precondition_error);
+  EXPECT_THROW(SpareRemapper(0, 3, 1), precondition_error);
+}
+
 }  // namespace
 }  // namespace rota::rel

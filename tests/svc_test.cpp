@@ -693,5 +693,45 @@ TEST(ServeTest, WarmCacheServesRepeatedWorkloadWithoutResearch) {
   EXPECT_GE(stats.hits_memory, stats.misses);
 }
 
+// ------------------------------------------------- malformed corpus ----
+
+/// Every file in tests/corpus/jsonv is a hand-written malformed (or
+/// pathological) payload: truncations, deep nesting, non-finite numbers,
+/// raw control characters, stray bytes.  The parser must reject them with
+/// a structured error — never crash, hang, or throw — and the request
+/// layer must refuse all of them (none carries a valid schema_version).
+TEST(JsonTest, MalformedCorpusIsRejectedWithoutCrashing) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(ROTA_TEST_CORPUS_DIR) / "jsonv";
+  ASSERT_TRUE(fs::is_directory(dir)) << dir;
+
+  int files = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    ++files;
+    std::ifstream in(entry.path(), std::ios::binary);
+    ASSERT_TRUE(in.is_open()) << entry.path();
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+
+    const auto parsed = JsonValue::parse(text);
+    // jsonv deliberately passes non-control bytes through without UTF-8
+    // validation, so the invalid-UTF-8 sample parses at this level; every
+    // other corpus entry must fail with a diagnostic.
+    if (entry.path().filename() != "invalid_utf8.json") {
+      EXPECT_FALSE(parsed.ok()) << entry.path();
+      if (!parsed.ok()) {
+        EXPECT_FALSE(parsed.error().message.empty()) << entry.path();
+      }
+    }
+
+    const auto request = parse_request(text, 1 << 20);
+    EXPECT_FALSE(request.ok()) << entry.path();
+  }
+  // Guard against the corpus silently disappearing from the tree.
+  EXPECT_GE(files, 20) << "corpus directory lost files: " << dir;
+}
+
 }  // namespace
 }  // namespace rota::svc

@@ -1,0 +1,198 @@
+#!/usr/bin/env python3
+"""Soak `rota serve` under injected software faults and prove degradation
+is graceful.
+
+Usage: fault_soak.py PATH/TO/rota
+
+Three serve sessions against the same request batch:
+
+  1. clean      — no faults, fresh cache dir (the reference replies);
+  2. fault cold — ROTA_FI arms failed reads/writes and bit-flipped
+                  reads scoped to the schedule-cache directory;
+  3. fault warm — same faulty plan again over the now-populated cache,
+                  so disk reads (and their corruption/retry paths)
+                  actually execute.
+
+Pass criteria, all hard assertions:
+
+  * every session exits 0 — injected faults must never crash or hang
+    the server, and every request gets a reply;
+  * replies are bit-identical across all three sessions once the
+    nondeterministic `wall_seconds` timing field is stripped — the
+    cache may lose work under faults, never invent it;
+  * the faulty sessions' metrics JSON shows the faults actually fired
+    (fi.* counters nonzero) and the hardening actually engaged
+    (svc.cache.* retry/corrupt-recompute counters nonzero);
+  * a fourth session with --queue-cap 1 under heavy compute sheds at
+    least one request with a structured `overloaded` error while still
+    answering every line (svc.requests_shed nonzero).
+
+Exit status: 0 = OK, non-zero assertion/diagnostic otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+# The envelope generation this tool understands (obs::kSchemaVersion in
+# src/obs/json.hpp). Bump in lockstep with the C++ constant.
+SCHEMA_VERSION = 2
+
+# Scoping substring for ROTA_FI `match=`: faults hit only the schedule
+# cache, not the metrics/trace artifacts this script must read back.
+CACHE_DIR_NAME = "soak-schedule-cache"
+
+FAULT_PLAN = (
+    "read=0.15,write=0.15,corrupt=0.3,seed=7,match=" + CACHE_DIR_NAME
+)
+
+
+def request_batch() -> str:
+    """Schedule-heavy batch: many distinct shapes -> many cache files."""
+    lines = []
+    for i, workload in enumerate(("Sqz", "Mb", "Res", "Eff")):
+        lines.append(
+            json.dumps(
+                {
+                    "schema_version": SCHEMA_VERSION,
+                    "id": f"s{i}",
+                    "op": "schedule",
+                    "workload": workload,
+                }
+            )
+        )
+    lines.append(
+        json.dumps(
+            {
+                "schema_version": SCHEMA_VERSION,
+                "id": "w0",
+                "op": "wear",
+                "workload": "Sqz",
+                "iters": 200,
+            }
+        )
+    )
+    lines.append(
+        json.dumps(
+            {"schema_version": SCHEMA_VERSION, "id": "bye", "op": "shutdown"}
+        )
+    )
+    return "\n".join(lines) + "\n"
+
+
+def serve(
+    rota: str,
+    workdir: str,
+    tag: str,
+    batch: str,
+    fault_plan: str | None,
+    extra_flags: list[str] | None = None,
+) -> tuple[list[str], dict]:
+    """One serve session; returns (reply lines sans wall_seconds, metrics)."""
+    cache_dir = os.path.join(workdir, tag, CACHE_DIR_NAME)
+    metrics_path = os.path.join(workdir, tag, "metrics.json")
+    os.makedirs(os.path.dirname(metrics_path), exist_ok=True)
+    env = dict(os.environ)
+    env.pop("ROTA_FI", None)
+    if fault_plan is not None:
+        env["ROTA_FI"] = fault_plan
+    proc = subprocess.run(
+        [rota, "serve", "--cache-dir", cache_dir, "--metrics", metrics_path]
+        + (extra_flags or []),
+        input=batch,
+        capture_output=True,
+        text=True,
+        timeout=600,
+        env=env,
+    )
+    assert proc.returncode == 0, (
+        f"{tag}: serve exited {proc.returncode}\n{proc.stderr}"
+    )
+    replies = []
+    for line in proc.stdout.splitlines():
+        reply = json.loads(line)
+        assert reply.get("schema_version") == SCHEMA_VERSION, reply
+        reply.pop("wall_seconds", None)
+        replies.append(json.dumps(reply, sort_keys=True))
+    doc = json.load(open(metrics_path))
+    assert doc.get("schema_version") == SCHEMA_VERSION, metrics_path
+    return replies, doc["metrics"]
+
+
+def counter(metrics: dict, name: str) -> int:
+    return int(metrics.get(name, {}).get("value", 0))
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        sys.exit(__doc__)
+    rota = sys.argv[1]
+    batch = request_batch()
+    workdir = tempfile.mkdtemp(prefix="rota_fault_soak_")
+    try:
+        clean, _ = serve(rota, workdir, "clean", batch, None)
+        assert len(clean) == batch.count("\n"), "clean: missing replies"
+        assert all('"ok":true' in r or '"ok": true' in r for r in clean), clean
+
+        # Cold and warm faulty sessions share one cache dir ("fault/...").
+        cold, cold_metrics = serve(rota, workdir, "fault", batch, FAULT_PLAN)
+        warm, warm_metrics = serve(rota, workdir, "fault", batch, FAULT_PLAN)
+
+        assert cold == clean, "fault cold: replies differ from clean run"
+        assert warm == clean, "fault warm: replies differ from clean run"
+
+        injected = sum(
+            counter(m, name)
+            for m in (cold_metrics, warm_metrics)
+            for name in ("fi.read_faults", "fi.write_faults", "fi.corruptions")
+        )
+        assert injected > 0, "fault plan armed but no fault ever fired"
+        hardened = sum(
+            counter(m, name)
+            for m in (cold_metrics, warm_metrics)
+            for name in (
+                "svc.cache.disk_read_retries",
+                "svc.cache.disk_write_retries",
+                "svc.cache.disk_corrupt",
+            )
+        )
+        assert hardened > 0, "faults fired but no retry/recompute engaged"
+
+        # Overload shedding: eight slow wear requests against queue-cap 1.
+        shed_lines = [
+            json.dumps(
+                {
+                    "schema_version": SCHEMA_VERSION,
+                    "id": f"w{i}",
+                    "op": "wear",
+                    "workload": "Sqz",
+                    "iters": 3000,
+                }
+            )
+            for i in range(8)
+        ]
+        shed_batch = "\n".join(shed_lines) + "\n"
+        replies, shed_metrics = serve(
+            rota, workdir, "shed", shed_batch, None, ["--queue-cap", "1"]
+        )
+        assert len(replies) == 8, "shed: every request must be answered"
+        overloaded = sum(1 for r in replies if '"overloaded"' in r)
+        assert overloaded >= 1, "queue-cap 1 under 8 slow requests never shed"
+        assert counter(shed_metrics, "svc.requests_shed") == overloaded
+
+        print(
+            f"fault soak OK: {injected} faults injected, "
+            f"{hardened} retries/recomputes, replies bit-identical; "
+            f"{overloaded}/8 requests shed at --queue-cap 1"
+        )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()
