@@ -10,11 +10,23 @@ namespace rota::cli {
 
 namespace {
 
+/// Written from signal context. [support.signal] only blesses atomic
+/// access in a handler when the atomic is lock-free — a locking fallback
+/// would deadlock if the signal lands while the lock is held — so the
+/// flag must be lock-free *on every platform*, not just this one.
 std::atomic<bool> g_interrupted{false};
+static_assert(std::atomic<bool>::is_always_lock_free,
+              "the interrupt flag is touched from a signal handler and "
+              "must never fall back to a locking implementation");
 
 #ifdef ROTA_CLI_HAVE_SIGNALS
-/// Async-signal-safe by construction: one atomic exchange, and _exit on
-/// the second hit (128 + SIGINT, the conventional killed-by-signal code).
+/// Async-signal-safe by construction: one lock-free atomic exchange, and
+/// _exit on the second hit (128 + SIGINT, the conventional
+/// killed-by-signal code). The body is checked by the signal-safety lint
+/// rule (tools/rota_lint.py) — only the async-signal-safe whitelist may
+/// be called from here; in particular no allocation, no iostreams, no
+/// util::Mutex (signals.cpp state is deliberately outside the capability
+/// model: a mutex cannot be acquired in signal context at all).
 extern "C" void rota_cli_signal_handler(int /*signum*/) {
   if (g_interrupted.exchange(true, std::memory_order_relaxed)) {
     _exit(130);
@@ -52,7 +64,12 @@ void clear_interrupt() {
 }
 
 namespace {
+/// Test-only simulation state, ticked from ordinary (non-signal) code on
+/// the serve loop's thread; lock-freedom asserted anyway so a future
+/// signal-context use cannot silently regress.
 std::atomic<int> g_interrupt_budget{-1};
+static_assert(std::atomic<int>::is_always_lock_free,
+              "interrupt budget must stay lock-free");
 }  // namespace
 
 void simulate_interrupt_after(int units) {

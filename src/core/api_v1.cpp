@@ -10,28 +10,35 @@ namespace rota::api::v1 {
 namespace {
 
 /// Translate the historical throwing surface into the v1 error taxonomy.
+/// The entry points are noexcept, so the net must be total: the final
+/// catch-all turns even non-std exceptions into an internal error rather
+/// than letting them cross the facade and terminate.
 /// rota-lint: allow(pre-require)
 template <typename Fn>
-auto guarded(Fn&& fn) -> Result<decltype(fn())> {
+auto guarded(Fn&& fn) noexcept -> Result<decltype(fn())> {
   try {
     return fn();
   } catch (const util::precondition_error& e) {
     return Error{ErrorCode::kInvalidArgument, e.what()};
   } catch (const util::io_error& e) {
     return Error{ErrorCode::kIo, e.what()};
+  } catch (const std::bad_alloc&) {
+    return Error{ErrorCode::kResourceExhausted, "allocation failed"};
   } catch (const std::exception& e) {
     return Error{ErrorCode::kInternal, e.what()};
+  } catch (...) {
+    return Error{ErrorCode::kInternal, "unknown non-standard exception"};
   }
 }
 
 }  // namespace
 
-Result<nn::Network> find_workload(const std::string& abbr) {
+Result<nn::Network> find_workload(const std::string& abbr) noexcept {
   return guarded([&] { return nn::workload_by_abbr(abbr); });
 }
 
 Result<sched::NetworkSchedule> schedule_workload(
-    const ExperimentConfig& config, const nn::Network& net) {
+    const ExperimentConfig& config, const nn::Network& net) noexcept {
   return guarded([&] {
     Experiment exp(config);
     return exp.schedule(net);
@@ -40,7 +47,7 @@ Result<sched::NetworkSchedule> schedule_workload(
 
 Result<ExperimentResult> run_experiment(
     const ExperimentConfig& config, const nn::Network& net,
-    const std::vector<wear::PolicyKind>& policies) {
+    const std::vector<wear::PolicyKind>& policies) noexcept {
   return guarded([&] {
     Experiment exp(config);
     return exp.run(net, policies);
@@ -48,7 +55,7 @@ Result<ExperimentResult> run_experiment(
 }
 
 Result<PolicyRun> find_run(const ExperimentResult& result,
-                           wear::PolicyKind kind) {
+                           wear::PolicyKind kind) noexcept {
   const PolicyRun* run = result.find_run(kind);
   if (run == nullptr) {
     return Error{ErrorCode::kNotFound,
@@ -59,7 +66,7 @@ Result<PolicyRun> find_run(const ExperimentResult& result,
 }
 
 Result<double> lifetime_improvement(const ExperimentResult& result,
-                                    wear::PolicyKind kind) {
+                                    wear::PolicyKind kind) noexcept {
   if (result.find_run(wear::PolicyKind::kBaseline) == nullptr ||
       result.find_run(kind) == nullptr) {
     return Error{ErrorCode::kNotFound,

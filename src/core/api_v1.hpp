@@ -17,8 +17,13 @@
 ///
 /// Contract (the v1 API policy, DESIGN.md §10):
 ///
-///   - Entry points return `Result<T>` / `Status`; they never throw for
-///     data errors (unknown workload, bad geometry, absent policy run).
+///   - Entry points return `Result<T>` / `Status` and are `noexcept`
+///     (enforced by the api-noexcept lint rule): they never throw for
+///     data errors (unknown workload, bad geometry, absent policy run),
+///     and implementation exceptions are translated to Error values at
+///     the boundary. The one escape is allocation failure while already
+///     building the error reply, which terminates — a process that
+///     cannot allocate an error string has no useful recovery.
 ///     Programming errors — violated precondition contracts on types
 ///     reached *through* a returned value — still assert via ROTA_REQUIRE.
 ///   - Every JSON envelope produced anywhere in the repo is stamped with
@@ -49,29 +54,30 @@ using util::Unit;
 inline constexpr int kSchemaVersion = obs::kSchemaVersion;
 
 /// Look up a workload by its Table II / extended-zoo abbreviation.
-[[nodiscard]] Result<nn::Network> find_workload(const std::string& abbr);
+[[nodiscard]] Result<nn::Network> find_workload(
+    const std::string& abbr) noexcept;
 
 /// Schedule one workload on `config.accel` with the energy-optimal
 /// mapper. Errors: invalid geometry (invalid_argument).
 [[nodiscard]] Result<sched::NetworkSchedule> schedule_workload(
-    const ExperimentConfig& config, const nn::Network& net);
+    const ExperimentConfig& config, const nn::Network& net) noexcept;
 
 /// Run a full experiment (schedule + N wear iterations per policy).
 /// Errors: invalid geometry or iteration count (invalid_argument).
 [[nodiscard]] Result<ExperimentResult> run_experiment(
     const ExperimentConfig& config, const nn::Network& net,
-    const std::vector<wear::PolicyKind>& policies);
+    const std::vector<wear::PolicyKind>& policies) noexcept;
 
 /// The run for `kind` inside `result`. Errors: not_found when the policy
 /// was not part of the experiment. (Non-throwing replacement for the
 /// deprecated ExperimentResult::run.)
 [[nodiscard]] Result<PolicyRun> find_run(const ExperimentResult& result,
-                                         wear::PolicyKind kind);
+                                         wear::PolicyKind kind) noexcept;
 
 /// Lifetime improvement of `kind` over the baseline run (Eq. 4).
 /// Errors: not_found when either run is absent.
 [[nodiscard]] Result<double> lifetime_improvement(
-    const ExperimentResult& result, wear::PolicyKind kind);
+    const ExperimentResult& result, wear::PolicyKind kind) noexcept;
 
 }  // namespace rota::api::v1
 

@@ -3,7 +3,6 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
-#include <mutex>
 #include <string>
 #include <thread>
 
@@ -12,6 +11,7 @@
 #include "util/check.hpp"
 #include "util/io.hpp"
 #include "util/rng.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace rota::fi {
 
@@ -21,8 +21,8 @@ namespace {
 /// pool workers); plan and armed flag only change under arm()/disarm(),
 /// which tests serialize externally.
 struct HookState {
-  std::mutex mu;  ///< guards plan against concurrent arm/disarm
-  SoftwarePlan plan;
+  util::Mutex mu;  ///< guards plan against concurrent arm/disarm
+  SoftwarePlan plan ROTA_GUARDED_BY(mu);
   std::atomic<bool> armed{false};
   std::atomic<std::uint64_t> read_seq{0};
   std::atomic<std::uint64_t> write_seq{0};
@@ -66,7 +66,7 @@ void io_hook(util::IoOp op, const std::string& path, std::string* data) {
   HookState& s = state();
   SoftwarePlan plan;
   {
-    const std::lock_guard<std::mutex> lock(s.mu);
+    const util::MutexLock lock(s.mu);
     plan = s.plan;
   }
   if (!path_matches(plan, path)) return;
@@ -105,7 +105,7 @@ void worker_hook() {
   HookState& s = state();
   SoftwarePlan plan;
   {
-    const std::lock_guard<std::mutex> lock(s.mu);
+    const util::MutexLock lock(s.mu);
     plan = s.plan;
   }
   const std::uint64_t seq = s.stall_seq.fetch_add(1, std::memory_order_relaxed);
@@ -125,7 +125,7 @@ void Hooks::arm(const SoftwarePlan& plan) {
   }
   HookState& s = state();
   {
-    const std::lock_guard<std::mutex> lock(s.mu);
+    const util::MutexLock lock(s.mu);
     s.plan = plan;
   }
   reset_counters();
@@ -148,7 +148,7 @@ void Hooks::disarm() {
   util::set_io_fault_hook({});
   par::set_worker_fault_hook({});
   s.armed.store(false, std::memory_order_relaxed);
-  const std::lock_guard<std::mutex> lock(s.mu);
+  const util::MutexLock lock(s.mu);
   s.plan = SoftwarePlan{};
 }
 
@@ -156,7 +156,7 @@ bool Hooks::armed() { return state().armed.load(std::memory_order_relaxed); }
 
 SoftwarePlan Hooks::plan() {
   HookState& s = state();
-  const std::lock_guard<std::mutex> lock(s.mu);
+  const util::MutexLock lock(s.mu);
   return s.plan;
 }
 
@@ -189,7 +189,7 @@ bool Hooks::should_fail_alloc(std::string_view site) {
   if (!s.armed.load(std::memory_order_relaxed)) return false;
   SoftwarePlan plan;
   {
-    const std::lock_guard<std::mutex> lock(s.mu);
+    const util::MutexLock lock(s.mu);
     plan = s.plan;
   }
   if (plan.alloc_fail_rate <= 0.0) return false;

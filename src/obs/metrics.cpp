@@ -16,7 +16,7 @@ MetricsRegistry& MetricsRegistry::global() {
 }
 
 void MetricsRegistry::add_slow(std::string_view name, std::int64_t delta) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     counters_.emplace(std::string(name), delta);
@@ -26,7 +26,7 @@ void MetricsRegistry::add_slow(std::string_view name, std::int64_t delta) {
 }
 
 void MetricsRegistry::gauge_slow(std::string_view name, double value) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     gauges_.emplace(std::string(name), value);
@@ -36,7 +36,7 @@ void MetricsRegistry::gauge_slow(std::string_view name, double value) {
 }
 
 void MetricsRegistry::observe_slow(std::string_view name, double value) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name), std::vector<double>{}).first;
@@ -45,13 +45,13 @@ void MetricsRegistry::observe_slow(std::string_view name, double value) {
 }
 
 std::int64_t MetricsRegistry::counter(std::string_view name) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;
 }
 
 double MetricsRegistry::gauge_value(std::string_view name) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   const auto it = gauges_.find(name);
   return it == gauges_.end() ? 0.0 : it->second;
 }
@@ -87,7 +87,7 @@ HistogramSummary summarize(const std::vector<double>& samples) {
 HistogramSummary MetricsRegistry::histogram(std::string_view name) const {
   std::vector<double> samples;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const util::MutexLock lock(mu_);
     const auto it = histograms_.find(name);
     if (it != histograms_.end()) samples = it->second;
   }
@@ -95,7 +95,7 @@ HistogramSummary MetricsRegistry::histogram(std::string_view name) const {
 }
 
 std::vector<std::string> MetricsRegistry::names() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   std::vector<std::string> out;
   out.reserve(counters_.size() + gauges_.size() + histograms_.size());
   for (const auto& [name, _] : counters_) out.push_back(name);
@@ -106,7 +106,7 @@ std::vector<std::string> MetricsRegistry::names() const {
 }
 
 void MetricsRegistry::reset() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
@@ -118,7 +118,7 @@ void MetricsRegistry::write_json(std::ostream& out) const {
   std::map<std::string, double, std::less<>> gauges;
   std::map<std::string, std::vector<double>, std::less<>> histograms;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const util::MutexLock lock(mu_);
     counters = counters_;
     gauges = gauges_;
     histograms = histograms_;
@@ -164,7 +164,7 @@ std::string MetricsRegistry::table() const {
   std::map<std::string, double, std::less<>> gauges;
   std::map<std::string, std::vector<double>, std::less<>> histograms;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const util::MutexLock lock(mu_);
     counters = counters_;
     gauges = gauges_;
     histograms = histograms_;

@@ -5,10 +5,11 @@
 #include <cstdint>
 #include <iosfwd>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 /// \file metrics.hpp
 /// A process-wide registry of named counters, gauges and value histograms
@@ -95,15 +96,20 @@ class MetricsRegistry {
   [[nodiscard]] std::string table() const;
 
  private:
-  void add_slow(std::string_view name, std::int64_t delta);
-  void gauge_slow(std::string_view name, double value);
-  void observe_slow(std::string_view name, double value);
+  void add_slow(std::string_view name, std::int64_t delta)
+      ROTA_EXCLUDES(mu_);
+  void gauge_slow(std::string_view name, double value) ROTA_EXCLUDES(mu_);
+  void observe_slow(std::string_view name, double value) ROTA_EXCLUDES(mu_);
 
+  /// Lock-free fast-path flag (read before every record); deliberately
+  /// outside the capability model — it guards *cost*, not data.
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mu_;
-  std::map<std::string, std::int64_t, std::less<>> counters_;
-  std::map<std::string, double, std::less<>> gauges_;
-  std::map<std::string, std::vector<double>, std::less<>> histograms_;
+  mutable util::Mutex mu_;
+  std::map<std::string, std::int64_t, std::less<>> counters_
+      ROTA_GUARDED_BY(mu_);
+  std::map<std::string, double, std::less<>> gauges_ ROTA_GUARDED_BY(mu_);
+  std::map<std::string, std::vector<double>, std::less<>> histograms_
+      ROTA_GUARDED_BY(mu_);
 };
 
 /// RAII timer: records the elapsed wall time in seconds into histogram

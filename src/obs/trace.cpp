@@ -43,7 +43,7 @@ void Tracer::complete(std::string_view name, std::string_view category,
   ev.ts_us = ts_us;
   ev.dur_us = dur_us;
   ev.tid = this_thread_index();
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   events_.push_back(std::move(ev));
 }
 
@@ -55,24 +55,24 @@ void Tracer::instant(std::string_view name, std::string_view category) {
   ev.phase = 'i';
   ev.ts_us = now_us();
   ev.tid = this_thread_index();
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   events_.push_back(std::move(ev));
 }
 
 std::size_t Tracer::event_count() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   return events_.size();
 }
 
 void Tracer::reset() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   events_.clear();
 }
 
 void Tracer::write_json(std::ostream& out) const {
   std::vector<TraceEvent> events;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const util::MutexLock lock(mu_);
     events = events_;
   }
   // The object form of the trace-event format (still loadable by

@@ -4,10 +4,11 @@
 #include <chrono>
 #include <cstdint>
 #include <iosfwd>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 /// \file trace.hpp
 /// Chrome trace-event recording: scoped spans collected in memory and
@@ -71,10 +72,12 @@ class Tracer {
   void write_file(const std::string& path) const;
 
  private:
+  /// Lock-free fast-path flag (read before every record); deliberately
+  /// outside the capability model — it guards *cost*, not data.
   std::atomic<bool> enabled_{false};
   std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> events_;
+  mutable util::Mutex mu_;
+  std::vector<TraceEvent> events_ ROTA_GUARDED_BY(mu_);
 };
 
 /// RAII span: captures the start time at construction and records a

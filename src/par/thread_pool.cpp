@@ -29,15 +29,15 @@ std::size_t hardware_threads() {
 /// NOLINTNEXTLINE(cppcoreguidelines-avoid-non-const-global-variables)
 std::atomic<bool> g_worker_hook_armed{false};
 /// NOLINTNEXTLINE(cppcoreguidelines-avoid-non-const-global-variables)
-std::mutex g_worker_hook_mu;
+util::Mutex g_worker_hook_mu;
 /// NOLINTNEXTLINE(cppcoreguidelines-avoid-non-const-global-variables)
-std::function<void()> g_worker_hook;
+std::function<void()> g_worker_hook ROTA_GUARDED_BY(g_worker_hook_mu);
 
 void run_worker_hook() {
   if (!g_worker_hook_armed.load(std::memory_order_relaxed)) return;
   std::function<void()> hook;
   {
-    const std::lock_guard<std::mutex> lock(g_worker_hook_mu);
+    const util::MutexLock lock(g_worker_hook_mu);
     hook = g_worker_hook;
   }
   if (hook) hook();
@@ -46,7 +46,7 @@ void run_worker_hook() {
 }  // namespace
 
 void set_worker_fault_hook(std::function<void()> hook) {
-  const std::lock_guard<std::mutex> lock(g_worker_hook_mu);
+  const util::MutexLock lock(g_worker_hook_mu);
   g_worker_hook = std::move(hook);
   g_worker_hook_armed.store(static_cast<bool>(g_worker_hook),
                             std::memory_order_relaxed);
@@ -72,11 +72,13 @@ struct ThreadPool::BatchState {
   std::function<void(std::size_t)> task;
   std::size_t task_count = 0;
   std::atomic<std::size_t> next{0};
-  std::mutex mu;
-  std::condition_variable done_cv;
-  std::size_t completed = 0;  // guarded by mu
-  std::size_t error_index = std::numeric_limits<std::size_t>::max();
-  std::exception_ptr error;  // thrown by the lowest failing index
+  util::Mutex mu;
+  util::CondVar done_cv;
+  std::size_t completed ROTA_GUARDED_BY(mu) = 0;
+  std::size_t error_index ROTA_GUARDED_BY(mu) =
+      std::numeric_limits<std::size_t>::max();
+  /// The exception thrown by the lowest failing index.
+  std::exception_ptr error ROTA_GUARDED_BY(mu);
 };
 
 ThreadPool::ThreadPool(std::size_t workers) {
@@ -89,7 +91,7 @@ ThreadPool::ThreadPool(std::size_t workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const util::MutexLock lock(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -108,8 +110,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      util::MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) cv_.wait(lock, mu_);
       if (queue_.empty()) return;  // stop_ set and nothing left to drain
       job = std::move(queue_.front());
       queue_.pop_front();
@@ -120,7 +122,7 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::enqueue(std::function<void()> job) {
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const util::MutexLock lock(mu_);
     queue_.push_back(std::move(job));
   }
   cv_.notify_one();
@@ -150,7 +152,7 @@ void ThreadPool::run_lane(const std::shared_ptr<BatchState>& state) {
     }
     bool last = false;
     {
-      const std::lock_guard<std::mutex> lock(state->mu);
+      const util::MutexLock lock(state->mu);
       if (err && i < state->error_index) {
         state->error_index = i;
         state->error = err;
@@ -201,9 +203,10 @@ void ThreadPool::run_batch(std::size_t task_count,
   }
   run_lane(state);  // the calling thread is a lane too
 
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->done_cv.wait(lock,
-                      [&state] { return state->completed == state->task_count; });
+  util::MutexLock lock(state->mu);
+  while (state->completed != state->task_count) {
+    state->done_cv.wait(lock, state->mu);
+  }
   // Move the error out before unlocking: a late-dequeued lane job may be
   // the last owner of `state`, and ~BatchState on a worker thread must
   // not release the exception object while the caller still examines it.

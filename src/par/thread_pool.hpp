@@ -1,14 +1,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 /// \file thread_pool.hpp
 /// The deterministic parallel-execution substrate (`rota::par`). A
@@ -85,20 +85,21 @@ class ThreadPool {
   /// keeps error behavior independent of thread schedule.
   void run_batch(std::size_t task_count,
                  const std::function<void(std::size_t)>& task,
-                 std::size_t max_concurrency = 0);
+                 std::size_t max_concurrency = 0) ROTA_EXCLUDES(mu_);
 
  private:
   struct BatchState;
 
   void worker_loop();
-  void enqueue(std::function<void()> job);
+  void enqueue(std::function<void()> job) ROTA_EXCLUDES(mu_);
   static void run_lane(const std::shared_ptr<BatchState>& state);
 
+  /// Joined by the destructor only; never touched while workers run.
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  mutable util::Mutex mu_;
+  util::CondVar cv_;
+  std::deque<std::function<void()>> queue_ ROTA_GUARDED_BY(mu_);
+  bool stop_ ROTA_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace rota::par

@@ -66,7 +66,7 @@ Mapper::CacheShard& Mapper::shard_of(const LayerShapeKey& key) {
 std::size_t Mapper::cache_size() const {
   std::size_t total = 0;
   for (const CacheShard& shard : cache_) {
-    const std::lock_guard<std::mutex> lock(shard.mu);
+    const util::MutexLock lock(shard.mu);
     total += shard.map.size();
   }
   return total;
@@ -253,7 +253,7 @@ LayerSchedule Mapper::schedule_layer(const nn::LayerSpec& layer) {
   const LayerShapeKey key = LayerShapeKey::of(layer);
   CacheShard& shard = shard_of(key);
   {
-    const std::lock_guard<std::mutex> lock(shard.mu);
+    const util::MutexLock lock(shard.mu);
     const auto it = shard.map.find(key);
     if (it != shard.map.end()) {
       obs::MetricsRegistry::global().add("mapper.cache_hits");
@@ -269,7 +269,7 @@ LayerSchedule Mapper::schedule_layer(const nn::LayerSpec& layer) {
   LayerSchedule sched = search(layer);
   obs::MetricsRegistry::global().add("mapper.layers_searched");
   {
-    const std::lock_guard<std::mutex> lock(shard.mu);
+    const util::MutexLock lock(shard.mu);
     // A racing thread may have inserted the same shape meanwhile; both
     // computed identical schedules (the search is pure), so first-in wins.
     shard.map.emplace(key, sched);

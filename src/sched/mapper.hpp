@@ -2,12 +2,12 @@
 
 #include <array>
 #include <cstddef>
-#include <mutex>
 #include <unordered_map>
 
 #include "nn/network.hpp"
 #include "sched/cost.hpp"
 #include "sched/schedule.hpp"
+#include "util/thread_annotations.hpp"
 
 /// \file mapper.hpp
 /// Exhaustive, deterministic search for the energy-optimal mapping of each
@@ -119,8 +119,9 @@ class Mapper {
   /// One lock stripe of the shape memo; shapes hash to a fixed shard, so
   /// concurrent searches of distinct shapes rarely contend.
   struct CacheShard {
-    mutable std::mutex mu;
-    std::unordered_map<LayerShapeKey, LayerSchedule, LayerShapeKeyHash> map;
+    mutable util::Mutex mu;
+    std::unordered_map<LayerShapeKey, LayerSchedule, LayerShapeKeyHash> map
+        ROTA_GUARDED_BY(mu);
   };
   static constexpr std::size_t kCacheShards = 8;
 

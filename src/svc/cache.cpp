@@ -252,6 +252,9 @@ ScheduleCache::ScheduleCache(ScheduleCacheOptions options)
   }
   if (removed > 0) {
     obs::MetricsRegistry::global().add("svc.cache.orphans_removed", removed);
+    // Construction is single-threaded, but the capability model has no
+    // "not yet published" notion — take the lock like everyone else.
+    const util::MutexLock stats_lock(stats_mu_);
     stats_.orphans_removed = removed;
   }
 }
@@ -276,12 +279,12 @@ std::optional<sched::LayerSchedule> ScheduleCache::lookup(
     const ScheduleCacheKey& key) {
   Shard& shard = shard_of(key);
   {
-    const std::lock_guard<std::mutex> lock(shard.mu);
+    const util::MutexLock lock(shard.mu);
     const auto it = shard.map.find(key.fingerprint);
     if (it != shard.map.end()) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
       obs::MetricsRegistry::global().add("svc.cache.hits_mem");
-      const std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      const util::MutexLock stats_lock(stats_mu_);
       ++stats_.hits_memory;
       return it->second.value;
     }
@@ -290,12 +293,12 @@ std::optional<sched::LayerSchedule> ScheduleCache::lookup(
     // Promote into memory so the next probe is lock-and-return.
     insert_memory_only(key, *from_disk);
     obs::MetricsRegistry::global().add("svc.cache.hits_disk");
-    const std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    const util::MutexLock stats_lock(stats_mu_);
     ++stats_.hits_disk;
     return from_disk;
   }
   obs::MetricsRegistry::global().add("svc.cache.misses");
-  const std::lock_guard<std::mutex> stats_lock(stats_mu_);
+  const util::MutexLock stats_lock(stats_mu_);
   ++stats_.misses;
   return std::nullopt;
 }
@@ -311,7 +314,7 @@ void ScheduleCache::insert_memory_only(const ScheduleCacheKey& key,
   Shard& shard = shard_of(key);
   std::int64_t evicted = 0;
   {
-    const std::lock_guard<std::mutex> lock(shard.mu);
+    const util::MutexLock lock(shard.mu);
     auto it = shard.map.find(key.fingerprint);
     if (it != shard.map.end()) {
       // Refresh: identical by construction (schedules are pure functions
@@ -332,7 +335,7 @@ void ScheduleCache::insert_memory_only(const ScheduleCacheKey& key,
   }
   if (evicted > 0) {
     obs::MetricsRegistry::global().add("svc.cache.evictions", evicted);
-    const std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    const util::MutexLock stats_lock(stats_mu_);
     stats_.evictions += evicted;
   }
 }
@@ -348,13 +351,13 @@ std::optional<sched::LayerSchedule> ScheduleCache::load_from_disk(
         [&] { return util::read_text_file_if_exists(path); },
         [&](int /*attempt*/, const util::io_error&) {
           obs::MetricsRegistry::global().add("svc.cache.disk_read_retries");
-          const std::lock_guard<std::mutex> stats_lock(stats_mu_);
+          const util::MutexLock stats_lock(stats_mu_);
           ++stats_.disk_read_retries;
         });
   } catch (const util::io_error&) {
     // Persistently unreadable: degrade to a miss and recompute.
     obs::MetricsRegistry::global().add("svc.cache.disk_corrupt");
-    const std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    const util::MutexLock stats_lock(stats_mu_);
     ++stats_.disk_corrupt;
     return std::nullopt;
   }
@@ -363,7 +366,7 @@ std::optional<sched::LayerSchedule> ScheduleCache::load_from_disk(
   auto decoded = decode_cache_entry(*content, key);
   if (!decoded.ok()) {
     obs::MetricsRegistry::global().add("svc.cache.disk_corrupt");
-    const std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    const util::MutexLock stats_lock(stats_mu_);
     ++stats_.disk_corrupt;
     return std::nullopt;
   }
@@ -385,26 +388,26 @@ void ScheduleCache::store_to_disk(const ScheduleCacheKey& key,
         [&] { util::write_file_atomic(path, encoded); },
         [&](int /*attempt*/, const util::io_error&) {
           obs::MetricsRegistry::global().add("svc.cache.disk_write_retries");
-          const std::lock_guard<std::mutex> stats_lock(stats_mu_);
+          const util::MutexLock stats_lock(stats_mu_);
           ++stats_.disk_write_retries;
         });
   } catch (const std::exception&) {
     // Best-effort tier: a read-only or full disk degrades to memory-only.
     obs::MetricsRegistry::global().add("svc.cache.disk_write_failures");
-    const std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    const util::MutexLock stats_lock(stats_mu_);
     ++stats_.disk_write_failures;
   }
 }
 
 ScheduleCacheStats ScheduleCache::stats() const {
-  const std::lock_guard<std::mutex> lock(stats_mu_);
+  const util::MutexLock lock(stats_mu_);
   return stats_;
 }
 
 std::size_t ScheduleCache::size() const {
   std::size_t total = 0;
   for (const Shard& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard.mu);
+    const util::MutexLock lock(shard.mu);
     total += shard.map.size();
   }
   return total;

@@ -3,7 +3,6 @@
 #include <array>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -14,6 +13,7 @@
 #include "sched/schedule.hpp"
 #include "util/result.hpp"
 #include "util/retry.hpp"
+#include "util/thread_annotations.hpp"
 
 /// \file cache.hpp
 /// The two-tier schedule cache at the heart of `rota::svc`. A layer's
@@ -103,7 +103,7 @@ class ScheduleCache {
   /// entry best-effort (failures are counted, never thrown).
   void insert(const ScheduleCacheKey& key, const sched::LayerSchedule& value);
 
-  [[nodiscard]] ScheduleCacheStats stats() const;
+  [[nodiscard]] ScheduleCacheStats stats() const ROTA_EXCLUDES(stats_mu_);
   [[nodiscard]] std::size_t size() const;
 
   /// The file a key would live at on disk ("" when no disk tier).
@@ -115,9 +115,11 @@ class ScheduleCache {
     std::list<std::string>::iterator lru_pos;
   };
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<std::string, Entry> map;  ///< fingerprint -> entry
-    std::list<std::string> lru;                  ///< MRU at front
+    mutable util::Mutex mu;
+    /// fingerprint -> entry
+    std::unordered_map<std::string, Entry> map ROTA_GUARDED_BY(mu);
+    /// MRU at front
+    std::list<std::string> lru ROTA_GUARDED_BY(mu);
   };
   static constexpr std::size_t kShards = 8;
 
@@ -137,8 +139,8 @@ class ScheduleCache {
   ScheduleCacheOptions options_;
   std::array<Shard, kShards> shards_;
 
-  mutable std::mutex stats_mu_;
-  ScheduleCacheStats stats_;
+  mutable util::Mutex stats_mu_;
+  ScheduleCacheStats stats_ ROTA_GUARDED_BY(stats_mu_);
 };
 
 /// Serialize one cache entry (versioned textual format; see cache.cpp).

@@ -82,7 +82,7 @@ PolicyOutcome run_policy(const arch::AcceleratorConfig& accel,
 }  // namespace
 
 Engine::Engine(EngineOptions options)
-    : options_(options), cache_(options.cache) {
+    : options_(std::move(options)), cache_(options_.cache) {
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
 }
 
@@ -90,7 +90,7 @@ Engine::~Engine() { shutdown(); }
 
 void Engine::shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const util::MutexLock lock(mu_);
     if (stopping_ && !dispatcher_.joinable()) return;
     stopping_ = true;
   }
@@ -104,7 +104,7 @@ std::future<Response> Engine::submit(Request request) {
   job.submitted = std::chrono::steady_clock::now();
   std::future<Response> future = job.promise.get_future();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const util::MutexLock lock(mu_);
     if (stopping_) {
       Response refused;
       refused.id = job.request.id;
@@ -136,8 +136,8 @@ void Engine::dispatcher_loop() {
   for (;;) {
     std::vector<Job> batch;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      util::MutexLock lock(mu_);
+      while (!stopping_ && queue_.empty()) cv_.wait(lock, mu_);
       if (queue_.empty()) return;  // stopping_ && drained
       batch.reserve(queue_.size());
       while (!queue_.empty()) {

@@ -2,18 +2,17 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <istream>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <thread>
 
 #include "svc/cache.hpp"
 #include "svc/request.hpp"
+#include "util/thread_annotations.hpp"
 
 /// \file engine.hpp
 /// `rota::svc::Engine`: the embeddable asynchronous batch-request engine
@@ -73,7 +72,7 @@ class Engine {
 
   /// Enqueue one request; the future resolves to its reply. After
   /// shutdown() began, resolves immediately with code unavailable.
-  std::future<Response> submit(Request request);
+  std::future<Response> submit(Request request) ROTA_EXCLUDES(mu_);
 
   /// Execute one request synchronously on the calling thread (no queue,
   /// no deadline bookkeeping). This is the single code path workers also
@@ -82,7 +81,7 @@ class Engine {
 
   /// Stop accepting work, answer everything already queued, join the
   /// dispatcher. Idempotent.
-  void shutdown();
+  void shutdown() ROTA_EXCLUDES(mu_);
 
   /// JSON-lines loop: read requests from `in` one per line, reply on
   /// `out` in input order (flushed at least every options().max_batch
@@ -115,7 +114,7 @@ class Engine {
     std::chrono::steady_clock::time_point submitted;
   };
 
-  void dispatcher_loop();
+  void dispatcher_loop() ROTA_EXCLUDES(mu_);
 
   /// Deadline/cancellation gate + execute() + metrics, for one job.
   Response run_job(Job& job);
@@ -123,10 +122,13 @@ class Engine {
   EngineOptions options_;
   ScheduleCache cache_;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Job> queue_;
-  bool stopping_ = false;
+  util::Mutex mu_;
+  util::CondVar cv_;
+  std::deque<Job> queue_ ROTA_GUARDED_BY(mu_);
+  bool stopping_ ROTA_GUARDED_BY(mu_) = false;
+  /// Started by the constructor, joined by shutdown() after stopping_
+  /// rises; joinable() is read under mu_, the join itself runs unlocked
+  /// (joining while holding mu_ would deadlock the drain).
   std::thread dispatcher_;
   std::atomic<std::int64_t> shed_count_{0};
 };

@@ -3,7 +3,6 @@
 #include <atomic>
 #include <filesystem>
 #include <fstream>
-#include <mutex>
 #include <sstream>
 #include <utility>
 
@@ -13,6 +12,7 @@
 #endif
 
 #include "util/check.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace rota::util {
 
@@ -23,15 +23,15 @@ namespace {
 /// NOLINTNEXTLINE(cppcoreguidelines-avoid-non-const-global-variables)
 std::atomic<bool> g_hook_armed{false};
 /// NOLINTNEXTLINE(cppcoreguidelines-avoid-non-const-global-variables)
-std::mutex g_hook_mu;
+util::Mutex g_hook_mu;
 /// NOLINTNEXTLINE(cppcoreguidelines-avoid-non-const-global-variables)
-IoFaultHook g_hook;
+IoFaultHook g_hook ROTA_GUARDED_BY(g_hook_mu);
 
 void run_hook(IoOp op, const std::string& path, std::string* data) {
   if (!g_hook_armed.load(std::memory_order_relaxed)) return;
   IoFaultHook hook;
   {
-    const std::lock_guard<std::mutex> lock(g_hook_mu);
+    const util::MutexLock lock(g_hook_mu);
     hook = g_hook;
   }
   if (hook) hook(op, path, data);
@@ -70,7 +70,7 @@ void write_stream_checked(const std::string& path, std::string_view content) {
 }  // namespace
 
 void set_io_fault_hook(IoFaultHook hook) {
-  const std::lock_guard<std::mutex> lock(g_hook_mu);
+  const util::MutexLock lock(g_hook_mu);
   g_hook = std::move(hook);
   g_hook_armed.store(static_cast<bool>(g_hook), std::memory_order_relaxed);
 }

@@ -1,0 +1,161 @@
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+/// \file thread_annotations.hpp
+/// The capability vocabulary for compile-time concurrency analysis
+/// (DESIGN.md §12). Under clang, the ROTA_* macros expand to the
+/// thread-safety-analysis attributes, so the `thread-safety` preset
+/// (`-Wthread-safety -Wthread-safety-beta -Werror`) turns a missing lock
+/// into a build break; under GCC/MSVC they expand to nothing and the
+/// wrappers below are plain std::mutex / std::condition_variable with
+/// zero overhead.
+///
+/// Usage discipline across the repo:
+///
+///   - every mutex is a util::Mutex, every lock a util::MutexLock, every
+///     condition variable a util::CondVar;
+///   - every field a mutex guards carries ROTA_GUARDED_BY(mu);
+///   - condition-variable waits are explicit while-loops in the caller
+///     (`while (!pred) cv.wait(lock, mu);`), never predicate lambdas —
+///     the analysis checks the predicate reads where the capability is
+///     visibly held;
+///   - state readable from a signal handler is *not* a capability: it is
+///     a lock-free std::atomic with a "signal-context" comment, and the
+///     handler itself is checked by the rota_lint signal-safety rule
+///     (tools/rota_lint.py), not by this header.
+///
+/// The macro set mirrors the clang documentation's canonical names with a
+/// ROTA_ prefix so future subsystems (sharded server, fleet simulator)
+/// share one vocabulary.
+
+#if defined(__clang__) && defined(__has_attribute)
+#define ROTA_THREAD_ANNOTATION_IMPL(x) __attribute__((x))
+#else
+#define ROTA_THREAD_ANNOTATION_IMPL(x)  // no-op outside clang
+#endif
+
+/// A type that acts as a lockable capability (mutexes).
+#define ROTA_CAPABILITY(x) ROTA_THREAD_ANNOTATION_IMPL(capability(x))
+
+/// An RAII type that acquires a capability at construction and releases
+/// it at destruction.
+#define ROTA_SCOPED_CAPABILITY ROTA_THREAD_ANNOTATION_IMPL(scoped_lockable)
+
+/// Data member readable/writable only while `x` is held.
+#define ROTA_GUARDED_BY(x) ROTA_THREAD_ANNOTATION_IMPL(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by `x`.
+#define ROTA_PT_GUARDED_BY(x) ROTA_THREAD_ANNOTATION_IMPL(pt_guarded_by(x))
+
+/// Function that must be called with the capabilities held (and does not
+/// release them).
+#define ROTA_REQUIRES(...) \
+  ROTA_THREAD_ANNOTATION_IMPL(requires_capability(__VA_ARGS__))
+
+/// Function that acquires the capabilities and holds them on return.
+#define ROTA_ACQUIRE(...) \
+  ROTA_THREAD_ANNOTATION_IMPL(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the capabilities (which must be held on entry).
+#define ROTA_RELEASE(...) \
+  ROTA_THREAD_ANNOTATION_IMPL(release_capability(__VA_ARGS__))
+
+/// Function that acquires the capability only when returning `ret`.
+#define ROTA_TRY_ACQUIRE(ret, ...) \
+  ROTA_THREAD_ANNOTATION_IMPL(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Function that must NOT be called while the capabilities are held
+/// (deadlock / double-lock documentation).
+#define ROTA_EXCLUDES(...) \
+  ROTA_THREAD_ANNOTATION_IMPL(locks_excluded(__VA_ARGS__))
+
+/// Declares a lock-ordering edge: this capability must be acquired after
+/// the listed ones.
+#define ROTA_ACQUIRED_AFTER(...) \
+  ROTA_THREAD_ANNOTATION_IMPL(acquired_after(__VA_ARGS__))
+
+/// Declares a lock-ordering edge: this capability must be acquired before
+/// the listed ones.
+#define ROTA_ACQUIRED_BEFORE(...) \
+  ROTA_THREAD_ANNOTATION_IMPL(acquired_before(__VA_ARGS__))
+
+/// Function returning a reference to the capability guarding its result.
+#define ROTA_RETURN_CAPABILITY(x) \
+  ROTA_THREAD_ANNOTATION_IMPL(lock_returned(x))
+
+/// Escape hatch: the analysis skips this function entirely. Every use
+/// carries a comment saying why (same policy as NOLINT).
+#define ROTA_NO_THREAD_SAFETY_ANALYSIS \
+  ROTA_THREAD_ANNOTATION_IMPL(no_thread_safety_analysis)
+
+namespace rota::util {
+
+/// std::mutex as a named capability. Annotation-transparent drop-in: the
+/// analysis sees acquire/release through the attributes; the generated
+/// code is identical to using std::mutex directly.
+class ROTA_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ROTA_ACQUIRE() { mu_.lock(); }
+  void unlock() ROTA_RELEASE() { mu_.unlock(); }
+  bool try_lock() ROTA_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// RAII scoped capability over a Mutex. Relockable (unlock()/lock()), so
+/// it covers both the lock_guard and the unique_lock idioms; CondVar can
+/// wait on it.
+class ROTA_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ROTA_ACQUIRE(mu) : lock_(mu.mu_) {}
+  /// Releases only if still held (~unique_lock checks ownership). An
+  /// empty body, not `= default`: attributes on defaulted members parse
+  /// differently across clang versions, and the analysis needs
+  /// release_capability attached here.
+  ~MutexLock() ROTA_RELEASE() {}
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Manual early release (the destructor then does nothing).
+  void unlock() ROTA_RELEASE() { lock_.unlock(); }
+  /// Re-acquire after an unlock().
+  void lock() ROTA_ACQUIRE() { lock_.lock(); }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// std::condition_variable bound to the annotated wrappers. wait() takes
+/// both the held lock and the Mutex it holds so the analysis can check
+/// the capability at every wait site; callers spell the predicate as an
+/// explicit while-loop around wait() (see file comment).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically release `lock` — which must be held and have been
+  /// constructed over `mu` — block, then re-acquire before returning.
+  void wait(MutexLock& lock, Mutex& mu) ROTA_REQUIRES(mu) {
+    static_cast<void>(mu);
+    cv_.wait(lock.lock_);
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace rota::util

@@ -1,0 +1,47 @@
+/// \file thread_safety_violation.cpp
+/// Deliberately mis-locked code. This TU must NOT compile under the
+/// `thread-safety` preset (-Wthread-safety -Werror): the CTest entry
+/// ThreadSafety.MislockedFixtureRejected builds it with WILL_FAIL, so CI
+/// proves the capability analysis is actually armed — a toolchain or
+/// macro regression that silently disables the analysis turns this
+/// always-failing build into a passing one and fails the suite.
+///
+/// Under other compilers the annotations expand to nothing and this file
+/// compiles fine; the test is only registered when ROTA_THREAD_SAFETY=ON.
+
+#include <cstdint>
+
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  // BUG (deliberate): touches `value_` without holding `mu_`.
+  void increment_unlocked() { ++value_; }
+
+  // BUG (deliberate): claims the caller holds `mu_`, then unlocks a
+  // mutex it never acquired.
+  void double_release() {
+    mu_.unlock();
+    mu_.unlock();
+  }
+
+  std::int64_t read() const {
+    const rota::util::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  mutable rota::util::Mutex mu_;
+  std::int64_t value_ ROTA_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.increment_unlocked();
+  if (counter.read() < 0) counter.double_release();  // never taken
+  return static_cast<int>(counter.read());
+}

@@ -30,9 +30,39 @@ Rules enforced (each can be suppressed on a specific line with a trailing
                rota::api`). v1 entry points report data errors through
                Result<T>; exceptions are an implementation detail of the
                historical surface and must not leak into the facade.
+  determinism  Serialized results must be a pure function of the inputs
+               and the seed. Three sub-checks: (a) no wall-clock reads
+               (system_clock, time(), gettimeofday, gmtime/localtime)
+               outside src/obs/manifest.cpp — the one place run metadata
+               legitimately records the time of day; (b) no range-for
+               over a std::unordered_{map,set} declared in the same file —
+               iteration order varies across libstdc++ versions and seeds,
+               so anything it feeds (output, accumulation into floats,
+               schedules) can drift; iterate sorted keys instead; (c) no
+               std::map/std::set keyed on a pointer or uintptr_t —
+               address-based ordering changes run to run under ASLR.
+  signal-safety
+               Bodies of functions registered as signal handlers (via
+               `sa_handler =` or `signal(SIG…, f)`) may only call the
+               async-signal-safe whitelist: _exit/_Exit/abort/raise/kill/
+               signal/write plus lock-free std::atomic member functions.
+               Everything else (malloc, iostreams, mutexes, even fprintf)
+               can deadlock or corrupt state when the signal lands inside
+               the allocator or a locked region.
+  api-noexcept Declarations in a versioned-API header (`namespace
+               rota::api`) that return Result<T> must be marked noexcept:
+               the Result contract is "errors come back as values", and a
+               missing noexcept lets an implementation exception escape
+               through the facade unannounced.
 
 Header self-containment is checked by the CMake `rota_header_checks`
-target, which compiles every src/ header as a standalone TU.
+target, which compiles every src/ header as a standalone TU. Clang's
+-Wthread-safety (the `thread-safety` CMake preset) covers lock
+discipline; this linter covers what the type system cannot see.
+
+With `--compile-db PATH` (a compile_commands.json), only .cpp files that
+appear in the database are scanned — headers are always scanned — so the
+lint run matches what the build actually compiles.
 
 Exit status: 0 when clean, 1 when any rule fires, 2 on usage errors.
 """
@@ -40,6 +70,7 @@ Exit status: 0 when clean, 1 when any rule fires, 2 on usage errors.
 from __future__ import annotations
 
 import argparse
+import json
 import re
 import sys
 from pathlib import Path
@@ -63,6 +94,43 @@ LOG_ALLOWED = (
 ALLOW_PATTERN = re.compile(r"//\s*rota-lint:\s*allow\(([a-z-]+)\)")
 PRE_TAG = re.compile(r"[\\@]pre\b")
 FUNC_NAME = re.compile(r"([A-Za-z_]\w*)\s*\(")
+
+# --- determinism rule ---------------------------------------------------
+WALL_CLOCK_PATTERN = re.compile(
+    r"\bsystem_clock\b|\bgettimeofday\s*\(|\bclock_gettime\s*\(|"
+    r"\btime\s*\(\s*(?:nullptr|NULL|0\s*\))|"
+    r"\b(?:localtime|gmtime)(?:_r|_s)?\s*\(|\bstrftime\s*\(")
+# The run manifest is the one artifact whose job is recording the time of
+# day; everything else must stay a pure function of inputs and seed.
+WALL_CLOCK_ALLOWED = (Path("src") / "obs" / "manifest.cpp",)
+UNORDERED_DECL = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<")
+RANGE_FOR = re.compile(r"\bfor\s*\([^();]*:\s*([^();]+)\)")
+PTR_KEYED_PATTERN = re.compile(
+    r"\bstd::(?:map|set)\s*<\s*(?:const\s+)?"
+    r"(?:[A-Za-z_][\w:]*(?:<[^<>]*>)?\s*\*|(?:std::)?uintptr_t\b)")
+
+# --- signal-safety rule -------------------------------------------------
+HANDLER_REG = re.compile(
+    r"\bsa_handler\s*=\s*&?\s*([A-Za-z_]\w*)|"
+    r"\bsignal\s*\(\s*SIG\w+\s*,\s*&?\s*([A-Za-z_]\w*)\s*\)")
+# POSIX async-signal-safe calls this codebase has a use for, plus the
+# member functions of lock-free std::atomic (safe by [support.signal]).
+SIGNAL_SAFE_CALLS = frozenset({
+    "_exit", "_Exit", "abort", "raise", "kill", "signal", "write",
+    "exchange", "store", "load", "fetch_add", "fetch_sub", "fetch_or",
+    "fetch_and", "fetch_xor", "compare_exchange_weak",
+    "compare_exchange_strong", "test_and_set", "clear",
+})
+# Keywords and functional-cast type names `(\w+)\s*\(` also matches.
+SIGNAL_SAFE_KEYWORDS = frozenset({
+    "if", "while", "for", "switch", "return", "sizeof", "alignof",
+    "defined", "int", "long", "short", "unsigned", "signed", "bool",
+    "char", "void", "auto", "decltype", "static_assert",
+})
+
+# --- api-noexcept rule --------------------------------------------------
+RESULT_RETURN = re.compile(r"\bResult\s*<")
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -97,8 +165,9 @@ def strip_comments_and_strings(text: str) -> str:
 
 
 class Linter:
-    def __init__(self, root: Path):
+    def __init__(self, root: Path, compile_db: set[Path] | None = None):
         self.root = root
+        self.compile_db = compile_db
         self.failures: list[str] = []
 
     def fail(self, path: Path, line: int, rule: str, msg: str) -> None:
@@ -163,6 +232,93 @@ class Linter:
                 self.fail(path, lineno, "api-no-throw",
                           "public api::v1 headers must not throw; return "
                           "util::Result<T> instead")
+
+    def check_determinism(self, path: Path, stripped: str,
+                          raw: list[str]) -> None:
+        """Wall-clock reads, unordered-container iteration and
+        address-keyed ordering all make output depend on something other
+        than the inputs and the seed."""
+        rel = path.relative_to(self.root)
+        unordered = self._unordered_names(stripped)
+        for lineno, line in enumerate(stripped.splitlines(), 1):
+            if self.allowed(raw, lineno, "determinism"):
+                continue
+            if rel not in WALL_CLOCK_ALLOWED and WALL_CLOCK_PATTERN.search(
+                    line):
+                self.fail(path, lineno, "determinism",
+                          "wall-clock read; results must be a pure "
+                          "function of inputs and seed (run metadata "
+                          "belongs in obs/manifest.cpp)")
+            for m in RANGE_FOR.finditer(line):
+                idents = re.findall(r"[A-Za-z_]\w*", m.group(1))
+                if idents and idents[-1] in unordered:
+                    self.fail(path, lineno, "determinism",
+                              f"range-for over unordered container "
+                              f"`{idents[-1]}`; iteration order is not "
+                              "deterministic — iterate sorted keys (or "
+                              "copy out and sort) before anything "
+                              "order-sensitive")
+            if PTR_KEYED_PATTERN.search(line):
+                self.fail(path, lineno, "determinism",
+                          "std::map/std::set keyed on an address; "
+                          "pointer order changes run to run under ASLR "
+                          "— key on a stable id instead")
+
+    def check_signal_safety(self, path: Path, stripped: str,
+                            raw: list[str]) -> None:
+        """Registered signal handlers may only call the async-signal-safe
+        whitelist (POSIX set + lock-free atomic members)."""
+        handlers = set()
+        for m in HANDLER_REG.finditer(stripped):
+            name = m.group(1) or m.group(2)
+            if name not in ("SIG_IGN", "SIG_DFL"):
+                handlers.add(name)
+        for name in sorted(handlers):
+            span = self._find_body_span(stripped, name)
+            if span is None:
+                continue  # defined elsewhere; its own file is checked
+            body, body_line = span
+            for lineno, line in enumerate(body.splitlines(), body_line):
+                for call in re.finditer(r"([A-Za-z_]\w*)\s*\(", line):
+                    ident = call.group(1)
+                    if (ident in SIGNAL_SAFE_CALLS
+                            or ident in SIGNAL_SAFE_KEYWORDS):
+                        continue
+                    if self.allowed(raw, lineno, "signal-safety"):
+                        continue
+                    self.fail(path, lineno, "signal-safety",
+                              f"`{ident}` called inside signal handler "
+                              f"`{name}` is not async-signal-safe; "
+                              "handlers may only touch lock-free "
+                              "atomics and the _exit/raise/write set")
+
+    def check_api_noexcept(self, path: Path, stripped: str,
+                           raw: list[str]) -> None:
+        """Result<T>-returning declarations in versioned-API headers must
+        be noexcept — the facade's contract is errors-as-values."""
+        if path.suffix != ".hpp":
+            return
+        if not re.search(r"\bnamespace\s+rota::api\b", stripped):
+            return
+        for m in RESULT_RETURN.finditer(stripped):
+            line_start = stripped.rfind("\n", 0, m.start()) + 1
+            j = m.end()
+            while j < len(stripped) and stripped[j] not in ";{":
+                j += 1
+            decl = stripped[line_start:j]
+            if "(" not in decl or decl.lstrip().startswith("using"):
+                continue  # alias or non-function use, not an entry point
+            lineno = stripped.count("\n", 0, m.start()) + 1
+            if self.allowed(raw, lineno, "api-noexcept"):
+                continue
+            if "noexcept" not in decl:
+                fn = FUNC_NAME.search(decl)
+                label = f"`{fn.group(1)}`" if fn else "declaration"
+                self.fail(path, lineno, "api-noexcept",
+                          f"{label} returns Result<T> but is not "
+                          "noexcept; the v1 surface reports every error "
+                          "as a value, so mark it noexcept and catch "
+                          "internally")
 
     def check_pragma_once(self, path: Path, raw: list[str]) -> None:
         if path.suffix != ".hpp":
@@ -245,6 +401,51 @@ class Linter:
         return False  # no definition found anywhere we can see
 
     @staticmethod
+    def _unordered_names(stripped: str) -> set[str]:
+        """Identifiers declared in this file with an unordered container
+        type (members, locals, parameters)."""
+        names: set[str] = set()
+        for m in UNORDERED_DECL.finditer(stripped):
+            depth, i = 1, stripped.find("<", m.start()) + 1
+            while i < len(stripped) and depth:
+                if stripped[i] == "<":
+                    depth += 1
+                elif stripped[i] == ">":
+                    depth -= 1
+                i += 1
+            dm = re.match(r"\s*[&*]?\s*([A-Za-z_]\w*)", stripped[i:i + 160])
+            if dm and dm.group(1) not in ("const", "constexpr"):
+                names.add(dm.group(1))
+        return names
+
+    @staticmethod
+    def _find_body_span(text: str, name: str) -> tuple[str, int] | None:
+        """Like _find_body, but also returns the 1-based line of the
+        opening brace (for per-line diagnostics)."""
+        for m in re.finditer(r"\b%s\s*\(" % re.escape(name), text):
+            depth, i = 1, m.end()
+            while i < len(text) and depth:
+                if text[i] == "(":
+                    depth += 1
+                elif text[i] == ")":
+                    depth -= 1
+                i += 1
+            j = i
+            while j < len(text) and text[j] not in ";{":
+                j += 1
+            if j >= len(text) or text[j] == ";":
+                continue
+            depth, k = 1, j + 1
+            while k < len(text) and depth:
+                if text[k] == "{":
+                    depth += 1
+                elif text[k] == "}":
+                    depth -= 1
+                k += 1
+            return text[j:k], text.count("\n", 0, j) + 1
+        return None
+
+    @staticmethod
     def _find_body(text: str, name: str) -> str | None:
         """Brace-matched body of the first definition of `name` (skips
         declarations, which end in `;` before any `{`)."""
@@ -285,6 +486,11 @@ class Linter:
             print("rota_lint: no sources found — wrong --root?",
                   file=sys.stderr)
             return 2
+        if self.compile_db is not None:
+            # Headers are always scanned (the DB never lists them); .cpp
+            # files are restricted to what the build actually compiles.
+            files = [p for p in files
+                     if p.suffix != ".cpp" or p.resolve() in self.compile_db]
         for path in files:
             text = path.read_text(encoding="utf-8")
             raw = text.splitlines()
@@ -293,6 +499,9 @@ class Linter:
             self.check_float_wear(path, stripped, raw)
             self.check_log_discipline(path, stripped, raw)
             self.check_api_no_throw(path, stripped, raw)
+            self.check_determinism(path, stripped, raw)
+            self.check_signal_safety(path, stripped, raw)
+            self.check_api_noexcept(path, stripped, raw)
             self.check_pragma_once(path, raw)
             self.check_pre_require(path, text, stripped, raw)
         if self.failures:
@@ -304,17 +513,36 @@ class Linter:
         return 0
 
 
+def load_compile_db(path: Path) -> set[Path]:
+    """Absolute paths of every .cpp a compile_commands.json compiles."""
+    try:
+        entries = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as err:
+        raise SystemExit(f"rota_lint: cannot read compile db {path}: {err}")
+    files: set[Path] = set()
+    for entry in entries:
+        f = Path(entry["file"])
+        if not f.is_absolute():
+            f = Path(entry.get("directory", ".")) / f
+        files.add(f.resolve())
+    return files
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--root", type=Path, default=Path(__file__).parent.parent,
                     help="repository root (default: parent of tools/)")
+    ap.add_argument("--compile-db", type=Path, default=None, metavar="PATH",
+                    help="compile_commands.json; restricts .cpp scanning to "
+                         "files the build compiles (headers always scanned)")
     args = ap.parse_args()
     root = args.root.resolve()
     if not (root / "src").is_dir():
         print(f"rota_lint: {root} does not look like the repo root",
               file=sys.stderr)
         return 2
-    return Linter(root).run()
+    db = load_compile_db(args.compile_db) if args.compile_db else None
+    return Linter(root, db).run()
 
 
 if __name__ == "__main__":
