@@ -17,6 +17,7 @@
 
 #include "bench_common.hpp"
 #include "core/rota.hpp"
+#include "obs/event_log.hpp"
 
 namespace {
 
@@ -143,6 +144,31 @@ void BM_ExperimentSqueezeNet100Par(benchmark::State& state) {
 }
 BENCHMARK(BM_ExperimentSqueezeNet100Par)
     ->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+// Disabled-observability cost gate: with no sinks armed, a metric update
+// and an event-log call must each stay one relaxed atomic load + branch,
+// so the hot paths they instrument (svc request handling, the wear inner
+// loops) pay nothing when telemetry is off. A regression here shows up as
+// these going from ~1 ns to lock-acquisition territory.
+void BM_ObsDisabledCounter(benchmark::State& state) {
+  auto& reg = obs::MetricsRegistry::global();
+  reg.set_enabled(false);
+  for (auto _ : state) {
+    reg.add("bench.disabled_counter");
+    reg.observe("bench.disabled_hist", 1.0);
+    reg.gauge("bench.disabled_gauge", 1.0);
+  }
+}
+BENCHMARK(BM_ObsDisabledCounter);
+
+void BM_ObsDisabledEventLog(benchmark::State& state) {
+  auto& events = obs::EventLog::global();
+  events.set_enabled(false);
+  for (auto _ : state) {
+    obs::log_event(obs::Severity::kInfo, "bench", "disabled event");
+  }
+}
+BENCHMARK(BM_ObsDisabledEventLog);
 
 /// Console reporter that also captures per-iteration timings so main can
 /// write the machine-readable BENCH_perf.json after the run.

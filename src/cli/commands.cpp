@@ -6,8 +6,11 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <iostream>
+#include <memory>
 #include <sstream>
+#include <string_view>
 
 #include "cli/signals.hpp"
 #include "core/rota.hpp"
@@ -16,12 +19,15 @@
 #include "fi/inject.hpp"
 #include "svc/engine.hpp"
 #include "obs/build_info.hpp"
+#include "obs/event_log.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
+#include "obs/snapshot.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/io.hpp"
+#include "util/retry.hpp"
 
 namespace rota::cli {
 
@@ -441,12 +447,16 @@ int cmd_sweep(const Options& opt, std::ostream& out) {
                    "corrupt checkpoint: sweep state out of range");
       csv = rows->second;
       next_cell = static_cast<std::size_t>(cp.progress);
-      std::cerr << "resuming sweep from checkpoint " << opt.checkpoint_path
-                << " (" << next_cell << "/" << nets.size()
-                << " workloads done)\n";
+      obs::log_event(obs::Severity::kInfo, "cli",
+                     "resuming sweep from checkpoint " +
+                         opt.checkpoint_path + " (" +
+                         std::to_string(next_cell) + "/" +
+                         std::to_string(nets.size()) + " workloads done)");
     }
   }
 
+  obs::ProgressReporter progress("sweep",
+                                 static_cast<std::int64_t>(nets.size()));
   const auto save = [&](std::size_t done) {
     if (opt.checkpoint_path.empty()) return;
     fi::Checkpoint cp;
@@ -455,15 +465,16 @@ int cmd_sweep(const Options& opt, std::ostream& out) {
     cp.progress = static_cast<std::int64_t>(done);
     cp.fields["csv"] = csv;
     fi::save_checkpoint(opt.checkpoint_path, cp);
+    progress.note_checkpoint();
   };
 
-  obs::ProgressReporter progress("sweep",
-                                 static_cast<std::int64_t>(nets.size()));
   for (std::size_t n = next_cell; n < nets.size(); ++n) {
     if (interrupted()) {
       save(n);
-      std::cerr << "interrupted; sweep state saved at " << n << "/"
-                << nets.size() << " workloads\n";
+      obs::log_event(obs::Severity::kWarn, "cli",
+                     "interrupted; sweep state saved at " +
+                         std::to_string(n) + "/" +
+                         std::to_string(nets.size()) + " workloads");
       return kExitInterrupted;
     }
     const ExperimentResult res = exp.run(nets[n], policies);
@@ -530,11 +541,20 @@ int cmd_mc(const Options& opt, std::ostream& out) {
       partial.sum = parse_hexfloat(sum->second, "sum");
       partial.sum_sq = parse_hexfloat(sum_sq->second, "sum_sq");
       partial.next_chunk = cp.progress;
-      std::cerr << "resuming mc from checkpoint " << opt.checkpoint_path
-                << " (chunk " << partial.next_chunk << ")\n";
+      obs::log_event(obs::Severity::kInfo, "cli",
+                     "resuming mc from checkpoint " + opt.checkpoint_path +
+                         " (chunk " + std::to_string(partial.next_chunk) +
+                         ")");
     }
   }
 
+  // Checkpoint cadence: 8 substream chunks (32768 trials) per step keeps
+  // the save overhead negligible against the sampling work.
+  constexpr std::int64_t kChunksPerStep = 8;
+  const std::int64_t total_chunks =
+      (opt.trials + rel::kMonteCarloChunkTrials - 1) /
+      rel::kMonteCarloChunkTrials;
+  obs::ProgressReporter progress("mc " + net.abbr(), total_chunks);
   const auto save = [&] {
     if (opt.checkpoint_path.empty()) return;
     fi::Checkpoint cp;
@@ -544,25 +564,27 @@ int cmd_mc(const Options& opt, std::ostream& out) {
     cp.fields["sum"] = hexfloat(partial.sum);
     cp.fields["sum_sq"] = hexfloat(partial.sum_sq);
     fi::save_checkpoint(opt.checkpoint_path, cp);
+    progress.note_checkpoint();
   };
 
-  // Checkpoint cadence: 8 substream chunks (32768 trials) per step keeps
-  // the save overhead negligible against the sampling work.
-  constexpr std::int64_t kChunksPerStep = 8;
   for (;;) {
     if (interrupted()) {
       save();
-      std::cerr << "interrupted; mc state saved at chunk "
-                << partial.next_chunk << '\n';
+      obs::log_event(obs::Severity::kWarn, "cli",
+                     "interrupted; mc state saved at chunk " +
+                         std::to_string(partial.next_chunk));
       return kExitInterrupted;
     }
+    const std::int64_t before = partial.next_chunk;
     const bool more =
         rel::monte_carlo_mttf_step(alphas, beta, 1.0, opt.trials, opt.seed,
                                    threads_of(opt), &partial, kChunksPerStep);
     save();
+    progress.tick(partial.next_chunk - before);
     tick_interrupt_budget();
     if (!more) break;
   }
+  progress.finish();
 
   const rel::MonteCarloResult res =
       rel::monte_carlo_mttf_finalize(partial, opt.trials);
@@ -615,13 +637,31 @@ class ObservabilityScope {
   explicit ObservabilityScope(const Options& options) : options_(options) {
     auto& reg = obs::MetricsRegistry::global();
     auto& tracer = obs::Tracer::global();
-    if (!options_.metrics_path.empty() || options_.verbose) {
+    auto& events = obs::EventLog::global();
+    if (!options_.metrics_path.empty() || options_.verbose ||
+        !options_.stats_out_path.empty()) {
       reg.reset();
       reg.set_enabled(true);
     }
     if (!options_.trace_path.empty()) {
       tracer.reset();
       tracer.set_enabled(true);
+    }
+    // The event log is always live for a CLI run: the ring is cheap, and
+    // echoing kWarn+ to stderr preserves the old notice UX (interrupts,
+    // sheds, snapshot failures) even with no --events sink.
+    events.reset();
+    events.set_enabled(true);
+    events.set_echo_stderr(true);
+    if (!options_.events_path.empty()) events.set_sink(options_.events_path);
+    if (!options_.stats_out_path.empty()) {
+      obs::SnapshotPublisher::Options pub;
+      pub.json_path = options_.stats_out_path;
+      pub.openmetrics_path = openmetrics_twin(options_.stats_out_path);
+      if (options_.stats_interval_ms > 0)
+        pub.interval = std::chrono::milliseconds(options_.stats_interval_ms);
+      publisher_ = std::make_unique<obs::SnapshotPublisher>(pub);
+      if (options_.stats_interval_ms > 0) publisher_->start();
     }
     if (options_.progress) obs::ProgressReporter::set_enabled(true);
     manifest_ = obs::make_run_manifest("rota", options_.raw_args);
@@ -652,13 +692,18 @@ class ObservabilityScope {
     if (options_.verb == Verb::kMc)
       manifest_.extra["trials"] = std::to_string(options_.trials);
     start_ = std::chrono::steady_clock::now();
+    obs::log_event(obs::Severity::kInfo, "cli",
+                   "run started: " + verb_name(options_.verb));
   }
 
   ObservabilityScope(const ObservabilityScope&) = delete;
   ObservabilityScope& operator=(const ObservabilityScope&) = delete;
 
   /// Write the requested sinks; returns 0 or 1 (sink failure). Called on
-  /// the success path so write errors can influence the exit code.
+  /// the success path so write errors can influence the exit code. Every
+  /// write is atomic (temp + fsync + rename) with transient faults
+  /// retried, so a crash or injected fault mid-write can never leave a
+  /// truncated report behind.
   int write_sinks(std::ostream& out) {
     int rc = 0;
     auto& reg = obs::MetricsRegistry::global();
@@ -667,10 +712,19 @@ class ObservabilityScope {
         std::chrono::duration_cast<std::chrono::duration<double>>(
             std::chrono::steady_clock::now() - start_)
             .count();
+    {
+      std::ostringstream done;
+      done << "run finished: " << verb_name(options_.verb) << " ("
+           << manifest_.wall_seconds << "s)";
+      obs::log_event(obs::Severity::kInfo, "cli", done.str());
+    }
     if (!options_.metrics_path.empty()) {
       try {
-        util::write_text_file(options_.metrics_path,
-                              obs::metrics_report_json(manifest_, reg));
+        const std::string report = obs::metrics_report_json(manifest_, reg);
+        util::retry_io(
+            util::RetryOptions{},
+            std::hash<std::string>{}(options_.metrics_path),
+            [&] { util::write_file_atomic(options_.metrics_path, report); });
         out << "wrote metrics " << options_.metrics_path << '\n';
       } catch (const util::io_error& e) {
         out << "error: " << e.what() << '\n';
@@ -687,18 +741,49 @@ class ObservabilityScope {
         rc = 1;
       }
     }
+    if (publisher_) {
+      // stop() joins the sampler and publishes the exit-state snapshot
+      // (the only one, in exit-only mode). Failures were already counted
+      // and logged by the publisher; they surface in the exit code here.
+      publisher_->stop();
+      if (publisher_->published() > 0) {
+        out << "wrote stats " << options_.stats_out_path << '\n';
+      }
+      if (publisher_->failed() > 0) {
+        out << "error: " << publisher_->failed()
+            << " stats snapshot(s) failed to publish\n";
+        rc = 1;
+      }
+    }
     return rc;
   }
 
   ~ObservabilityScope() {
+    publisher_.reset();  // joins the sampler before the sinks detach
     obs::MetricsRegistry::global().set_enabled(false);
     obs::Tracer::global().set_enabled(false);
     obs::ProgressReporter::set_enabled(false);
+    auto& events = obs::EventLog::global();
+    events.set_echo_stderr(false);
+    events.reset();  // detaches the --events sink
+    events.set_enabled(false);
   }
 
  private:
+  /// `x.json` -> `x.om`; anything else gets `.om` appended.
+  static std::string openmetrics_twin(const std::string& json_path) {
+    static constexpr std::string_view kJsonExt = ".json";
+    if (json_path.size() > kJsonExt.size() &&
+        json_path.compare(json_path.size() - kJsonExt.size(),
+                          kJsonExt.size(), kJsonExt) == 0) {
+      return json_path.substr(0, json_path.size() - kJsonExt.size()) + ".om";
+    }
+    return json_path + ".om";
+  }
+
   const Options& options_;
   obs::RunManifest manifest_;
+  std::unique_ptr<obs::SnapshotPublisher> publisher_;
   std::chrono::steady_clock::time_point start_{};
 };
 
@@ -712,7 +797,9 @@ int run(const Options& options, std::istream& in, std::ostream& out) {
   const int rc = dispatch(options, in, out);
   // serve owns `out` as its JSON-lines reply channel, so "wrote metrics"
   // notices must not be interleaved with protocol replies.
-  std::ostream& notices = options.verb == Verb::kServe ? std::cerr : out;
+  std::ostream& notices = options.verb == Verb::kServe
+                              ? std::cerr  // rota-lint: allow(log-discipline)
+                              : out;
   const int sink_rc = scope.write_sinks(notices);
   return rc != 0 ? rc : sink_rc;
 }

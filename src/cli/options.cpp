@@ -47,11 +47,13 @@ constexpr std::string_view kAllFlags[] = {
     "--pgm",     "--csv",     "--schedule", "--seed",     "--mc",
     "--threads", "--metrics", "--trace",   "--progress",  "-v",
     "--verbose", "--cache-dir", "--cache-cap", "--batch", "--queue-cap",
-    "--fault",   "--checkpoint", "--trials"};
+    "--fault",   "--checkpoint", "--trials",
+    "--stats-out", "--stats-interval", "--events"};
 
 /// The observability flags every working verb owns.
-constexpr std::string_view kObsFlags[] = {"--metrics", "--trace",
-                                          "--progress", "-v", "--verbose"};
+constexpr std::string_view kObsFlags[] = {
+    "--metrics", "--trace", "--stats-out", "--stats-interval", "--events",
+    "--progress", "-v", "--verbose"};
 
 /// Flags owned by `verb` beyond the shared observability set. The scoping
 /// mirrors what each cmd_* actually reads: a flag a verb would silently
@@ -270,6 +272,15 @@ Options parse(const std::vector<std::string>& args) {
       opt.metrics_path = value_of(flag);
     } else if (flag == "--trace") {
       opt.trace_path = value_of(flag);
+    } else if (flag == "--stats-out") {
+      opt.stats_out_path = value_of(flag);
+      ROTA_REQUIRE(!opt.stats_out_path.empty(),
+                   "--stats-out needs a file path");
+    } else if (flag == "--stats-interval") {
+      opt.stats_interval_ms = parse_positive_int(value_of(flag), flag);
+    } else if (flag == "--events") {
+      opt.events_path = value_of(flag);
+      ROTA_REQUIRE(!opt.events_path.empty(), "--events needs a file path");
     } else if (flag == "--cache-dir") {
       opt.cache_dir = value_of(flag);
     } else if (flag == "--cache-cap") {
@@ -294,6 +305,10 @@ Options parse(const std::vector<std::string>& args) {
       ROTA_UNREACHABLE("flag '" + flag + "' owned but not handled");
     }
   }
+
+  ROTA_REQUIRE(opt.stats_interval_ms == 0 || !opt.stats_out_path.empty(),
+               "--stats-interval requires --stats-out FILE (where the "
+               "periodic snapshots land)");
 
   if (wants_workload) {
     const bool has_source = !opt.workload.empty() ||
@@ -346,8 +361,9 @@ std::string usage() {
       "                            lifetime gain (extension)\n"
       "    --array WxH  --iters N  --seed N  --threads N\n"
       "  serve                     JSON-lines batch service on stdin/stdout\n"
-      "                            (one request object per line; see "
-      "README)\n"
+      "                            (one request object per line; ops ping,\n"
+      "                            schedule, wear, lifetime, stats,\n"
+      "                            shutdown; see README)\n"
       "    --threads N             concurrent requests per batch (default "
       "1)\n"
       "    --cache-dir DIR         on-disk schedule-cache tier (default "
@@ -394,7 +410,23 @@ std::string usage() {
       "run\n"
       "  --trace FILE              write a Chrome trace-event JSON "
       "(Perfetto)\n"
-      "  --progress                ETA progress on stderr (TTY only)\n"
+      "  --stats-out FILE          live metrics snapshot (JSON; an\n"
+      "                            OpenMetrics twin lands next to it as\n"
+      "                            FILE with .om extension); written\n"
+      "                            atomically at exit, and periodically "
+      "with\n"
+      "                            --stats-interval\n"
+      "  --stats-interval MS       publish the snapshot every MS "
+      "milliseconds\n"
+      "                            on a sampler thread (requires "
+      "--stats-out)\n"
+      "  --events FILE             structured JSON-lines event log "
+      "(rotated\n"
+      "                            at 1 MiB; FILE.1 keeps one generation)\n"
+      "  --progress                ETA progress on stderr (TTY only; with\n"
+      "                            --events, non-TTY runs heartbeat "
+      "through\n"
+      "                            the event log instead)\n"
       "  -v, --verbose             print the collected metrics table\n"
       "\n"
       "signals (serve, sweep, mc): the first SIGINT/SIGTERM drains, saves\n"

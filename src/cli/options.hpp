@@ -70,6 +70,9 @@ struct Options {
   // Observability (see src/obs/): every verb accepts these.
   std::string metrics_path;  ///< write {manifest, metrics} JSON here
   std::string trace_path;    ///< write a Chrome trace-event JSON here
+  std::string stats_out_path;  ///< live snapshot JSON path (+ .om twin)
+  std::int64_t stats_interval_ms = 0;  ///< snapshot period; 0 = exit only
+  std::string events_path;   ///< structured EventLog JSON-lines sink
   bool progress = false;     ///< ETA progress lines on stderr (TTY only)
   bool verbose = false;      ///< print the metrics table after the run
   std::string raw_args;      ///< the argv tail, joined (for RunManifest)

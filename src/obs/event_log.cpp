@@ -1,0 +1,166 @@
+#include "obs/event_log.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <system_error>
+#include <utility>
+
+#include "obs/json.hpp"
+
+namespace rota::obs {
+
+std::string_view to_string(Severity severity) {
+  switch (severity) {
+    case Severity::kDebug:
+      return "debug";
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarn:
+      return "warn";
+    case Severity::kError:
+      return "error";
+  }
+  return "info";
+}
+
+std::string to_json_line(const Event& event) {
+  std::ostringstream os;
+  os << "{\"schema_version\":" << kSchemaVersion << ",\"seq\":" << event.seq
+     << ",\"t_s\":" << json_number(event.t_s)
+     << ",\"severity\":" << json_quote(to_string(event.severity))
+     << ",\"component\":" << json_quote(event.component)
+     << ",\"message\":" << json_quote(event.message);
+  if (event.request_seq != 0)
+    os << ",\"request_seq\":" << event.request_seq;
+  if (!event.request_id.empty())
+    os << ",\"request_id\":" << json_quote(event.request_id);
+  os << '}';
+  return os.str();
+}
+
+EventLog::EventLog() : epoch_(std::chrono::steady_clock::now()) {}
+
+EventLog& EventLog::global() {
+  static EventLog log;
+  return log;
+}
+
+void EventLog::set_sink(std::string path, std::uint64_t rotate_bytes) {
+  const util::MutexLock lock(mu_);
+  sink_path_ = std::move(path);
+  rotate_bytes_ = rotate_bytes == 0 ? kDefaultRotateBytes : rotate_bytes;
+  std::error_code ec;
+  const auto existing = std::filesystem::file_size(sink_path_, ec);
+  sink_bytes_ = ec ? 0 : static_cast<std::uint64_t>(existing);
+  if (ec) {
+    // Create the file eagerly so quiet runs still leave a (possibly
+    // empty) sink behind and `tail -f` works from the start.
+    std::ofstream touch(sink_path_, std::ios::binary | std::ios::app);
+    if (!touch) ++sink_errors_;
+  }
+  set_enabled(true);
+}
+
+void EventLog::clear_sink() {
+  const util::MutexLock lock(mu_);
+  sink_path_.clear();
+  sink_bytes_ = 0;
+}
+
+void EventLog::set_echo_stderr(bool on) {
+  const util::MutexLock lock(mu_);
+  echo_stderr_ = on;
+}
+
+void EventLog::append_to_sink(const std::string& line) {
+  if (sink_bytes_ > 0 && sink_bytes_ + line.size() > rotate_bytes_) {
+    // Size-based rotation: one previous generation is kept at `path.1`.
+    std::error_code ec;
+    std::filesystem::rename(sink_path_, sink_path_ + ".1", ec);
+    if (!ec) {
+      ++rotations_;
+      sink_bytes_ = 0;
+    }
+  }
+  std::ofstream out(sink_path_, std::ios::binary | std::ios::app);
+  out << line << '\n';
+  out.flush();
+  if (!out) {
+    ++sink_errors_;  // A logger cannot usefully log its own failure.
+    return;
+  }
+  sink_bytes_ += line.size() + 1;
+}
+
+void EventLog::log_slow(Severity severity, std::string_view component,
+                        std::string_view message, std::uint64_t request_seq,
+                        std::string_view request_id) {
+  Event ev;
+  const auto elapsed = std::chrono::steady_clock::now() - epoch_;
+  ev.t_s = std::chrono::duration_cast<std::chrono::duration<double>>(elapsed)
+               .count();
+  ev.severity = severity;
+  ev.component = std::string(component);
+  ev.message = std::string(message);
+  ev.request_seq = request_seq;
+  ev.request_id = std::string(request_id);
+
+  const util::MutexLock lock(mu_);
+  ev.seq = next_seq_++;
+  if (ring_.size() < kRingCapacity) {
+    ring_.push_back(ev);
+  } else {
+    ring_[ring_next_] = ev;
+  }
+  ring_next_ = (ring_next_ + 1) % kRingCapacity;
+  if (!sink_path_.empty()) append_to_sink(to_json_line(ev));
+  if (echo_stderr_ && severity >= Severity::kWarn) {
+    // The one sanctioned terminal rendering (CLI front-ends opt in);
+    // stderr so protocol stdout (rota serve) stays machine-clean.
+    std::cerr << "rota: [" << ev.component << "] " << ev.message << '\n';
+  }
+}
+
+std::vector<Event> EventLog::recent() const {
+  const util::MutexLock lock(mu_);
+  std::vector<Event> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < kRingCapacity) {
+    out = ring_;
+  } else {
+    for (std::size_t i = 0; i < kRingCapacity; ++i)
+      out.push_back(ring_[(ring_next_ + i) % kRingCapacity]);
+  }
+  return out;
+}
+
+std::uint64_t EventLog::total_logged() const {
+  const util::MutexLock lock(mu_);
+  return next_seq_ - 1;
+}
+
+std::uint64_t EventLog::rotations() const {
+  const util::MutexLock lock(mu_);
+  return rotations_;
+}
+
+std::uint64_t EventLog::sink_errors() const {
+  const util::MutexLock lock(mu_);
+  return sink_errors_;
+}
+
+void EventLog::reset() {
+  const util::MutexLock lock(mu_);
+  next_seq_ = 1;
+  ring_.clear();
+  ring_next_ = 0;
+  sink_path_.clear();
+  sink_bytes_ = 0;
+  rotations_ = 0;
+  sink_errors_ = 0;
+  echo_stderr_ = false;
+}
+
+}  // namespace rota::obs

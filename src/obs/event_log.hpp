@@ -1,0 +1,139 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/thread_annotations.hpp"
+
+/// \file event_log.hpp
+/// Structured, machine-readable event logging — the replacement for the
+/// ad-hoc stderr notices that used to be sprinkled through svc/fi/cli.
+/// Every event carries a monotonic sequence number, a steady-clock
+/// timestamp relative to the log's construction, a severity, the emitting
+/// component and (when request-scoped) the svc request sequence + client
+/// id, and renders as one JSON line. Events land in a bounded in-memory
+/// ring (always, when enabled) and optionally in a JSON-lines file sink
+/// with size-based rotation (`path` -> `path.1`, one generation kept).
+///
+/// Discipline (enforced by tools/rota_lint.py's log-discipline rule):
+/// library code must report through EventLog, never raw stderr; only the
+/// CLI front-end may echo events to the terminal, and it does so via
+/// set_echo_stderr() so the rendering lives here, in one place.
+///
+/// Cost: a disabled EventLog is one relaxed atomic load and a branch per
+/// call site, the same contract as MetricsRegistry / Tracer.
+
+namespace rota::obs {
+
+enum class Severity : std::uint8_t { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+[[nodiscard]] std::string_view to_string(Severity severity);
+
+/// One structured event.
+struct Event {
+  std::uint64_t seq = 0;      ///< Monotonic per-log sequence (starts at 1).
+  double t_s = 0.0;           ///< Steady-clock seconds since log epoch.
+  Severity severity = Severity::kInfo;
+  std::string component;      ///< Emitting subsystem ("svc", "fi", "cli", ...).
+  std::string message;
+  std::uint64_t request_seq = 0;  ///< svc request sequence; 0 = not scoped.
+  std::string request_id;         ///< Client-supplied id; may be empty.
+};
+
+/// `event` as one JSON object (no trailing newline): schema_version,
+/// seq, t_s, severity, component, message, and — only when request-scoped
+/// — request_seq / request_id.
+[[nodiscard]] std::string to_json_line(const Event& event);
+
+class EventLog {
+ public:
+  /// Events retained in memory; older entries are overwritten.
+  static constexpr std::size_t kRingCapacity = 1024;
+  /// Default file-sink rotation threshold.
+  static constexpr std::uint64_t kDefaultRotateBytes = 1u << 20;
+
+  EventLog();
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// The log the built-in instrumentation reports to.
+  static EventLog& global();
+
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  /// Route events to a JSON-lines file (appending; also enables the log).
+  /// When the sink grows past `rotate_bytes` it is renamed to `path.1`
+  /// (replacing any previous generation) and a fresh file is started.
+  void set_sink(std::string path,
+                std::uint64_t rotate_bytes = kDefaultRotateBytes)
+      ROTA_EXCLUDES(mu_);
+  void clear_sink() ROTA_EXCLUDES(mu_);
+
+  /// Mirror kWarn/kError events to stderr as `rota: [component] message`
+  /// lines — the CLI front-end's terminal rendering. Off by default so
+  /// library callers can never write to a stream they do not own.
+  void set_echo_stderr(bool on) ROTA_EXCLUDES(mu_);
+
+  /// Record one event. `request_seq`/`request_id` tag request-scoped
+  /// events (svc); leave defaulted elsewhere.
+  void log(Severity severity, std::string_view component,
+           std::string_view message, std::uint64_t request_seq = 0,
+           std::string_view request_id = {}) {
+    if (!enabled()) return;
+    log_slow(severity, component, message, request_seq, request_id);
+  }
+
+  /// Ring contents, oldest first.
+  [[nodiscard]] std::vector<Event> recent() const ROTA_EXCLUDES(mu_);
+
+  /// Events recorded since construction/reset (ring may hold fewer).
+  [[nodiscard]] std::uint64_t total_logged() const ROTA_EXCLUDES(mu_);
+
+  /// Sink rotations performed (0 until the first rollover).
+  [[nodiscard]] std::uint64_t rotations() const ROTA_EXCLUDES(mu_);
+
+  /// Append failures swallowed (a logger cannot log its own failure).
+  [[nodiscard]] std::uint64_t sink_errors() const ROTA_EXCLUDES(mu_);
+
+  /// Drop ring + counters and detach the sink (enabled flag untouched).
+  void reset() ROTA_EXCLUDES(mu_);
+
+ private:
+  void log_slow(Severity severity, std::string_view component,
+                std::string_view message, std::uint64_t request_seq,
+                std::string_view request_id) ROTA_EXCLUDES(mu_);
+  void append_to_sink(const std::string& line) ROTA_REQUIRES(mu_);
+
+  /// Lock-free fast-path flag (read before every record); deliberately
+  /// outside the capability model — it guards *cost*, not data.
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_;
+  mutable util::Mutex mu_;
+  std::uint64_t next_seq_ ROTA_GUARDED_BY(mu_) = 1;
+  std::vector<Event> ring_ ROTA_GUARDED_BY(mu_);
+  std::size_t ring_next_ ROTA_GUARDED_BY(mu_) = 0;
+  std::string sink_path_ ROTA_GUARDED_BY(mu_);
+  std::uint64_t rotate_bytes_ ROTA_GUARDED_BY(mu_) = kDefaultRotateBytes;
+  std::uint64_t sink_bytes_ ROTA_GUARDED_BY(mu_) = 0;
+  std::uint64_t rotations_ ROTA_GUARDED_BY(mu_) = 0;
+  std::uint64_t sink_errors_ ROTA_GUARDED_BY(mu_) = 0;
+  bool echo_stderr_ ROTA_GUARDED_BY(mu_) = false;
+};
+
+/// Convenience front-end over EventLog::global().
+inline void log_event(Severity severity, std::string_view component,
+                      std::string_view message, std::uint64_t request_seq = 0,
+                      std::string_view request_id = {}) {
+  EventLog::global().log(severity, component, message, request_seq,
+                         request_id);
+}
+
+}  // namespace rota::obs

@@ -79,6 +79,7 @@ HistogramSummary summarize(const std::vector<double>& samples) {
   s.max = sorted.back();
   s.p50 = percentile(sorted, 0.50);
   s.p95 = percentile(sorted, 0.95);
+  s.p99 = percentile(sorted, 0.99);
   return s;
 }
 
@@ -92,6 +93,22 @@ HistogramSummary MetricsRegistry::histogram(std::string_view name) const {
     if (it != histograms_.end()) samples = it->second;
   }
   return summarize(samples);
+}
+
+MetricsExport MetricsRegistry::export_all() const {
+  MetricsExport out;
+  std::map<std::string, std::vector<double>, std::less<>> histograms;
+  {
+    const util::MutexLock lock(mu_);
+    out.counters = counters_;
+    out.gauges = gauges_;
+    histograms = histograms_;
+  }
+  // Summarize outside the lock: sorting every sample vector is the
+  // expensive part and needs only the copies.
+  for (const auto& [name, samples] : histograms)
+    out.histograms.emplace(name, summarize(samples));
+  return out;
 }
 
 std::vector<std::string> MetricsRegistry::names() const {
@@ -112,44 +129,38 @@ void MetricsRegistry::reset() {
   histograms_.clear();
 }
 
-void MetricsRegistry::write_json(std::ostream& out) const {
-  // Snapshot under the lock, emit outside it.
-  std::map<std::string, std::int64_t, std::less<>> counters;
-  std::map<std::string, double, std::less<>> gauges;
-  std::map<std::string, std::vector<double>, std::less<>> histograms;
-  {
-    const util::MutexLock lock(mu_);
-    counters = counters_;
-    gauges = gauges_;
-    histograms = histograms_;
-  }
+void write_metrics_json(std::ostream& out, const MetricsExport& ex) {
   out << '{';
   bool first = true;
   auto sep = [&] {
     if (!first) out << ',';
     first = false;
   };
-  for (const auto& [name, value] : counters) {
+  for (const auto& [name, value] : ex.counters) {
     sep();
     out << json_quote(name) << ":{\"type\":\"counter\",\"value\":" << value
         << '}';
   }
-  for (const auto& [name, value] : gauges) {
+  for (const auto& [name, value] : ex.gauges) {
     sep();
     out << json_quote(name) << ":{\"type\":\"gauge\",\"value\":"
         << json_number(value) << '}';
   }
-  for (const auto& [name, samples] : histograms) {
-    const HistogramSummary s = summarize(samples);
+  for (const auto& [name, s] : ex.histograms) {
     sep();
     out << json_quote(name) << ":{\"type\":\"histogram\",\"count\":" << s.count
         << ",\"sum\":" << json_number(s.sum)
         << ",\"min\":" << json_number(s.min)
         << ",\"max\":" << json_number(s.max)
         << ",\"p50\":" << json_number(s.p50)
-        << ",\"p95\":" << json_number(s.p95) << '}';
+        << ",\"p95\":" << json_number(s.p95)
+        << ",\"p99\":" << json_number(s.p99) << '}';
   }
   out << '}';
+}
+
+void MetricsRegistry::write_json(std::ostream& out) const {
+  write_metrics_json(out, export_all());
 }
 
 std::string MetricsRegistry::json() const {
@@ -160,25 +171,17 @@ std::string MetricsRegistry::json() const {
 
 std::string MetricsRegistry::table() const {
   util::TextTable tbl({"metric", "type", "value"});
-  std::map<std::string, std::int64_t, std::less<>> counters;
-  std::map<std::string, double, std::less<>> gauges;
-  std::map<std::string, std::vector<double>, std::less<>> histograms;
-  {
-    const util::MutexLock lock(mu_);
-    counters = counters_;
-    gauges = gauges_;
-    histograms = histograms_;
-  }
-  for (const auto& [name, value] : counters)
+  const MetricsExport ex = export_all();
+  for (const auto& [name, value] : ex.counters)
     tbl.add_row({name, "counter", std::to_string(value)});
-  for (const auto& [name, value] : gauges)
+  for (const auto& [name, value] : ex.gauges)
     tbl.add_row({name, "gauge", util::fmt(value, 4)});
-  for (const auto& [name, samples] : histograms) {
-    const HistogramSummary s = summarize(samples);
+  for (const auto& [name, s] : ex.histograms) {
     tbl.add_row({name, "histogram",
                  "n=" + std::to_string(s.count) + " sum=" + util::fmt(s.sum, 4) +
                      " p50=" + util::fmt(s.p50, 4) +
-                     " p95=" + util::fmt(s.p95, 4)});
+                     " p95=" + util::fmt(s.p95, 4) +
+                     " p99=" + util::fmt(s.p99, 4)});
   }
   return tbl.str();
 }

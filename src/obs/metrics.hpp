@@ -35,6 +35,16 @@ struct HistogramSummary {
   double max = 0.0;
   double p50 = 0.0;
   double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// A consistent copy of the whole registry taken under one lock: the
+/// substrate for live snapshots (obs/snapshot.hpp), which need the JSON
+/// and OpenMetrics renderings of one instant to agree exactly.
+struct MetricsExport {
+  std::map<std::string, std::int64_t, std::less<>> counters;
+  std::map<std::string, double, std::less<>> gauges;
+  std::map<std::string, HistogramSummary, std::less<>> histograms;
 };
 
 class MetricsRegistry {
@@ -80,6 +90,10 @@ class MetricsRegistry {
   /// Summary of a histogram (all-zero if never written).
   [[nodiscard]] HistogramSummary histogram(std::string_view name) const;
 
+  /// Every counter, gauge and summarized histogram, copied under a single
+  /// lock acquisition so the result is one consistent instant.
+  [[nodiscard]] MetricsExport export_all() const;
+
   /// Sorted names of every metric recorded so far.
   [[nodiscard]] std::vector<std::string> names() const;
 
@@ -88,7 +102,7 @@ class MetricsRegistry {
 
   /// Emit one JSON object: name -> {"type": "counter"|"gauge"|"histogram",
   /// ...}. Counters carry "value"; gauges "value"; histograms
-  /// "count"/"sum"/"min"/"max"/"p50"/"p95".
+  /// "count"/"sum"/"min"/"max"/"p50"/"p95"/"p99".
   void write_json(std::ostream& out) const;
   [[nodiscard]] std::string json() const;
 
@@ -111,6 +125,11 @@ class MetricsRegistry {
   std::map<std::string, std::vector<double>, std::less<>> histograms_
       ROTA_GUARDED_BY(mu_);
 };
+
+/// Emit `ex` as the canonical metrics JSON object (the exact body of
+/// MetricsRegistry::write_json). Shared by the exit-time report and the
+/// live snapshot publisher so the two renderings can never drift.
+void write_metrics_json(std::ostream& out, const MetricsExport& ex);
 
 /// RAII timer: records the elapsed wall time in seconds into histogram
 /// `name` on destruction (or stop()). Arms itself only if the registry is

@@ -34,7 +34,8 @@ std::int64_t Tracer::now_us() const {
 }
 
 void Tracer::complete(std::string_view name, std::string_view category,
-                      std::int64_t ts_us, std::int64_t dur_us) {
+                      std::int64_t ts_us, std::int64_t dur_us,
+                      std::uint64_t request_seq) {
   if (!enabled()) return;
   TraceEvent ev;
   ev.name = std::string(name);
@@ -43,6 +44,7 @@ void Tracer::complete(std::string_view name, std::string_view category,
   ev.ts_us = ts_us;
   ev.dur_us = dur_us;
   ev.tid = this_thread_index();
+  ev.request_seq = request_seq;
   const util::MutexLock lock(mu_);
   events_.push_back(std::move(ev));
 }
@@ -87,6 +89,8 @@ void Tracer::write_json(std::ostream& out) const {
         << "\",\"ts\":" << ev.ts_us;
     if (ev.phase == 'X') out << ",\"dur\":" << ev.dur_us;
     if (ev.phase == 'i') out << ",\"s\":\"t\"";
+    if (ev.request_seq != 0)
+      out << ",\"args\":{\"request\":" << ev.request_seq << '}';
     out << ",\"pid\":1,\"tid\":" << ev.tid << '}';
   }
   out << "]}\n";
@@ -99,7 +103,9 @@ std::string Tracer::json() const {
 }
 
 void Tracer::write_file(const std::string& path) const {
-  util::write_text_file(path, json());
+  // Atomic (temp + fsync + rename): a crash mid-write leaves the previous
+  // trace or none, never a torn JSON file.
+  util::write_file_atomic(path, json());
 }
 
 TraceSpan::TraceSpan(std::string_view name, std::string_view category,
@@ -113,7 +119,8 @@ TraceSpan::TraceSpan(std::string_view name, std::string_view category,
 
 TraceSpan::~TraceSpan() {
   if (start_us_ < 0) return;
-  tracer_.complete(name_, category_, start_us_, tracer_.now_us() - start_us_);
+  tracer_.complete(name_, category_, start_us_, tracer_.now_us() - start_us_,
+                   request_seq_);
 }
 
 }  // namespace rota::obs

@@ -29,6 +29,10 @@ struct TraceEvent {
   std::int64_t ts_us = 0;
   std::int64_t dur_us = 0;
   std::int32_t tid = 0;
+  /// Request sequence for request-scoped spans (svc); rendered as
+  /// args.request so Perfetto can group one request's parse → queue →
+  /// compute → reply spans. 0 = not request-scoped.
+  std::uint64_t request_seq = 0;
 };
 
 class Tracer {
@@ -49,8 +53,10 @@ class Tracer {
   [[nodiscard]] std::int64_t now_us() const;
 
   /// Record a completed span (thread id is taken from the calling thread).
+  /// `request_seq` != 0 tags the span with the svc request it served.
   void complete(std::string_view name, std::string_view category,
-                std::int64_t ts_us, std::int64_t dur_us);
+                std::int64_t ts_us, std::int64_t dur_us,
+                std::uint64_t request_seq = 0);
 
   /// Record an instant event at the current time.
   void instant(std::string_view name, std::string_view category);
@@ -91,11 +97,16 @@ class TraceSpan {
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
 
+  /// Tag the span with the svc request it serves (rendered as
+  /// args.request); no-op when the span is disarmed.
+  void set_request(std::uint64_t request_seq) { request_seq_ = request_seq; }
+
  private:
   Tracer& tracer_;
   std::string name_;
   std::string category_;
   std::int64_t start_us_ = -1;
+  std::uint64_t request_seq_ = 0;
 };
 
 }  // namespace rota::obs

@@ -7,8 +7,10 @@
 #include "arch/config.hpp"
 #include "fi/hooks.hpp"
 #include "nn/workloads.hpp"
+#include "obs/event_log.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/snapshot.hpp"
 #include "obs/trace.hpp"
 #include "par/parallel.hpp"
 #include "reliability/array_reliability.hpp"
@@ -101,13 +103,16 @@ void Engine::shutdown() {
 std::future<Response> Engine::submit(Request request) {
   Job job;
   job.request = std::move(request);
+  job.request.seq = next_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
   job.submitted = std::chrono::steady_clock::now();
   std::future<Response> future = job.promise.get_future();
+  std::size_t depth = 0;
   {
     const util::MutexLock lock(mu_);
     if (stopping_) {
       Response refused;
       refused.id = job.request.id;
+      refused.seq = job.request.seq;
       refused.error = {ErrorCode::kUnavailable,
                        "engine is shutting down; request not accepted"};
       job.promise.set_value(std::move(refused));
@@ -118,8 +123,13 @@ std::future<Response> Engine::submit(Request request) {
       // immediately and can back off and retry.
       shed_count_.fetch_add(1, std::memory_order_relaxed);
       obs::MetricsRegistry::global().add("svc.requests_shed");
+      obs::log_event(obs::Severity::kWarn, "svc",
+                     "request shed: queue is full (" +
+                         std::to_string(options_.max_queue) + " waiting)",
+                     job.request.seq, job.request.id);
       Response shed;
       shed.id = job.request.id;
+      shed.seq = job.request.seq;
       shed.error = {ErrorCode::kOverloaded,
                     "queue is full (" + std::to_string(options_.max_queue) +
                         " requests waiting); retry after backoff"};
@@ -127,7 +137,10 @@ std::future<Response> Engine::submit(Request request) {
       return future;
     }
     queue_.push_back(std::move(job));
+    depth = queue_.size();
   }
+  obs::MetricsRegistry::global().gauge("svc.queue_depth",
+                                       static_cast<double>(depth));
   cv_.notify_one();
   return future;
 }
@@ -146,6 +159,7 @@ void Engine::dispatcher_loop() {
       }
     }
     obs::MetricsRegistry::global().add("svc.batches");
+    obs::MetricsRegistry::global().gauge("svc.queue_depth", 0.0);
     // Fan the batch out; each job lands in its own promise, so reply
     // routing is index-stable regardless of lane count (DESIGN.md §9).
     par::parallel_for(static_cast<std::int64_t>(batch.size()),
@@ -157,44 +171,66 @@ void Engine::dispatcher_loop() {
 }
 
 Response Engine::run_job(Job& job) {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::global();
   const Request& req = job.request;
+  // Queue-wait phase ends the moment a worker picks the job up; cancelled
+  // and expired requests waited just the same, so they are observed too.
+  metrics.observe("svc.queue_wait_ms", seconds_since(job.submitted) * 1e3);
+  const auto finish = [&](Response resp) {
+    resp.seq = req.seq;
+    resp.done_at = std::chrono::steady_clock::now();
+    return resp;
+  };
   if (req.cancel && req.cancel->load()) {
-    obs::MetricsRegistry::global().add("svc.requests_cancelled");
+    metrics.add("svc.requests_cancelled");
     Response resp;
     resp.id = req.id;
     resp.error = {ErrorCode::kCancelled,
                   "request was cancelled while queued"};
-    return resp;
+    return finish(std::move(resp));
   }
   const std::int64_t deadline_ms =
       req.deadline_ms > 0 ? req.deadline_ms : options_.default_deadline_ms;
   if (deadline_ms > 0) {
     const double queued_ms = seconds_since(job.submitted) * 1e3;
     if (queued_ms > static_cast<double>(deadline_ms)) {
-      obs::MetricsRegistry::global().add("svc.requests_expired");
+      metrics.add("svc.requests_expired");
       Response resp;
       resp.id = req.id;
       resp.error = {ErrorCode::kDeadlineExceeded,
                     "deadline of " + std::to_string(deadline_ms) +
                         " ms expired while the request was queued"};
-      return resp;
+      return finish(std::move(resp));
     }
   }
-  return execute(req);
+  // The counter always pairs inc/dec; gauge() itself is the no-op when
+  // observability is off.
+  metrics.gauge("svc.inflight", static_cast<double>(
+      inflight_.fetch_add(1, std::memory_order_relaxed) + 1));
+  const auto compute_start = std::chrono::steady_clock::now();
+  Response resp = execute(req);
+  metrics.observe("svc.compute_ms", seconds_since(compute_start) * 1e3);
+  metrics.gauge("svc.inflight", static_cast<double>(
+      inflight_.fetch_sub(1, std::memory_order_relaxed) - 1));
+  return finish(std::move(resp));
 }
 
 Response Engine::execute(const Request& request) {
   const auto start = std::chrono::steady_clock::now();
-  const obs::TraceSpan span(std::string(to_string(request.op)),
-                            "svc.request");
+  obs::TraceSpan span(std::string(to_string(request.op)), "svc.request");
+  span.set_request(request.seq);
   obs::MetricsRegistry::global().add("svc.requests_total");
 
   Response resp;
   resp.id = request.id;
+  resp.seq = request.seq;
   try {
     // Injected allocation failure (fi): compute ops only, so protocol
-    // control (ping/shutdown) stays reachable under heavy fault rates.
-    if (request.op != RequestOp::kPing && request.op != RequestOp::kShutdown &&
+    // control (ping/stats/shutdown) stays reachable under heavy fault
+    // rates — an operator must be able to scrape a snapshot of a sick
+    // server.
+    if (request.op != RequestOp::kPing && request.op != RequestOp::kStats &&
+        request.op != RequestOp::kShutdown &&
         fi::Hooks::should_fail_alloc("svc.engine")) {
       throw std::bad_alloc();
     }
@@ -205,6 +241,14 @@ Response Engine::execute(const Request& request) {
       case RequestOp::kShutdown:
         resp.payload_json = "{\"stopping\":true}";
         break;
+      case RequestOp::kStats: {
+        std::string snap = obs::snapshot_json(obs::capture_snapshot(
+            obs::MetricsRegistry::global(),
+            stats_seq_.fetch_add(1, std::memory_order_relaxed) + 1));
+        while (!snap.empty() && snap.back() == '\n') snap.pop_back();
+        resp.payload_json = std::move(snap);
+        break;
+      }
       case RequestOp::kSchedule: {
         const nn::Network net = nn::workload_by_abbr(request.workload);
         const arch::AcceleratorConfig accel = accel_of(request);
@@ -297,6 +341,21 @@ int Engine::serve(std::istream& in, std::ostream& out,
       out << to_json(resp) << '\n';
     }
     out.flush();
+    // Reply phase: compute finished (done_at) -> reply on the wire. The
+    // post-flush instant is shared by the window, so ordering cost shows
+    // up in the earlier replies' samples — exactly what a client sees.
+    const auto flushed = std::chrono::steady_clock::now();
+    obs::MetricsRegistry& metrics = obs::MetricsRegistry::global();
+    if (metrics.enabled()) {
+      for (const Pending& p : window) {
+        if (p.response.done_at.time_since_epoch().count() == 0) continue;
+        metrics.observe(
+            "svc.reply_ms",
+            std::chrono::duration<double>(flushed - p.response.done_at)
+                    .count() *
+                1e3);
+      }
+    }
     window.clear();
   };
 
@@ -330,6 +389,8 @@ int Engine::serve(std::istream& in, std::ostream& out,
   shutdown();
   if (interrupted()) {
     obs::MetricsRegistry::global().add("svc.serve_interrupted");
+    obs::log_event(obs::Severity::kWarn, "svc",
+                   "serve loop interrupted; accepted requests drained");
     return 4;  // cli::kExitInterrupted: drained cleanly after a signal
   }
   return 0;

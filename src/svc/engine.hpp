@@ -131,6 +131,14 @@ class Engine {
   /// (joining while holding mu_ would deadlock the drain).
   std::thread dispatcher_;
   std::atomic<std::int64_t> shed_count_{0};
+  /// Request sequence source: submit() stamps each accepted request with
+  /// the next value (1-based), threading one identity through queue →
+  /// batch → compute → reply for histograms, trace spans and EventLog.
+  std::atomic<std::uint64_t> next_seq_{0};
+  /// Requests currently executing (mirrored to the svc.inflight gauge).
+  std::atomic<std::int64_t> inflight_{0};
+  /// stats requests served (each in-band snapshot carries its own seq).
+  std::atomic<std::uint64_t> stats_seq_{0};
 };
 
 }  // namespace rota::svc

@@ -20,6 +20,8 @@ std::string_view to_string(RequestOp op) {
       return "wear";
     case RequestOp::kLifetime:
       return "lifetime";
+    case RequestOp::kStats:
+      return "stats";
     case RequestOp::kShutdown:
       return "shutdown";
   }
@@ -31,12 +33,13 @@ namespace {
 util::Result<RequestOp> parse_op(const std::string& name) {
   for (RequestOp op : {RequestOp::kPing, RequestOp::kSchedule,
                        RequestOp::kWear, RequestOp::kLifetime,
-                       RequestOp::kShutdown}) {
+                       RequestOp::kStats, RequestOp::kShutdown}) {
     if (to_string(op) == name) return op;
   }
   return {ErrorCode::kInvalidArgument,
           "unknown op '" + name +
-              "' (expected ping, schedule, wear, lifetime or shutdown)"};
+              "' (expected ping, schedule, wear, lifetime, stats or "
+              "shutdown)"};
 }
 
 util::Result<wear::PolicyKind> parse_policy_name(const std::string& name) {

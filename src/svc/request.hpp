@@ -1,6 +1,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -34,6 +35,7 @@ enum class RequestOp {
   kSchedule,  ///< energy-optimal schedule summary for one workload
   kWear,      ///< wear-simulate one policy; replies usage statistics
   kLifetime,  ///< full policy comparison with improvement factors
+  kStats,     ///< in-band live-telemetry snapshot (obs::snapshot_json)
   kShutdown,  ///< drain and stop the serve loop (socket-ready semantics)
 };
 
@@ -60,6 +62,11 @@ struct Request {
   /// worker picks it up is answered with code deadline_exceeded.
   std::int64_t deadline_ms = 0;
   CancelToken cancel;  ///< optional; null = not cancellable
+  /// Engine-assigned monotonic sequence (stamped by submit(); 0 until
+  /// then). Threads the request identity through queue → batch → compute
+  /// → reply: latency histograms, EventLog entries and Chrome-trace span
+  /// args all carry it, so one request's whole life is correlatable.
+  std::uint64_t seq = 0;
 };
 
 /// One reply. `payload_json` is the op-specific "result" object (already
@@ -70,6 +77,12 @@ struct Response {
   util::Error error;         ///< meaningful when !ok
   std::string payload_json;  ///< meaningful when ok
   double wall_seconds = 0.0;
+  /// Engine-assigned sequence echoed from the request (not serialized).
+  std::uint64_t seq = 0;
+  /// When the worker finished producing this reply (steady clock; not
+  /// serialized). serve() subtracts it from the post-flush instant to
+  /// observe the reply phase (svc.reply_ms).
+  std::chrono::steady_clock::time_point done_at{};
 };
 
 /// Parse one JSON-lines request. Enforces `schema_version`, known `op`,

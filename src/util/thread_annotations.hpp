@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -149,6 +150,17 @@ class CondVar {
   void wait(MutexLock& lock, Mutex& mu) ROTA_REQUIRES(mu) {
     static_cast<void>(mu);
     cv_.wait(lock.lock_);
+  }
+
+  /// wait() with a timeout; returns std::cv_status::timeout when the
+  /// duration elapsed without a notification. Same capability contract
+  /// and explicit-while-loop discipline as wait().
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(MutexLock& lock, Mutex& mu,
+                          const std::chrono::duration<Rep, Period>& timeout)
+      ROTA_REQUIRES(mu) {
+    static_cast<void>(mu);
+    return cv_.wait_for(lock.lock_, timeout);
   }
 
   void notify_one() noexcept { cv_.notify_one(); }

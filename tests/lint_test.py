@@ -172,7 +172,7 @@ class SignalSafetyRule(LintCase):
 
     def test_printf_in_handler_fires(self) -> None:
         body = "  printf(\"caught\\n\");  // rota-lint: allow(log-discipline)\n"
-        self.write("src/cli/sig.cpp", self.HANDLER_TMPL.format(body=body))
+        self.write("src/cli/main.cpp", self.HANDLER_TMPL.format(body=body))
         out = self.assert_fires("signal-safety", count=1)
         self.assertIn("printf", out)
         self.assertIn("on_signal", out)
@@ -181,11 +181,11 @@ class SignalSafetyRule(LintCase):
         body = ("  if (g_flag.exchange(true)) {\n"
                 "    _exit(130);\n"
                 "  }\n")
-        self.write("src/cli/sig.cpp", self.HANDLER_TMPL.format(body=body))
+        self.write("src/cli/main.cpp", self.HANDLER_TMPL.format(body=body))
         self.assert_clean()
 
     def test_signal_registration_form(self) -> None:
-        self.write("src/cli/sig.cpp",
+        self.write("src/cli/main.cpp",
                    "#include <csignal>\n"
                    "#include <cstdlib>\n"
                    "extern \"C\" void on_signal(int) {\n"
@@ -198,12 +198,12 @@ class SignalSafetyRule(LintCase):
     def test_allow_escape(self) -> None:
         body = ("  puts(\"bye\");  "
                 "// rota-lint: allow(signal-safety)\n")
-        self.write("src/cli/sig.cpp", self.HANDLER_TMPL.format(
+        self.write("src/cli/main.cpp", self.HANDLER_TMPL.format(
             body=body).replace("#include <cstdio>\n",
                                "#include <cstdio>  "
                                "// rota-lint: allow(log-discipline)\n"))
-        # puts is also a log-discipline hit; keep the fixture inside
-        # src/cli (log-allowed) so only signal-safety is in play.
+        # puts is also a log-discipline hit; keep the fixture at
+        # src/cli/main.cpp (log-allowed) so only signal-safety is in play.
         self.assert_clean()
 
     def test_unregistered_function_not_checked(self) -> None:
@@ -322,6 +322,22 @@ class ExistingRulesStillFire(LintCase):
                    "#include <iostream>\n"
                    "void report() { std::cout << 1; }\n")
         self.assert_fires("log-discipline", count=1)
+
+    def test_log_discipline_covers_cli_commands(self) -> None:
+        # Only main.cpp is exempt in src/cli; the command layer must
+        # report through obs::EventLog like any other library code.
+        self.write("src/cli/commands.cpp",
+                   "#include <iostream>\n"
+                   "void notice() { std::cerr << \"resuming\\n\"; }\n")
+        self.assert_fires("log-discipline", count=1)
+
+    def test_log_discipline_allows_terminal_sinks(self) -> None:
+        body = ("#include <iostream>\n"
+                "void render() { std::cerr << \"x\\n\"; }\n")
+        self.write("src/cli/main.cpp", body)
+        self.write("src/obs/progress.cpp", body)
+        self.write("src/obs/event_log.cpp", body)
+        self.assert_clean()
 
 
 class RealTreeIsClean(unittest.TestCase):

@@ -15,6 +15,7 @@
 #include "arch/config.hpp"
 #include "nn/workloads.hpp"
 #include "obs/json.hpp"
+#include "obs/metrics.hpp"
 #include "sched/mapper.hpp"
 #include "svc/cache.hpp"
 #include "svc/engine.hpp"
@@ -694,6 +695,82 @@ TEST(ServeTest, WarmCacheServesRepeatedWorkloadWithoutResearch) {
 }
 
 // ------------------------------------------------- malformed corpus ----
+
+// --------------------------------------------------------- live telemetry
+
+/// The request-scoped telemetry writes to the global registry; tests that
+/// enable it must restore the disabled default.
+struct MetricsGuard {
+  MetricsGuard() {
+    obs::MetricsRegistry::global().reset();
+    obs::MetricsRegistry::global().set_enabled(true);
+  }
+  ~MetricsGuard() {
+    obs::MetricsRegistry::global().reset();
+    obs::MetricsRegistry::global().set_enabled(false);
+  }
+};
+
+TEST(EngineTest, ResponsesCarryEngineAssignedRequestSeq) {
+  Engine engine(EngineOptions{});
+  const Response first = engine.submit(quick_request("a", RequestOp::kPing)).get();
+  const Response second =
+      engine.submit(quick_request("b", RequestOp::kPing)).get();
+  EXPECT_EQ(first.seq, 1u);
+  EXPECT_EQ(second.seq, 2u);
+}
+
+TEST(EngineTest, StatsOpReturnsLiveSnapshotInBand) {
+  MetricsGuard metrics;
+  Engine engine(EngineOptions{});
+  ASSERT_TRUE(engine.execute(quick_request("warm", RequestOp::kPing)).ok);
+
+  const Response resp =
+      engine.execute(quick_request("s1", RequestOp::kStats));
+  ASSERT_TRUE(resp.ok) << resp.error.message;
+  auto doc = JsonValue::parse(resp.payload_json);
+  ASSERT_TRUE(doc.ok()) << resp.payload_json;
+  EXPECT_EQ(doc.value().find("schema_version")->as_int64().value(),
+            obs::kSchemaVersion);
+  EXPECT_EQ(doc.value().find("kind")->str(),
+            "metrics_snapshot");
+  EXPECT_EQ(doc.value().find("seq")->as_int64().value(), 1);
+  ASSERT_NE(doc.value().find("metrics"), nullptr);
+
+  // The snapshot seq is per-engine and monotonic.
+  const Response again =
+      engine.execute(quick_request("s2", RequestOp::kStats));
+  auto doc2 = JsonValue::parse(again.payload_json);
+  ASSERT_TRUE(doc2.ok());
+  EXPECT_EQ(doc2.value().find("seq")->as_int64().value(), 2);
+}
+
+TEST(ServeTest, RequestPhasesLandInLatencyHistograms) {
+  MetricsGuard metrics;
+  EngineOptions options;
+  options.threads = 2;
+  Engine engine(options);
+  std::string batch;
+  for (int i = 0; i < 4; ++i)
+    batch += R"({"schema_version":2,"id":"p)" + std::to_string(i) +
+             R"(","op":"ping"})" "\n";
+  const std::vector<JsonValue> replies = serve_lines(engine, batch);
+  ASSERT_EQ(replies.size(), 4u);
+
+  const obs::MetricsExport ex = obs::MetricsRegistry::global().export_all();
+  for (const char* name :
+       {"svc.queue_wait_ms", "svc.compute_ms", "svc.reply_ms"}) {
+    const auto it = ex.histograms.find(name);
+    ASSERT_NE(it, ex.histograms.end()) << name;
+    EXPECT_GE(it->second.count, 4) << name;
+    EXPECT_GE(it->second.p99, it->second.p50) << name;
+  }
+  // The depth/inflight gauges were exercised and settled back to idle.
+  const auto depth = ex.gauges.find("svc.queue_depth");
+  ASSERT_NE(depth, ex.gauges.end());
+  EXPECT_DOUBLE_EQ(depth->second, 0.0);
+  ASSERT_NE(ex.gauges.find("svc.inflight"), ex.gauges.end());
+}
 
 /// Every file in tests/corpus/jsonv is a hand-written malformed (or
 /// pathological) payload: truncations, deep nesting, non-finite numbers,

@@ -1,0 +1,373 @@
+#!/usr/bin/env python3
+"""Validate a RoTA OpenMetrics snapshot exposition.
+
+Checks the subset of the OpenMetrics text format that
+obs::snapshot_openmetrics emits:
+
+  * every metric family is declared with `# TYPE <name> <type>` before any
+    of its samples, exactly once, with a [a-zA-Z0-9_:] name;
+  * counter samples carry the `_total` suffix; summary samples are the
+    quantile-labelled series plus `_sum` / `_count`; gauges are bare;
+  * every value parses as a float; counts are non-negative integers;
+    quantile labels are floats in [0, 1];
+  * the exposition ends with `# EOF` and nothing after it;
+  * the self-describing envelope gauges (rota_snapshot_schema_version,
+    rota_snapshot_seq, rota_uptime_seconds) are present.
+
+With --json SNAPSHOT.json it additionally cross-checks the exposition
+against the JSON twin the SnapshotPublisher wrote from the same capture:
+schema version and seq must match exactly, every counter / gauge /
+histogram in the JSON must appear in the OM rendering with the same value
+(counters exact, floats to 1e-9 relative), and no unexplained families may
+remain.
+
+Exit code 0 when valid, 1 with one `error:` line per problem otherwise.
+Run with --selftest to exercise the validator against built-in vectors
+(used by the test suite; no file arguments needed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import re
+import sys
+from pathlib import Path
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+TYPE_RE = re.compile(r"^# TYPE ([^ ]+) ([a-z]+)$")
+SAMPLE_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$")
+LABEL_RE = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"$')
+
+KNOWN_TYPES = {"counter", "gauge", "summary", "histogram", "info", "unknown"}
+ENVELOPE_GAUGES = (
+    "rota_snapshot_schema_version",
+    "rota_snapshot_seq",
+    "rota_uptime_seconds",
+)
+
+# Keep in sync with obs::kSchemaVersion (src/obs/json.hpp).
+SCHEMA_VERSION = 2
+
+
+def mangle(name: str) -> str:
+    """Mirror obs::openmetrics_name: charset-mangle and prefix."""
+    return "rota_" + re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+
+
+class Exposition:
+    def __init__(self) -> None:
+        # family name -> {"type": str, "samples": {suffix_or_label: value}}
+        self.families: dict[str, dict] = {}
+        self.errors: list[str] = []
+
+
+def parse_exposition(text: str) -> Exposition:
+    exp = Exposition()
+    err = exp.errors.append
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    if not lines or lines[-1] != "# EOF":
+        err("exposition must end with '# EOF'")
+    else:
+        lines.pop()
+
+    current: str | None = None
+    for lineno, line in enumerate(lines, 1):
+        if line == "# EOF":
+            err(f"line {lineno}: '# EOF' before end of exposition")
+            continue
+        if line.startswith("#"):
+            m = TYPE_RE.match(line)
+            if not m:
+                err(f"line {lineno}: unrecognized comment line {line!r}")
+                continue
+            name, family_type = m.group(1), m.group(2)
+            if not NAME_RE.match(name):
+                err(f"line {lineno}: invalid metric name {name!r}")
+            if family_type not in KNOWN_TYPES:
+                err(f"line {lineno}: unknown family type {family_type!r}")
+            if name in exp.families:
+                err(f"line {lineno}: duplicate TYPE for {name!r}")
+                continue
+            exp.families[name] = {"type": family_type, "samples": {}}
+            current = name
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            err(f"line {lineno}: malformed sample line {line!r}")
+            continue
+        sample_name, label_text, value_text = m.groups()
+        try:
+            value = float(value_text)
+        except ValueError:
+            err(f"line {lineno}: non-numeric value {value_text!r}")
+            continue
+
+        family, key = None, None
+        for fam, suffix in ((sample_name, ""), (sample_name[: -len("_total")],
+                                                "_total") if
+                            sample_name.endswith("_total") else (None, None),
+                            (sample_name[: -len("_sum")], "_sum") if
+                            sample_name.endswith("_sum") else (None, None),
+                            (sample_name[: -len("_count")], "_count") if
+                            sample_name.endswith("_count") else (None, None)):
+            if fam is not None and fam in exp.families:
+                family, key = fam, suffix
+                break
+        if family is None:
+            err(f"line {lineno}: sample {sample_name!r} has no TYPE "
+                "declaration")
+            continue
+        if family != current:
+            err(f"line {lineno}: sample for {family!r} is interleaved with "
+                f"family {current!r}")
+        info = exp.families[family]
+
+        labels = {}
+        if label_text:
+            for part in label_text[1:-1].split(","):
+                lm = LABEL_RE.match(part)
+                if not lm:
+                    err(f"line {lineno}: malformed label {part!r}")
+                    continue
+                labels[lm.group(1)] = lm.group(2)
+
+        ftype = info["type"]
+        if ftype == "counter":
+            if key != "_total":
+                err(f"line {lineno}: counter sample must be "
+                    f"{family}_total, got {sample_name!r}")
+            if value < 0 or value != int(value):
+                err(f"line {lineno}: counter value must be a non-negative "
+                    f"integer, got {value_text}")
+            info["samples"]["_total"] = value
+        elif ftype == "gauge":
+            if key != "":
+                err(f"line {lineno}: gauge sample must be bare {family!r}, "
+                    f"got {sample_name!r}")
+            info["samples"][""] = value
+        elif ftype == "summary":
+            if key == "" and "quantile" in labels:
+                try:
+                    q = float(labels["quantile"])
+                    if not 0.0 <= q <= 1.0:
+                        raise ValueError
+                except ValueError:
+                    err(f"line {lineno}: quantile label must be a float in "
+                        f"[0,1], got {labels['quantile']!r}")
+                    continue
+                info["samples"]["q" + labels["quantile"]] = value
+            elif key in ("_sum", "_count"):
+                if key == "_count" and (value < 0 or value != int(value)):
+                    err(f"line {lineno}: _count must be a non-negative "
+                        f"integer, got {value_text}")
+                info["samples"][key] = value
+            else:
+                err(f"line {lineno}: summary sample {sample_name!r} must be "
+                    "quantile-labelled or _sum/_count")
+        # other family types: accept any sample shape
+    return exp
+
+
+def close(a: float, b: float) -> bool:
+    if math.isnan(a) or math.isnan(b):
+        return math.isnan(a) and math.isnan(b)
+    return math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-12)
+
+
+def check_envelope(exp: Exposition) -> None:
+    for name in ENVELOPE_GAUGES:
+        info = exp.families.get(name)
+        if info is None or "" not in info["samples"]:
+            exp.errors.append(f"missing envelope gauge {name}")
+    info = exp.families.get("rota_snapshot_schema_version")
+    if info and not close(info["samples"].get("", -1), SCHEMA_VERSION):
+        exp.errors.append(
+            f"rota_snapshot_schema_version != {SCHEMA_VERSION}: "
+            f"{info['samples'].get('')}")
+
+
+def cross_check(exp: Exposition, snapshot: dict) -> None:
+    err = exp.errors.append
+    if snapshot.get("schema_version") != SCHEMA_VERSION:
+        err(f"json schema_version != {SCHEMA_VERSION}: "
+            f"{snapshot.get('schema_version')}")
+    if snapshot.get("kind") != "metrics_snapshot":
+        err(f"json kind != metrics_snapshot: {snapshot.get('kind')}")
+
+    seq = exp.families.get("rota_snapshot_seq", {}).get("samples", {}).get("")
+    if seq is None or not close(seq, float(snapshot.get("seq", -1))):
+        err(f"seq mismatch: om={seq} json={snapshot.get('seq')}")
+
+    explained = set(ENVELOPE_GAUGES)
+    for name, entry in snapshot.get("metrics", {}).items():
+        om = mangle(name)
+        info = exp.families.get(om)
+        mtype = entry.get("type")
+        if info is None:
+            err(f"json metric {name!r} has no OM family {om!r}")
+            continue
+        explained.add(om)
+        samples = info["samples"]
+        if mtype == "counter":
+            if info["type"] != "counter":
+                err(f"{name!r}: json counter but OM {info['type']}")
+            elif not close(samples.get("_total", math.nan),
+                           float(entry["value"])):
+                err(f"{name!r}: counter value mismatch "
+                    f"om={samples.get('_total')} json={entry['value']}")
+        elif mtype == "gauge":
+            if info["type"] != "gauge":
+                err(f"{name!r}: json gauge but OM {info['type']}")
+            elif not close(samples.get("", math.nan), float(entry["value"])):
+                err(f"{name!r}: gauge value mismatch "
+                    f"om={samples.get('')} json={entry['value']}")
+        elif mtype == "histogram":
+            if info["type"] != "summary":
+                err(f"{name!r}: json histogram but OM {info['type']}")
+                continue
+            for field, key in (("p50", "q0.5"), ("p95", "q0.95"),
+                               ("p99", "q0.99"), ("sum", "_sum"),
+                               ("count", "_count")):
+                if not close(samples.get(key, math.nan),
+                             float(entry[field])):
+                    err(f"{name!r}: {field} mismatch "
+                        f"om={samples.get(key)} json={entry[field]}")
+        else:
+            err(f"json metric {name!r} has unknown type {mtype!r}")
+    for name in sorted(set(exp.families) - explained):
+        err(f"OM family {name!r} not present in json twin")
+
+
+def validate(om_text: str, json_text: str | None) -> list[str]:
+    exp = parse_exposition(om_text)
+    check_envelope(exp)
+    if json_text is not None:
+        try:
+            snapshot = json.loads(json_text)
+        except json.JSONDecodeError as e:
+            exp.errors.append(f"json twin unparseable: {e}")
+        else:
+            cross_check(exp, snapshot)
+    return exp.errors
+
+
+# --------------------------------------------------------------- selftest --
+
+VALID_OM = """# TYPE rota_snapshot_schema_version gauge
+rota_snapshot_schema_version 2
+# TYPE rota_snapshot_seq gauge
+rota_snapshot_seq 3
+# TYPE rota_uptime_seconds gauge
+rota_uptime_seconds 1.25
+# TYPE rota_fi_injected_faults counter
+rota_fi_injected_faults_total 7
+# TYPE rota_svc_queue_depth gauge
+rota_svc_queue_depth 0
+# TYPE rota_svc_compute_ms summary
+rota_svc_compute_ms{quantile="0.5"} 1.5
+rota_svc_compute_ms{quantile="0.95"} 2.5
+rota_svc_compute_ms{quantile="0.99"} 3.5
+rota_svc_compute_ms_sum 10.5
+rota_svc_compute_ms_count 4
+# EOF
+"""
+
+VALID_JSON = json.dumps({
+    "schema_version": 2,
+    "kind": "metrics_snapshot",
+    "seq": 3,
+    "uptime_seconds": 1.25,
+    "metrics": {
+        "fi.injected_faults": {"type": "counter", "value": 7},
+        "svc.queue_depth": {"type": "gauge", "value": 0.0},
+        "svc.compute_ms": {"type": "histogram", "count": 4, "sum": 10.5,
+                           "min": 1.0, "max": 3.5, "p50": 1.5, "p95": 2.5,
+                           "p99": 3.5},
+    },
+})
+
+
+def selftest() -> int:
+    failures = []
+
+    def expect(label: str, errors: list[str], should_fail: bool) -> None:
+        if bool(errors) != should_fail:
+            failures.append(f"{label}: expected "
+                            f"{'errors' if should_fail else 'clean'}, got "
+                            f"{errors or 'clean'}")
+
+    expect("valid standalone", validate(VALID_OM, None), False)
+    expect("valid with twin", validate(VALID_OM, VALID_JSON), False)
+    expect("missing EOF",
+           validate(VALID_OM.replace("# EOF\n", ""), None), True)
+    expect("sample without TYPE",
+           validate(VALID_OM.replace(
+               "# TYPE rota_svc_queue_depth gauge\n", ""), None), True)
+    expect("counter missing _total",
+           validate(VALID_OM.replace("rota_fi_injected_faults_total 7",
+                                     "rota_fi_injected_faults 7"), None),
+           True)
+    expect("negative counter",
+           validate(VALID_OM.replace("rota_fi_injected_faults_total 7",
+                                     "rota_fi_injected_faults_total -1"),
+                    None), True)
+    expect("bad quantile",
+           validate(VALID_OM.replace('{quantile="0.5"} 1.5',
+                                     '{quantile="1.5"} 1.5'), None), True)
+    expect("schema drift",
+           validate(VALID_OM.replace("rota_snapshot_schema_version 2",
+                                     "rota_snapshot_schema_version 1"),
+                    None), True)
+    expect("twin value drift",
+           validate(VALID_OM, VALID_JSON.replace('"value": 7', '"value": 8')),
+           True)
+    expect("twin missing metric",
+           validate(
+               VALID_OM + "",
+               json.dumps({"schema_version": 2, "kind": "metrics_snapshot",
+                           "seq": 3, "uptime_seconds": 1.25,
+                           "metrics": {}})), True)
+    expect("json seq drift",
+           validate(VALID_OM, VALID_JSON.replace('"seq": 3', '"seq": 4')),
+           True)
+
+    for f in failures:
+        print(f"selftest failure: {f}", file=sys.stderr)
+    print(f"selftest: {11 - len(failures)}/11 vectors passed")
+    return 1 if failures else 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("om_file", nargs="?", help="OpenMetrics exposition file")
+    ap.add_argument("--json", dest="json_file",
+                    help="JSON snapshot twin to cross-check against")
+    ap.add_argument("--selftest", action="store_true",
+                    help="run built-in validation vectors and exit")
+    args = ap.parse_args()
+
+    if args.selftest:
+        return selftest()
+    if not args.om_file:
+        ap.error("om_file is required unless --selftest")
+
+    om_text = Path(args.om_file).read_text(encoding="utf-8")
+    json_text = (Path(args.json_file).read_text(encoding="utf-8")
+                 if args.json_file else None)
+    errors = validate(om_text, json_text)
+    for e in errors:
+        print(f"error: {args.om_file}: {e}", file=sys.stderr)
+    if not errors:
+        n = len(parse_exposition(om_text).families)
+        print(f"ok: {args.om_file}: {n} families"
+              + (" (json twin agrees)" if json_text is not None else ""))
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

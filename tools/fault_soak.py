@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
 """Soak `rota serve` under injected software faults and prove degradation
-is graceful.
+is graceful — and observable, live.
 
-Usage: fault_soak.py PATH/TO/rota
+Usage: fault_soak.py PATH/TO/rota [--artifacts DIR]
 
 Three serve sessions against the same request batch:
 
@@ -23,9 +23,19 @@ Pass criteria, all hard assertions:
   * the faulty sessions' metrics JSON shows the faults actually fired
     (fi.* counters nonzero) and the hardening actually engaged
     (svc.cache.* retry/corrupt-recompute counters nonzero);
-  * a fourth session with --queue-cap 1 under heavy compute sheds at
-    least one request with a structured `overloaded` error while still
-    answering every line (svc.requests_shed nonzero).
+  * a faulted session run with --stats-interval publishes live
+    snapshots WHILE serving (final seq >= 2), the JSON and OpenMetrics
+    twins agree (validated via tools/check_openmetrics.py), the
+    snapshot carries nonzero fi/retry counters plus p50/p95/p99
+    latency histograms, the in-band {"op":"stats"} request answers
+    with the same envelope, and the --events sink is valid JSON lines;
+  * a session with --queue-cap 1 under heavy compute sheds at least
+    one request with a structured `overloaded` error while still
+    answering every line (svc.requests_shed nonzero, and visible in
+    its exit snapshot).
+
+With --artifacts DIR the stats/events artifacts are copied there for CI
+upload before the scratch directory is removed.
 
 Exit status: 0 = OK, non-zero assertion/diagnostic otherwise.
 """
@@ -38,6 +48,9 @@ import shutil
 import subprocess
 import sys
 import tempfile
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import check_openmetrics  # noqa: E402  (sibling tool, reused as library)
 
 # The envelope generation this tool understands (obs::kSchemaVersion in
 # src/obs/json.hpp). Bump in lockstep with the C++ constant.
@@ -128,10 +141,113 @@ def counter(metrics: dict, name: str) -> int:
     return int(metrics.get(name, {}).get("value", 0))
 
 
+def check_live_telemetry(rota: str, workdir: str, batch: str) -> int:
+    """Faulted serve with live snapshots + events; returns publishes seen."""
+    tag = "stats"
+    stats_json = os.path.join(workdir, tag, "stats.json")
+    stats_om = os.path.join(workdir, tag, "stats.om")
+    events_path = os.path.join(workdir, tag, "events.jsonl")
+    # A heavy wear request stretches the session across several sampler
+    # intervals, then an in-band stats request reads the same telemetry.
+    lines = batch.splitlines()
+    extra = [
+        json.dumps(
+            {
+                "schema_version": SCHEMA_VERSION,
+                "id": "heavy",
+                "op": "wear",
+                "workload": "Sqz",
+                "iters": 3000,
+            }
+        ),
+        json.dumps(
+            {"schema_version": SCHEMA_VERSION, "id": "st", "op": "stats"}
+        ),
+    ]
+    stats_batch = "\n".join(lines[:-1] + extra + [lines[-1]]) + "\n"
+    replies, _ = serve(
+        rota,
+        workdir,
+        tag,
+        stats_batch,
+        FAULT_PLAN,
+        [
+            "--stats-out", stats_json,
+            "--stats-interval", "25",
+            "--events", events_path,
+        ],
+    )
+
+    # (a) mid-run publishing: the exit snapshot's seq counts every publish,
+    # so seq >= 2 proves at least one landed while requests were in flight.
+    snapshot = json.load(open(stats_json))
+    assert snapshot.get("schema_version") == SCHEMA_VERSION, snapshot
+    assert snapshot.get("kind") == "metrics_snapshot", snapshot
+    assert snapshot.get("seq", 0) >= 2, (
+        f"no mid-run snapshot published (seq={snapshot.get('seq')})"
+    )
+    metrics = snapshot["metrics"]
+    injected = sum(
+        counter(metrics, n)
+        for n in ("fi.read_faults", "fi.write_faults", "fi.corruptions")
+    )
+    assert injected > 0, "snapshot shows no injected faults"
+    retried = sum(
+        counter(metrics, n)
+        for n in (
+            "svc.cache.disk_read_retries",
+            "svc.cache.disk_write_retries",
+            "svc.cache.disk_corrupt",
+        )
+    )
+    assert retried > 0, "snapshot shows no retry/recompute activity"
+
+    # (b) the OpenMetrics twin parses and agrees with the JSON.
+    errors = check_openmetrics.validate(
+        open(stats_om).read(), open(stats_json).read()
+    )
+    assert not errors, "OpenMetrics twin disagrees: " + "; ".join(errors)
+
+    # (c) per-request latency histograms with the full quantile ladder.
+    for name in ("svc.queue_wait_ms", "svc.compute_ms", "svc.reply_ms"):
+        hist = metrics.get(name)
+        assert hist and hist.get("type") == "histogram", f"missing {name}"
+        assert hist["count"] > 0, f"{name} never observed"
+        for q in ("p50", "p95", "p99"):
+            assert q in hist, f"{name} lacks {q}"
+
+    # (d) the in-band stats reply carries the same envelope.
+    in_band = next(
+        json.loads(r) for r in replies if '"id": "st"' in r or '"id":"st"' in r
+    )
+    assert in_band["ok"], in_band
+    assert in_band["result"]["kind"] == "metrics_snapshot", in_band
+    assert in_band["result"]["schema_version"] == SCHEMA_VERSION, in_band
+    # queue_wait is observed before a job executes, so the stats job's own
+    # pickup guarantees the histogram exists by the time it snapshots.
+    assert "svc.queue_wait_ms" in in_band["result"]["metrics"], in_band
+
+    # (e) the events sink is valid JSON lines with the structured fields.
+    with open(events_path) as fh:
+        events = [json.loads(line) for line in fh if line.strip()]
+    assert events, "events sink is empty"
+    for ev in events:
+        assert ev["schema_version"] == SCHEMA_VERSION, ev
+        assert ev["severity"] in ("debug", "info", "warn", "error"), ev
+        assert ev["component"], ev
+    return snapshot["seq"]
+
+
 def main() -> None:
-    if len(sys.argv) != 2:
+    args = sys.argv[1:]
+    artifacts_dir = None
+    if "--artifacts" in args:
+        idx = args.index("--artifacts")
+        artifacts_dir = args[idx + 1]
+        del args[idx:idx + 2]
+    if len(args) != 1:
         sys.exit(__doc__)
-    rota = sys.argv[1]
+    rota = args[0]
     batch = request_batch()
     workdir = tempfile.mkdtemp(prefix="rota_fault_soak_")
     try:
@@ -163,6 +279,9 @@ def main() -> None:
         )
         assert hardened > 0, "faults fired but no retry/recompute engaged"
 
+        # Live telemetry under the same fault plan.
+        snapshots = check_live_telemetry(rota, workdir, batch)
+
         # Overload shedding: eight slow wear requests against queue-cap 1.
         shed_lines = [
             json.dumps(
@@ -177,17 +296,45 @@ def main() -> None:
             for i in range(8)
         ]
         shed_batch = "\n".join(shed_lines) + "\n"
+        shed_stats = os.path.join(workdir, "shed", "stats.json")
         replies, shed_metrics = serve(
-            rota, workdir, "shed", shed_batch, None, ["--queue-cap", "1"]
+            rota, workdir, "shed", shed_batch, None,
+            ["--queue-cap", "1", "--stats-out", shed_stats],
         )
         assert len(replies) == 8, "shed: every request must be answered"
         overloaded = sum(1 for r in replies if '"overloaded"' in r)
         assert overloaded >= 1, "queue-cap 1 under 8 slow requests never shed"
         assert counter(shed_metrics, "svc.requests_shed") == overloaded
+        # The shed counter is also visible in the exit snapshot twins.
+        shed_snapshot = json.load(open(shed_stats))
+        assert (
+            counter(shed_snapshot["metrics"], "svc.requests_shed")
+            == overloaded
+        ), shed_snapshot
+        errors = check_openmetrics.validate(
+            open(shed_stats[: -len(".json")] + ".om").read(),
+            open(shed_stats).read(),
+        )
+        assert not errors, "shed OM twin disagrees: " + "; ".join(errors)
+
+        if artifacts_dir:
+            os.makedirs(artifacts_dir, exist_ok=True)
+            for tag, name in (
+                ("stats", "stats.json"),
+                ("stats", "stats.om"),
+                ("stats", "events.jsonl"),
+                ("shed", "stats.json"),
+            ):
+                src = os.path.join(workdir, tag, name)
+                if os.path.exists(src):
+                    shutil.copy(
+                        src, os.path.join(artifacts_dir, f"{tag}-{name}")
+                    )
 
         print(
             f"fault soak OK: {injected} faults injected, "
             f"{hardened} retries/recomputes, replies bit-identical; "
+            f"{snapshots} live snapshots published under faults; "
             f"{overloaded}/8 requests shed at --queue-cap 1"
         )
     finally:

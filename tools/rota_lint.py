@@ -21,10 +21,11 @@ Rules enforced (each can be suppressed on a specific line with a trailing
                declarations are exempt (the contract binds overriders).
   log-discipline
                No bare std::cout/std::cerr/std::clog/printf in src/
-               library code: libraries report through rota::obs metrics,
-               traces, or returned strings; only the CLI front-end
-               (src/cli/) and the obs sinks themselves talk to the
-               process-global streams.
+               library code: libraries report through the structured
+               obs::EventLog (or metrics / traces / returned strings);
+               only the process entry point (src/cli/main.cpp) and the
+               obs terminal sinks (progress, the EventLog stderr echo)
+               talk to the process-global streams.
   api-no-throw No `throw` statement in a header that declares part of the
                versioned public API (any header containing `namespace
                rota::api`). v1 entry points report data errors through
@@ -85,11 +86,15 @@ RNG_PATTERN = re.compile(
 FLOAT_PATTERN = re.compile(r"\bfloat\b")
 LOG_PATTERN = re.compile(
     r"\bstd::(?:cout|cerr|clog)\b|\b(?:f?printf|puts|fputs)\s*\(")
-# The CLI front-end owns stdout/stderr; the progress sink is the one obs
-# component whose whole job is writing to stderr.
+# Only the process entry point (main.cpp's fatal-error reporting) and the
+# two obs sinks whose whole job is terminal rendering (the TTY progress
+# line, the EventLog stderr echo) may touch the global streams. Everything
+# else — including the rest of src/cli — reports through obs::EventLog /
+# metrics / a caller-supplied std::ostream.
 LOG_ALLOWED = (
-    Path("src") / "cli",
+    Path("src") / "cli" / "main.cpp",
     Path("src") / "obs" / "progress.cpp",
+    Path("src") / "obs" / "event_log.cpp",
 )
 ALLOW_PATTERN = re.compile(r"//\s*rota-lint:\s*allow\(([a-z-]+)\)")
 PRE_TAG = re.compile(r"[\\@]pre\b")
