@@ -17,7 +17,9 @@
 
 #include "bench_common.hpp"
 #include "core/rota.hpp"
+#include "kern/kern.hpp"
 #include "obs/event_log.hpp"
+#include "util/rng.hpp"
 
 namespace {
 
@@ -79,6 +81,77 @@ void BM_MonteCarloMttfPar(benchmark::State& state) {
 }
 BENCHMARK(BM_MonteCarloMttfPar)
     ->Arg(1)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+/// Pin the dispatch to one ISA for the duration of a benchmark run and
+/// restore the previous choice afterwards. Skips (rather than fails) when
+/// the requested ISA is not available in this binary on this CPU.
+class IsaPin {
+ public:
+  IsaPin(benchmark::State& state, kern::Isa isa)
+      : previous_(kern::active_isa()) {
+    if (isa == kern::Isa::kAvx2 && !kern::avx2_available()) {
+      state.SkipWithError("AVX2 path not available");
+      skipped_ = true;
+      return;
+    }
+    kern::force_isa(isa);
+  }
+  ~IsaPin() {
+    if (!skipped_) kern::force_isa(previous_);
+  }
+  [[nodiscard]] bool skipped() const { return skipped_; }
+
+ private:
+  kern::Isa previous_;
+  bool skipped_ = false;
+};
+
+/// The Weibull serial-reliability reduction in isolation: one Monte Carlo
+/// trial's min over 168 per-PE failure draws, in the β-power domain the
+/// sampler uses (DESIGN.md §14). scalar-vs-simd pairs quantify what the
+/// dispatch actually buys on this machine.
+void BM_WeibullReduce(benchmark::State& state, kern::Isa isa) {
+  const IsaPin pin(state, isa);
+  if (pin.skipped()) return;
+  constexpr std::size_t kPe = 168;
+  std::vector<double> c_pow(kPe);
+  std::vector<double> u(kPe);
+  util::SplitMix64 rng(0x526f5441);
+  for (std::size_t i = 0; i < kPe; ++i) {
+    c_pow[i] = 1.0 + static_cast<double>(i % 7);
+    u[i] = rng.next_double();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        kern::pow1(kern::weibull_min(u.data(), c_pow.data(), kPe), 0.5));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kPe));
+}
+BENCHMARK_CAPTURE(BM_WeibullReduce, scalar, kern::Isa::kScalar);
+BENCHMARK_CAPTURE(BM_WeibullReduce, simd, kern::Isa::kAvx2);
+
+/// The wear-accumulation inner passes in isolation: the vertical
+/// row-plus-row and uniform-offset sweeps of UsageTracker::materialize
+/// over a 168-PE array's worth of rows.
+void BM_WearAccumulate(benchmark::State& state, kern::Isa isa) {
+  const IsaPin pin(state, isa);
+  if (pin.skipped()) return;
+  constexpr std::size_t kW = 14;
+  constexpr std::size_t kH = 12;
+  std::vector<std::int64_t> cells(kW * kH, 1);
+  for (auto _ : state) {
+    for (std::size_t r = 1; r < kH; ++r) {
+      kern::add_i64(cells.data() + r * kW, cells.data() + (r - 1) * kW, kW);
+    }
+    kern::add_scalar_i64(cells.data(), 3, cells.size());
+    benchmark::DoNotOptimize(kern::minmax_sum_i64(cells.data(), cells.size()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cells.size()));
+}
+BENCHMARK_CAPTURE(BM_WearAccumulate, scalar, kern::Isa::kScalar);
+BENCHMARK_CAPTURE(BM_WearAccumulate, simd, kern::Isa::kAvx2);
 
 void BM_TrackerAddSpaceWrapped(benchmark::State& state) {
   wear::UsageTracker tracker(14, 12);

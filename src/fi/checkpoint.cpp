@@ -67,7 +67,11 @@ util::Result<Checkpoint> decode_checkpoint(const std::string& text) {
     std::string version;
     header >> magic >> version;
     if (magic != kCheckpointMagic) return corrupt("bad magic '" + magic + "'");
-    if (version != "v" + std::to_string(kCheckpointVersion))
+    // Built with append rather than "v" + to_string(...): GCC 12 at -O3
+    // raises a spurious -Wrestrict on operator+(const char*, string&&).
+    std::string expected = "v";
+    expected += std::to_string(kCheckpointVersion);
+    if (version != expected)
       return Error{ErrorCode::kInvalidArgument,
                    "unsupported checkpoint version '" + version +
                        "' (this build reads v" +

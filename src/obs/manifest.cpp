@@ -3,6 +3,7 @@
 #include <ctime>
 #include <sstream>
 
+#include "kern/kern.hpp"
 #include "obs/build_info.hpp"
 #include "obs/json.hpp"
 
@@ -58,6 +59,11 @@ RunManifest make_run_manifest(std::string tool, std::string command) {
   m.git_sha = git_sha();
   m.build_type = build_type();
   m.timestamp_utc = utc_now_iso8601();
+  // Which SIMD kernels this binary carries and which it actually runs
+  // (DESIGN.md §14): results are bit-identical either way, but perf
+  // numbers are only comparable between manifests that agree here.
+  m.extra["kern.simd_compiled"] = std::string(kern::compiled_simd());
+  m.extra["kern.simd_active"] = std::string(kern::isa_name(kern::active_isa()));
   return m;
 }
 

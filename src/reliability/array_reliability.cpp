@@ -1,30 +1,58 @@
 #include "reliability/array_reliability.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
+#include "kern/kern.hpp"
 #include "util/check.hpp"
 #include "util/math.hpp"
 
 namespace rota::rel {
+
+namespace {
+
+/// (Σ α_i^p)^{1/p} on the vectorized kernels, normalized by the largest
+/// element for overflow robustness like util::power_sum_root (whose
+/// scalar form remains the reference in util's own tests). Scaling keeps
+/// every ratio in [0, 1], so kern::sum_pow never saturates even for the
+/// large shapes the bit-identity suite sweeps.
+double power_sum_root_kern(const std::vector<double>& values, double p) {
+  double vmax = 0.0;
+  for (double v : values) {
+    ROTA_REQUIRE(v >= 0.0, "power_sum_root needs non-negative values");
+    vmax = std::max(vmax, v);
+  }
+  if (vmax == 0.0) return 0.0;
+  std::vector<double> scaled(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) scaled[i] = values[i] / vmax;
+  const double sum = kern::sum_pow(scaled.data(), p, scaled.size());
+  return vmax * kern::pow1(sum, 1.0 / p);
+}
+
+}  // namespace
 
 double array_reliability(const std::vector<double>& alphas, double t,
                          double beta, double eta) {
   ROTA_REQUIRE(!alphas.empty(), "activity vector must be non-empty");
   ROTA_REQUIRE(t >= 0.0, "time must be non-negative");
   ROTA_REQUIRE(beta > 0.0 && eta > 0.0, "beta and eta must be positive");
-  double exponent = 0.0;
   for (double a : alphas) {
     ROTA_REQUIRE(a >= 0.0, "activity must be non-negative");
-    exponent += std::pow(t * a / eta, beta);
   }
-  return std::exp(-exponent);
+  // Σ (t·α_i/η)^β = (t/η)^β · Σ α_i^β: factor the shared scale out so the
+  // per-element work is a single vectorized power sum.
+  const double exponent =
+      kern::pow1(t / eta, beta) *
+      kern::sum_pow(alphas.data(), beta, alphas.size());
+  return kern::exp1(-exponent);
 }
 
 double array_mttf(const std::vector<double>& alphas, double beta,
                   double eta) {
   ROTA_REQUIRE(!alphas.empty(), "activity vector must be non-empty");
   ROTA_REQUIRE(beta > 0.0 && eta > 0.0, "beta and eta must be positive");
-  const double denom = util::power_sum_root(alphas, beta);
+  const double denom = power_sum_root_kern(alphas, beta);
   ROTA_REQUIRE(denom > 0.0, "at least one PE must have positive activity");
   return eta * util::weibull_mean_factor(beta) / denom;
 }
@@ -33,8 +61,8 @@ double lifetime_improvement(const std::vector<double>& baseline_alphas,
                             const std::vector<double>& wl_alphas,
                             double beta) {
   ROTA_REQUIRE(beta > 0.0, "beta must be positive");
-  const double num = util::power_sum_root(baseline_alphas, beta);
-  const double den = util::power_sum_root(wl_alphas, beta);
+  const double num = power_sum_root_kern(baseline_alphas, beta);
+  const double den = power_sum_root_kern(wl_alphas, beta);
   ROTA_REQUIRE(num > 0.0 && den > 0.0,
                "both activity vectors must have positive activity");
   return num / den;

@@ -6,6 +6,7 @@
 #include <limits>
 #include <utility>
 
+#include "kern/kern.hpp"
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
 #include "obs/trace.hpp"
@@ -67,19 +68,44 @@ ChunkBounds chunk_bounds(std::int64_t chunk, std::int64_t chunk_trials,
   return {begin, std::min(trials, begin + chunk_trials)};
 }
 
-/// Sample one array failure time: min over PEs of (η/α)·(−ln U)^{1/β}.
-double sample_failure(const std::vector<double>& alphas, double beta,
-                      double eta, util::SplitMix64& rng) {
-  double first_failure = std::numeric_limits<double>::infinity();
+/// Per-call state of the vectorized failure sampler. The array failure
+/// time min_i (η/α_i)·(−ln U_i)^{1/β} is computed in the β-power domain:
+/// min_i (η/α_i)^β·(−log(1−U_i)), then one pow1(·, 1/β) per trial —
+/// x ↦ x^{1/β} is monotone, so the min commutes with it. That leaves a
+/// single vectorized log per PE draw (kern::weibull_min). Inactive PEs
+/// (α == 0) never wear out; they are dropped up front, which keeps the
+/// RNG stream identical to the historical sampler (it skipped them
+/// without drawing).
+struct FailureSampler {
+  std::vector<double> c_pow;  ///< (η/α_i)^β for active PEs, input order.
+  double p = 1.0;             ///< 1/β.
+};
+
+FailureSampler make_sampler(const std::vector<double>& alphas, double beta,
+                            double eta) {
+  FailureSampler s;
+  s.p = 1.0 / beta;
+  s.c_pow.reserve(alphas.size());
   for (double a : alphas) {
-    if (a <= 0.0) continue;  // inactive PEs never wear out
-    // Inverse-CDF sampling: U in [0, 1) keeps 1-U in (0, 1], so the log is
-    // finite.
-    const double u = rng.next_double();
-    const double t = (eta / a) * std::pow(-std::log(1.0 - u), 1.0 / beta);
-    first_failure = std::min(first_failure, t);
+    if (a <= 0.0) continue;
+    // Clamp an overflowed power to the kernel's finite domain: the clamped
+    // PE still loses every min against realistic failure times, and a
+    // u == 0 draw keeps giving 0·DBL_MAX == 0 instead of 0·inf == NaN.
+    const double c = kern::pow1(eta / a, beta);
+    s.c_pow.push_back(std::min(c, std::numeric_limits<double>::max()));
   }
-  return first_failure;
+  return s;
+}
+
+/// Sample one array failure time. `u` is caller-owned scratch of size
+/// c_pow.size() so per-chunk loops reuse one allocation. U in [0, 1)
+/// keeps 1−U in (0, 1]; a U == 0 draw yields the zero failure time the
+/// direct sampler produced.
+double sample_failure(const FailureSampler& s, std::vector<double>& u,
+                      util::SplitMix64& rng) {
+  const std::size_t k = s.c_pow.size();
+  for (std::size_t i = 0; i < k; ++i) u[i] = rng.next_double();
+  return kern::pow1(kern::weibull_min(u.data(), s.c_pow.data(), k), s.p);
 }
 
 }  // namespace
@@ -118,6 +144,7 @@ bool monte_carlo_mttf_step(const std::vector<double>& alphas, double beta,
   const std::int64_t first = partial->next_chunk;
   if (first >= chunks) return false;
   const std::int64_t step = std::min(max_chunks, chunks - first);
+  const FailureSampler sampler = make_sampler(alphas, beta, eta);
 
   struct Moments {
     double sum = 0.0;
@@ -132,9 +159,10 @@ bool monte_carlo_mttf_step(const std::vector<double>& alphas, double beta,
         const std::int64_t c = first + i;
         const ChunkBounds b = chunk_bounds(c, kMonteCarloChunkTrials, trials);
         util::SplitMix64 rng = chunk_rng(seed, c);
+        std::vector<double> u(sampler.c_pow.size());
         Moments m;
         for (std::int64_t t = b.begin; t < b.end; ++t) {
-          const double sample = sample_failure(alphas, beta, eta, rng);
+          const double sample = sample_failure(sampler, u, rng);
           m.sum += sample;
           m.sum_sq += sample * sample;
         }
@@ -180,7 +208,17 @@ VariationResult lifetime_improvement_under_variation(
 
   // With per-PE scale η_i, the serial-chain MTTF is
   // Γ(1+1/β)/(Σ (α_i/η_i)^β)^{1/β}; the Γ factor cancels in the ratio.
+  // Each term (α_i/η_i)^β = exp(β·(log α_i + w_i)) with w_i = −σ·N_i, so
+  // both sums are one kern::sum_exp_affine over precomputed log
+  // activities and the trial's shared perturbation vector. A zero
+  // activity logs to −inf and contributes exactly 0, as before.
   const std::size_t n = baseline_alphas.size();
+  std::vector<double> log_base(n);
+  std::vector<double> log_wl(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    log_base[i] = kern::log1(baseline_alphas[i]);
+    log_wl[i] = kern::log1(wl_alphas[i]);
+  }
   const std::int64_t chunks = util::ceil_div(trials, kVariationChunkTrials);
   std::vector<double> ratios = par::parallel_reduce<std::vector<double>>(
       chunks, threads, std::vector<double>{},
@@ -193,19 +231,19 @@ VariationResult lifetime_improvement_under_variation(
           const double u2 = rng.next_double();
           return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
         };
+        std::vector<double> w(n);
         std::vector<double> chunk_ratios;
         chunk_ratios.reserve(static_cast<std::size_t>(b.end - b.begin));
         for (std::int64_t trial = b.begin; trial < b.end; ++trial) {
-          double sum_base = 0.0;
-          double sum_wl = 0.0;
-          for (std::size_t i = 0; i < n; ++i) {
-            const double inv_eta = std::exp(-sigma * next_normal());
-            sum_base += std::pow(baseline_alphas[i] * inv_eta, beta);
-            sum_wl += std::pow(wl_alphas[i] * inv_eta, beta);
-          }
+          for (std::size_t i = 0; i < n; ++i) w[i] = -sigma * next_normal();
+          const double sum_base =
+              kern::sum_exp_affine(log_base.data(), w.data(), beta, n);
+          const double sum_wl =
+              kern::sum_exp_affine(log_wl.data(), w.data(), beta, n);
           ROTA_ENSURE(sum_base > 0.0 && sum_wl > 0.0,
                       "degenerate variation sample");
-          chunk_ratios.push_back(std::pow(sum_base / sum_wl, 1.0 / beta));
+          chunk_ratios.push_back(
+              kern::pow1(sum_base / sum_wl, 1.0 / beta));
         }
         return chunk_ratios;
       },
@@ -241,14 +279,16 @@ double monte_carlo_reliability(const std::vector<double>& alphas, double t,
   const auto t0 = std::chrono::steady_clock::now();
   const std::int64_t chunks =
       util::ceil_div(trials, kMonteCarloChunkTrials);
+  const FailureSampler sampler = make_sampler(alphas, beta, eta);
   const std::int64_t alive = par::parallel_reduce<std::int64_t>(
       chunks, threads, std::int64_t{0},
       [&](std::int64_t c) {
         const ChunkBounds b = chunk_bounds(c, kMonteCarloChunkTrials, trials);
         util::SplitMix64 rng = chunk_rng(seed, c);
+        std::vector<double> u(sampler.c_pow.size());
         std::int64_t chunk_alive = 0;
         for (std::int64_t i = b.begin; i < b.end; ++i) {
-          if (sample_failure(alphas, beta, eta, rng) > t) ++chunk_alive;
+          if (sample_failure(sampler, u, rng) > t) ++chunk_alive;
         }
         return chunk_alive;
       },

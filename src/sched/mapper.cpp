@@ -6,6 +6,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "par/parallel.hpp"
+#include "util/arena.hpp"
 #include "util/check.hpp"
 #include "util/math.hpp"
 
@@ -72,13 +73,14 @@ std::size_t Mapper::cache_size() const {
   return total;
 }
 
-std::vector<std::int64_t> Mapper::factor_ladder(
-    const std::vector<std::int64_t>& bound_divisors, std::int64_t bound,
-    std::int64_t cap) const {
+util::ArenaVector<std::int64_t> Mapper::factor_ladder(
+    util::Arena& arena, const util::ArenaVector<std::int64_t>& bound_divisors,
+    std::int64_t bound, std::int64_t cap) const {
   ROTA_REQUIRE(bound > 0, "factor ladder needs a positive bound");
+  util::ArenaVector<std::int64_t> ladder{
+      util::ArenaAllocator<std::int64_t>(arena)};
   cap = std::min(cap, bound);
-  if (cap < 1) return {};
-  std::vector<std::int64_t> ladder;
+  if (cap < 1) return ladder;
   ladder.reserve(bound_divisors.size());
   for (std::int64_t d : bound_divisors) {
     if (d <= cap) ladder.push_back(d);
@@ -90,11 +92,11 @@ std::vector<std::int64_t> Mapper::factor_ladder(
   return ladder;
 }
 
-std::vector<std::int64_t> Mapper::spatial_candidates(
-    const std::vector<std::int64_t>& bound_divisors, std::int64_t bound,
-    std::int64_t array_dim) const {
+util::ArenaVector<std::int64_t> Mapper::spatial_candidates(
+    util::Arena& arena, const util::ArenaVector<std::int64_t>& bound_divisors,
+    std::int64_t bound, std::int64_t array_dim) const {
   const std::int64_t cap = std::min(array_dim, bound);
-  std::vector<std::int64_t> out;
+  util::ArenaVector<std::int64_t> out{util::ArenaAllocator<std::int64_t>(arena)};
   if (options_.exact_factors_only) {
     out.reserve(bound_divisors.size());
     for (std::int64_t d : bound_divisors) {
@@ -130,16 +132,31 @@ bool better(const CostResult& a, const Mapping& ma, const CostResult& b,
 /// Per-search memo of util::divisors: one layer's search asks for the
 /// divisors of the same handful of bounds (K, C/g, P, Q, S) hundreds of
 /// times across the candidate loops; trial division is paid once each.
+/// Everything — hash nodes, bucket array, divisor vectors — lives on the
+/// per-search arena, so a whole search costs zero general-heap traffic
+/// once the arena's blocks are warm.
 class DivisorCache {
  public:
-  const std::vector<std::int64_t>& of(std::int64_t n) {
+  explicit DivisorCache(util::Arena& arena)
+      : arena_(arena), memo_(MemoAlloc(arena)) {}
+
+  const util::ArenaVector<std::int64_t>& of(std::int64_t n) {
     const auto it = memo_.find(n);
     if (it != memo_.end()) return it->second;
-    return memo_.emplace(n, util::divisors(n)).first->second;
+    util::ArenaVector<std::int64_t> divs{
+        util::ArenaAllocator<std::int64_t>(arena_)};
+    util::divisors_into(n, divs);
+    return memo_.emplace(n, std::move(divs)).first->second;
   }
 
  private:
-  std::unordered_map<std::int64_t, std::vector<std::int64_t>> memo_;
+  using MemoAlloc = util::ArenaAllocator<
+      std::pair<const std::int64_t, util::ArenaVector<std::int64_t>>>;
+  util::Arena& arena_;
+  std::unordered_map<std::int64_t, util::ArenaVector<std::int64_t>,
+                     std::hash<std::int64_t>, std::equal_to<std::int64_t>,
+                     MemoAlloc>
+      memo_;
 };
 
 }  // namespace
@@ -159,34 +176,44 @@ LayerSchedule Mapper::search(const nn::LayerSpec& layer) const {
   std::int64_t evaluated = 0;
   std::int64_t feasible = 0;
 
-  DivisorCache divs;
+  // All search scratch — candidate ladders, divisor memo — comes from a
+  // per-thread bump arena, rewound (not freed) for every layer search.
+  // The containers built on it are all destroyed before this function
+  // returns, so the rewind at the next entry never strands a live object.
+  static thread_local util::Arena arena;
+  arena.reset();
+
+  DivisorCache divs(arena);
   // References into the memo stay valid across later of() calls
   // (unordered_map never moves nodes on rehash).
   const auto& lb_s_candidates = divs.of(s);
   const auto lb_q_candidates =
-      factor_ladder(divs.of(q), q, std::min(q, cfg.lb_output_words()));
+      factor_ladder(arena, divs.of(q), q, std::min(q, cfg.lb_output_words()));
 
   // The lb_c ladder depends only on lb_s (through the buffer capacity
   // cap), not on the spatial factors: hoist one ladder per lb_s out of
   // the four-deep candidate loops.
-  std::vector<std::vector<std::int64_t>> lb_c_ladders;
+  util::ArenaVector<util::ArenaVector<std::int64_t>> lb_c_ladders{
+      util::ArenaAllocator<util::ArenaVector<std::int64_t>>(arena)};
   lb_c_ladders.reserve(lb_s_candidates.size());
   for (std::int64_t lb_s : lb_s_candidates) {
     const std::int64_t cap_c =
         std::min(cfg.lb_weight_words() / (r * lb_s),
                  cfg.lb_input_words() / lb_s);
-    lb_c_ladders.push_back(cap_c < 1 ? std::vector<std::int64_t>{}
-                                     : factor_ladder(divs.of(cg), cg, cap_c));
+    lb_c_ladders.push_back(
+        cap_c < 1 ? util::ArenaVector<std::int64_t>{
+                        util::ArenaAllocator<std::int64_t>(arena)}
+                  : factor_ladder(arena, divs.of(cg), cg, cap_c));
   }
 
   for (SpatialX dx : {SpatialX::kOutChannels, SpatialX::kOutWidth}) {
     const std::int64_t bound_x = (dx == SpatialX::kOutChannels) ? k : q;
     const auto sx_candidates =
-        spatial_candidates(divs.of(bound_x), bound_x, cfg.array_width);
+        spatial_candidates(arena, divs.of(bound_x), bound_x, cfg.array_width);
     for (SpatialY dy : {SpatialY::kOutHeight, SpatialY::kInChannels}) {
       const std::int64_t bound_y = (dy == SpatialY::kOutHeight) ? p : cg;
       const auto sy_candidates =
-          spatial_candidates(divs.of(bound_y), bound_y, cfg.array_height);
+          spatial_candidates(arena, divs.of(bound_y), bound_y, cfg.array_height);
       for (std::int64_t sx : sx_candidates) {
         for (std::int64_t sy : sy_candidates) {
           for (std::size_t si = 0; si < lb_s_candidates.size(); ++si) {

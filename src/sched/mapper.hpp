@@ -7,6 +7,7 @@
 #include "nn/network.hpp"
 #include "sched/cost.hpp"
 #include "sched/schedule.hpp"
+#include "util/arena.hpp"
 #include "util/thread_annotations.hpp"
 
 /// \file mapper.hpp
@@ -104,15 +105,16 @@ class Mapper {
  private:
   /// Tiling-factor ladder for a loop bound, clipped to [1, cap]: the
   /// bound's divisors (precomputed by the caller, ascending), plus the cap
-  /// itself in imperfect-factorization mode.
-  std::vector<std::int64_t> factor_ladder(
-      const std::vector<std::int64_t>& bound_divisors, std::int64_t bound,
-      std::int64_t cap) const;
+  /// itself in imperfect-factorization mode. Scratch comes from `arena`,
+  /// the per-search bump arena (reset between layer searches).
+  util::ArenaVector<std::int64_t> factor_ladder(
+      util::Arena& arena, const util::ArenaVector<std::int64_t>& bound_divisors,
+      std::int64_t bound, std::int64_t cap) const;
 
   /// Candidate spatial factors for a loop bound across `array_dim` PEs.
-  std::vector<std::int64_t> spatial_candidates(
-      const std::vector<std::int64_t>& bound_divisors, std::int64_t bound,
-      std::int64_t array_dim) const;
+  util::ArenaVector<std::int64_t> spatial_candidates(
+      util::Arena& arena, const util::ArenaVector<std::int64_t>& bound_divisors,
+      std::int64_t bound, std::int64_t array_dim) const;
 
   [[nodiscard]] LayerSchedule search(const nn::LayerSpec& layer) const;
 

@@ -149,8 +149,11 @@ util::Result<sched::LayerSchedule> decode_cache_entry(
   };
   EntryReader reader(text);
   std::string payload;
-  if (!reader.take(kMagic, payload) ||
-      payload != "v" + std::to_string(kCacheFormatVersion)) {
+  // Built with append rather than "v" + to_string(...): GCC 12 at -O3
+  // raises a spurious -Wrestrict on operator+(const char*, string&&).
+  std::string expected_version = "v";
+  expected_version += std::to_string(kCacheFormatVersion);
+  if (!reader.take(kMagic, payload) || payload != expected_version) {
     return corrupt("has a missing or unsupported format header");
   }
   if (!reader.take("fingerprint", payload) || payload != key.fingerprint) {

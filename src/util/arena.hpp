@@ -1,0 +1,135 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/check.hpp"
+
+/// \file arena.hpp
+/// Bump allocator for short-lived, same-lifetime allocations — the
+/// mapper's per-layer-search scratch (DESIGN.md §14). An Arena hands out
+/// pointers by bumping an offset through a chain of geometrically growing
+/// blocks; individual frees are no-ops and reset() rewinds the whole arena
+/// in O(1) while retaining the blocks, so a steady-state search loop stops
+/// touching the general-purpose heap entirely. Not thread-safe: one arena
+/// per thread (or per call).
+
+namespace rota::util {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t first_block_bytes = 4096)
+      : first_block_bytes_(first_block_bytes) {
+    ROTA_REQUIRE(first_block_bytes > 0, "arena block size must be positive");
+  }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Pointer to `bytes` bytes aligned to `align` (a power of two). The
+  /// storage lives until reset() or destruction; there is no per-pointer
+  /// free.
+  void* allocate(std::size_t bytes, std::size_t align) {
+    ROTA_REQUIRE(align > 0 && (align & (align - 1)) == 0,
+                 "arena alignment must be a power of two");
+    if (bytes == 0) bytes = 1;
+    for (;;) {
+      if (current_ < blocks_.size()) {
+        const Block& b = blocks_[current_];
+        const auto base = reinterpret_cast<std::uintptr_t>(b.data.get());
+        const std::uintptr_t aligned =
+            (base + offset_ + align - 1) & ~static_cast<std::uintptr_t>(align - 1);
+        const std::size_t end = static_cast<std::size_t>(aligned - base) + bytes;
+        if (end <= b.size) {
+          offset_ = end;
+          return reinterpret_cast<void*>(aligned);
+        }
+        // Block exhausted (the remainder is abandoned — blocks double, so
+        // the waste is bounded by a constant factor). Try the next one,
+        // which reset() may have retained.
+        ++current_;
+        offset_ = 0;
+        continue;
+      }
+      grow(bytes + align);
+    }
+  }
+
+  /// Rewind to empty in O(1), retaining every block for reuse. All
+  /// pointers previously handed out become dangling; containers built on
+  /// this arena must be destroyed first.
+  void reset() {
+    current_ = 0;
+    offset_ = 0;
+  }
+
+  /// Total bytes of backing storage currently reserved.
+  [[nodiscard]] std::size_t bytes_reserved() const {
+    std::size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  void grow(std::size_t at_least) {
+    std::size_t size =
+        blocks_.empty() ? first_block_bytes_ : blocks_.back().size * 2;
+    if (size < at_least) size = at_least;
+    blocks_.push_back(Block{std::make_unique<std::byte[]>(size), size});
+    current_ = blocks_.size() - 1;
+    offset_ = 0;
+  }
+
+  std::size_t first_block_bytes_;
+  std::vector<Block> blocks_;
+  std::size_t current_ = 0;  ///< block being bumped (== blocks_.size() when empty)
+  std::size_t offset_ = 0;   ///< bump offset into blocks_[current_]
+};
+
+/// Standard-allocator adapter so STL containers draw from an Arena.
+/// deallocate() is a no-op; memory is reclaimed by Arena::reset(). The
+/// referenced arena must outlive every container using it.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+  using propagate_on_container_copy_assignment = std::true_type;
+  using propagate_on_container_move_assignment = std::true_type;
+  using propagate_on_container_swap = std::true_type;
+  using is_always_equal = std::false_type;
+
+  explicit ArenaAllocator(Arena& arena) : arena_(&arena) {}
+
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+  }
+
+  void deallocate(T*, std::size_t) {}
+
+  [[nodiscard]] Arena* arena() const { return arena_; }
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>& other) const {
+    return arena_ == other.arena();
+  }
+
+ private:
+  Arena* arena_;
+};
+
+/// A std::vector whose storage comes from an Arena. Construct with
+/// `ArenaVector<T> v(ArenaAllocator<T>(arena));`.
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace rota::util

@@ -35,15 +35,9 @@ std::int64_t round_up(std::int64_t value, std::int64_t multiple) {
 
 std::vector<std::int64_t> divisors(std::int64_t n) {
   ROTA_REQUIRE(n > 0, "divisors argument must be positive");
-  std::vector<std::int64_t> low;
-  std::vector<std::int64_t> high;
-  for (std::int64_t d = 1; d * d <= n; ++d) {
-    if (n % d != 0) continue;
-    low.push_back(d);
-    if (d != n / d) high.push_back(n / d);
-  }
-  low.insert(low.end(), high.rbegin(), high.rend());
-  return low;
+  std::vector<std::int64_t> out;
+  divisors_into(n, out);
+  return out;
 }
 
 double weibull_mean_factor(double beta) {

@@ -2,6 +2,7 @@
 
 #include "util/check.hpp"
 #include "util/math.hpp"
+#include "util/safe_math.hpp"
 #include "wear/rwl_math.hpp"
 
 namespace rota::wear {
@@ -49,7 +50,8 @@ class BaselinePolicy final : public Policy {
   std::int64_t bulk_process(const sched::UtilSpace& space, std::int64_t tiles,
                             UsageTracker& tracker, bool allow_wrap,
                             std::int64_t weight) override {
-    tracker.add_space(0, 0, space.x, space.y, tiles * weight, allow_wrap);
+    tracker.add_space(0, 0, space.x, space.y, util::checked_mul(tiles, weight),
+                      allow_wrap);
     return tiles;
   }
 };
@@ -99,26 +101,58 @@ class StridePolicy : public Policy {
                             UsageTracker& tracker, bool allow_wrap,
                             std::int64_t weight) override {
     if (!allow_wrap) return 0;
+    const RwlParams params{width(), height(), space.x, space.y, tiles};
     const std::int64_t g = util::gcd(width(), space.x);
-    const std::int64_t strides_x = width() / g;  // X of Eq. (5)
-    if (u_ % g == 0) {
-      // The trajectory passes through column 0: one full period covers the
-      // whole origin lattice exactly once (uniform over every PE) and
-      // returns (u, v) to the current state.
-      const RwlParams params{width(), height(), space.x, space.y, tiles};
-      const std::int64_t period = period_tiles(params);
-      if (tiles < period) return 0;
-      const std::int64_t periods = tiles / period;
-      tracker.add_uniform(periods * uniform_per_period(params) * weight);
-      return periods * period;
+    const std::int64_t strides_x = sweep_tiles(params);  // X of Eq. (5)
+    if (u_ % g != 0) {
+      // Column 0 unreachable: v stays frozen and X-sweeps cover the
+      // horizontal band [v, v+y) uniformly, x/g times per PE each.
+      if (tiles < strides_x) return 0;
+      const std::int64_t sweeps = tiles / strides_x;
+      tracker.add_space(
+          0, v_, width(), space.y,
+          util::checked_mul(util::checked_mul(sweeps, uniform_per_sweep(params)),
+                            weight),
+          allow_wrap);
+      return sweeps * strides_x;
     }
-    // Column 0 unreachable: v stays frozen and X strides sweep the
-    // horizontal band [v, v+y) uniformly, x/g times per PE.
-    if (tiles < strides_x) return 0;
-    const std::int64_t periods = tiles / strides_x;
-    tracker.add_space(0, v_, width(), space.y,
-                      periods * (space.x / g) * weight, allow_wrap);
-    return periods * strides_x;
+
+    // The trajectory passes through column 0. Decompose the tile stream
+    // into (A) whole periods — each covers the full origin lattice exactly
+    // once, uniform over every PE, and restores (u, v); (B) a per-tile
+    // alignment run to column 0; (C) whole X-sweeps — each covers the band
+    // [v, v+y) uniformly and steps v by y once; (D) a sub-sweep tail left
+    // to the caller's per-tile reference path.
+    std::int64_t consumed = 0;
+    const std::int64_t period = period_tiles(params);
+    if (tiles >= period) {
+      const std::int64_t periods = tiles / period;
+      tracker.add_uniform(util::checked_mul(
+          util::checked_mul(periods, uniform_per_period(params)), weight));
+      consumed += periods * period;
+    }
+
+    // Aligning costs < strides_x per-tile updates — the same price the
+    // caller would pay — so only do it when at least one whole sweep
+    // follows to recoup it.
+    const std::int64_t align = tiles_to_column_zero(width(), space.x, u_);
+    if (tiles - consumed < align + strides_x) return consumed;
+    for (std::int64_t i = 0; i < align; ++i) {
+      tracker.add_space(u_, v_, space.x, space.y, weight, allow_wrap);
+      u_ = (u_ + space.x) % width();
+      if (u_ == 0) v_ = (v_ + space.y) % height();
+    }
+    consumed += align;
+
+    const std::int64_t sweeps = (tiles - consumed) / strides_x;
+    const std::int64_t band_count =
+        util::checked_mul(uniform_per_sweep(params), weight);
+    for (std::int64_t s = 0; s < sweeps; ++s) {
+      tracker.add_space(0, v_, width(), space.y, band_count, allow_wrap);
+      v_ = (v_ + space.y) % height();
+    }
+    consumed += sweeps * strides_x;
+    return consumed;
   }
 
  protected:

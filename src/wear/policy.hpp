@@ -17,11 +17,8 @@
 
 namespace rota::wear {
 
-/// Anchor (lower-left PE) of a utilization space, 0-indexed.
-struct Placement {
-  std::int64_t u = 0;
-  std::int64_t v = 0;
-};
+// Placement (the anchor a policy emits per tile) lives in
+// usage_tracker.hpp next to the batch API that consumes it.
 
 /// Identifiers for the built-in policies.
 enum class PolicyKind {

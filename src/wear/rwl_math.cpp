@@ -65,4 +65,54 @@ std::int64_t uniform_per_period(const RwlParams& p) {
   return util::checked_mul(p.x / gx, p.y / gy);
 }
 
+std::int64_t sweep_tiles(const RwlParams& p) {
+  validate(p);
+  return p.w / util::gcd(p.w, p.x);
+}
+
+std::int64_t uniform_per_sweep(const RwlParams& p) {
+  validate(p);
+  // One X-sweep places its origins on the full column lattice
+  // {0, g, ..., w−g}, each exactly once (x/g is coprime to w/g, so
+  // k ↦ k·x mod w is a bijection of the lattice). A window of x
+  // consecutive columns contains exactly x/g lattice points, so every
+  // column — hence every PE of the band — is covered exactly x/g times.
+  return p.x / util::gcd(p.w, p.x);
+}
+
+namespace {
+
+// a^{-1} mod m for coprime a, m (m >= 1), by the extended Euclid
+// iteration carrying only the t-coefficients.
+std::int64_t mod_inverse(std::int64_t a, std::int64_t m) {
+  std::int64_t r0 = m;
+  std::int64_t r1 = a % m;
+  std::int64_t t0 = 0;
+  std::int64_t t1 = 1;
+  while (r1 != 0) {
+    const std::int64_t q = r0 / r1;
+    r0 -= q * r1;
+    std::swap(r0, r1);
+    t0 -= q * t1;
+    std::swap(t0, t1);
+  }
+  return ((t0 % m) + m) % m;
+}
+
+}  // namespace
+
+std::int64_t tiles_to_column_zero(std::int64_t w, std::int64_t x,
+                                  std::int64_t u) {
+  ROTA_REQUIRE(w > 0 && x > 0 && x <= w, "stride geometry out of range");
+  ROTA_REQUIRE(u >= 0 && u < w, "column out of range");
+  const std::int64_t g = util::gcd(w, x);
+  ROTA_REQUIRE(u % g == 0, "column is off the stride lattice through 0");
+  if (u == 0) return 0;
+  // k·(x/g) ≡ −(u/g) (mod w/g); both factors are < w, the checked product
+  // guards pathological widths.
+  const std::int64_t wg = w / g;
+  const std::int64_t inv = mod_inverse((x / g) % wg, wg);
+  return util::checked_mul((wg - u / g) % wg, inv) % wg;
+}
+
 }  // namespace rota::wear

@@ -44,4 +44,23 @@ struct RwlDerived {
 [[nodiscard]] std::int64_t period_tiles(const RwlParams& params);
 [[nodiscard]] std::int64_t uniform_per_period(const RwlParams& params);
 
+/// One level below a full period: starting from u == 0, the next
+/// sweep_tiles(params) = w/gcd(w,x) tiles (one X-sweep, Eq. (5)) cover the
+/// horizontal band [v, v+y) exactly uniformly — uniform_per_sweep(params)
+/// = x/gcd(w,x) per PE of the band — then return u to 0 and advance v by
+/// y exactly once. This is the wrapped fast-forward used for sub-period
+/// tile counts; like the period pair above it is property-tested against
+/// the per-tile reference.
+[[nodiscard]] std::int64_t sweep_tiles(const RwlParams& params);
+[[nodiscard]] std::int64_t uniform_per_sweep(const RwlParams& params);
+
+/// Smallest k >= 0 with (u + k·x) ≡ 0 (mod w): how many tiles the
+/// horizontal stride needs to re-enter column 0. Solved in closed form
+/// via the modular inverse of x/g mod w/g (g = gcd(w,x)).
+/// \pre w > 0, 0 < x <= w, 0 <= u < w, and g divides u (u lies on the
+///      stride lattice through column 0).
+[[nodiscard]] std::int64_t tiles_to_column_zero(std::int64_t w,
+                                                std::int64_t x,
+                                                std::int64_t u);
+
 }  // namespace rota::wear

@@ -53,6 +53,11 @@ void WearSimulator::run_layer(const sched::LayerSchedule& layer,
     ROTA_ENSURE(remaining >= 0, "bulk_process consumed more tiles than given");
   }
   const std::int64_t per_tile = remaining;
+  // Deliberately per-tile, not buffered through UsageTracker::add_spaces:
+  // the tracker's amortized overflow budget already keeps this loop free
+  // of checked arithmetic, and staging origins through a batch array
+  // measured ~20% slower here (the memory round-trip costs more than the
+  // interleaving it avoids).
   for (; remaining > 0; --remaining) {
     const Placement at = policy.next_origin(space);
     tracker_.add_space(at.u, at.v, space.x, space.y, weight, allow_wrap_);

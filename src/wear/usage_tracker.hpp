@@ -12,8 +12,21 @@
 /// of the space size — wraparound splits into at most four rectangles —
 /// and the full counter grid is materialized lazily when statistics are
 /// requested (at iteration boundaries in the evaluation harness).
+///
+/// Hot-path structure (DESIGN.md §14): materialization runs as three
+/// unit-stride passes over the row-major backing vectors (horizontal
+/// prefix, vertical row += previous row via kern::add_i64, uniform via
+/// kern::add_scalar_i64), and per-tile overflow checks are amortized —
+/// add_space spends one checked multiply only when a precomputed budget
+/// runs out, add_spaces charges a whole batch with a single check.
 
 namespace rota::wear {
+
+/// Anchor (lower-left PE) of a utilization space, 0-indexed.
+struct Placement {
+  std::int64_t u = 0;
+  std::int64_t v = 0;
+};
 
 /// Summary statistics over the PE usage counters.
 struct UsageStats {
@@ -42,6 +55,14 @@ class UsageTracker {
   void add_space(std::int64_t u, std::int64_t v, std::int64_t x,
                  std::int64_t y, std::int64_t count, bool allow_wrap);
 
+  /// Record one x×y space at every origin in origins[0..tiles), each with
+  /// `weight` allocations — equivalent to `tiles` add_space calls but with
+  /// a single overflow-checked total update for the whole batch and cheap
+  /// per-tile bounds compares. Preconditions per tile match add_space.
+  void add_spaces(const Placement* origins, std::size_t tiles,
+                  std::int64_t x, std::int64_t y, std::int64_t weight,
+                  bool allow_wrap);
+
   /// Add `count` to every PE (used by the periodic fast-forward path).
   void add_uniform(std::int64_t count);
 
@@ -62,6 +83,12 @@ class UsageTracker {
  private:
   void add_rect(std::int64_t c0, std::int64_t r0, std::int64_t c1,
                 std::int64_t r1, std::int64_t count);
+  /// The add_rect splits of one (possibly wrapped) space; no validation,
+  /// no total/dirty bookkeeping.
+  void splat_space(std::int64_t u, std::int64_t v, std::int64_t x,
+                   std::int64_t y, std::int64_t count);
+  /// Refresh budget_ from the current total (see member comment).
+  void recompute_budget();
   void materialize() const;
 
   std::int64_t width_;
@@ -69,6 +96,13 @@ class UsageTracker {
   util::Grid<std::int64_t> diff_;          ///< (w+1)×(h+1) difference array
   std::int64_t uniform_ = 0;               ///< whole-array additions
   std::int64_t total_allocations_ = 0;
+  /// How many more allocation counts add_space can accept — assuming the
+  /// worst-case w×h space — before total_allocations_ could overflow:
+  /// (INT64_MAX − total) / (w·h). While count fits the budget the checked
+  /// multiply chain is skipped entirely; on exhaustion the slow path
+  /// recomputes the exact checked total (and throws where the unamortized
+  /// code would have).
+  std::int64_t budget_ = 0;
   mutable util::Grid<std::int64_t> usage_;
   mutable bool dirty_ = true;
 };

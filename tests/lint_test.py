@@ -268,6 +268,42 @@ class ApiNoexceptRule(LintCase):
         self.assert_clean()
 
 
+class SimdIsolationRule(LintCase):
+    def test_immintrin_outside_kern_fires(self) -> None:
+        self.write("src/wear/fast.cpp",
+                   "#include <immintrin.h>\n"
+                   "void f() {}\n")
+        out = self.assert_fires("simd-isolation", count=1)
+        self.assertIn("src/kern", out)
+
+    def test_x86intrin_fires(self) -> None:
+        self.write("src/rel/mc.cpp", '#include "x86intrin.h"\nvoid f();\n')
+        self.assert_fires("simd-isolation", count=1)
+
+    def test_arm_neon_fires(self) -> None:
+        self.write("src/util/simd.hpp",
+                   "#pragma once\n#include <arm_neon.h>\n")
+        self.assert_fires("simd-isolation", count=1)
+
+    def test_kern_directory_is_exempt(self) -> None:
+        self.write("src/kern/isa_avx2.cpp",
+                   "#include <immintrin.h>\nvoid f() {}\n")
+        self.assert_clean()
+
+    def test_commented_include_is_fine(self) -> None:
+        self.write("src/wear/doc.cpp",
+                   "// #include <immintrin.h> is forbidden here\n"
+                   "void f() {}\n")
+        self.assert_clean()
+
+    def test_allow_escape(self) -> None:
+        self.write("src/obs/probe.cpp",
+                   "#include <immintrin.h>  "
+                   "// rota-lint: allow(simd-isolation)\n"
+                   "void f() {}\n")
+        self.assert_clean()
+
+
 class CompileDbScoping(LintCase):
     VIOLATION = ("#include <cstdlib>\n"
                  "int roll() { return rand(); }\n")

@@ -504,7 +504,11 @@ TEST(EngineTest, RepeatedBatchesAreCachedAndBitIdentical) {
   // ...and across cold/warm passes.
   for (std::size_t i = 0; i < pass1.size(); ++i) {
     EXPECT_EQ(pass1[i].payload_json, pass2[i].payload_json);
-    EXPECT_EQ(pass2[i].id, "b" + std::to_string(i));
+    // Built with append rather than "b" + to_string(i): GCC 12 at -O3
+    // raises a spurious -Wrestrict on operator+(const char*, string&&).
+    std::string expected_id = "b";
+    expected_id += std::to_string(i);
+    EXPECT_EQ(pass2[i].id, expected_id);
   }
 }
 

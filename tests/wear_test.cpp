@@ -6,6 +6,7 @@
 
 #include "arch/config.hpp"
 #include "sched/schedule.hpp"
+#include "util/math.hpp"
 #include "util/rng.hpp"
 #include "wear/policy.hpp"
 #include "wear/rwl_math.hpp"
@@ -155,6 +156,74 @@ TEST(UsageTracker, MatchesNaiveReferenceOnRandomPlacements) {
     }
     EXPECT_TRUE(t.usage() == ref) << "trial " << trial;
   }
+}
+
+TEST(UsageTracker, AddSpacesMatchesPerTileAddSpace) {
+  util::SplitMix64 rng(3131);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::int64_t w = 1 + static_cast<std::int64_t>(rng.next_below(12));
+    const std::int64_t h = 1 + static_cast<std::int64_t>(rng.next_below(12));
+    const std::int64_t x =
+        1 + static_cast<std::int64_t>(rng.next_below(static_cast<std::uint64_t>(w)));
+    const std::int64_t y =
+        1 + static_cast<std::int64_t>(rng.next_below(static_cast<std::uint64_t>(h)));
+    const std::int64_t weight =
+        1 + static_cast<std::int64_t>(rng.next_below(5));
+    std::vector<Placement> origins;
+    const std::size_t tiles = 1 + rng.next_below(50);
+    for (std::size_t i = 0; i < tiles; ++i) {
+      origins.push_back(
+          {static_cast<std::int64_t>(rng.next_below(static_cast<std::uint64_t>(w))),
+           static_cast<std::int64_t>(rng.next_below(static_cast<std::uint64_t>(h)))});
+    }
+    UsageTracker batched(w, h);
+    UsageTracker reference(w, h);
+    batched.add_spaces(origins.data(), origins.size(), x, y, weight, true);
+    for (const Placement& at : origins) {
+      reference.add_space(at.u, at.v, x, y, weight, true);
+    }
+    EXPECT_TRUE(batched.usage() == reference.usage()) << "trial " << trial;
+    EXPECT_EQ(batched.total_pe_allocations(),
+              reference.total_pe_allocations());
+  }
+}
+
+TEST(UsageTracker, AddSpacesBadOriginLeavesTrackerUnchanged) {
+  UsageTracker t(6, 6);
+  t.add_space(1, 1, 2, 2, 3, true);
+  const std::int64_t total = t.total_pe_allocations();
+  const Placement origins[] = {{0, 0}, {2, 2}, {6, 0}};  // last out of range
+  EXPECT_THROW(t.add_spaces(origins, 3, 2, 2, 1, true), precondition_error);
+  EXPECT_EQ(t.total_pe_allocations(), total);
+  EXPECT_EQ(t.stats().max, 3);  // only the original space is recorded
+}
+
+TEST(UsageTracker, AddSpacesOverflowThrowsBeforeMutation) {
+  UsageTracker t(4, 4);
+  const std::int64_t huge = std::numeric_limits<std::int64_t>::max() / 2;
+  const Placement origins[] = {{0, 0}, {1, 1}};
+  EXPECT_THROW(t.add_spaces(origins, 2, 2, 2, huge, true),
+               util::invariant_error);
+  EXPECT_EQ(t.total_pe_allocations(), 0);
+  EXPECT_EQ(t.stats().max, 0);
+}
+
+TEST(UsageTracker, AmortizedBudgetStaysExactNearOverflow) {
+  // Drive the counter close to INT64_MAX with add_uniform, then keep
+  // allocating through the amortized add_space path: totals must stay
+  // exact and the eventual overflow must still throw.
+  UsageTracker t(2, 2);
+  const std::int64_t near =
+      std::numeric_limits<std::int64_t>::max() / 4 - 10;
+  t.add_uniform(near);  // total = 4·near
+  std::int64_t expected = 4 * near;
+  for (int i = 0; i < 8; ++i) {
+    t.add_space(0, 0, 1, 1, 1, true);  // slow or amortized path, both exact
+    expected += 1;
+    ASSERT_EQ(t.total_pe_allocations(), expected);
+  }
+  EXPECT_THROW(t.add_uniform(20), util::invariant_error);
+  EXPECT_EQ(t.total_pe_allocations(), expected);
 }
 
 // ------------------------------------------------------------- RWL math ----
@@ -341,6 +410,77 @@ TEST(RwlMath, PeriodIsUniformFromAnyPhase) {
     EXPECT_EQ(before.u, after.u);
     EXPECT_EQ(before.v, after.v);
   }
+}
+
+/// Property (drives the sub-period wrapped fast-forward): from u == 0, one
+/// X-sweep covers the band [v, v+y) exactly uniform_per_sweep times, every
+/// other PE not at all, returns u to 0 and advances v by y exactly once.
+TEST(RwlMath, SweepIsUniformBandFromColumnZero) {
+  util::SplitMix64 rng(1234);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::int64_t w = 2 + static_cast<std::int64_t>(rng.next_below(14));
+    const std::int64_t h = 2 + static_cast<std::int64_t>(rng.next_below(14));
+    const std::int64_t x =
+        1 + static_cast<std::int64_t>(rng.next_below(static_cast<std::uint64_t>(w)));
+    const std::int64_t y =
+        1 + static_cast<std::int64_t>(rng.next_below(static_cast<std::uint64_t>(h)));
+    const RwlParams p{w, h, x, y, 0};
+    const std::int64_t sweep = sweep_tiles(p);
+    EXPECT_EQ(sweep * x, uniform_per_sweep(p) * w);  // coverage consistency
+
+    // Walk one sweep per-tile from a fresh policy (u = 0, v = 0).
+    auto policy = make_policy(PolicyKind::kRwl, w, h);
+    const sched::UtilSpace space{x, y};
+    policy->begin_layer(space);
+    util::Grid<std::int64_t> grid(static_cast<std::size_t>(w),
+                                  static_cast<std::size_t>(h));
+    grid.fill(0);
+    for (std::int64_t i = 0; i < sweep; ++i) {
+      const Placement at = policy->next_origin(space);
+      naive_add(grid, at.u, at.v, x, y, 1);
+    }
+    for (std::int64_t c = 0; c < w; ++c) {
+      for (std::int64_t r = 0; r < h; ++r) {
+        const std::int64_t expected =
+            (r - 0 + h) % h < y ? uniform_per_sweep(p) : 0;
+        ASSERT_EQ(grid(static_cast<std::size_t>(c),
+                       static_cast<std::size_t>(r)),
+                  expected)
+            << "w" << w << " h" << h << " x" << x << " y" << y << " PE (" << c
+            << "," << r << ")";
+      }
+    }
+    const Placement next = policy->next_origin(space);
+    EXPECT_EQ(next.u, 0);
+    EXPECT_EQ(next.v, y % h);
+  }
+}
+
+/// tiles_to_column_zero agrees with literally striding until u == 0, for
+/// every on-lattice start column — including gcd(w, x) > 1 cosets.
+TEST(RwlMath, TilesToColumnZeroMatchesStrideWalk) {
+  util::SplitMix64 rng(4321);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::int64_t w = 2 + static_cast<std::int64_t>(rng.next_below(40));
+    const std::int64_t x =
+        1 + static_cast<std::int64_t>(rng.next_below(static_cast<std::uint64_t>(w)));
+    const std::int64_t g = util::gcd(w, x);
+    for (std::int64_t u = 0; u < w; u += g) {
+      const std::int64_t k = tiles_to_column_zero(w, x, u);
+      std::int64_t walked = 0;
+      std::int64_t col = u;
+      while (col != 0) {
+        col = (col + x) % w;
+        ++walked;
+      }
+      EXPECT_EQ(k, walked) << "w" << w << " x" << x << " u" << u;
+    }
+  }
+}
+
+TEST(RwlMath, TilesToColumnZeroRejectsOffLatticeColumn) {
+  // gcd(14, 8) = 2: odd columns never reach 0.
+  EXPECT_THROW((void)tiles_to_column_zero(14, 8, 5), precondition_error);
 }
 
 // ------------------------------------------------------------- policies ----

@@ -2,18 +2,27 @@
 """Compare two BENCH_perf.json reports and gate CI on serial regressions.
 
 Usage: bench_compare.py BASELINE.json CURRENT.json [--threshold PCT]
+                        [--improvement-lock]
 
 Both files use the {"schema_version": N, "manifest": ..., "metrics":
 {name: {...}}} envelope written by bench_common.hpp. A report whose
 schema_version is missing or unknown fails loudly instead of being
 field-guessed. For every timing metric in the baseline:
 
-  * serial benchmarks (no "Par/" in the name) FAIL the run when the
-    current cpu time regresses by more than the threshold (default 25%),
-    and FAIL when the metric disappeared from the current report;
-  * parallel benchmarks ("Par/" in the name) only WARN, because their
-    wall/cpu time depends on the runner's core count and the committed
-    baseline may come from a machine with a different topology.
+  * serial benchmarks FAIL the run when the current cpu time regresses by
+    more than the threshold (default 25%), and FAIL when the metric
+    disappeared from the current report;
+  * parallel benchmarks only WARN, because their wall/cpu time depends on
+    the runner's core count and the committed baseline may come from a
+    machine with a different topology. A benchmark counts as parallel
+    when its name carries a "Par/N" lane-count suffix with N > 1 —
+    "...Par/1" is the single-lane run of the same code and is held to the
+    serial gate (the SIMD speedup targets are stated against it);
+  * with --improvement-lock, serial benchmarks whose cpu time IMPROVED by
+    more than the threshold also FAIL: a speedup that large must be
+    locked in by committing the regenerated BENCH_perf.json in the same
+    change, so a later regression back to the old level cannot hide
+    inside the old, stale baseline.
 
 Metrics that are new in the current report are listed informationally.
 Exit status: 0 = OK (possibly with warnings), 1 = at least one failure.
@@ -51,7 +60,8 @@ def load_metrics(path: str) -> dict:
 
 
 def is_parallel(name: str) -> bool:
-    return "Par/" in name
+    _, sep, lanes = name.rpartition("Par/")
+    return bool(sep) and lanes != "1"
 
 
 def main() -> int:
@@ -60,11 +70,16 @@ def main() -> int:
     ap.add_argument("current")
     ap.add_argument("--threshold", type=float, default=25.0,
                     help="allowed regression in percent (default 25)")
+    ap.add_argument("--improvement-lock", action="store_true",
+                    help="also fail serial benchmarks that improved beyond "
+                         "the threshold: commit the regenerated baseline to "
+                         "lock the speedup in")
     args = ap.parse_args()
 
     base = load_metrics(args.baseline)
     cur = load_metrics(args.current)
     limit = 1.0 + args.threshold / 100.0
+    lock_limit = 1.0 - args.threshold / 100.0
 
     failures = []
     warnings = []
@@ -100,6 +115,16 @@ def main() -> int:
             else:
                 failures.append(msg)
                 status = "FAIL slower"
+        elif args.improvement_lock and ratio < lock_limit:
+            msg = (f"{name}: cpu {b:.4f} ms -> {c:.4f} ms improved "
+                   f"{(1 - ratio) * 100:.1f}% > {args.threshold:.0f}% — "
+                   f"commit the regenerated baseline to lock this in")
+            if is_parallel(name):
+                warnings.append(msg)
+                status = "WARN faster"
+            else:
+                failures.append(msg)
+                status = "FAIL unlocked"
         print(f"{name:<{width}}  {b:>10.4f}  {c:>10.4f}  {ratio:>6.2f}  "
               f"{status}")
 

@@ -50,6 +50,12 @@ Rules enforced (each can be suppressed on a specific line with a trailing
                Everything else (malloc, iostreams, mutexes, even fprintf)
                can deadlock or corrupt state when the signal lands inside
                the allocator or a locked region.
+  simd-isolation
+               No vendor intrinsics header (`<immintrin.h>`, x86intrin,
+               arm_neon, ...) outside src/kern/. All SIMD lives behind
+               the dispatched rota::kern batch API, so the scalar/AVX2
+               bit-identity contract (DESIGN.md §14) is testable and
+               enforced in exactly one place.
   api-noexcept Declarations in a versioned-API header (`namespace
                rota::api`) that return Result<T> must be marked noexcept:
                the Result contract is "errors come back as values", and a
@@ -136,6 +142,15 @@ SIGNAL_SAFE_KEYWORDS = frozenset({
 
 # --- api-noexcept rule --------------------------------------------------
 RESULT_RETURN = re.compile(r"\bResult\s*<")
+
+# --- simd-isolation rule ------------------------------------------------
+# Vendor intrinsics headers: immintrin.h and friends (xmmintrin, emmintrin,
+# avxintrin, x86intrin, arm_neon, ...). Everything outside src/kern/ must
+# go through the dispatched rota::kern batch API so the scalar/AVX2
+# bit-identity contract stays enforceable in one place.
+INCLUDE_LINE = re.compile(r"^\s*#\s*include\b")
+INTRIN_INCLUDE = re.compile(
+    r'^\s*#\s*include\s*[<"](?:\w*intrin|arm_neon|arm_sve)\.h[>"]')
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -296,6 +311,26 @@ class Linter:
                               f"`{name}` is not async-signal-safe; "
                               "handlers may only touch lock-free "
                               "atomics and the _exit/raise/write set")
+
+    def check_simd_isolation(self, path: Path, stripped: str,
+                             raw: list[str]) -> None:
+        """SIMD intrinsics live in src/kern/ only; everywhere else uses
+        the dispatched batch kernels (DESIGN.md §14)."""
+        if self.root / "src" / "kern" in path.parents:
+            return
+        # The stripped text blanks quoted-form includes (they look like
+        # string literals), so gate on the stripped line being a real
+        # include directive and match the header name on the raw line.
+        for lineno, line in enumerate(stripped.splitlines(), 1):
+            if not INCLUDE_LINE.match(line):
+                continue
+            if INTRIN_INCLUDE.match(raw[lineno - 1]) and not self.allowed(
+                    raw, lineno, "simd-isolation"):
+                self.fail(path, lineno, "simd-isolation",
+                          "vendor intrinsics header included outside "
+                          "src/kern/; use the rota::kern batch API so the "
+                          "scalar/SIMD bit-identity contract is enforced "
+                          "in one place")
 
     def check_api_noexcept(self, path: Path, stripped: str,
                            raw: list[str]) -> None:
@@ -506,6 +541,7 @@ class Linter:
             self.check_api_no_throw(path, stripped, raw)
             self.check_determinism(path, stripped, raw)
             self.check_signal_safety(path, stripped, raw)
+            self.check_simd_isolation(path, stripped, raw)
             self.check_api_noexcept(path, stripped, raw)
             self.check_pragma_once(path, raw)
             self.check_pre_require(path, text, stripped, raw)
