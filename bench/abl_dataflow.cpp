@@ -44,7 +44,7 @@ int main() {
 
   for (const char* abbr : {"Res", "YL", "Sqz", "Mb", "Eff"}) {
     const nn::Network net = nn::workload_by_abbr(abbr);
-    sched::Mapper flex(accel);
+    sched::Mapper flex(accel, sched::ObjectiveSpec{});
     sched::RsMapper rs(accel);
     const auto flex_ns = flex.schedule_network(net);
     const auto rs_ns = rs.schedule_network(net);

@@ -21,7 +21,8 @@ int main() {
 
   const arch::AcceleratorConfig cfg = arch::rota_like();
   const nn::Network net = nn::make_squeezenet();
-  sched::Mapper mapper(cfg, {}, sched::MapperOptions{true, 0});
+  sched::Mapper mapper(cfg, sched::ObjectiveSpec{}, {},
+                       sched::MapperOptions{true, 0});
   const sched::NetworkSchedule schedule = mapper.schedule_network(net);
 
   util::TextTable table({"faults", "spares", "redirected", "lost units",

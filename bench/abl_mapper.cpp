@@ -23,7 +23,8 @@ Row measure(const rota::nn::Network& net, bool exact) {
   cfg.iterations = 300;
   Experiment exp(cfg);
   // Re-map the network with the requested mapspace.
-  sched::Mapper mapper(cfg.accel, {}, sched::MapperOptions{exact});
+  sched::Mapper mapper(cfg.accel, sched::ObjectiveSpec{}, {},
+                       sched::MapperOptions{exact});
   const auto ns = mapper.schedule_network(net);
 
   Row row;

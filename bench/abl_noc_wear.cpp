@@ -15,7 +15,7 @@ int main() {
   bench::banner("Ablation: NoC link wear",
                 "vertical-link traffic, SqueezeNet x50 iterations");
 
-  sched::Mapper mapper(arch::rota_like());
+  sched::Mapper mapper(arch::rota_like(), sched::ObjectiveSpec{});
   const auto ns = mapper.schedule_network(nn::make_squeezenet());
 
   util::TextTable table({"policy", "total link words", "max link words",

@@ -65,7 +65,7 @@ void emit(const util::TextTable& table,
 
 std::vector<sched::NetworkSchedule> schedule_all_workloads(
     const arch::AcceleratorConfig& cfg) {
-  sched::Mapper mapper(cfg);
+  sched::Mapper mapper(cfg, sched::ObjectiveSpec{});
   std::vector<sched::NetworkSchedule> schedules;
   for (const auto& net : nn::all_workloads()) {
     schedules.push_back(mapper.schedule_network(net));

@@ -14,7 +14,7 @@ int main() {
                 "per-workload energy by memory level (MAC units)");
 
   const arch::EnergyModel em;
-  sched::Mapper mapper(arch::eyeriss_like());
+  sched::Mapper mapper(arch::eyeriss_like(), sched::ObjectiveSpec{});
   util::TextTable table({"network", "MAC", "LB", "inter-PE", "GLB", "DRAM",
                          "total/MAC"});
   std::vector<std::vector<std::string>> csv;

@@ -19,7 +19,7 @@ int main() {
   const sim::ExecutionEngine torus_engine(torus);
   const sim::DramParams dram;  // 2 words/cycle sustained
 
-  sched::Mapper mapper(mesh);
+  sched::Mapper mapper(mesh, sched::ObjectiveSpec{});
   util::TextTable table({"network", "layers mem-bound", "array cycles",
                          "roofline cycles", "slowdown", "mesh == torus"});
   std::vector<std::vector<std::string>> csv;

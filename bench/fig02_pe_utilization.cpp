@@ -43,7 +43,7 @@ int main() {
             << "   (paper Fig. 2a: 55.8% with NeuroSpector mappings)\n";
 
   bench::banner("Fig. 2b", "per-layer PE utilization of SqueezeNet layers");
-  sched::Mapper mapper(arch::eyeriss_like());
+  sched::Mapper mapper(arch::eyeriss_like(), sched::ObjectiveSpec{});
   const auto sqz = mapper.schedule_network(nn::make_squeezenet());
   util::TextTable layers({"layer", "space", "tiles Z", "utilization"});
   std::vector<std::vector<std::string>> layer_csv;

@@ -40,7 +40,7 @@ int main() {
   bench::banner("Fig. 3",
                 "PE utilization heatmaps: mesh fixed-corner vs torus + RWL");
 
-  sched::Mapper mapper(arch::rota_like());
+  sched::Mapper mapper(arch::rota_like(), sched::ObjectiveSpec{});
 
   // Three differently-sized ResNet utilization spaces (the paper picks a
   // small, a mid and a large one) and two SqueezeNet layers.

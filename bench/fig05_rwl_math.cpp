@@ -55,7 +55,7 @@ int main() {
 
   bench::banner("Fig. 5 (full ResNet)",
                 "per-layer RWL arithmetic on scheduled utilization spaces");
-  sched::Mapper mapper(arch::rota_like());
+  sched::Mapper mapper(arch::rota_like(), sched::ObjectiveSpec{});
   const auto ns = mapper.schedule_network(nn::make_resnet50());
 
   util::TextTable table({"layer", "space", "Z", "X", "W", "H_RWL",

@@ -28,7 +28,8 @@ using namespace rota;
 void BM_MapperScheduleLayer(benchmark::State& state) {
   const auto layer = nn::conv("c", 512, 512, 7, 3, 1);
   for (auto _ : state) {
-    sched::Mapper mapper(arch::eyeriss_like());  // fresh: defeat the cache
+    // fresh mapper each iteration: defeat the cache
+    sched::Mapper mapper(arch::eyeriss_like(), sched::ObjectiveSpec{});
     benchmark::DoNotOptimize(mapper.schedule_layer(layer));
   }
 }
@@ -37,7 +38,7 @@ BENCHMARK(BM_MapperScheduleLayer)->Unit(benchmark::kMillisecond);
 void BM_MapperScheduleSqueezeNet(benchmark::State& state) {
   const auto net = nn::make_squeezenet();
   for (auto _ : state) {
-    sched::Mapper mapper(arch::eyeriss_like());
+    sched::Mapper mapper(arch::eyeriss_like(), sched::ObjectiveSpec{});
     benchmark::DoNotOptimize(mapper.schedule_network(net));
   }
 }
@@ -48,17 +49,41 @@ void BM_MapperDivisors(benchmark::State& state) {
   // so this isolates the per-search divisor memo and ladder hoisting.
   const auto layer = nn::conv("d", 960, 512, 14, 3, 1);
   for (auto _ : state) {
-    sched::Mapper mapper(arch::eyeriss_like());  // fresh: defeat the cache
+    // fresh mapper each iteration: defeat the cache
+    sched::Mapper mapper(arch::eyeriss_like(), sched::ObjectiveSpec{});
     benchmark::DoNotOptimize(mapper.schedule_layer(layer));
   }
 }
 BENCHMARK(BM_MapperDivisors)->Unit(benchmark::kMillisecond);
 
+void BM_ParetoSearch(benchmark::State& state) {
+  // Full multi-objective front + weighted scalarization over a network,
+  // against BM_MapperScheduleSqueezeNet (the single-objective argmin) to
+  // price what `rota pareto` pays for keeping the whole front. Arg(1)
+  // adds a two-dead-PE ArrayState so the degraded feasibility/anchor
+  // path is timed too.
+  const auto net = nn::make_squeezenet();
+  const arch::AcceleratorConfig accel = arch::eyeriss_like();
+  sched::ArrayState array_state;
+  if (state.range(0) != 0) {
+    array_state =
+        sched::ArrayState(accel.array_width, accel.array_height,
+                          {{3, 3}, {10, 2}});
+  }
+  for (auto _ : state) {
+    sched::Mapper mapper(accel, sched::ObjectiveSpec::weighted(0.2, 0.7, 0.1),
+                         {}, {}, array_state);
+    benchmark::DoNotOptimize(mapper.pareto_network(net));
+  }
+  state.SetLabel(state.range(0) != 0 ? "degraded" : "all-live");
+}
+BENCHMARK(BM_ParetoSearch)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 void BM_MapperScheduleSqueezeNetPar(benchmark::State& state) {
   const auto net = nn::make_squeezenet();
   const int threads = static_cast<int>(state.range(0));
   for (auto _ : state) {
-    sched::Mapper mapper(arch::eyeriss_like(), {},
+    sched::Mapper mapper(arch::eyeriss_like(), sched::ObjectiveSpec{}, {},
                          sched::MapperOptions{true, threads});
     benchmark::DoNotOptimize(mapper.schedule_network(net));
   }
@@ -166,7 +191,7 @@ BENCHMARK(BM_TrackerAddSpaceWrapped);
 
 void BM_WearIterationFastForward(benchmark::State& state) {
   const bool fast = state.range(0) != 0;
-  sched::Mapper mapper(arch::rota_like());
+  sched::Mapper mapper(arch::rota_like(), sched::ObjectiveSpec{});
   const auto ns = mapper.schedule_network(nn::make_squeezenet());
   for (auto _ : state) {
     wear::WearSimulator sim(arch::rota_like(), wear::SimulatorOptions{fast});

@@ -51,7 +51,7 @@ int main() {
 
   bench::banner("Sec. V-D (cycles)",
                 "no performance degradation from RWL+RO");
-  sched::Mapper mapper(mesh);
+  sched::Mapper mapper(mesh, sched::ObjectiveSpec{});
   const sim::ExecutionEngine mesh_engine(mesh);
   const sim::ExecutionEngine torus_engine(torus);
 

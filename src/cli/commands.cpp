@@ -45,6 +45,30 @@ int threads_of(const Options& opt) {
   return static_cast<int>(opt.threads);
 }
 
+sched::ObjectiveSpec objective_of(const Options& opt) {
+  auto spec = sched::parse_objective(opt.objective);
+  ROTA_REQUIRE(spec.ok(),
+               "--objective " + opt.objective + ": " + spec.error().message);
+  return spec.value();
+}
+
+/// The degraded-array snapshot pareto searches against: every --fault
+/// spec (permanent pe=U,V faults only) routed through a spare pool of
+/// --spares. No faults = the universal all-live state.
+sched::ArrayState array_state_of(const Options& opt) {
+  if (opt.faults.empty()) return {};
+  std::vector<fi::HardwareFault> faults;
+  for (const std::string& spec : opt.faults) {
+    auto fault = fi::parse_hardware_fault(spec);
+    ROTA_REQUIRE(fault.ok(), "--fault " + spec + ": " + fault.error().message);
+    faults.push_back(std::move(fault).take());
+  }
+  auto state = fi::array_state_from_faults(opt.array_width, opt.array_height,
+                                           faults, opt.spares);
+  ROTA_REQUIRE(state.ok(), state.error().message);
+  return std::move(state).take();
+}
+
 int cmd_workloads(std::ostream& out) {
   util::TextTable table({"abbr", "network", "domain", "layers", "GMACs"});
   for (const auto& net : nn::all_workloads()) {
@@ -59,7 +83,7 @@ int cmd_workloads(std::ostream& out) {
 
 int cmd_schedule(const Options& opt, std::ostream& out) {
   const nn::Network net = nn::workload_by_abbr(opt.workload);
-  sched::Mapper mapper(accel_of(opt), {},
+  sched::Mapper mapper(accel_of(opt), objective_of(opt), {},
                        sched::MapperOptions{true, threads_of(opt)});
   const auto ns = mapper.schedule_network(net);
   util::TextTable table({"layer", "space", "tiles Z", "util", "mapping"});
@@ -98,7 +122,7 @@ int cmd_wear(const Options& opt, std::ostream& out) {
     source_name = "imported schedule " + opt.schedule_path;
   } else {
     const nn::Network net = nn::workload_by_abbr(opt.workload);
-    sched::Mapper mapper(accel, {},
+    sched::Mapper mapper(accel, sched::ObjectiveSpec{}, {},
                          sched::MapperOptions{true, threads_of(opt)});
     ns = mapper.schedule_network(net);
     source_name = net.name();
@@ -358,7 +382,7 @@ int cmd_inject(const Options& opt, std::ostream& out) {
                "rank=R@ITER or weibull=N)");
   const nn::Network net = nn::workload_by_abbr(opt.workload);
   const arch::AcceleratorConfig accel = accel_of(opt);
-  sched::Mapper mapper(accel, {},
+  sched::Mapper mapper(accel, sched::ObjectiveSpec{}, {},
                        sched::MapperOptions{true, threads_of(opt)});
   const sched::NetworkSchedule ns = mapper.schedule_network(net);
 
@@ -502,7 +526,7 @@ int cmd_sweep(const Options& opt, std::ostream& out) {
 int cmd_mc(const Options& opt, std::ostream& out) {
   const nn::Network net = nn::workload_by_abbr(opt.workload);
   const arch::AcceleratorConfig accel = accel_of(opt);
-  sched::Mapper mapper(accel, {},
+  sched::Mapper mapper(accel, sched::ObjectiveSpec{}, {},
                        sched::MapperOptions{true, threads_of(opt)});
   const sched::NetworkSchedule ns = mapper.schedule_network(net);
 
@@ -597,6 +621,104 @@ int cmd_mc(const Options& opt, std::ostream& out) {
   return 0;
 }
 
+int cmd_pareto(const Options& opt, std::ostream& out) {
+  const nn::Network net = nn::workload_by_abbr(opt.workload);
+  const arch::AcceleratorConfig accel = accel_of(opt);
+  const sched::ObjectiveSpec objective = objective_of(opt);
+  const sched::ArrayState array = array_state_of(opt);
+  sched::Mapper mapper(accel, objective, {},
+                       sched::MapperOptions{true, threads_of(opt)}, array);
+  const sched::NetworkParetoFront front = mapper.pareto_network(net);
+
+  util::TextTable table(
+      {"layer", "front", "selected", "energy", "MTTF", "cycles"});
+  for (const auto& layer : front.layers) {
+    const sched::ParetoPoint* sel = nullptr;
+    for (const auto& p : layer.points) {
+      if (p.selected) {
+        sel = &p;
+        break;
+      }
+    }
+    ROTA_ENSURE(sel != nullptr, "front has no selected member");
+    table.add_row({layer.layer_name, std::to_string(layer.points.size()),
+                   sel->mapping.str(), util::fmt(sel->energy, 4),
+                   util::fmt(sel->mttf, 4), util::fmt(sel->cycles, 0)});
+  }
+  out << table.str();
+  out << "objective " << objective.id() << ", array state "
+      << front.array_digest << " (" << front.live_pes << " live PEs)\n";
+
+  if (!opt.csv_out_path.empty()) {
+    // Doubles as hexfloat so the file is byte-comparable across thread
+    // counts (the CI determinism check runs `cmp` on these).
+    std::string csv =
+        "layer,point,selected,dim_x,dim_y,sx,sy,lb_c,lb_q,lb_s,tiles,"
+        "pe_allocations,anchor_u,anchor_v,energy,mttf,cycles\n";
+    for (const auto& layer : front.layers) {
+      for (std::size_t p = 0; p < layer.points.size(); ++p) {
+        const sched::ParetoPoint& pt = layer.points[p];
+        const sched::Mapping& m = pt.mapping;
+        csv += layer.layer_name + "," + std::to_string(p) + "," +
+               (pt.selected ? "1" : "0") + "," +
+               std::string(sched::to_string(m.dim_x)) + "," +
+               std::string(sched::to_string(m.dim_y)) + "," +
+               std::to_string(m.sx) + "," + std::to_string(m.sy) + "," +
+               std::to_string(m.lb_c) + "," + std::to_string(m.lb_q) + "," +
+               std::to_string(m.lb_s) + "," + std::to_string(pt.tiles) + "," +
+               std::to_string(pt.pe_allocations) + "," +
+               std::to_string(pt.anchor_u) + "," +
+               std::to_string(pt.anchor_v) + "," + hexfloat(pt.energy) +
+               "," + hexfloat(pt.mttf) + "," + hexfloat(pt.cycles) + "\n";
+      }
+    }
+    util::write_text_file(opt.csv_out_path, csv);
+    out << "wrote " << opt.csv_out_path << '\n';
+  }
+
+  if (!opt.json_out_path.empty()) {
+    obs::RunManifest manifest =
+        obs::make_run_manifest("rota", opt.raw_args);
+    manifest.workload = net.abbr();
+    manifest.array_width = opt.array_width;
+    manifest.array_height = opt.array_height;
+    manifest.extra["objective.id"] = objective.id();
+    manifest.extra["objective.weights"] = objective.weights_csv();
+    manifest.extra["array_state.digest"] = front.array_digest;
+    std::ostringstream js;
+    js << "{\"schema_version\":" << obs::kSchemaVersion
+       << ",\"manifest\":" << manifest.to_json() << ",\"pareto\":{"
+       << "\"network\":" << obs::json_quote(front.network_abbr)
+       << ",\"objective\":" << obs::json_quote(objective.id())
+       << ",\"objective_weights\":" << obs::json_quote(objective.weights_csv())
+       << ",\"array_state\":" << obs::json_quote(front.array_digest)
+       << ",\"live_pes\":" << front.live_pes << ",\"layers\":[";
+    for (std::size_t l = 0; l < front.layers.size(); ++l) {
+      const auto& layer = front.layers[l];
+      if (l) js << ',';
+      js << "{\"layer\":" << obs::json_quote(layer.layer_name)
+         << ",\"points\":[";
+      for (std::size_t p = 0; p < layer.points.size(); ++p) {
+        const sched::ParetoPoint& pt = layer.points[p];
+        if (p) js << ',';
+        js << "{\"mapping\":" << obs::json_quote(pt.mapping.str())
+           << ",\"energy\":" << obs::json_number(pt.energy)
+           << ",\"mttf\":" << obs::json_number(pt.mttf)
+           << ",\"cycles\":" << obs::json_number(pt.cycles)
+           << ",\"tiles\":" << pt.tiles
+           << ",\"pe_allocations\":" << pt.pe_allocations
+           << ",\"anchor\":[" << pt.anchor_u << ',' << pt.anchor_v << ']'
+           << ",\"selected\":" << (pt.selected ? "true" : "false") << '}';
+      }
+      js << "]}";
+    }
+    js << "]}}\n";
+    util::write_text_file(opt.json_out_path, js.str());
+    out << "wrote " << opt.json_out_path << '\n';
+  }
+  return 0;
+}
+
 int dispatch(const Options& options, std::istream& in, std::ostream& out) {
   switch (options.verb) {
     case Verb::kHelp:
@@ -625,6 +747,8 @@ int dispatch(const Options& options, std::istream& in, std::ostream& out) {
       return cmd_sweep(options, out);
     case Verb::kMc:
       return cmd_mc(options, out);
+    case Verb::kPareto:
+      return cmd_pareto(options, out);
   }
   return 1;
 }
@@ -691,6 +815,16 @@ class ObservabilityScope {
     }
     if (options_.verb == Verb::kMc)
       manifest_.extra["trials"] = std::to_string(options_.trials);
+    // Objective provenance for the verbs that honor --objective
+    // (make_run_manifest pre-stamps the "energy" default; canonicalize
+    // the user's spelling when it parses — a bad spec fails in dispatch
+    // with the full error message).
+    if (options_.verb == Verb::kSchedule || options_.verb == Verb::kPareto) {
+      if (auto spec = sched::parse_objective(options_.objective); spec.ok()) {
+        manifest_.extra["objective.id"] = spec.value().id();
+        manifest_.extra["objective.weights"] = spec.value().weights_csv();
+      }
+    }
     start_ = std::chrono::steady_clock::now();
     obs::log_event(obs::Severity::kInfo, "cli",
                    "run started: " + verb_name(options_.verb));

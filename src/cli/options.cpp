@@ -47,7 +47,7 @@ constexpr std::string_view kAllFlags[] = {
     "--pgm",     "--csv",     "--schedule", "--seed",     "--mc",
     "--threads", "--metrics", "--trace",   "--progress",  "-v",
     "--verbose", "--cache-dir", "--cache-cap", "--batch", "--queue-cap",
-    "--fault",   "--checkpoint", "--trials",
+    "--fault",   "--checkpoint", "--trials",  "--objective", "--json",
     "--stats-out", "--stats-interval", "--events"};
 
 /// The observability flags every working verb owns.
@@ -67,7 +67,7 @@ std::vector<std::string_view> owned_flags(Verb verb) {
     case Verb::kWorkloads:
       break;
     case Verb::kSchedule:
-      flags = {"--array", "--threads", "--csv"};
+      flags = {"--array", "--threads", "--csv", "--objective"};
       break;
     case Verb::kWear:
       flags = {"--array", "--iters", "--policy", "--metric", "--seed",
@@ -101,6 +101,13 @@ std::vector<std::string_view> owned_flags(Verb verb) {
     case Verb::kMc:
       flags = {"--array", "--iters", "--policy", "--metric", "--seed",
                "--trials", "--checkpoint", "--threads"};
+      break;
+    case Verb::kPareto:
+      // Degraded-array search: --fault/--spares build the ArrayState the
+      // fronts respect (permanent pe=U,V faults only; see fi::
+      // array_state_from_faults).
+      flags = {"--array", "--objective", "--fault", "--spares", "--threads",
+               "--csv", "--json"};
       break;
   }
   flags.insert(flags.end(), std::begin(kObsFlags), std::end(kObsFlags));
@@ -143,6 +150,8 @@ std::string verb_name(Verb verb) {
       return "sweep";
     case Verb::kMc:
       return "mc";
+    case Verb::kPareto:
+      return "pareto";
   }
   ROTA_UNREACHABLE("unhandled Verb");
 }
@@ -201,6 +210,8 @@ Options parse(const std::vector<std::string>& args) {
     opt.verb = Verb::kSweep;
   } else if (verb == "mc") {
     opt.verb = Verb::kMc;
+  } else if (verb == "pareto") {
+    opt.verb = Verb::kPareto;
   } else {
     ROTA_REQUIRE(false, "unknown command '" + verb + "'\n" + usage());
   }
@@ -212,7 +223,8 @@ Options parse(const std::vector<std::string>& args) {
   const bool wants_workload =
       opt.verb == Verb::kSchedule || opt.verb == Verb::kWear ||
       opt.verb == Verb::kLifetime || opt.verb == Verb::kThermal ||
-      opt.verb == Verb::kInject || opt.verb == Verb::kMc;
+      opt.verb == Verb::kInject || opt.verb == Verb::kMc ||
+      opt.verb == Verb::kPareto;
   std::size_t i = 1;
   if (wants_workload && args.size() > 1 && args[1].rfind("--", 0) != 0) {
     opt.workload = args[1];
@@ -297,6 +309,12 @@ Options parse(const std::vector<std::string>& args) {
                    "--checkpoint needs a file path");
     } else if (flag == "--trials") {
       opt.trials = parse_positive_int(value_of(flag), flag);
+    } else if (flag == "--objective") {
+      opt.objective = value_of(flag);
+      ROTA_REQUIRE(!opt.objective.empty(), "--objective needs a value");
+    } else if (flag == "--json") {
+      opt.json_out_path = value_of(flag);
+      ROTA_REQUIRE(!opt.json_out_path.empty(), "--json needs a file path");
     } else if (flag == "--progress") {
       opt.progress = true;
     } else if (flag == "--verbose" || flag == "-v") {
@@ -337,6 +355,9 @@ std::string usage() {
       "spaces\n"
       "    --array WxH             PE array geometry (default 14x12)\n"
       "    --csv FILE              also export the schedule as CSV\n"
+      "    --objective SPEC        mapper objective: energy (default) |\n"
+      "                            lifetime | throughput |\n"
+      "                            weighted:<w1>,<w2>,<w3>\n"
       "    --threads N             worker lanes (see below)\n"
       "  wear <abbr>               run the wear simulator, print stats + "
       "heatmap\n"
@@ -398,6 +419,24 @@ std::string usage() {
       "    --checkpoint FILE       save moments per step; resume from the\n"
       "                            file if it exists (bit-identical)\n"
       "    --seed N  --threads N   sampling seed / worker lanes\n"
+      "  pareto <abbr>             per-layer Pareto fronts over (energy,\n"
+      "                            projected MTTF, cycles), with the\n"
+      "                            --objective-selected member flagged\n"
+      "    --array WxH             PE array geometry (default 14x12)\n"
+      "    --objective SPEC        energy | lifetime | throughput |\n"
+      "                            weighted:<w1>,<w2>,<w3> (default energy)\n"
+      "    --fault SPEC            repeatable; permanent pe=U,V@ITER faults\n"
+      "                            folded into the degraded array the "
+      "fronts\n"
+      "                            respect\n"
+      "    --spares N              spares absorbing --fault PEs (default "
+      "0)\n"
+      "    --csv FILE              write the fronts as CSV (bit-exact "
+      "hexfloat\n"
+      "                            columns)\n"
+      "    --json FILE             write the {manifest, pareto} JSON "
+      "envelope\n"
+      "    --threads N             worker lanes (bit-identical results)\n"
       "  version                   build identity (version, git SHA, type)\n"
       "  help                      this text\n"
       "\n"

@@ -35,6 +35,7 @@ enum class Verb {
   kInject,     ///< hardware fault injection through the spare pool (rota::fi)
   kSweep,      ///< full workload x policy sweep to CSV, checkpointable
   kMc,         ///< Monte-Carlo MTTF of one workload+policy, checkpointable
+  kPareto,     ///< per-layer Pareto fronts over (energy, MTTF, cycles)
 };
 
 /// The verb's name as typed on the command line ("wear", "serve", ...).
@@ -55,7 +56,12 @@ struct Options {
   wear::PolicyKind policy = wear::PolicyKind::kRwlRo;
   wear::WearMetric metric = wear::WearMetric::kAllocations;
   std::string pgm_path;       ///< optional heatmap image output
-  std::string csv_out_path;   ///< schedule: export the schedule as CSV
+  std::string csv_out_path;   ///< schedule/pareto: export result as CSV
+  std::string json_out_path;  ///< pareto: write the JSON envelope here
+  /// schedule/pareto: mapper objective spec, unparsed ("energy",
+  /// "lifetime", "throughput" or "weighted:<w1>,<w2>,<w3>"; see
+  /// sched::parse_objective).
+  std::string objective = "energy";
   std::string schedule_path;  ///< wear: import a schedule CSV instead of
                               ///< running the built-in mapper
   // serve (see src/svc/):
@@ -80,7 +86,8 @@ struct Options {
 
 /// Parse argv (excluding argv[0]).
 /// Verbs: workloads | schedule | wear | lifetime | area | thermal |
-/// serve | inject | sweep | mc | version | help. Each verb accepts only
+/// serve | inject | sweep | mc | pareto | version | help. Each verb
+/// accepts only
 /// the flags it owns (see
 /// usage()); a flag that exists but belongs to a different verb produces
 /// "option --X is not accepted by 'rota <verb>'", a flag that exists

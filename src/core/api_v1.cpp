@@ -45,6 +45,30 @@ Result<sched::NetworkSchedule> schedule_workload(
   });
 }
 
+Result<sched::NetworkSchedule> schedule_network_with_objective(
+    const ExperimentConfig& config, const nn::Network& net,
+    const sched::ObjectiveSpec& objective,
+    const sched::ArrayState& array_state) noexcept {
+  return guarded([&] {
+    sched::Mapper mapper(config.accel, objective, {},
+                         sched::MapperOptions{true, config.threads},
+                         array_state);
+    return mapper.schedule_network(net);
+  });
+}
+
+Result<sched::NetworkParetoFront> pareto_network(
+    const ExperimentConfig& config, const nn::Network& net,
+    const sched::ObjectiveSpec& objective,
+    const sched::ArrayState& array_state) noexcept {
+  return guarded([&] {
+    sched::Mapper mapper(config.accel, objective, {},
+                         sched::MapperOptions{true, config.threads},
+                         array_state);
+    return mapper.pareto_network(net);
+  });
+}
+
 Result<ExperimentResult> run_experiment(
     const ExperimentConfig& config, const nn::Network& net,
     const std::vector<wear::PolicyKind>& policies) noexcept {

@@ -7,6 +7,8 @@
 #include "core/experiment.hpp"
 #include "nn/network.hpp"
 #include "obs/json.hpp"
+#include "sched/array_state.hpp"
+#include "sched/objective.hpp"
 #include "sched/schedule.hpp"
 #include "util/result.hpp"
 #include "wear/policy.hpp"
@@ -61,6 +63,26 @@ inline constexpr int kSchemaVersion = obs::kSchemaVersion;
 /// mapper. Errors: invalid geometry (invalid_argument).
 [[nodiscard]] Result<sched::NetworkSchedule> schedule_workload(
     const ExperimentConfig& config, const nn::Network& net) noexcept;
+
+/// Schedule one workload under an explicit mapper objective and (optional)
+/// degraded array state. With the default-constructed arguments this is
+/// byte-identical to schedule_workload. Errors: invalid geometry or an
+/// array state whose dimensions disagree with config.accel
+/// (invalid_argument), no feasible mapping on the degraded array
+/// (invalid_argument).
+[[nodiscard]] Result<sched::NetworkSchedule> schedule_network_with_objective(
+    const ExperimentConfig& config, const nn::Network& net,
+    const sched::ObjectiveSpec& objective,
+    const sched::ArrayState& array_state = sched::ArrayState()) noexcept;
+
+/// Per-layer Pareto fronts over (energy, projected MTTF, cycles) for one
+/// workload, with the `objective`-selected member flagged in each front.
+/// Deterministic for fixed inputs at any config.threads. Errors: as
+/// schedule_network_with_objective.
+[[nodiscard]] Result<sched::NetworkParetoFront> pareto_network(
+    const ExperimentConfig& config, const nn::Network& net,
+    const sched::ObjectiveSpec& objective,
+    const sched::ArrayState& array_state = sched::ArrayState()) noexcept;
 
 /// Run a full experiment (schedule + N wear iterations per policy).
 /// Errors: invalid geometry or iteration count (invalid_argument).

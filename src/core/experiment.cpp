@@ -45,7 +45,7 @@ double ExperimentResult::improvement_over_baseline(
 
 Experiment::Experiment(ExperimentConfig config)
     : config_(std::move(config)),
-      mapper_(config_.accel, {},
+      mapper_(config_.accel, sched::ObjectiveSpec{}, {},
               sched::MapperOptions{true, config_.threads}) {
   config_.accel.validate();
   ROTA_REQUIRE(config_.iterations >= 0,

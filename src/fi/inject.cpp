@@ -265,4 +265,42 @@ FaultRunReport run_fault_injection(const arch::AcceleratorConfig& config,
   return report;
 }
 
+util::Result<sched::ArrayState> array_state_from_faults(
+    std::int64_t width, std::int64_t height,
+    const std::vector<HardwareFault>& faults, std::int64_t spares) {
+  if (width < 1 || height < 1) {
+    return {util::ErrorCode::kInvalidArgument,
+            "array_state_from_faults: array must be at least 1x1, got " +
+                std::to_string(width) + "x" + std::to_string(height)};
+  }
+  if (spares < 0) {
+    return {util::ErrorCode::kInvalidArgument,
+            "array_state_from_faults: spares must be >= 0, got " +
+                std::to_string(spares)};
+  }
+  rel::SpareRemapper remapper(width, height, spares);
+  for (const HardwareFault& fault : faults) {
+    if (fault.kind != HardwareFaultKind::kCoordinate) {
+      return {util::ErrorCode::kInvalidArgument,
+              "array_state_from_faults: only permanent pe=U,V faults have a "
+              "static dead-PE reading; got '" +
+                  to_string(fault) + "'"};
+    }
+    if (fault.restore_after > 0) {
+      return {util::ErrorCode::kInvalidArgument,
+              "array_state_from_faults: transient fault '" + to_string(fault) +
+                  "' has no static dead-PE reading (it heals at runtime)"};
+    }
+    if (fault.u < 0 || fault.u >= width || fault.v < 0 || fault.v >= height) {
+      return {util::ErrorCode::kInvalidArgument,
+              "array_state_from_faults: fault '" + to_string(fault) +
+                  "' lies outside the " + std::to_string(width) + "x" +
+                  std::to_string(height) + " array"};
+    }
+    if (remapper.is_dead(fault.u, fault.v)) continue;  // idempotent
+    (void)remapper.fault_primary(fault.u, fault.v);
+  }
+  return sched::ArrayState(remapper);
+}
+
 }  // namespace rota::fi

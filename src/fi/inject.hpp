@@ -7,7 +7,9 @@
 #include "arch/config.hpp"
 #include "fi/plan.hpp"
 #include "reliability/spares.hpp"
+#include "sched/array_state.hpp"
 #include "sched/schedule.hpp"
+#include "util/result.hpp"
 #include "wear/policy.hpp"
 
 /// \file inject.hpp
@@ -62,5 +64,17 @@ struct FaultRunReport {
     const arch::AcceleratorConfig& config,
     const sched::NetworkSchedule& schedule, wear::Policy& policy,
     const InjectOptions& options);
+
+/// Fold permanent coordinate faults into the sched::ArrayState the
+/// fault-aware mapper consumes (DESIGN.md §15): each fault claims a
+/// spare through a fresh rel::SpareRemapper (lowest-free-spare order,
+/// like the injection campaign), and only PEs left dead *and* un-spared
+/// make the state degraded. Errors (invalid_argument): out-of-range
+/// coordinates, or any fault that is not a permanent `pe=U,V@ITER` spec —
+/// wear-rank, weibull and transient (`+K`) faults depend on runtime wear
+/// state and have no static dead-PE reading.
+[[nodiscard]] util::Result<sched::ArrayState> array_state_from_faults(
+    std::int64_t width, std::int64_t height,
+    const std::vector<HardwareFault>& faults, std::int64_t spares = 0);
 
 }  // namespace rota::fi

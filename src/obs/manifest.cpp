@@ -64,6 +64,11 @@ RunManifest make_run_manifest(std::string tool, std::string command) {
   // numbers are only comparable between manifests that agree here.
   m.extra["kern.simd_compiled"] = std::string(kern::compiled_simd());
   m.extra["kern.simd_active"] = std::string(kern::isa_name(kern::active_isa()));
+  // Mapper objective provenance (DESIGN.md §15). "energy" is the
+  // historical default; producers running another objective overwrite
+  // this, and perf numbers are only comparable between manifests that
+  // agree here (bench_compare.py skips gating on a mismatch).
+  m.extra["objective.id"] = "energy";
   return m;
 }
 

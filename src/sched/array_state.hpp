@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "reliability/spares.hpp"
+
+/// \file array_state.hpp
+/// Live/dead PE map of the accelerator array, consumed by the mapper's
+/// feasibility check and lifetime objective (DESIGN.md §15). A degraded
+/// array is one where some PEs are dead and not covered by a spare; a
+/// mapping is feasible on it only if its sx×sy utilization window has at
+/// least one anchor (torus wrap allowed, matching the RWL rotation
+/// geometry) that avoids every dead, un-spared PE — so the schedule
+/// routes around dead silicon instead of discovering it at simulation
+/// time.
+///
+/// Construction is O(w²·h²) once (a doubled-grid prefix sum answers every
+/// window query in O(1)); after that fits and anchor are table lookups,
+/// so the mapper's per-candidate cost is unchanged. The default-constructed
+/// state is the universal "all live" map valid for any geometry — it is
+/// what every pre-existing call site gets, and its fast path keeps the
+/// default search byte-identical to the pre-ArrayState mapper.
+
+namespace rota::sched {
+
+class ArrayState {
+ public:
+  /// All-live sentinel accepted by any accelerator geometry.
+  ArrayState() = default;
+
+  /// Concrete map: `dead` lists (u, v) coordinates of dead, un-spared
+  /// PEs (duplicates collapse). \pre width, height >= 1; coordinates in
+  /// range.
+  ArrayState(std::int64_t width, std::int64_t height,
+             const std::vector<std::pair<std::int64_t, std::int64_t>>& dead);
+
+  /// Snapshot of a SpareRemapper: a PE is dead here only when it failed
+  /// *and* has no spare in service (spared PEs still carry their work).
+  explicit ArrayState(const rel::SpareRemapper& spares);
+
+  /// False for the default-constructed universal all-live state.
+  [[nodiscard]] bool concrete() const { return width_ > 0; }
+  [[nodiscard]] std::int64_t width() const { return width_; }
+  [[nodiscard]] std::int64_t height() const { return height_; }
+  [[nodiscard]] std::int64_t dead_count() const { return dead_count_; }
+
+  /// Live PEs of a `width`×`height` array under this state.
+  /// \pre a concrete state's geometry must match the queried one.
+  [[nodiscard]] std::int64_t live_count(std::int64_t width,
+                                        std::int64_t height) const;
+
+  /// Whether PE (u, v) is dead and un-spared. \pre concrete(), in range.
+  [[nodiscard]] bool dead(std::int64_t u, std::int64_t v) const;
+
+  /// Whether an x×y utilization window has any torus-wrapped anchor
+  /// free of dead PEs. Always true for the all-live state.
+  [[nodiscard]] bool fits(std::int64_t x, std::int64_t y) const {
+    if (width_ == 0) return true;
+    return fits_[size_index(x, y)] != 0;
+  }
+
+  /// First feasible anchor for an x×y window, scanning v (rows) then u
+  /// (columns); (0, 0) for the all-live state. \pre fits(x, y).
+  [[nodiscard]] std::pair<std::int64_t, std::int64_t> anchor(
+      std::int64_t x, std::int64_t y) const;
+
+  /// Stable content digest for cache fingerprints and manifests: the
+  /// sentinel "live" when no PE is dead — concrete or not, an intact
+  /// array schedules identically either way — otherwise
+  /// "fnv1a:<16 hex digits>" over the geometry and the sorted dead set.
+  [[nodiscard]] const std::string& digest() const { return digest_; }
+
+ private:
+  [[nodiscard]] std::size_t size_index(std::int64_t x, std::int64_t y) const;
+  void build_tables();
+
+  std::int64_t width_ = 0;
+  std::int64_t height_ = 0;
+  std::int64_t dead_count_ = 0;
+  std::vector<std::uint8_t> dead_;  ///< w·h, row-major [v][u]
+  std::vector<std::uint8_t> fits_;  ///< w·h, indexed by window size
+  std::vector<std::int64_t> anchor_u_;
+  std::vector<std::int64_t> anchor_v_;
+  std::string digest_ = "live";
+};
+
+}  // namespace rota::sched

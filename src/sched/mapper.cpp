@@ -1,7 +1,9 @@
 #include "sched/mapper.hpp"
 
 #include <algorithm>
+#include <numeric>
 #include <unordered_set>
+#include <utility>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -56,9 +58,28 @@ std::size_t LayerShapeKeyHash::operator()(const LayerShapeKey& key) const {
   return static_cast<std::size_t>(h);
 }
 
+Mapper::Mapper(arch::AcceleratorConfig cfg, ObjectiveSpec objective,
+               arch::EnergyModel energy, MapperOptions options,
+               ArrayState array)
+    : cost_(std::move(cfg), energy),
+      objective_(objective),
+      options_(options),
+      array_(std::move(array)) {
+  if (array_.concrete()) {
+    const auto& accel = cost_.config();
+    ROTA_REQUIRE(array_.width() == accel.array_width &&
+                     array_.height() == accel.array_height,
+                 "ArrayState geometry " + std::to_string(array_.width()) +
+                     "x" + std::to_string(array_.height()) +
+                     " does not match the accelerator array " +
+                     std::to_string(accel.array_width) + "x" +
+                     std::to_string(accel.array_height));
+  }
+}
+
 Mapper::Mapper(arch::AcceleratorConfig cfg, arch::EnergyModel energy,
                MapperOptions options)
-    : cost_(std::move(cfg), energy), options_(options) {}
+    : Mapper(std::move(cfg), ObjectiveSpec{}, energy, options) {}
 
 Mapper::CacheShard& Mapper::shard_of(const LayerShapeKey& key) {
   return cache_[LayerShapeKeyHash{}(key) % kCacheShards];
@@ -111,24 +132,6 @@ util::ArenaVector<std::int64_t> Mapper::spatial_candidates(
 
 namespace {
 
-/// Strict-weak ordering of candidates: lower energy, then fewer cycles,
-/// then a larger utilization space (a performance-aware optimizer prefers
-/// more parallelism at equal cost), then lexicographic mapping order for
-/// full determinism.
-bool better(const CostResult& a, const Mapping& ma, const CostResult& b,
-            const Mapping& mb) {
-  if (a.energy != b.energy) return a.energy < b.energy;
-  if (a.cycles != b.cycles) return a.cycles < b.cycles;
-  const std::int64_t area_a = ma.sx * ma.sy;
-  const std::int64_t area_b = mb.sx * mb.sy;
-  if (area_a != area_b) return area_a > area_b;
-  auto key = [](const Mapping& m) {
-    return std::tuple(static_cast<int>(m.dim_x), static_cast<int>(m.dim_y),
-                      m.sx, m.sy, m.lb_c, m.lb_q, m.lb_s);
-  };
-  return key(ma) < key(mb);
-}
-
 /// Per-search memo of util::divisors: one layer's search asks for the
 /// divisors of the same handful of bounds (K, C/g, P, Q, S) hundreds of
 /// times across the candidate loops; trial division is paid once each.
@@ -159,9 +162,43 @@ class DivisorCache {
       memo_;
 };
 
+/// Fill a LayerSchedule from the winning (mapping, cost) pair.
+LayerSchedule assemble_schedule(const nn::LayerSpec& layer, const Mapping& map,
+                                const CostResult& cost) {
+  LayerSchedule sched;
+  sched.layer_name = layer.name;
+  sched.shape_key = layer.shape_key();
+  sched.space = UtilSpace{map.sx, map.sy};
+  sched.tiles = cost.tiles;
+  sched.mapping = map;
+  sched.accesses = cost.accesses;
+  sched.energy = cost.energy;
+  sched.cycles = cost.cycles;
+  sched.macs = layer.macs();
+  sched.output_tiles = cost.output_tiles;
+  sched.allocations_per_tile = cost.allocations_per_tile;
+  sched.scatter_words = cost.scatter_words;
+  sched.compute_macs_per_pe = cost.compute_macs_per_pe;
+  sched.gather_words = cost.gather_words;
+  sched.reduction_steps = cost.reduction_steps;
+  return sched;
+}
+
+void report_candidate_metrics(const std::int64_t evaluated,
+                              const std::int64_t feasible) {
+  auto& reg = obs::MetricsRegistry::global();
+  if (reg.enabled()) {
+    reg.add("mapper.candidates_evaluated", evaluated);
+    reg.add("mapper.candidates_feasible", feasible);
+    reg.add("mapper.candidates_pruned", evaluated - feasible);
+  }
+}
+
 }  // namespace
 
-LayerSchedule Mapper::search(const nn::LayerSpec& layer) const {
+template <class Fn>
+Mapper::SearchCounters Mapper::enumerate_candidates(const nn::LayerSpec& layer,
+                                                    Fn&& fn) const {
   const auto& cfg = cost_.config();
   const std::int64_t cg = layer.channels_per_group();
   const std::int64_t q = layer.out_w();
@@ -170,11 +207,7 @@ LayerSchedule Mapper::search(const nn::LayerSpec& layer) const {
   const std::int64_t r = layer.kernel_h;
   const std::int64_t s = layer.kernel_w;
 
-  bool found = false;
-  Mapping best_map;
-  CostResult best_cost;
-  std::int64_t evaluated = 0;
-  std::int64_t feasible = 0;
+  SearchCounters counters;
 
   // All search scratch — candidate ladders, divisor memo — comes from a
   // per-thread bump arena, rewound (not freed) for every layer search.
@@ -216,6 +249,10 @@ LayerSchedule Mapper::search(const nn::LayerSpec& layer) const {
           spatial_candidates(arena, divs.of(bound_y), bound_y, cfg.array_height);
       for (std::int64_t sx : sx_candidates) {
         for (std::int64_t sy : sy_candidates) {
+          // A window with no dead-PE-free placement is infeasible before
+          // any tiling choice; the whole subtree is skipped (free for the
+          // all-live state, so the default search is untouched).
+          if (!array_.fits(sx, sy)) continue;
           for (std::size_t si = 0; si < lb_s_candidates.size(); ++si) {
             const std::int64_t lb_s = lb_s_candidates[si];
             const auto& lb_c_ladder = lb_c_ladders[si];
@@ -231,14 +268,10 @@ LayerSchedule Mapper::search(const nn::LayerSpec& layer) const {
                 m.lb_q = lb_q;
                 m.lb_s = lb_s;
                 const CostResult c = cost_.evaluate(layer, m);
-                ++evaluated;
+                ++counters.evaluated;
                 if (!c.valid) continue;
-                ++feasible;
-                if (!found || better(c, m, best_cost, best_map)) {
-                  found = true;
-                  best_cost = c;
-                  best_map = m;
-                }
+                ++counters.feasible;
+                fn(m, c);
               }
             }
           }
@@ -246,33 +279,192 @@ LayerSchedule Mapper::search(const nn::LayerSpec& layer) const {
       }
     }
   }
+  return counters;
+}
 
-  ROTA_ENSURE(found, "no feasible mapping for layer " + layer.name);
-
-  auto& reg = obs::MetricsRegistry::global();
-  if (reg.enabled()) {
-    reg.add("mapper.candidates_evaluated", evaluated);
-    reg.add("mapper.candidates_feasible", feasible);
-    reg.add("mapper.candidates_pruned", evaluated - feasible);
+LayerSchedule Mapper::search(const nn::LayerSpec& layer) const {
+  if (objective_.kind == ObjectiveKind::kWeighted) {
+    return search_weighted(layer);
   }
 
-  LayerSchedule sched;
-  sched.layer_name = layer.name;
-  sched.shape_key = layer.shape_key();
-  sched.space = UtilSpace{best_map.sx, best_map.sy};
-  sched.tiles = best_cost.tiles;
-  sched.mapping = best_map;
-  sched.accesses = best_cost.accesses;
-  sched.energy = best_cost.energy;
-  sched.cycles = best_cost.cycles;
-  sched.macs = layer.macs();
-  sched.output_tiles = best_cost.output_tiles;
-  sched.allocations_per_tile = best_cost.allocations_per_tile;
-  sched.scatter_words = best_cost.scatter_words;
-  sched.compute_macs_per_pe = best_cost.compute_macs_per_pe;
-  sched.gather_words = best_cost.gather_words;
-  sched.reduction_steps = best_cost.reduction_steps;
-  return sched;
+  bool found = false;
+  Mapping best_map;
+  CostResult best_cost;
+  const SearchCounters counters = enumerate_candidates(
+      layer, [&](const Mapping& m, const CostResult& c) {
+        if (!found || objective_better(objective_, c, m, best_cost, best_map)) {
+          found = true;
+          best_cost = c;
+          best_map = m;
+        }
+      });
+
+  ROTA_ENSURE(found, "no feasible mapping for layer " + layer.name +
+                         (array_.dead_count() > 0
+                              ? " on the degraded array (" +
+                                    std::to_string(array_.dead_count()) +
+                                    " dead PEs)"
+                              : std::string{}));
+
+  report_candidate_metrics(counters.evaluated, counters.feasible);
+  return assemble_schedule(layer, best_map, best_cost);
+}
+
+void Mapper::build_front(const nn::LayerSpec& layer,
+                         std::vector<ParetoPoint>& points,
+                         std::vector<CostResult>& costs) const {
+  const auto& cfg = cost_.config();
+  const std::int64_t live =
+      array_.live_count(cfg.array_width, cfg.array_height);
+  points.clear();
+  costs.clear();
+
+  const auto same_objectives = [](const ParetoPoint& a, const ParetoPoint& b) {
+    return a.energy == b.energy && a.mttf == b.mttf && a.cycles == b.cycles;
+  };
+
+  const SearchCounters counters = enumerate_candidates(
+      layer, [&](const Mapping& m, const CostResult& c) {
+        ParetoPoint p;
+        p.mapping = m;
+        p.energy = c.energy;
+        p.cycles = c.cycles;
+        p.tiles = c.tiles;
+        p.pe_allocations = c.tiles * m.sx * m.sy;
+        p.mttf = projected_mttf(p.pe_allocations, live);
+        const auto [u, v] = array_.anchor(m.sx, m.sy);
+        p.anchor_u = u;
+        p.anchor_v = v;
+
+        // Incremental front maintenance. The final set is independent of
+        // insertion order: at most one member per objective triple (the
+        // lexicographically least mapping), and only mutually
+        // non-dominated triples survive.
+        std::size_t i = 0;
+        while (i < points.size()) {
+          if (same_objectives(points[i], p)) {
+            if (mapping_lex_less(p.mapping, points[i].mapping)) {
+              points[i] = p;
+              costs[i] = c;
+            }
+            return;
+          }
+          if (dominates(points[i], p)) return;
+          if (dominates(p, points[i])) {
+            points.erase(points.begin() + static_cast<std::ptrdiff_t>(i));
+            costs.erase(costs.begin() + static_cast<std::ptrdiff_t>(i));
+            continue;
+          }
+          ++i;
+        }
+        points.push_back(p);
+        costs.push_back(c);
+      });
+
+  ROTA_ENSURE(!points.empty(),
+              "no feasible mapping for layer " + layer.name +
+                  (array_.dead_count() > 0
+                       ? " on the degraded array (" +
+                             std::to_string(array_.dead_count()) +
+                             " dead PEs)"
+                       : std::string{}));
+
+  report_candidate_metrics(counters.evaluated, counters.feasible);
+  auto& reg = obs::MetricsRegistry::global();
+  if (reg.enabled()) {
+    reg.add("mapper.pareto_front_points",
+            static_cast<std::int64_t>(points.size()));
+  }
+
+  // Canonical order, applied to both parallel arrays.
+  std::vector<std::size_t> order(points.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return pareto_canonical_less(points[a], points[b]);
+  });
+  std::vector<ParetoPoint> sorted_points;
+  std::vector<CostResult> sorted_costs;
+  sorted_points.reserve(points.size());
+  sorted_costs.reserve(costs.size());
+  for (const std::size_t idx : order) {
+    sorted_points.push_back(points[idx]);
+    sorted_costs.push_back(costs[idx]);
+  }
+  points = std::move(sorted_points);
+  costs = std::move(sorted_costs);
+}
+
+LayerSchedule Mapper::search_weighted(const nn::LayerSpec& layer) const {
+  std::vector<ParetoPoint> points;
+  std::vector<CostResult> costs;
+  build_front(layer, points, costs);
+  const std::size_t pick = select_from_front(points, objective_);
+  return assemble_schedule(layer, points[pick].mapping, costs[pick]);
+}
+
+LayerParetoFront Mapper::pareto_layer(const nn::LayerSpec& layer) const {
+  layer.validate();
+  const obs::TraceSpan span(layer.name, "mapper.pareto");
+  const obs::ScopedTimer timer("mapper.pareto_seconds");
+  std::vector<ParetoPoint> points;
+  std::vector<CostResult> costs;
+  build_front(layer, points, costs);
+  points[select_from_front(points, objective_)].selected = true;
+  LayerParetoFront front;
+  front.layer_name = layer.name;
+  front.shape_key = layer.shape_key();
+  front.points = std::move(points);
+  return front;
+}
+
+NetworkParetoFront Mapper::pareto_network(const nn::Network& net) const {
+  const obs::TraceSpan span(net.abbr(), "mapper.pareto");
+  const auto& cfg = cost_.config();
+  NetworkParetoFront nf;
+  nf.network_name = net.name();
+  nf.network_abbr = net.abbr();
+  nf.config = cfg;
+  nf.objective = objective_;
+  nf.array_digest = array_.digest();
+  nf.live_pes = array_.live_count(cfg.array_width, cfg.array_height);
+  nf.layers.reserve(net.layer_count());
+
+  // Unique shapes searched once, into slots fixed before the parallel
+  // region — the assembly below reads the same front for a shape no
+  // matter which worker produced it, so the output is thread-count
+  // independent.
+  std::vector<const nn::LayerSpec*> unique;
+  std::unordered_map<LayerShapeKey, std::size_t, LayerShapeKeyHash> slot;
+  unique.reserve(net.layer_count());
+  slot.reserve(net.layer_count());
+  for (const auto& layer : net.layers()) {
+    const LayerShapeKey key = LayerShapeKey::of(layer);
+    if (slot.emplace(key, unique.size()).second) {
+      unique.push_back(&layer);
+    }
+  }
+
+  std::vector<LayerParetoFront> fronts(unique.size());
+  const auto search_one = [this, &unique, &fronts](std::int64_t i) {
+    fronts[static_cast<std::size_t>(i)] =
+        pareto_layer(*unique[static_cast<std::size_t>(i)]);
+  };
+  if (par::resolve_threads(options_.threads) > 1) {
+    par::parallel_for(static_cast<std::int64_t>(unique.size()),
+                      options_.threads, search_one);
+  } else {
+    for (std::int64_t i = 0;
+         i < static_cast<std::int64_t>(unique.size()); ++i) {
+      search_one(i);
+    }
+  }
+
+  for (const auto& layer : net.layers()) {
+    LayerParetoFront front = fronts[slot.at(LayerShapeKey::of(layer))];
+    front.layer_name = layer.name;
+    nf.layers.push_back(std::move(front));
+  }
+  return nf;
 }
 
 LayerSchedule Mapper::schedule_layer(const nn::LayerSpec& layer) {

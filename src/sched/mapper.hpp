@@ -3,35 +3,49 @@
 #include <array>
 #include <cstddef>
 #include <unordered_map>
+#include <vector>
 
 #include "nn/network.hpp"
+#include "sched/array_state.hpp"
 #include "sched/cost.hpp"
+#include "sched/objective.hpp"
 #include "sched/schedule.hpp"
 #include "util/arena.hpp"
 #include "util/thread_annotations.hpp"
 
 /// \file mapper.hpp
-/// Exhaustive, deterministic search for the energy-optimal mapping of each
-/// layer — the NeuroSpector-lite substitute described in DESIGN.md. The
-/// mapping space is bounded: both spatial dimension choices, every spatial
-/// factor up to the array size, and a divisor-derived ladder of local-buffer
-/// tiling factors. Results are memoized by layer shape, which collapses the
-/// repeated blocks of ResNet / Llama-style networks to one search each.
+/// Exhaustive, deterministic search for the optimal mapping of each layer
+/// — the NeuroSpector-lite substitute described in DESIGN.md. The mapping
+/// space is bounded: both spatial dimension choices, every spatial factor
+/// up to the array size, and a divisor-derived ladder of local-buffer
+/// tiling factors. Results are memoized by layer shape, which collapses
+/// the repeated blocks of ResNet / Llama-style networks to one search
+/// each.
+///
+/// What "optimal" means is pluggable (DESIGN.md §15): the mapper is
+/// constructed with an ObjectiveSpec — energy (the historical default),
+/// projected lifetime, throughput, or a weighted scalarization over the
+/// per-layer Pareto front of (energy, projected MTTF, cycles) — and with
+/// an ArrayState whose dead PEs the feasibility check and the lifetime
+/// math respect. pareto_layer()/pareto_network() expose the front itself.
 ///
 /// Concurrency (DESIGN.md §9): the shape memo is striped across
 /// independently locked shards, so schedule_network() can search distinct
 /// shapes on pool workers concurrently. The search itself is a pure
-/// function of the layer shape, which makes the schedules bit-identical
-/// for every thread count; `threads == 1` (the default) walks the
-/// historical fully serial path.
+/// function of the layer shape, objective and array state, which makes
+/// the schedules and fronts bit-identical for every thread count;
+/// `threads == 1` (the default) walks the historical fully serial path.
 
 namespace rota::sched {
 
 /// Version of the mapper's search algorithm and cost model. Bump whenever
 /// a change can alter the schedule chosen for some layer shape: persisted
 /// schedule caches (rota::svc) key on this, so stale entries from an older
-/// search are never replayed as current results.
-inline constexpr int kMapperVersion = 3;
+/// search are never replayed as current results. Version 4: objective /
+/// array-state aware search (energy objective on an intact array chooses
+/// exactly the version-3 schedules; the fingerprint still carries the
+/// objective id and array digest so fronts never alias across objectives).
+inline constexpr int kMapperVersion = 4;
 
 /// Mapper search-space options.
 struct MapperOptions {
@@ -76,21 +90,40 @@ struct LayerShapeKeyHash {
   [[nodiscard]] std::size_t operator()(const LayerShapeKey& key) const;
 };
 
-/// Deterministic tie-breaking makes schedules reproducible across runs:
-/// energy, then cycles, then larger utilization space, then lexicographic
-/// mapping order.
+/// Deterministic tie-breaking makes schedules reproducible across runs.
+/// The energy objective orders candidates by energy ascending, then
+/// cycles ascending, then utilization space sx·sy *descending* (a
+/// performance-aware optimizer prefers more parallelism at equal cost),
+/// then lexicographic mapping order over (dim_x, dim_y, sx, sy, lb_c,
+/// lb_q, lb_s) — pinned by sched_test's comparator unit test. The other
+/// objectives swap in their leading axis and fall through to the same
+/// chain (objective.hpp).
 class Mapper {
  public:
-  explicit Mapper(arch::AcceleratorConfig cfg, arch::EnergyModel energy = {},
-                  MapperOptions options = {});
+  /// The objective-based constructor every in-repo caller uses (the
+  /// mapper-objective lint rule enforces this). A non-default `array`
+  /// must match cfg's geometry; the default all-live state plus the
+  /// energy objective reproduces the historical mapper byte-for-byte.
+  explicit Mapper(arch::AcceleratorConfig cfg, ObjectiveSpec objective,
+                  arch::EnergyModel energy = {}, MapperOptions options = {},
+                  ArrayState array = {});
+
+  [[deprecated(
+      "pass a sched::ObjectiveSpec (sched/objective.hpp); this shim pins "
+      "the legacy energy objective and will be removed")]] explicit
+  Mapper(arch::AcceleratorConfig cfg, arch::EnergyModel energy = {},
+         MapperOptions options = {});
 
   [[nodiscard]] const arch::AcceleratorConfig& config() const { return cost_.config(); }
   [[nodiscard]] const MapperOptions& options() const { return options_; }
+  [[nodiscard]] const ObjectiveSpec& objective() const { return objective_; }
+  [[nodiscard]] const ArrayState& array_state() const { return array_; }
 
-  /// Energy-optimal schedule of one layer. Throws util::invariant_error if
-  /// no feasible mapping exists (cannot happen for validated layers on a
-  /// non-degenerate accelerator). Thread-safe: concurrent callers share
-  /// the striped shape memo.
+  /// Objective-optimal schedule of one layer. Throws util::invariant_error
+  /// if no feasible mapping exists (possible on a heavily degraded array;
+  /// cannot happen for validated layers on an intact, non-degenerate
+  /// accelerator). Thread-safe: concurrent callers share the striped
+  /// shape memo.
   LayerSchedule schedule_layer(const nn::LayerSpec& layer);
 
   /// Schedule every layer of a network in execution order. With
@@ -99,10 +132,27 @@ class Mapper {
   /// to the serial path.
   NetworkSchedule schedule_network(const nn::Network& net);
 
+  /// The layer's full Pareto front over (energy, projected MTTF, cycles),
+  /// canonically ordered, with this mapper's scalarization pick flagged
+  /// `selected`. Not memoized (fronts are requested explicitly, not in
+  /// inner loops).
+  [[nodiscard]] LayerParetoFront pareto_layer(const nn::LayerSpec& layer) const;
+
+  /// Per-layer fronts for a whole network; unique shapes are searched
+  /// once (concurrently when options().threads != 1) and the results are
+  /// slot-indexed, so the output is bit-identical at any thread count.
+  [[nodiscard]] NetworkParetoFront pareto_network(const nn::Network& net) const;
+
   /// Number of distinct shapes searched so far (memoization statistic).
   [[nodiscard]] std::size_t cache_size() const;
 
  private:
+  /// Candidate counters of one layer search (metrics feed).
+  struct SearchCounters {
+    std::int64_t evaluated = 0;
+    std::int64_t feasible = 0;
+  };
+
   /// Tiling-factor ladder for a loop bound, clipped to [1, cap]: the
   /// bound's divisors (precomputed by the caller, ascending), plus the cap
   /// itself in imperfect-factorization mode. Scratch comes from `arena`,
@@ -116,7 +166,21 @@ class Mapper {
       util::Arena& arena, const util::ArenaVector<std::int64_t>& bound_divisors,
       std::int64_t bound, std::int64_t array_dim) const;
 
+  /// Walk the bounded mapping space in its one canonical order, invoking
+  /// `fn(mapping, cost)` for every feasible candidate (cost-model valid
+  /// *and* placeable on the array state). Defined in mapper.cpp; both the
+  /// argmin and the Pareto searches are this enumeration plus a fold.
+  template <class Fn>
+  SearchCounters enumerate_candidates(const nn::LayerSpec& layer,
+                                      Fn&& fn) const;
+
   [[nodiscard]] LayerSchedule search(const nn::LayerSpec& layer) const;
+  [[nodiscard]] LayerSchedule search_weighted(const nn::LayerSpec& layer) const;
+
+  /// The layer's Pareto front as parallel arrays (points[i] priced by
+  /// costs[i]), canonically sorted. \post !points.empty().
+  void build_front(const nn::LayerSpec& layer, std::vector<ParetoPoint>& points,
+                   std::vector<CostResult>& costs) const;
 
   /// One lock stripe of the shape memo; shapes hash to a fixed shard, so
   /// concurrent searches of distinct shapes rarely contend.
@@ -130,7 +194,9 @@ class Mapper {
   CacheShard& shard_of(const LayerShapeKey& key);
 
   CostModel cost_;
+  ObjectiveSpec objective_;
   MapperOptions options_;
+  ArrayState array_;
   std::array<CacheShard, kCacheShards> cache_;
 };
 

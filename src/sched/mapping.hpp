@@ -47,6 +47,8 @@ struct Mapping {
   std::int64_t lb_s = 1;  ///< filter-column taps resident per PE per tile
 
   [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const Mapping&, const Mapping&) = default;
 };
 
 }  // namespace rota::sched

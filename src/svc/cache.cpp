@@ -41,13 +41,20 @@ std::uint64_t stable_fingerprint_hash(std::string_view text) {
 ScheduleCacheKey ScheduleCacheKey::of(const arch::AcceleratorConfig& accel,
                                       const sched::LayerShapeKey& shape,
                                       const sched::MapperOptions& options,
+                                      const sched::ObjectiveSpec& objective,
+                                      std::string_view array_digest,
                                       int mapper_version) {
   // Every field that can change the search result, in a fixed order. The
   // topology is included defensively: it does not steer today's cost
   // model, but a future mapper version may consult it and the cost of the
-  // extra misses is zero (topology is fixed per deployment).
+  // extra misses is zero (topology is fixed per deployment). The
+  // objective id already encodes the weights for weighted:...; the
+  // canonical weight vector is appended anyway so the fingerprint stays
+  // self-describing.
   std::ostringstream os;
   os << "v" << mapper_version << "|exact=" << (options.exact_factors_only ? 1 : 0)
+     << "|obj=" << objective.id() << "|ow=" << objective.weights_csv()
+     << "|arr_state=" << array_digest
      << "|arr=" << accel.array_width << 'x' << accel.array_height
      << "|topo=" << static_cast<int>(accel.topology)
      << "|word=" << accel.word_bytes << "|lb=" << accel.lb_input_bytes << ','
@@ -429,7 +436,8 @@ sched::NetworkSchedule cached_schedule_network(sched::Mapper& mapper,
   ns.layers.reserve(net.layer_count());
   for (const auto& layer : net.layers()) {
     const ScheduleCacheKey key = ScheduleCacheKey::of(
-        mapper.config(), sched::LayerShapeKey::of(layer), mapper.options());
+        mapper.config(), sched::LayerShapeKey::of(layer), mapper.options(),
+        mapper.objective(), mapper.array_state().digest());
     if (auto cached = cache.lookup(key)) {
       cached->layer_name = layer.name;
       ns.layers.push_back(std::move(*cached));

@@ -39,11 +39,14 @@
 namespace rota::svc {
 
 /// The canonical cache key. `fingerprint` is the full human-readable
-/// derivation (mapper version and options, every scheduling-relevant
-/// AcceleratorConfig field, every LayerShapeKey field); `hash` is a stable
-/// FNV-1a of the fingerprint used for shard selection and file naming.
-/// Disk entries embed the fingerprint and verify it on load, so a hash
-/// collision degrades to a miss instead of returning a wrong schedule.
+/// derivation (mapper version and options, the objective id + weights,
+/// the array-state digest, every scheduling-relevant AcceleratorConfig
+/// field, every LayerShapeKey field); `hash` is a stable FNV-1a of the
+/// fingerprint used for shard selection and file naming. Disk entries
+/// embed the fingerprint and verify it on load, so a hash collision
+/// degrades to a miss instead of returning a wrong schedule. Objective
+/// and array state are part of the key so schedules never alias across
+/// objectives or degraded-array states (DESIGN.md §15).
 struct ScheduleCacheKey {
   std::string fingerprint;
   std::uint64_t hash = 0;
@@ -51,6 +54,8 @@ struct ScheduleCacheKey {
   [[nodiscard]] static ScheduleCacheKey of(
       const arch::AcceleratorConfig& accel, const sched::LayerShapeKey& shape,
       const sched::MapperOptions& options,
+      const sched::ObjectiveSpec& objective = {},
+      std::string_view array_digest = "live",
       int mapper_version = sched::kMapperVersion);
 };
 

@@ -38,9 +38,21 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-std::string payload_schedule(const sched::NetworkSchedule& ns) {
+/// The request's mapper objective. parse_request already validated and
+/// canonicalized the field, so a failure here is a programming error
+/// surfaced by the catch chain as invalid_argument.
+sched::ObjectiveSpec objective_of(const Request& request) {
+  auto spec = sched::parse_objective(request.objective);
+  ROTA_REQUIRE(spec.ok(), "invalid request objective '" + request.objective +
+                              "': " + spec.error().message);
+  return spec.value();
+}
+
+std::string payload_schedule(const sched::NetworkSchedule& ns,
+                             const sched::ObjectiveSpec& objective) {
   std::ostringstream os;
   os << "{\"workload\":" << obs::json_quote(ns.network_abbr)
+     << ",\"objective\":" << obs::json_quote(objective.id())
      << ",\"layers\":" << ns.layers.size()
      << ",\"total_tiles\":" << ns.total_tiles()
      << ",\"mean_utilization\":" << obs::json_number(ns.mean_utilization())
@@ -252,15 +264,18 @@ Response Engine::execute(const Request& request) {
       case RequestOp::kSchedule: {
         const nn::Network net = nn::workload_by_abbr(request.workload);
         const arch::AcceleratorConfig accel = accel_of(request);
-        sched::Mapper mapper(accel, {}, sched::MapperOptions{true, 1});
-        resp.payload_json =
-            payload_schedule(cached_schedule_network(mapper, net, cache_));
+        const sched::ObjectiveSpec objective = objective_of(request);
+        sched::Mapper mapper(accel, objective, {},
+                             sched::MapperOptions{true, 1});
+        resp.payload_json = payload_schedule(
+            cached_schedule_network(mapper, net, cache_), objective);
         break;
       }
       case RequestOp::kWear: {
         const nn::Network net = nn::workload_by_abbr(request.workload);
         const arch::AcceleratorConfig accel = accel_of(request);
-        sched::Mapper mapper(accel, {}, sched::MapperOptions{true, 1});
+        sched::Mapper mapper(accel, objective_of(request), {},
+                             sched::MapperOptions{true, 1});
         const sched::NetworkSchedule ns =
             cached_schedule_network(mapper, net, cache_);
         const PolicyOutcome run =
@@ -276,7 +291,8 @@ Response Engine::execute(const Request& request) {
       case RequestOp::kLifetime: {
         const nn::Network net = nn::workload_by_abbr(request.workload);
         const arch::AcceleratorConfig accel = accel_of(request);
-        sched::Mapper mapper(accel, {}, sched::MapperOptions{true, 1});
+        sched::Mapper mapper(accel, objective_of(request), {},
+                             sched::MapperOptions{true, 1});
         const sched::NetworkSchedule ns =
             cached_schedule_network(mapper, net, cache_);
         std::vector<PolicyOutcome> runs;

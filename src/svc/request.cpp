@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "obs/json.hpp"
+#include "sched/objective.hpp"
 #include "svc/jsonv.hpp"
 #include "util/check.hpp"
 
@@ -192,6 +193,17 @@ util::Result<Request> parse_request(std::string_view line,
     }
     req.metric = metric->str() == "alloc" ? wear::WearMetric::kAllocations
                                           : wear::WearMetric::kActiveCycles;
+  }
+  if (const JsonValue* objective = doc.find("objective")) {
+    if (!objective->is_string()) {
+      return {ErrorCode::kInvalidArgument,
+              "field 'objective' must be a string"};
+    }
+    auto spec = sched::parse_objective(objective->str());
+    if (!spec.ok()) return spec.error();
+    // Store the canonical id so equivalent spellings ("weighted:0.50,…")
+    // execute — and cache — identically.
+    req.objective = spec.value().id();
   }
   if (const JsonValue* deadline = doc.find("deadline_ms")) {
     const auto v = deadline->as_int64();

@@ -57,6 +57,11 @@ struct Request {
   std::uint64_t seed = 0x526f5441;
   wear::PolicyKind policy = wear::PolicyKind::kRwlRo;  ///< op=wear
   wear::WearMetric metric = wear::WearMetric::kAllocations;
+  /// Mapper objective (canonical sched::ObjectiveSpec id; see
+  /// sched/objective.hpp): "energy" (default, the historical behavior),
+  /// "lifetime", "throughput" or "weighted:<w1>,<w2>,<w3>". Honored by
+  /// schedule/wear/lifetime ops; echoed in the schedule payload.
+  std::string objective = "energy";
   /// Relative deadline from submission; 0 inherits the engine default
   /// (which may be "none"). A request whose deadline has passed before a
   /// worker picks it up is answered with code deadline_exceeded.

@@ -220,7 +220,7 @@ TEST(Experiment, RunMixMatchesManualInterleaving) {
                                         nn::make_efficientnet_b0()};
   const auto res = exp.run_mix(mix, {PolicyKind::kRwlRo});
 
-  sched::Mapper mapper(exp.config().accel);
+  sched::Mapper mapper(exp.config().accel, sched::ObjectiveSpec{});
   wear::WearSimulator sim(exp.config().accel);
   auto policy = wear::make_policy(PolicyKind::kRwlRo, 14, 12);
   const auto s0 = mapper.schedule_network(mix[0]);
@@ -259,6 +259,60 @@ TEST(Experiment, CustomBetaPropagates) {
                                {PolicyKind::kBaseline, PolicyKind::kRwlRo});
   EXPECT_LT(res.improvement_over_baseline(PolicyKind::kRwlRo),
             res34.improvement_over_baseline(PolicyKind::kRwlRo));
+}
+
+TEST(ApiV1, ObjectiveScheduleDefaultsMatchTheHistoricalSurface) {
+  namespace api = rota::api::v1;
+  const auto net = api::find_workload("Sqz");
+  ASSERT_TRUE(net.ok());
+  const ExperimentConfig cfg = quick_config();
+  const auto base = api::schedule_workload(cfg, net.value());
+  ASSERT_TRUE(base.ok());
+  const auto objective = api::schedule_network_with_objective(
+      cfg, net.value(), sched::ObjectiveSpec{});
+  ASSERT_TRUE(objective.ok()) << objective.error().message;
+  ASSERT_EQ(objective.value().layers.size(), base.value().layers.size());
+  for (std::size_t i = 0; i < base.value().layers.size(); ++i) {
+    EXPECT_EQ(objective.value().layers[i].energy,
+              base.value().layers[i].energy);
+    EXPECT_EQ(objective.value().layers[i].cycles,
+              base.value().layers[i].cycles);
+    EXPECT_EQ(objective.value().layers[i].mapping,
+              base.value().layers[i].mapping);
+  }
+  // Data errors come back as Results here too.
+  ExperimentConfig bad = quick_config();
+  bad.accel.array_width = 0;
+  EXPECT_FALSE(api::schedule_network_with_objective(bad, net.value(),
+                                                    sched::ObjectiveSpec{})
+                   .ok());
+}
+
+TEST(ApiV1, ParetoNetworkSmoke) {
+  namespace api = rota::api::v1;
+  const auto net = api::find_workload("Sqz");
+  ASSERT_TRUE(net.ok());
+  const ExperimentConfig cfg = quick_config();
+  const auto front =
+      api::pareto_network(cfg, net.value(), sched::ObjectiveSpec::lifetime());
+  ASSERT_TRUE(front.ok()) << front.error().message;
+  EXPECT_EQ(front.value().objective, sched::ObjectiveSpec::lifetime());
+  EXPECT_EQ(front.value().array_digest, "live");
+  EXPECT_EQ(front.value().live_pes, cfg.accel.pe_count());
+  ASSERT_EQ(front.value().layers.size(), net.value().layer_count());
+  for (const auto& layer : front.value().layers) {
+    ASSERT_FALSE(layer.points.empty()) << layer.layer_name;
+    EXPECT_EQ(std::count_if(layer.points.begin(), layer.points.end(),
+                            [](const sched::ParetoPoint& p) {
+                              return p.selected;
+                            }),
+              1)
+        << layer.layer_name;
+  }
+  ExperimentConfig bad = quick_config();
+  bad.accel.array_height = 0;
+  EXPECT_FALSE(
+      api::pareto_network(bad, net.value(), sched::ObjectiveSpec{}).ok());
 }
 
 }  // namespace

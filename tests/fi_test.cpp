@@ -413,7 +413,8 @@ struct InjectFixture {
   sched::NetworkSchedule ns;
 
   InjectFixture() {
-    sched::Mapper mapper(accel, {}, sched::MapperOptions{true, 1});
+    sched::Mapper mapper(accel, sched::ObjectiveSpec{}, {},
+                         sched::MapperOptions{true, 1});
     ns = mapper.schedule_network(nn::workload_by_abbr("Sqz"));
   }
 
@@ -688,6 +689,51 @@ TEST(FiAcceptance, CheckpointForDifferentWorkIsRefused) {
   EXPECT_THROW(run_cli({"mc", "Sqz", "--iters", "20", "--trials", "100000",
                         "--checkpoint", ckpt}),
                util::precondition_error);
+}
+
+// ---------------------------------------- static dead-PE map from faults ----
+
+TEST(FiInject, ArrayStateFromFaultsFoldsPermanentCoordinates) {
+  std::vector<HardwareFault> faults;
+  faults.push_back(parse_hardware_fault("pe=3,3@1").value());
+  faults.push_back(parse_hardware_fault("pe=10,2@7").value());
+  faults.push_back(parse_hardware_fault("pe=3,3@9").value());  // same PE again
+  const auto state = array_state_from_faults(14, 12, faults);
+  ASSERT_TRUE(state.ok()) << state.error().message;
+  EXPECT_EQ(state.value().dead_count(), 2);
+  EXPECT_TRUE(state.value().dead(3, 3));
+  EXPECT_TRUE(state.value().dead(10, 2));
+  EXPECT_EQ(state.value().live_count(14, 12), 166);
+
+  // A big enough spare pool absorbs every fault: the mapper sees an
+  // intact array (spared PEs still carry their work).
+  const auto spared = array_state_from_faults(14, 12, faults, 2);
+  ASSERT_TRUE(spared.ok());
+  EXPECT_EQ(spared.value().digest(), "live");
+  // One spare covers the first fault; the second distinct PE stays dead.
+  const auto one = array_state_from_faults(14, 12, faults, 1);
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(one.value().dead_count(), 1);
+}
+
+TEST(FiInject, ArrayStateFromFaultsRejectsDynamicOrOutOfRangeSpecs) {
+  const std::vector<HardwareFault> ok = {
+      parse_hardware_fault("pe=1,1@1").value()};
+  EXPECT_FALSE(array_state_from_faults(0, 12, ok).ok());
+  EXPECT_FALSE(array_state_from_faults(14, 0, ok).ok());
+  EXPECT_FALSE(array_state_from_faults(14, 12, ok, -1).ok());
+  // Wear-rank, weibull and transient faults depend on runtime wear state —
+  // they have no static dead-PE reading.
+  for (const char* spec : {"rank=0@5", "weibull=3", "pe=2,2@4+6"}) {
+    const std::vector<HardwareFault> faults = {
+        parse_hardware_fault(spec).value()};
+    const auto state = array_state_from_faults(14, 12, faults);
+    ASSERT_FALSE(state.ok()) << spec;
+    EXPECT_EQ(state.error().code, ErrorCode::kInvalidArgument);
+  }
+  const std::vector<HardwareFault> outside = {
+      parse_hardware_fault("pe=14,0@1").value()};
+  EXPECT_FALSE(array_state_from_faults(14, 12, outside).ok());
 }
 
 }  // namespace

@@ -157,7 +157,7 @@ TEST(Integration, LargerArraysGiveMoreImprovement) {
 TEST(Integration, WearLevelingCostsZeroCycles) {
   // Same schedule, mesh vs torus: identical execution cycles, and the
   // counter update hides under compute in every layer (paper §V-D).
-  sched::Mapper mapper(arch::eyeriss_like());
+  sched::Mapper mapper(arch::eyeriss_like(), sched::ObjectiveSpec{});
   const auto ns = mapper.schedule_network(nn::make_efficientnet_b0());
   const sim::ExecutionEngine mesh_engine(arch::eyeriss_like());
   const sim::ExecutionEngine torus_engine(arch::rota_like());
@@ -173,7 +173,7 @@ TEST(Integration, WearLevelingCostsZeroCycles) {
 TEST(Integration, ScheduledLayersSatisfyRwlBoundsEndToEnd) {
   // Take real scheduled utilization spaces (not synthetic ones) and check
   // the Eq. 9 / Eq. 10 bounds against fresh per-layer RWL simulation.
-  sched::Mapper mapper(arch::rota_like());
+  sched::Mapper mapper(arch::rota_like(), sched::ObjectiveSpec{});
   const auto ns = mapper.schedule_network(nn::make_squeezenet());
   for (const auto& l : ns.layers) {
     const std::int64_t z = std::min<std::int64_t>(l.tiles, 5000);

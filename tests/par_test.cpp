@@ -174,7 +174,7 @@ TEST(ParallelReduce, ConcatenationPreservesChunkOrder) {
 // ---------------------------------------------------- mapper determinism ----
 
 std::string schedule_csv(const nn::Network& net, int threads) {
-  sched::Mapper mapper(arch::rota_like(), {},
+  sched::Mapper mapper(arch::rota_like(), sched::ObjectiveSpec{}, {},
                        sched::MapperOptions{true, threads});
   const sched::NetworkSchedule ns = mapper.schedule_network(net);
   std::ostringstream out;
@@ -195,7 +195,8 @@ TEST(MapperPar, CacheHoldsOneEntryPerUniqueShape) {
   for (const nn::LayerSpec& layer : net.layers()) {
     unique.insert(sched::LayerShapeKey::of(layer));
   }
-  sched::Mapper mapper(arch::rota_like(), {}, sched::MapperOptions{true, 8});
+  sched::Mapper mapper(arch::rota_like(), sched::ObjectiveSpec{}, {},
+                       sched::MapperOptions{true, 8});
   (void)mapper.schedule_network(net);
   EXPECT_EQ(mapper.cache_size(), unique.size());
 }

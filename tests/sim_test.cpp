@@ -236,7 +236,7 @@ TEST(Engine, CyclesIndependentOfTopology) {
   arch::AcceleratorConfig torus = arch::rota_like();
   const ExecutionEngine em(mesh);
   const ExecutionEngine et(torus);
-  sched::Mapper mapper(mesh);
+  sched::Mapper mapper(mesh, sched::ObjectiveSpec{});
   const auto ns = mapper.schedule_network(nn::make_squeezenet());
   for (const auto& layer : ns.layers) {
     EXPECT_DOUBLE_EQ(em.estimate_layer(layer).cycles,
@@ -249,7 +249,7 @@ TEST(Engine, ControllerUpdateAlwaysHidden) {
   // Every mapped layer computes for >= 1 cycle per tile, so the 1-cycle
   // (u, v) counter update never extends the critical path.
   const ExecutionEngine engine(arch::rota_like());
-  sched::Mapper mapper(arch::rota_like());
+  sched::Mapper mapper(arch::rota_like(), sched::ObjectiveSpec{});
   for (const char* abbr : {"Sqz", "Mb", "VT"}) {
     const auto ns = mapper.schedule_network(nn::workload_by_abbr(abbr));
     for (const auto& layer : ns.layers) {
@@ -261,7 +261,7 @@ TEST(Engine, ControllerUpdateAlwaysHidden) {
 
 TEST(Engine, DramRooflineOnlyEverSlowsDown) {
   const ExecutionEngine engine(arch::rota_like());
-  sched::Mapper mapper(arch::rota_like());
+  sched::Mapper mapper(arch::rota_like(), sched::ObjectiveSpec{});
   const auto ns = mapper.schedule_network(nn::make_squeezenet());
   const DramParams dram{2.0};
   for (const auto& layer : ns.layers) {
@@ -281,7 +281,7 @@ TEST(Engine, DramRooflineOnlyEverSlowsDown) {
 
 TEST(Engine, InfiniteDramBandwidthRecoversArrayEstimate) {
   const ExecutionEngine engine(arch::rota_like());
-  sched::Mapper mapper(arch::rota_like());
+  sched::Mapper mapper(arch::rota_like(), sched::ObjectiveSpec{});
   const auto ls = mapper.schedule_layer(nn::conv("c", 64, 64, 28, 3, 1));
   const DramParams fat{1e12};
   const LayerTiming roof = engine.estimate_layer_with_dram(ls, fat);
@@ -290,7 +290,7 @@ TEST(Engine, InfiniteDramBandwidthRecoversArrayEstimate) {
 }
 
 TEST(Engine, DramRooflineStillPolicyIndependent) {
-  sched::Mapper mapper(arch::eyeriss_like());
+  sched::Mapper mapper(arch::eyeriss_like(), sched::ObjectiveSpec{});
   const auto ns = mapper.schedule_network(nn::make_mobilenet_v3());
   const ExecutionEngine mesh(arch::eyeriss_like());
   const ExecutionEngine torus(arch::rota_like());
@@ -301,14 +301,14 @@ TEST(Engine, DramRooflineStillPolicyIndependent) {
 
 TEST(Engine, RejectsNonPositiveDramBandwidth) {
   const ExecutionEngine engine(arch::rota_like());
-  sched::Mapper mapper(arch::rota_like());
+  sched::Mapper mapper(arch::rota_like(), sched::ObjectiveSpec{});
   const auto ls = mapper.schedule_layer(nn::conv("c", 8, 8, 7, 3, 1));
   EXPECT_THROW(engine.estimate_layer_with_dram(ls, DramParams{0.0}),
                precondition_error);
 }
 
 TEST(Engine, ExactSimulationOnScheduledLayer) {
-  sched::Mapper mapper(arch::rota_like());
+  sched::Mapper mapper(arch::rota_like(), sched::ObjectiveSpec{});
   const ExecutionEngine engine(arch::rota_like());
   const auto ls = mapper.schedule_layer(nn::conv("c", 64, 64, 28, 3, 1));
   const LayerTiming t = engine.simulate_layer(ls);

@@ -90,7 +90,7 @@ ScheduleCacheKey key_of_shape(std::int64_t out_channels,
   shape.stride_w = 1;
   shape.groups = 1;
   return ScheduleCacheKey::of(accel, shape, sched::MapperOptions{},
-                              mapper_version);
+                              sched::ObjectiveSpec{}, "live", mapper_version);
 }
 
 /// N distinct keys that all land in the same shard, so LRU ordering is
@@ -264,6 +264,38 @@ TEST(ScheduleCacheKeyTest, SensitiveToEveryKeyedInput) {
             ScheduleCacheKey::of(accel, shape, threaded).fingerprint);
 }
 
+TEST(ScheduleCacheKeyTest, ObjectiveAndArrayStateNeverAlias) {
+  arch::AcceleratorConfig accel = arch::rota_like();
+  sched::LayerShapeKey shape;
+  shape.out_channels = 64;
+  const sched::MapperOptions options;
+  const ScheduleCacheKey base = ScheduleCacheKey::of(accel, shape, options);
+  // The defaults ARE the energy objective on an intact array: existing
+  // call sites and existing disk caches stay valid.
+  EXPECT_EQ(base.fingerprint,
+            ScheduleCacheKey::of(accel, shape, options,
+                                 sched::ObjectiveSpec::energy(), "live")
+                .fingerprint);
+  // A different objective changes the key…
+  const ScheduleCacheKey lifetime = ScheduleCacheKey::of(
+      accel, shape, options, sched::ObjectiveSpec::lifetime());
+  EXPECT_NE(base.fingerprint, lifetime.fingerprint);
+  EXPECT_NE(base.hash, lifetime.hash);
+  // …as do weighted scalarization weights, not just the kind…
+  EXPECT_NE(ScheduleCacheKey::of(accel, shape, options,
+                                 sched::ObjectiveSpec::weighted(1, 1, 0))
+                .fingerprint,
+            ScheduleCacheKey::of(accel, shape, options,
+                                 sched::ObjectiveSpec::weighted(1, 1, 1))
+                .fingerprint);
+  // …and so does a degraded-array digest.
+  const ScheduleCacheKey degraded =
+      ScheduleCacheKey::of(accel, shape, options, sched::ObjectiveSpec{},
+                           "fnv1a:00000000deadbeef");
+  EXPECT_NE(base.fingerprint, degraded.fingerprint);
+  EXPECT_NE(base.hash, degraded.hash);
+}
+
 TEST(ScheduleCacheKeyTest, StableHashIsFixedForever) {
   // The disk file name derives from this hash; changing the function
   // orphans every cache directory in existence.
@@ -420,18 +452,18 @@ TEST(ScheduleCacheTest, UnwritableDiskDirDegradesToMemoryOnly) {
 TEST(CachedScheduleNetwork, BitIdenticalToMapperAndSkipsSearchWhenWarm) {
   const nn::Network net = nn::make_squeezenet();
   arch::AcceleratorConfig accel = arch::rota_like();
-  sched::Mapper mapper(accel);
+  sched::Mapper mapper(accel, sched::ObjectiveSpec{});
   const sched::NetworkSchedule direct = mapper.schedule_network(net);
 
   ScheduleCache cache({.capacity = 4096, .disk_dir = ""});
-  sched::Mapper cold_mapper(accel);
+  sched::Mapper cold_mapper(accel, sched::ObjectiveSpec{});
   const sched::NetworkSchedule first =
       cached_schedule_network(cold_mapper, net, cache);
   const auto after_first = cache.stats();
   EXPECT_GT(after_first.misses, 0);
 
   // Second pass: every layer must come from the cache, no mapper search.
-  sched::Mapper unused_mapper(accel);
+  sched::Mapper unused_mapper(accel, sched::ObjectiveSpec{});
   const sched::NetworkSchedule second =
       cached_schedule_network(unused_mapper, net, cache);
   const auto after_second = cache.stats();
@@ -523,7 +555,7 @@ TEST(EngineTest, EngineMatchesSerialExperimentNumbers) {
   arch::AcceleratorConfig accel = arch::rota_like();
   accel.array_width = 8;
   accel.array_height = 8;
-  sched::Mapper mapper(accel);
+  sched::Mapper mapper(accel, sched::ObjectiveSpec{});
   const sched::NetworkSchedule ns =
       mapper.schedule_network(nn::make_squeezenet());
   auto policy = wear::make_policy(wear::PolicyKind::kRwlRo, 8, 8, req.seed);

@@ -24,6 +24,11 @@ field-guessed. For every timing metric in the baseline:
     change, so a later regression back to the old level cannot hide
     inside the old, stale baseline.
 
+Timings taken under different mapper objectives measure different
+searches, so when the two manifests disagree on `extra["objective.id"]`
+(absent = "energy", the historical default) the reports are incomparable:
+the tool prints a notice and exits 0 without gating anything.
+
 Metrics that are new in the current report are listed informationally.
 Exit status: 0 = OK (possibly with warnings), 1 = at least one failure.
 """
@@ -39,7 +44,8 @@ import sys
 SCHEMA_VERSION = 2
 
 
-def load_metrics(path: str) -> dict:
+def load_report(path: str) -> tuple[dict, str]:
+    """(timing metrics, objective id) of one report."""
     with open(path) as f:
         doc = json.load(f)
     version = doc.get("schema_version")
@@ -52,11 +58,16 @@ def load_metrics(path: str) -> dict:
     metrics = doc.get("metrics")
     if not isinstance(metrics, dict) or not metrics:
         sys.exit(f"error: {path}: no metrics in report")
-    return {
+    manifest = doc.get("manifest")
+    extra = manifest.get("extra", {}) if isinstance(manifest, dict) else {}
+    # Reports predating the objective API carry no stamp and were all
+    # produced by the energy-objective mapper.
+    objective = extra.get("objective.id", "energy")
+    return ({
         name: rec
         for name, rec in metrics.items()
         if isinstance(rec, dict) and rec.get("type") == "timing"
-    }
+    }, objective)
 
 
 def is_parallel(name: str) -> bool:
@@ -76,8 +87,13 @@ def main() -> int:
                          "lock the speedup in")
     args = ap.parse_args()
 
-    base = load_metrics(args.baseline)
-    cur = load_metrics(args.current)
+    base, base_obj = load_report(args.baseline)
+    cur, cur_obj = load_report(args.current)
+    if base_obj != cur_obj:
+        print(f"notice: mapper objectives differ (baseline '{base_obj}', "
+              f"current '{cur_obj}') — the reports time different "
+              f"searches and are not comparable; skipping the gate")
+        return 0
     limit = 1.0 + args.threshold / 100.0
     lock_limit = 1.0 - args.threshold / 100.0
 

@@ -1,0 +1,208 @@
+#!/usr/bin/env python3
+"""Validate `rota pareto --json` envelopes and cross-check fronts.
+
+Usage: check_pareto.py FILE [FILE ...]
+                       [--same-front] [--assert-selected-mttf-improves]
+
+Every FILE is schema-checked: the {"schema_version": N, "manifest": ...,
+"pareto": {...}} envelope written by cmd_pareto, with per-layer fronts
+whose points carry (mapping, energy, mttf, cycles, tiles, pe_allocations,
+anchor, selected). Beyond field types the checker asserts the front
+invariants the mapper promises (DESIGN.md §15):
+
+  * every layer has at least one point and exactly one selected point;
+  * points come in canonical order (energy non-decreasing);
+  * no front member Pareto-dominates another (<= energy, >= mttf,
+    <= cycles with one strict) — fronts are dominance-free by definition.
+
+Two cross-file modes, both over exactly two FILEs:
+
+  * --same-front: the "pareto" objects must be byte-equal after JSON
+    round-trip. Manifests are ignored on purpose — they carry timestamps
+    and wall-clock fields — so this is the thread-count determinism check
+    (`--threads 1` vs `--threads 8` outputs must agree here).
+  * --assert-selected-mttf-improves: FILE1 is the energy-objective run,
+    FILE2 a lifetime-leaning run of the same workload; per layer, the
+    selected point of FILE2 must project an MTTF >= FILE1's. A lifetime
+    scalarization that picks shorter-lived schedules than pure energy is
+    a selection bug.
+
+Exit status: 0 = all checks passed, 1 = at least one violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+# obs::kSchemaVersion (src/obs/json.hpp); bump in lockstep.
+SCHEMA_VERSION = 2
+
+
+def fail(path: str, msg: str, errors: list) -> None:
+    errors.append(f"{path}: {msg}")
+
+
+def dominates(a: dict, b: dict) -> bool:
+    ge = (a["energy"] <= b["energy"] and a["mttf"] >= b["mttf"]
+          and a["cycles"] <= b["cycles"])
+    strict = (a["energy"] < b["energy"] or a["mttf"] > b["mttf"]
+              or a["cycles"] < b["cycles"])
+    return ge and strict
+
+
+def check_point(path: str, where: str, pt, errors: list) -> bool:
+    if not isinstance(pt, dict):
+        fail(path, f"{where}: point is not an object", errors)
+        return False
+    ok = True
+    for key, kinds in [("mapping", str), ("energy", (int, float)),
+                       ("mttf", (int, float)), ("cycles", (int, float)),
+                       ("tiles", int), ("pe_allocations", int),
+                       ("selected", bool)]:
+        value = pt.get(key)
+        # bool is an int subclass; keep it out of the numeric fields.
+        if not isinstance(value, kinds) or (kinds is not bool
+                                            and isinstance(value, bool)):
+            fail(path, f"{where}: field '{key}' missing or mistyped", errors)
+            ok = False
+    anchor = pt.get("anchor")
+    if (not isinstance(anchor, list) or len(anchor) != 2
+            or not all(isinstance(c, int) and c >= 0 for c in anchor)):
+        fail(path, f"{where}: 'anchor' is not a [u, v] coordinate", errors)
+        ok = False
+    if not ok:
+        return False
+    for key in ("energy", "mttf", "cycles"):
+        if not pt[key] > 0:
+            fail(path, f"{where}: '{key}' must be positive, got {pt[key]}",
+                 errors)
+            ok = False
+    for key in ("tiles", "pe_allocations"):
+        if pt[key] < 1:
+            fail(path, f"{where}: '{key}' must be >= 1, got {pt[key]}", errors)
+            ok = False
+    return ok
+
+
+def check_layer(path: str, index: int, layer, errors: list) -> None:
+    where = f"layers[{index}]"
+    if not isinstance(layer, dict) or not isinstance(layer.get("layer"), str):
+        fail(path, f"{where}: missing 'layer' name", errors)
+        return
+    points = layer.get("points")
+    if not isinstance(points, list) or not points:
+        fail(path, f"{where} ('{layer['layer']}'): empty or missing front",
+             errors)
+        return
+    where = f"layers[{index}] ('{layer['layer']}')"
+    clean = [pt for p, pt in enumerate(points)
+             if check_point(path, f"{where} point {p}", pt, errors)]
+    if len(clean) != len(points):
+        return
+    selected = sum(1 for pt in points if pt["selected"])
+    if selected != 1:
+        fail(path, f"{where}: {selected} selected points, expected exactly 1",
+             errors)
+    for p in range(1, len(points)):
+        if points[p]["energy"] < points[p - 1]["energy"]:
+            fail(path, f"{where}: points not in canonical order (energy "
+                       f"decreases at index {p})", errors)
+            break
+    for a in range(len(points)):
+        for b in range(len(points)):
+            if a != b and dominates(points[a], points[b]):
+                fail(path, f"{where}: point {a} dominates point {b} — not a "
+                           f"Pareto front", errors)
+                return
+
+
+def load_and_check(path: str, errors: list) -> dict | None:
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(path, str(exc), errors)
+        return None
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        fail(path, f"schema_version is {doc.get('schema_version')!r}, "
+                   f"expected {SCHEMA_VERSION}", errors)
+        return None
+    if not isinstance(doc.get("manifest"), dict):
+        fail(path, "missing manifest object", errors)
+        return None
+    pareto = doc.get("pareto")
+    if not isinstance(pareto, dict):
+        fail(path, "missing pareto object", errors)
+        return None
+    for key in ("network", "objective", "objective_weights", "array_state"):
+        if not isinstance(pareto.get(key), str) or not pareto[key]:
+            fail(path, f"pareto.{key} missing or empty", errors)
+    live = pareto.get("live_pes")
+    if not isinstance(live, int) or isinstance(live, bool) or live < 1:
+        fail(path, f"pareto.live_pes must be a positive integer, got "
+                   f"{live!r}", errors)
+    layers = pareto.get("layers")
+    if not isinstance(layers, list) or not layers:
+        fail(path, "pareto.layers missing or empty", errors)
+        return None
+    for index, layer in enumerate(layers):
+        check_layer(path, index, layer, errors)
+    return pareto
+
+
+def selected_mttf(pareto: dict) -> dict:
+    """layer name -> MTTF of the selected front member."""
+    return {
+        layer["layer"]: next(pt["mttf"] for pt in layer["points"]
+                             if pt["selected"])
+        for layer in pareto["layers"]
+    }
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("files", nargs="+", metavar="FILE")
+    ap.add_argument("--same-front", action="store_true",
+                    help="two FILEs: their pareto objects must be identical "
+                         "(manifests ignored) — the determinism check")
+    ap.add_argument("--assert-selected-mttf-improves", action="store_true",
+                    help="two FILEs (energy run, lifetime-leaning run): per "
+                         "layer, FILE2's selected MTTF must be >= FILE1's")
+    args = ap.parse_args()
+    if (args.same_front or args.assert_selected_mttf_improves) \
+            and len(args.files) != 2:
+        ap.error("cross-file modes take exactly two FILEs")
+
+    errors: list = []
+    docs = [load_and_check(path, errors) for path in args.files]
+    if not errors and args.same_front:
+        a, b = docs
+        if a != b:
+            fail(args.files[1], f"pareto object differs from "
+                 f"{args.files[0]} — determinism violation", errors)
+    if not errors and args.assert_selected_mttf_improves:
+        base, cur = (selected_mttf(doc) for doc in docs)
+        if sorted(base) != sorted(cur):
+            fail(args.files[1], "layer sets differ between the two reports",
+                 errors)
+        else:
+            for name, mttf in base.items():
+                if cur[name] < mttf:
+                    fail(args.files[1], f"layer '{name}': selected MTTF "
+                         f"{cur[name]:.6g} < energy run's {mttf:.6g}", errors)
+
+    for msg in errors:
+        print(f"FAILURE: {msg}")
+    if errors:
+        print(f"{len(errors)} violation(s)")
+        return 1
+    mode = ("same-front" if args.same_front
+            else "mttf" if args.assert_selected_mttf_improves else "schema")
+    print(f"check_pareto OK ({len(args.files)} file(s), {mode} mode)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
