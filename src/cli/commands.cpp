@@ -15,6 +15,7 @@
 #include "cli/signals.hpp"
 #include "core/rota.hpp"
 #include "fi/checkpoint.hpp"
+#include "fi/degrade.hpp"
 #include "fi/hooks.hpp"
 #include "fi/inject.hpp"
 #include "svc/engine.hpp"
@@ -53,18 +54,42 @@ sched::ObjectiveSpec objective_of(const Options& opt) {
 }
 
 /// The degraded-array snapshot pareto searches against: every --fault
-/// spec (permanent pe=U,V faults only) routed through a spare pool of
-/// --spares. No faults = the universal all-live state.
-sched::ArrayState array_state_of(const Options& opt) {
+/// spec routed through a spare pool of --spares. Wear-dependent specs
+/// (rank=R, weibull=N) resolve against a short intact-array aging run of
+/// `net` — the same deterministic reading fi::array_state_from_faults
+/// documents. No faults = the universal all-live state.
+sched::ArrayState array_state_of(const Options& opt, const nn::Network& net) {
   if (opt.faults.empty()) return {};
   std::vector<fi::HardwareFault> faults;
+  bool wear_dependent = false;
   for (const std::string& spec : opt.faults) {
     auto fault = fi::parse_hardware_fault(spec);
     ROTA_REQUIRE(fault.ok(), "--fault " + spec + ": " + fault.error().message);
+    wear_dependent = wear_dependent ||
+                     fault.value().kind != fi::HardwareFaultKind::kCoordinate;
     faults.push_back(std::move(fault).take());
   }
+  if (!wear_dependent) {
+    auto state = fi::array_state_from_faults(opt.array_width,
+                                             opt.array_height, faults,
+                                             opt.spares);
+    ROTA_REQUIRE(state.ok(), state.error().message);
+    return std::move(state).take();
+  }
+  const arch::AcceleratorConfig accel = accel_of(opt);
+  sched::Mapper mapper(accel, objective_of(opt), {},
+                       sched::MapperOptions{true, threads_of(opt)});
+  const sched::NetworkSchedule ns = mapper.schedule_network(net);
+  wear::WearSimulator sim(accel);
+  auto policy = wear::make_policy(wear::PolicyKind::kRwlRo, accel.array_width,
+                                  accel.array_height, opt.seed);
+  constexpr std::int64_t kSnapshotIterations = 32;
+  sim.run_iterations(ns, *policy, kSnapshotIterations);
+  fi::WearSnapshot snapshot;
+  snapshot.usage = sim.tracker().usage().cells();
+  snapshot.seed = opt.seed;
   auto state = fi::array_state_from_faults(opt.array_width, opt.array_height,
-                                           faults, opt.spares);
+                                           faults, opt.spares, snapshot);
   ROTA_REQUIRE(state.ok(), state.error().message);
   return std::move(state).take();
 }
@@ -376,10 +401,126 @@ void discard_checkpoint(const std::string& path) {
   std::filesystem::remove(path, ec);
 }
 
+int cmd_degrade(const Options& opt, std::ostream& out) {
+  ROTA_REQUIRE(!opt.faults.empty(),
+               "degrade needs at least one --fault SPEC (pe=U,V@ITER[+K], "
+               "rank=R@ITER or weibull=N)");
+  const nn::Network net = nn::workload_by_abbr(opt.workload);
+  const arch::AcceleratorConfig accel = accel_of(opt);
+
+  fi::DegradeOptions dopt;
+  dopt.iterations = opt.iterations;
+  dopt.spares = opt.spares;
+  dopt.seed = opt.seed;
+  dopt.mode = opt.oblivious ? fi::DegradeMode::kFaultOblivious
+                            : fi::DegradeMode::kFaultAware;
+  dopt.objective = objective_of(opt);
+  dopt.policy = opt.policy;
+  dopt.retire_live_fraction = opt.retire_fraction;
+  dopt.threads = threads_of(opt);
+  dopt.workload_tag = net.abbr();
+  dopt.checkpoint_path = opt.checkpoint_path;
+  dopt.checkpoint_every = opt.checkpoint_every;
+  for (const std::string& spec : opt.faults) {
+    auto fault = fi::parse_hardware_fault(spec);
+    ROTA_REQUIRE(fault.ok(), "--fault " + spec + ": " + fault.error().message);
+    dopt.faults.push_back(std::move(fault).take());
+  }
+
+  fi::Checkpoint cp;
+  if (!opt.checkpoint_path.empty()) {
+    const std::string fingerprint = fi::degrade_fingerprint(accel, dopt);
+    if (load_matching_checkpoint(opt.checkpoint_path, "degrade", fingerprint,
+                                 cp)) {
+      dopt.resume = &cp;
+      obs::log_event(obs::Severity::kInfo, "cli",
+                     "resuming degrade from checkpoint " +
+                         opt.checkpoint_path + " (iteration " +
+                         std::to_string(cp.progress) + ")");
+    }
+  }
+
+  const fi::DegradeReport report =
+      fi::run_degraded_lifetime(accel, net, dopt, [] {
+        tick_interrupt_budget();
+        return interrupted();
+      });
+
+  out << net.name() << " x " << report.iterations_run
+      << " iterations, policy " << wear::to_string(dopt.policy)
+      << " (masked), objective " << dopt.objective.id() << ", mode "
+      << fi::to_string(dopt.mode) << ", " << dopt.spares << " spare(s)";
+  if (report.resumed) out << " [resumed]";
+  out << ":\n";
+  for (const std::string& event : report.events) out << "  " << event << '\n';
+
+  util::TextTable table({"quantity", "value"});
+  table.add_row({"faults injected", std::to_string(report.faults_injected)});
+  table.add_row({"remaps", std::to_string(report.remaps)});
+  table.add_row({"unmapped faults",
+                 std::to_string(report.unmapped_faults)});
+  table.add_row({"reschedules", std::to_string(report.reschedules)});
+  table.add_row({"transient restores",
+                 std::to_string(report.transient_restores)});
+  table.add_row({"redirected units",
+                 std::to_string(report.redirected_units)});
+  table.add_row({"lost units", std::to_string(report.lost_units)});
+  table.add_row({"live PEs", std::to_string(report.live_pes)});
+  table.add_row({"retire budget", std::to_string(report.retire_budget)});
+  table.add_row({"spares in service",
+                 std::to_string(report.spare_stats.spares_in_service)});
+  table.add_row({"spares free",
+                 std::to_string(report.spare_stats.spares_free)});
+  table.add_row({"energy overhead",
+                 util::fmt_pct(report.energy_overhead, 2)});
+  table.add_row({"throughput derating",
+                 util::fmt_pct(report.throughput_derating, 2)});
+  out << table.str();
+  out << "MTTF, fault-free profile: " << util::fmt(report.mttf_initial, 4)
+      << "  residual (tolerance " << report.mttf_tolerance
+      << "): " << util::fmt(report.mttf_final, 4) << '\n';
+
+  if (opt.mc_trials > 0 && report.mttf_final > 0.0) {
+    // Cross-check the closed-form residual MTTF against the with-spares
+    // Monte-Carlo estimator on the same live set and tolerance.
+    std::int64_t active = 0;
+    for (const double a : report.live_alphas) active += a > 0.0 ? 1 : 0;
+    if (report.mttf_tolerance < active) {
+      const rel::MonteCarloResult mc = rel::monte_carlo_spare_mttf(
+          report.live_alphas, report.mttf_tolerance, rel::kJedecShape, 1.0,
+          opt.mc_trials, opt.seed, threads_of(opt));
+      out << "MC cross-check: " << util::fmt(mc.mttf, 4) << " (stderr "
+          << util::fmt(mc.stderr_, 6) << ", " << mc.trials << " trials)\n";
+    }
+  }
+
+  if (!opt.csv_out_path.empty()) {
+    util::write_text_file(opt.csv_out_path, report.timeline_csv);
+    out << "wrote " << opt.csv_out_path << '\n';
+  }
+
+  if (report.interrupted) {
+    obs::log_event(obs::Severity::kWarn, "cli",
+                   "interrupted; degrade state saved at iteration " +
+                       std::to_string(report.iterations_run));
+    return kExitInterrupted;
+  }
+  if (!opt.checkpoint_path.empty()) discard_checkpoint(opt.checkpoint_path);
+  if (report.retired) {
+    out << "retired at iteration " << report.retired_at << " (exit "
+        << kExitRetired << ")\n";
+    return kExitRetired;
+  }
+  return 0;
+}
+
 int cmd_inject(const Options& opt, std::ostream& out) {
   ROTA_REQUIRE(!opt.faults.empty(),
                "inject needs at least one --fault SPEC (pe=U,V@ITER[+K], "
                "rank=R@ITER or weibull=N)");
+  // --resched upgrades the campaign to the degrade engine's full
+  // repair-and-reschedule loop under the same faults and pool.
+  if (opt.resched) return cmd_degrade(opt, out);
   const nn::Network net = nn::workload_by_abbr(opt.workload);
   const arch::AcceleratorConfig accel = accel_of(opt);
   sched::Mapper mapper(accel, sched::ObjectiveSpec{}, {},
@@ -625,7 +766,7 @@ int cmd_pareto(const Options& opt, std::ostream& out) {
   const nn::Network net = nn::workload_by_abbr(opt.workload);
   const arch::AcceleratorConfig accel = accel_of(opt);
   const sched::ObjectiveSpec objective = objective_of(opt);
-  const sched::ArrayState array = array_state_of(opt);
+  const sched::ArrayState array = array_state_of(opt, net);
   sched::Mapper mapper(accel, objective, {},
                        sched::MapperOptions{true, threads_of(opt)}, array);
   const sched::NetworkParetoFront front = mapper.pareto_network(net);
@@ -749,6 +890,8 @@ int dispatch(const Options& options, std::istream& in, std::ostream& out) {
       return cmd_mc(options, out);
     case Verb::kPareto:
       return cmd_pareto(options, out);
+    case Verb::kDegrade:
+      return cmd_degrade(options, out);
   }
   return 1;
 }
@@ -819,11 +962,19 @@ class ObservabilityScope {
     // (make_run_manifest pre-stamps the "energy" default; canonicalize
     // the user's spelling when it parses — a bad spec fails in dispatch
     // with the full error message).
-    if (options_.verb == Verb::kSchedule || options_.verb == Verb::kPareto) {
+    if (options_.verb == Verb::kSchedule || options_.verb == Verb::kPareto ||
+        options_.verb == Verb::kDegrade ||
+        (options_.verb == Verb::kInject && options_.resched)) {
       if (auto spec = sched::parse_objective(options_.objective); spec.ok()) {
         manifest_.extra["objective.id"] = spec.value().id();
         manifest_.extra["objective.weights"] = spec.value().weights_csv();
       }
+    }
+    if (options_.verb == Verb::kDegrade) {
+      manifest_.extra["degrade.mode"] =
+          options_.oblivious ? "oblivious" : "aware";
+      manifest_.extra["degrade.retire"] =
+          std::to_string(options_.retire_fraction);
     }
     start_ = std::chrono::steady_clock::now();
     obs::log_event(obs::Severity::kInfo, "cli",

@@ -22,7 +22,8 @@ int main(int argc, char** argv) {
     // default die-immediately handlers.
     if (options.verb == rota::cli::Verb::kServe ||
         options.verb == rota::cli::Verb::kSweep ||
-        options.verb == rota::cli::Verb::kMc) {
+        options.verb == rota::cli::Verb::kMc ||
+        options.verb == rota::cli::Verb::kDegrade) {
       rota::cli::install_signal_handlers();
     }
     return rota::cli::run(options, std::cin, std::cout);

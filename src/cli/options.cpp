@@ -30,6 +30,15 @@ std::int64_t parse_non_negative_int(const std::string& text,
   return static_cast<std::int64_t>(v);
 }
 
+double parse_fraction(const std::string& text, const std::string& flag) {
+  ROTA_REQUIRE(!text.empty(), flag + " needs a value");
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  ROTA_REQUIRE(end != nullptr && *end == '\0' && v > 0.0 && v <= 1.0,
+               flag + " expects a fraction in (0, 1], got '" + text + "'");
+  return v;
+}
+
 std::uint64_t parse_u64(const std::string& text, const std::string& flag) {
   ROTA_REQUIRE(!text.empty() && text[0] != '-', flag + " expects an unsigned "
                "integer, got '" + text + "'");
@@ -48,7 +57,8 @@ constexpr std::string_view kAllFlags[] = {
     "--threads", "--metrics", "--trace",   "--progress",  "-v",
     "--verbose", "--cache-dir", "--cache-cap", "--batch", "--queue-cap",
     "--fault",   "--checkpoint", "--trials",  "--objective", "--json",
-    "--stats-out", "--stats-interval", "--events"};
+    "--stats-out", "--stats-interval", "--events",
+    "--oblivious", "--resched", "--retire", "--ckpt-every"};
 
 /// The observability flags every working verb owns.
 constexpr std::string_view kObsFlags[] = {
@@ -90,8 +100,10 @@ std::vector<std::string_view> owned_flags(Verb verb) {
                "--queue-cap"};
       break;
     case Verb::kInject:
+      // --resched upgrades the campaign to the degrade engine's
+      // repair-and-reschedule loop; --objective drives those re-runs.
       flags = {"--array", "--iters", "--spares", "--policy", "--seed",
-               "--fault", "--threads"};
+               "--fault", "--threads", "--resched", "--objective"};
       break;
     case Verb::kSweep:
       // No workload argument: sweep always covers the whole Table II zoo.
@@ -108,6 +120,11 @@ std::vector<std::string_view> owned_flags(Verb verb) {
       // array_state_from_faults).
       flags = {"--array", "--objective", "--fault", "--spares", "--threads",
                "--csv", "--json"};
+      break;
+    case Verb::kDegrade:
+      flags = {"--array", "--iters", "--spares", "--policy", "--objective",
+               "--seed", "--fault", "--threads", "--csv", "--checkpoint",
+               "--ckpt-every", "--retire", "--oblivious", "--mc"};
       break;
   }
   flags.insert(flags.end(), std::begin(kObsFlags), std::end(kObsFlags));
@@ -152,6 +169,8 @@ std::string verb_name(Verb verb) {
       return "mc";
     case Verb::kPareto:
       return "pareto";
+    case Verb::kDegrade:
+      return "degrade";
   }
   ROTA_UNREACHABLE("unhandled Verb");
 }
@@ -212,19 +231,26 @@ Options parse(const std::vector<std::string>& args) {
     opt.verb = Verb::kMc;
   } else if (verb == "pareto") {
     opt.verb = Verb::kPareto;
+  } else if (verb == "degrade") {
+    opt.verb = Verb::kDegrade;
   } else {
     ROTA_REQUIRE(false, "unknown command '" + verb + "'\n" + usage());
   }
 
-  // inject routes faulted work through the spare pool, so its default
-  // pool is non-empty (lifetime keeps 0 = the plain Eq. 3 array).
+  // inject and degrade route faulted work through the spare pool, so
+  // their default pool is non-empty (lifetime keeps 0 = the plain Eq. 3
+  // array). degrade ages longer than inject's quick campaign.
   if (opt.verb == Verb::kInject) opt.spares = 4;
+  if (opt.verb == Verb::kDegrade) {
+    opt.spares = 4;
+    opt.iterations = 512;
+  }
 
   const bool wants_workload =
       opt.verb == Verb::kSchedule || opt.verb == Verb::kWear ||
       opt.verb == Verb::kLifetime || opt.verb == Verb::kThermal ||
       opt.verb == Verb::kInject || opt.verb == Verb::kMc ||
-      opt.verb == Verb::kPareto;
+      opt.verb == Verb::kPareto || opt.verb == Verb::kDegrade;
   std::size_t i = 1;
   if (wants_workload && args.size() > 1 && args[1].rfind("--", 0) != 0) {
     opt.workload = args[1];
@@ -315,6 +341,14 @@ Options parse(const std::vector<std::string>& args) {
     } else if (flag == "--json") {
       opt.json_out_path = value_of(flag);
       ROTA_REQUIRE(!opt.json_out_path.empty(), "--json needs a file path");
+    } else if (flag == "--oblivious") {
+      opt.oblivious = true;
+    } else if (flag == "--resched") {
+      opt.resched = true;
+    } else if (flag == "--retire") {
+      opt.retire_fraction = parse_fraction(value_of(flag), flag);
+    } else if (flag == "--ckpt-every") {
+      opt.checkpoint_every = parse_positive_int(value_of(flag), flag);
     } else if (flag == "--progress") {
       opt.progress = true;
     } else if (flag == "--verbose" || flag == "-v") {
@@ -402,7 +436,35 @@ std::string usage() {
       "    --policy NAME           wear policy driven during the run\n"
       "    --fault SPEC            repeatable; pe=U,V@ITER[+K] |\n"
       "                            rank=R@ITER | weibull=N\n"
+      "    --resched               repair-and-reschedule instead of the\n"
+      "                            fault-oblivious campaign (the degrade\n"
+      "                            engine; --objective drives the re-runs)\n"
+      "    --objective SPEC        mapper objective for --resched re-runs\n"
       "    --seed N  --threads N   weibull sampling seed / worker lanes\n"
+      "  degrade <abbr>            degraded-mode lifetime: in-run faults,\n"
+      "                            live spare remapping, fault-aware\n"
+      "                            rescheduling and masked wear rotation;\n"
+      "                            exits 5 when the array retires\n"
+      "    --array WxH  --iters N  geometry / inference iterations (default\n"
+      "                            512)\n"
+      "    --spares N              spare-pool size (default 4)\n"
+      "    --policy NAME           wear policy, masked to live PEs\n"
+      "    --objective SPEC        mapper objective for every (re)schedule\n"
+      "    --fault SPEC            repeatable; pe=U,V@ITER[+K] |\n"
+      "                            rank=R@ITER | weibull=N\n"
+      "    --oblivious             fail-stop baseline: never reschedule or\n"
+      "                            mask (for fault-aware-vs-oblivious\n"
+      "                            comparisons)\n"
+      "    --retire F              retire once live PEs drop below this\n"
+      "                            fraction of the array (default 0.75)\n"
+      "    --mc N                  cross-check the residual MTTF with N\n"
+      "                            Monte-Carlo trials (default off)\n"
+      "    --csv FILE              write the deterministic timeline CSV\n"
+      "    --checkpoint FILE       save/resume the run (byte-identical,\n"
+      "                            even mid-remap); --ckpt-every N sets "
+      "the\n"
+      "                            autosave cadence (default 64)\n"
+      "    --seed N  --threads N   fault sampling seed / mapper lanes\n"
       "  sweep                     every workload x policy cell, CSV out\n"
       "    --array WxH  --iters N  geometry / inference iterations\n"
       "    --metric alloc|cycles   wear accounting (default alloc)\n"
@@ -468,8 +530,9 @@ std::string usage() {
       "                            the event log instead)\n"
       "  -v, --verbose             print the collected metrics table\n"
       "\n"
-      "signals (serve, sweep, mc): the first SIGINT/SIGTERM drains, saves\n"
-      "any --checkpoint and exits 4; a second signal force-exits (130).\n"
+      "signals (serve, sweep, mc, degrade): the first SIGINT/SIGTERM\n"
+      "drains, saves any --checkpoint and exits 4; a second signal\n"
+      "force-exits (130). degrade exits 5 when the array retires.\n"
       "ROTA_FI=read=0.1,corrupt=0.05,... arms software fault injection\n"
       "(see README).\n";
 }

@@ -36,6 +36,8 @@ enum class Verb {
   kSweep,      ///< full workload x policy sweep to CSV, checkpointable
   kMc,         ///< Monte-Carlo MTTF of one workload+policy, checkpointable
   kPareto,     ///< per-layer Pareto fronts over (energy, MTTF, cycles)
+  kDegrade,    ///< degraded-mode lifetime engine: faults, remaps,
+               ///< reschedules, retirement (rota::fi)
 };
 
 /// The verb's name as typed on the command line ("wear", "serve", ...).
@@ -69,10 +71,14 @@ struct Options {
   std::int64_t cache_capacity = 4096;  ///< in-memory schedule-cache entries
   std::int64_t max_batch = 64;  ///< flush replies at least this often
   std::int64_t queue_cap = 0;   ///< shed beyond this queue depth (0 = off)
-  // inject / sweep / mc (see src/fi/):
+  // inject / sweep / mc / degrade (see src/fi/):
   std::vector<std::string> faults;  ///< --fault specs, unparsed (repeatable)
   std::string checkpoint_path;      ///< checkpoint/resume file ("" = off)
   std::int64_t trials = 100000;     ///< mc: Monte-Carlo trials
+  bool oblivious = false;  ///< degrade: fail-stop baseline (no repair loop)
+  bool resched = false;    ///< inject: route through the degrade engine
+  double retire_fraction = 0.75;  ///< degrade: retire below this live share
+  std::int64_t checkpoint_every = 64;  ///< degrade: autosave cadence (iters)
   // Observability (see src/obs/): every verb accepts these.
   std::string metrics_path;  ///< write {manifest, metrics} JSON here
   std::string trace_path;    ///< write a Chrome trace-event JSON here

@@ -25,6 +25,11 @@ namespace rota::cli {
 /// Exit code of a run that was interrupted and drained cleanly.
 inline constexpr int kExitInterrupted = 4;
 
+/// Exit code of a `rota degrade` run that hit the retirement threshold:
+/// the array kept too few live PEs (or no feasible schedule) to continue.
+/// Distinct from failure (1) — the run itself completed honestly.
+inline constexpr int kExitRetired = 5;
+
 /// Install SIGINT/SIGTERM handlers (idempotent). POSIX-only; a no-op on
 /// other platforms, where the default handlers keep terminating.
 void install_signal_handlers();

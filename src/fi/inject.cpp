@@ -25,6 +25,11 @@ struct Event {
   std::int64_t restore_after = 0;
 };
 
+/// Substream tag ("weibull") for every wear-weighted fault sampler, so
+/// the static ArrayState reading and the runtime campaign draw from the
+/// same stream given the same seed and snapshot.
+constexpr std::uint64_t kWeibullSeedTag = 0x77656962756c6cULL;
+
 std::string pe_name(std::int64_t u, std::int64_t v) {
   std::ostringstream out;
   out << "pe=(" << u << "," << v << ")";
@@ -155,7 +160,7 @@ FaultRunReport run_fault_injection(const arch::AcceleratorConfig& config,
     // strike time T·U^(1/β) — the Weibull CDF conditioned on failing
     // within the run window T.
     if (it == 1 && weibull_count > 0) {
-      util::SplitMix64 rng(options.seed ^ 0x77656962756c6cULL);  // "weibull"
+      util::SplitMix64 rng(options.seed ^ kWeibullSeedTag);
       std::vector<double> weight(usage.size(), 0.0);
       for (std::size_t idx = 0; idx < usage.size(); ++idx)
         weight[idx] = std::pow(static_cast<double>(usage[idx]), options.beta);
@@ -265,9 +270,12 @@ FaultRunReport run_fault_injection(const arch::AcceleratorConfig& config,
   return report;
 }
 
-util::Result<sched::ArrayState> array_state_from_faults(
+namespace {
+
+util::Result<sched::ArrayState> array_state_from_faults_impl(
     std::int64_t width, std::int64_t height,
-    const std::vector<HardwareFault>& faults, std::int64_t spares) {
+    const std::vector<HardwareFault>& faults, std::int64_t spares,
+    const WearSnapshot* wear) {
   if (width < 1 || height < 1) {
     return {util::ErrorCode::kInvalidArgument,
             "array_state_from_faults: array must be at least 1x1, got " +
@@ -278,29 +286,103 @@ util::Result<sched::ArrayState> array_state_from_faults(
             "array_state_from_faults: spares must be >= 0, got " +
                 std::to_string(spares)};
   }
-  rel::SpareRemapper remapper(width, height, spares);
-  for (const HardwareFault& fault : faults) {
-    if (fault.kind != HardwareFaultKind::kCoordinate) {
+  if (wear != nullptr) {
+    if (wear->usage.size() !=
+        static_cast<std::size_t>(width) * static_cast<std::size_t>(height)) {
       return {util::ErrorCode::kInvalidArgument,
-              "array_state_from_faults: only permanent pe=U,V faults have a "
-              "static dead-PE reading; got '" +
-                  to_string(fault) + "'"};
+              "array_state_from_faults: wear snapshot has " +
+                  std::to_string(wear->usage.size()) + " cells but the " +
+                  std::to_string(width) + "x" + std::to_string(height) +
+                  " array needs " + std::to_string(width * height)};
     }
+    if (!(wear->beta > 0.0)) {
+      return {util::ErrorCode::kInvalidArgument,
+              "array_state_from_faults: wear snapshot beta must be positive"};
+    }
+  }
+  rel::SpareRemapper remapper(width, height, spares);
+  const auto kill = [&remapper](std::int64_t u, std::int64_t v) {
+    if (!remapper.is_dead(u, v)) (void)remapper.fault_primary(u, v);
+  };
+  for (const HardwareFault& fault : faults) {
     if (fault.restore_after > 0) {
       return {util::ErrorCode::kInvalidArgument,
               "array_state_from_faults: transient fault '" + to_string(fault) +
                   "' has no static dead-PE reading (it heals at runtime)"};
     }
-    if (fault.u < 0 || fault.u >= width || fault.v < 0 || fault.v >= height) {
+    if (fault.kind != HardwareFaultKind::kCoordinate && wear == nullptr) {
       return {util::ErrorCode::kInvalidArgument,
-              "array_state_from_faults: fault '" + to_string(fault) +
-                  "' lies outside the " + std::to_string(width) + "x" +
-                  std::to_string(height) + " array"};
+              "array_state_from_faults: wear-dependent fault '" +
+                  to_string(fault) +
+                  "' needs a wear snapshot to get a static dead-PE reading"};
     }
-    if (remapper.is_dead(fault.u, fault.v)) continue;  // idempotent
-    (void)remapper.fault_primary(fault.u, fault.v);
+    switch (fault.kind) {
+      case HardwareFaultKind::kCoordinate: {
+        if (fault.u < 0 || fault.u >= width || fault.v < 0 ||
+            fault.v >= height) {
+          return {util::ErrorCode::kInvalidArgument,
+                  "array_state_from_faults: fault '" + to_string(fault) +
+                      "' lies outside the " + std::to_string(width) + "x" +
+                      std::to_string(height) + " array"};
+        }
+        kill(fault.u, fault.v);
+        break;
+      }
+      case HardwareFaultKind::kWearRank: {
+        std::int64_t u = 0;
+        std::int64_t v = 0;
+        if (pick_by_rank(wear->usage, remapper, fault.rank, width, &u, &v)) {
+          kill(u, v);
+        }
+        break;
+      }
+      case HardwareFaultKind::kWeibull: {
+        // The campaign's sampler without the strike times: PEs picked
+        // with probability ∝ usage^β, without replacement, from the
+        // seed's "weibull" substream; already-dead primaries are skipped.
+        util::SplitMix64 rng(wear->seed ^ kWeibullSeedTag);
+        std::vector<double> weight(wear->usage.size(), 0.0);
+        for (std::size_t idx = 0; idx < wear->usage.size(); ++idx) {
+          const auto u = static_cast<std::int64_t>(idx) % width;
+          const auto v = static_cast<std::int64_t>(idx) / width;
+          if (remapper.is_dead(u, v)) continue;
+          weight[idx] = std::pow(static_cast<double>(wear->usage[idx]),
+                                 wear->beta);
+        }
+        for (std::int64_t n = 0; n < fault.count; ++n) {
+          double total = 0.0;
+          for (const double w : weight) total += w;
+          if (total <= 0.0) break;
+          double pick = rng.next_double() * total;
+          std::size_t idx = 0;
+          for (; idx + 1 < weight.size(); ++idx) {
+            if (pick < weight[idx]) break;
+            pick -= weight[idx];
+          }
+          weight[idx] = 0.0;  // without replacement
+          kill(static_cast<std::int64_t>(idx) % width,
+               static_cast<std::int64_t>(idx) / width);
+        }
+        break;
+      }
+    }
   }
   return sched::ArrayState(remapper);
+}
+
+}  // namespace
+
+util::Result<sched::ArrayState> array_state_from_faults(
+    std::int64_t width, std::int64_t height,
+    const std::vector<HardwareFault>& faults, std::int64_t spares) {
+  return array_state_from_faults_impl(width, height, faults, spares, nullptr);
+}
+
+util::Result<sched::ArrayState> array_state_from_faults(
+    std::int64_t width, std::int64_t height,
+    const std::vector<HardwareFault>& faults, std::int64_t spares,
+    const WearSnapshot& wear) {
+  return array_state_from_faults_impl(width, height, faults, spares, &wear);
 }
 
 }  // namespace rota::fi

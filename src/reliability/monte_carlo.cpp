@@ -108,7 +108,73 @@ double sample_failure(const FailureSampler& s, std::vector<double>& u,
   return kern::pow1(kern::weibull_min(u.data(), s.c_pow.data(), k), s.p);
 }
 
+/// One with-spares trial: per-PE failure times in the β-power domain
+/// (t_i^β = (η/α_i)^β·(−ln(1−U_i)); the power is monotone, so order
+/// statistics commute with it), then the (spares+1)-th smallest is the
+/// device failure. `t_pow` is caller-owned scratch of size c_pow.size().
+double sample_spare_failure(const FailureSampler& s,
+                            std::vector<double>& t_pow, std::int64_t spares,
+                            util::SplitMix64& rng) {
+  const std::size_t k = s.c_pow.size();
+  for (std::size_t i = 0; i < k; ++i) {
+    t_pow[i] = s.c_pow[i] * -std::log1p(-rng.next_double());
+  }
+  const auto nth = t_pow.begin() + static_cast<std::ptrdiff_t>(spares);
+  // nth_element's *value* at the nth slot is the sorted nth value — unique
+  // even under ties — so the sample is implementation-independent.
+  std::nth_element(t_pow.begin(), nth, t_pow.end());
+  return kern::pow1(*nth, s.p);
+}
+
 }  // namespace
+
+MonteCarloResult monte_carlo_spare_mttf(const std::vector<double>& alphas,
+                                        std::int64_t spares, double beta,
+                                        double eta, std::int64_t trials,
+                                        std::uint64_t seed, int threads) {
+  validate_inputs(alphas, beta, eta, trials);
+  const obs::TraceSpan span("monte_carlo_spare_mttf", "rel");
+  const auto t0 = std::chrono::steady_clock::now();
+  const FailureSampler sampler = make_sampler(alphas, beta, eta);
+  ROTA_REQUIRE(spares >= 0 &&
+                   spares < static_cast<std::int64_t>(sampler.c_pow.size()),
+               "spares must be fewer than the active PE count");
+
+  struct Moments {
+    double sum = 0.0;
+    double sum_sq = 0.0;
+  };
+  const std::int64_t chunks = util::ceil_div(trials, kMonteCarloChunkTrials);
+  const Moments total = par::parallel_reduce<Moments>(
+      chunks, threads, Moments{},
+      [&](std::int64_t c) {
+        const ChunkBounds b = chunk_bounds(c, kMonteCarloChunkTrials, trials);
+        util::SplitMix64 rng = chunk_rng(seed, c);
+        std::vector<double> t_pow(sampler.c_pow.size());
+        Moments m;
+        for (std::int64_t t = b.begin; t < b.end; ++t) {
+          const double sample =
+              sample_spare_failure(sampler, t_pow, spares, rng);
+          m.sum += sample;
+          m.sum_sq += sample * sample;
+        }
+        return m;
+      },
+      [](Moments acc, Moments m) {
+        acc.sum += m.sum;
+        acc.sum_sq += m.sum_sq;
+        return acc;
+      });
+  report_batch("mc.spare_mttf", trials, t0);
+
+  MonteCarloResult res;
+  res.trials = trials;
+  const double n = static_cast<double>(trials);
+  res.mttf = total.sum / n;
+  const double var = std::max(0.0, total.sum_sq / n - res.mttf * res.mttf);
+  res.stderr_ = std::sqrt(var / n);
+  return res;
+}
 
 MonteCarloResult monte_carlo_mttf(const std::vector<double>& alphas,
                                   double beta, double eta,

@@ -43,6 +43,20 @@ struct MonteCarloResult {
                                   std::uint64_t seed = 0x6d634d54,
                                   int threads = 1);
 
+/// With-spares / with-repair extension of the serial-chain estimator: the
+/// device survives until `spares` + 1 PEs have failed — each of the first
+/// `spares` failures is repaired instantly by claiming a spare, which is
+/// exactly the k-out-of-n model behind the spare_array_mttf closed form —
+/// so a trial's failure time is the (spares+1)-th order statistic of the
+/// per-PE Weibull failure times. Rides the same chunked-substream
+/// determinism contract as monte_carlo_mttf (bit-identical at any thread
+/// count); the test suite cross-checks it against spare_array_mttf within
+/// sampling error. \pre spares >= 0 and fewer than the active PE count.
+[[nodiscard]] MonteCarloResult monte_carlo_spare_mttf(
+    const std::vector<double>& alphas, std::int64_t spares,
+    double beta = kJedecShape, double eta = 1.0, std::int64_t trials = 10000,
+    std::uint64_t seed = 0x6d635370, int threads = 1);
+
 /// Partial state of an interruptible MTTF estimation: the moments
 /// accumulated over chunks [0, next_chunk). Because every chunk draws
 /// from its own RNG substream and partials fold in ascending chunk order

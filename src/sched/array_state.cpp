@@ -145,6 +145,25 @@ bool ArrayState::dead(std::int64_t u, std::int64_t v) const {
   return dead_[static_cast<std::size_t>(v * width_ + u)] != 0;
 }
 
+bool ArrayState::window_clear(std::int64_t u, std::int64_t v, std::int64_t x,
+                              std::int64_t y) const {
+  if (width_ == 0) return true;
+  ROTA_REQUIRE(u >= 0 && u < width_ && v >= 0 && v < height_,
+               "window anchor outside the array");
+  (void)size_index(x, y);  // validates the window size
+  if (dead_count_ == 0) return true;
+  for (std::int64_t dv = 0; dv < y; ++dv) {
+    const std::int64_t row = (v + dv) % height_;
+    for (std::int64_t du = 0; du < x; ++du) {
+      const std::int64_t col = (u + du) % width_;
+      if (dead_[static_cast<std::size_t>(row * width_ + col)] != 0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
 std::pair<std::int64_t, std::int64_t> ArrayState::anchor(std::int64_t x,
                                                          std::int64_t y) const {
   if (width_ == 0) return {0, 0};

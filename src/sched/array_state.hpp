@@ -67,6 +67,13 @@ class ArrayState {
   [[nodiscard]] std::pair<std::int64_t, std::int64_t> anchor(
       std::int64_t x, std::int64_t y) const;
 
+  /// Whether the x×y window anchored at (u, v) — torus wrap allowed —
+  /// avoids every dead, un-spared PE. Always true for the all-live state.
+  /// Used by the masked wear policies to filter a rotation trajectory
+  /// down to its feasible anchors. \pre coordinates and size in range.
+  [[nodiscard]] bool window_clear(std::int64_t u, std::int64_t v,
+                                  std::int64_t x, std::int64_t y) const;
+
   /// Stable content digest for cache fingerprints and manifests: the
   /// sentinel "live" when no PE is dead — concrete or not, an intact
   /// array schedules identically either way — otherwise

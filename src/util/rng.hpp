@@ -38,6 +38,11 @@ class SplitMix64 {
     return static_cast<double>(next() >> 11) * 0x1.0p-53;
   }
 
+  /// Raw generator state, for checkpoint serialization. Restoring via
+  /// set_state() resumes the stream exactly where it left off.
+  [[nodiscard]] std::uint64_t state() const { return state_; }
+  void set_state(std::uint64_t state) { state_ = state; }
+
  private:
   std::uint64_t state_;
 };

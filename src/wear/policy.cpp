@@ -28,6 +28,12 @@ std::int64_t Policy::bulk_process(const sched::UtilSpace&, std::int64_t,
   return 0;  // default: no fast path
 }
 
+void Policy::unpack_state(const std::vector<std::uint64_t>& state) {
+  ROTA_REQUIRE(state.empty(),
+               "policy " + name() + " carries no serializable state but got " +
+                   std::to_string(state.size()) + " words");
+}
+
 namespace {
 
 // ---------------------------------------------------------------------------
@@ -155,6 +161,20 @@ class StridePolicy : public Policy {
     return consumed;
   }
 
+  std::vector<std::uint64_t> pack_state() const override {
+    return {static_cast<std::uint64_t>(u_), static_cast<std::uint64_t>(v_)};
+  }
+
+  void unpack_state(const std::vector<std::uint64_t>& state) override {
+    ROTA_REQUIRE(state.size() == 2, "stride policy state is two words");
+    const auto u = static_cast<std::int64_t>(state[0]);
+    const auto v = static_cast<std::int64_t>(state[1]);
+    ROTA_REQUIRE(u >= 0 && u < width() && v >= 0 && v < height(),
+                 "stride policy state outside the array");
+    u_ = u;
+    v_ = v;
+  }
+
  protected:
   virtual bool reset_per_layer() const = 0;
 
@@ -217,6 +237,15 @@ class RandomStartPolicy final : public Policy {
     return std::make_unique<RandomStartPolicy>(*this);
   }
 
+  std::vector<std::uint64_t> pack_state() const override {
+    return {rng_.state()};
+  }
+
+  void unpack_state(const std::vector<std::uint64_t>& state) override {
+    ROTA_REQUIRE(state.size() == 1, "RandomStart state is one word");
+    rng_.set_state(state[0]);
+  }
+
  private:
   std::uint64_t seed_;
   util::SplitMix64 rng_;
@@ -249,6 +278,20 @@ class DiagonalStridePolicy final : public Policy {
   }
   std::unique_ptr<Policy> clone() const override {
     return std::make_unique<DiagonalStridePolicy>(*this);
+  }
+
+  std::vector<std::uint64_t> pack_state() const override {
+    return {static_cast<std::uint64_t>(u_), static_cast<std::uint64_t>(v_)};
+  }
+
+  void unpack_state(const std::vector<std::uint64_t>& state) override {
+    ROTA_REQUIRE(state.size() == 2, "DiagonalStride state is two words");
+    const auto u = static_cast<std::int64_t>(state[0]);
+    const auto v = static_cast<std::int64_t>(state[1]);
+    ROTA_REQUIRE(u >= 0 && u < width() && v >= 0 && v < height(),
+                 "DiagonalStride state outside the array");
+    u_ = u;
+    v_ = v;
   }
 
  private:

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "sched/schedule.hpp"
 #include "util/rng.hpp"
@@ -59,6 +60,16 @@ class Policy {
   virtual void reset() = 0;
 
   [[nodiscard]] virtual std::unique_ptr<Policy> clone() const = 0;
+
+  /// Serializable rotation state for checkpoint/resume. pack_state()
+  /// captures everything next_origin() depends on beyond the construction
+  /// parameters (stride coordinates, RNG state); unpack_state() restores
+  /// it exactly. Stateless policies return an empty vector and accept only
+  /// an empty one.
+  [[nodiscard]] virtual std::vector<std::uint64_t> pack_state() const {
+    return {};
+  }
+  virtual void unpack_state(const std::vector<std::uint64_t>& state);
 
   /// Optional O(1) fast path: record up to `tiles` allocations of `space`
   /// into `tracker` — each weighted by `weight` counts — with an effect

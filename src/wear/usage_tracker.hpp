@@ -77,6 +77,12 @@ class UsageTracker {
   /// Reset all counters to zero.
   void clear();
 
+  /// Replace the counters with a previously materialized grid (row-major,
+  /// w·h cells, all non-negative) — the checkpoint/resume inverse of
+  /// usage(): restore_cells(t.usage().cells()) leaves the tracker with
+  /// byte-identical counters and total. \pre cells.size() == w·h.
+  void restore_cells(const std::vector<std::int64_t>& cells);
+
   /// Total allocations recorded so far (Σ count · x · y consistency check).
   [[nodiscard]] std::int64_t total_pe_allocations() const;
 

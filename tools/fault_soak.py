@@ -32,7 +32,11 @@ Pass criteria, all hard assertions:
   * a session with --queue-cap 1 under heavy compute sheds at least
     one request with a structured `overloaded` error while still
     answering every line (svc.requests_shed nonzero, and visible in
-    its exit snapshot).
+    its exit snapshot);
+  * a `rota degrade` lifetime run produces a bit-identical fault
+    timeline at --threads 1/8/0 and under injected checkpoint write
+    faults, with nonzero degrade.remaps / degrade.reschedules counters
+    in its exit snapshot and structured degrade events in the sink.
 
 With --artifacts DIR the stats/events artifacts are copied there for CI
 upload before the scratch directory is removed.
@@ -238,6 +242,87 @@ def check_live_telemetry(rota: str, workdir: str, batch: str) -> int:
     return snapshot["seq"]
 
 
+def check_degrade(rota: str, workdir: str) -> tuple[int, int]:
+    """Degraded-lifetime run under ROTA_FI with live telemetry.
+
+    Arms write/corrupt faults scoped to the checkpoint file so the
+    engine's atomic checkpoint saves exercise their retry path, scrapes
+    the exit snapshot for the degrade.* counters, and proves the fault
+    timeline is byte-identical across thread counts and under injected
+    I/O faults. Returns (remaps, reschedules) seen in the snapshot.
+    """
+    tag = "degrade"
+    outdir = os.path.join(workdir, tag)
+    os.makedirs(outdir, exist_ok=True)
+    stats_json = os.path.join(outdir, "stats.json")
+    stats_om = os.path.join(outdir, "stats.om")
+    events_path = os.path.join(outdir, "events.jsonl")
+    ckpt_name = "soak-degrade-ckpt"
+
+    def run(threads: str, csv: str, faulted: bool) -> None:
+        env = dict(os.environ)
+        env.pop("ROTA_FI", None)
+        argv = [
+            rota, "degrade", "AN",
+            "--iters", "96", "--spares", "2",
+            "--fault", "pe=5,5@20", "--fault", "weibull=5",
+            "--retire", "0.9", "--seed", "7",
+            "--threads", threads, "--csv", csv,
+        ]
+        if faulted:
+            env["ROTA_FI"] = "write=0.3,corrupt=0.3,seed=11,match=" + ckpt_name
+            argv += [
+                "--checkpoint", os.path.join(outdir, ckpt_name),
+                "--ckpt-every", "16",
+                "--stats-out", stats_json,
+                "--events", events_path,
+            ]
+        proc = subprocess.run(
+            argv, capture_output=True, text=True, timeout=600, env=env
+        )
+        assert proc.returncode == 0, (
+            f"degrade --threads {threads} exited {proc.returncode}\n"
+            f"{proc.stderr}"
+        )
+
+    # Reference timeline, then the faulted telemetry run and two more
+    # lane counts: all four CSVs must be byte-identical (DESIGN.md §16).
+    csvs = [os.path.join(outdir, f"timeline{i}.csv") for i in range(4)]
+    run("1", csvs[0], faulted=False)
+    run("1", csvs[1], faulted=True)
+    run("8", csvs[2], faulted=False)
+    run("0", csvs[3], faulted=False)
+    reference = open(csvs[0], "rb").read()
+    assert reference, "degrade wrote an empty timeline"
+    for path in csvs[1:]:
+        assert open(path, "rb").read() == reference, (
+            f"degrade timeline differs: {path}"
+        )
+
+    snapshot = json.load(open(stats_json))
+    assert snapshot.get("schema_version") == SCHEMA_VERSION, snapshot
+    metrics = snapshot["metrics"]
+    remaps = counter(metrics, "degrade.remaps")
+    reschedules = counter(metrics, "degrade.reschedules")
+    assert counter(metrics, "degrade.faults") > 0, (
+        "snapshot shows no injected hardware faults"
+    )
+    assert remaps > 0, "snapshot shows no spare remaps"
+    assert reschedules > 0, "snapshot shows no degraded-array reschedules"
+
+    errors = check_openmetrics.validate(
+        open(stats_om).read(), open(stats_json).read()
+    )
+    assert not errors, "degrade OM twin disagrees: " + "; ".join(errors)
+
+    with open(events_path) as fh:
+        events = [json.loads(line) for line in fh if line.strip()]
+    assert any(ev["component"] == "degrade" for ev in events), (
+        "no structured degrade events emitted"
+    )
+    return remaps, reschedules
+
+
 def main() -> None:
     args = sys.argv[1:]
     artifacts_dir = None
@@ -317,6 +402,11 @@ def main() -> None:
         )
         assert not errors, "shed OM twin disagrees: " + "; ".join(errors)
 
+        # Degraded-lifetime engine: deterministic timeline, live spare
+        # remapping and rescheduling visible in the exit snapshot, and
+        # checkpoint saves surviving injected write faults.
+        remaps, reschedules = check_degrade(rota, workdir)
+
         if artifacts_dir:
             os.makedirs(artifacts_dir, exist_ok=True)
             for tag, name in (
@@ -324,6 +414,8 @@ def main() -> None:
                 ("stats", "stats.om"),
                 ("stats", "events.jsonl"),
                 ("shed", "stats.json"),
+                ("degrade", "stats.json"),
+                ("degrade", "events.jsonl"),
             ):
                 src = os.path.join(workdir, tag, name)
                 if os.path.exists(src):
@@ -335,7 +427,9 @@ def main() -> None:
             f"fault soak OK: {injected} faults injected, "
             f"{hardened} retries/recomputes, replies bit-identical; "
             f"{snapshots} live snapshots published under faults; "
-            f"{overloaded}/8 requests shed at --queue-cap 1"
+            f"{overloaded}/8 requests shed at --queue-cap 1; "
+            f"degrade timeline bit-identical with {remaps} remaps and "
+            f"{reschedules} reschedules"
         )
     finally:
         shutil.rmtree(workdir, ignore_errors=True)
